@@ -1,0 +1,101 @@
+//! Ablation benchmarks for the design choices DESIGN.md §7 calls out:
+//!
+//! * master problem: exhaustive traversal vs coordinate descent;
+//! * primal solver: interior point vs projected gradient;
+//! * DBR update order: round-robin vs shuffled.
+//!
+//! Quality deltas (not just timing) are asserted in the test suites;
+//! here we measure the cost side of each trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_solver::dbr::{DbrOptions, DbrSolver, UpdateOrder};
+use tradefl_solver::gbd::{solve_master, Cut, MasterSearch};
+use tradefl_solver::primal::PrimalProblem;
+
+fn game(n: usize) -> CoopetitionGame<SqrtAccuracy> {
+    let market = MarketConfig::table_ii().with_orgs(n).build(11).unwrap();
+    CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+}
+
+fn bench_master_modes(c: &mut Criterion) {
+    let g = game(6); // 4^6 = 4096 combinations: traversal still feasible
+    let levels: Vec<usize> = vec![3; 6];
+    let sol = PrimalProblem::new(&g, &levels).solve(1e-9).unwrap();
+    let cuts = vec![
+        Cut::optimality(&g, sol.d.clone(), sol.multipliers.clone()),
+        Cut::optimality(&g, vec![0.2; 6], vec![0.0; 6]),
+    ];
+    let visited = HashSet::new();
+    let mut group = c.benchmark_group("master_problem");
+    group.sample_size(20);
+    group.bench_function("traversal_4096", |b| {
+        b.iter(|| {
+            black_box(
+                solve_master(&g, &cuts, MasterSearch::Traversal { cap: 10_000 }, &visited)
+                    .unwrap()
+                    .phi,
+            )
+        });
+    });
+    group.bench_function("coordinate_descent", |b| {
+        b.iter(|| {
+            black_box(
+                solve_master(
+                    &g,
+                    &cuts,
+                    MasterSearch::CoordinateDescent { restarts: 8, max_sweeps: 20, seed: 1 },
+                    &visited,
+                )
+                .unwrap()
+                .phi,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_primal_modes(c: &mut Criterion) {
+    let g = game(10);
+    let levels: Vec<usize> = vec![3; 10];
+    let prob = PrimalProblem::new(&g, &levels);
+    let mut group = c.benchmark_group("primal_problem");
+    group.sample_size(20);
+    group.bench_function("interior_point", |b| {
+        b.iter(|| black_box(prob.solve(1e-9).unwrap().value));
+    });
+    group.bench_function("projected_gradient", |b| {
+        b.iter(|| black_box(prob.solve_projected(1e-8, 20_000).unwrap().value));
+    });
+    group.finish();
+}
+
+fn bench_dbr_orders(c: &mut Criterion) {
+    let g = game(10);
+    let mut group = c.benchmark_group("dbr_update_order");
+    group.sample_size(20);
+    group.bench_function("round_robin", |b| {
+        b.iter(|| black_box(DbrSolver::new().solve(&g).unwrap().iterations));
+    });
+    group.bench_function("shuffled", |b| {
+        b.iter(|| {
+            black_box(
+                DbrSolver::with_options(DbrOptions {
+                    order: UpdateOrder::Shuffled { seed: 3 },
+                    ..DbrOptions::default()
+                })
+                .solve(&g)
+                .unwrap()
+                .iterations,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_master_modes, bench_primal_modes, bench_dbr_orders);
+criterion_main!(benches);

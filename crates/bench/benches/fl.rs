@@ -1,0 +1,58 @@
+//! Federated-training substrate benchmarks: per-round cost and the
+//! Fig. 2 probe machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tradefl_fl_sim::data::{generate, DatasetKind};
+use tradefl_fl_sim::fed::{train_federated, FedConfig};
+use tradefl_fl_sim::model::{Mlp, ModelKind};
+use tradefl_fl_sim::probe::{ProbePoint, SqrtFit};
+
+fn bench_fed_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedavg_one_round");
+    group.sample_size(10);
+    for &model in &[ModelKind::MobilenetLike, ModelKind::Resnet18Like] {
+        let pool = generate(DatasetKind::Cifar10Like, 4400, 1);
+        let mut shards = pool.shard(&[1000, 1000, 1000, 1000, 400]);
+        let test = shards.pop().unwrap();
+        let config = FedConfig { rounds: 1, local_epochs: 1, batch_size: 32, lr: 0.1, seed: 1 };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.label()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    let global = Mlp::for_kind(model, test.dim(), test.classes, 1);
+                    black_box(
+                        train_federated(global, &shards, &test, &[1.0; 4], &config)
+                            .unwrap()
+                            .final_loss(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sqrt_fit(c: &mut Criterion) {
+    let pts: Vec<ProbePoint> = (1..50)
+        .map(|k| {
+            let x = 100 * k * k;
+            ProbePoint { samples: x, accuracy: 0.9 - 2.0 / (x as f64).sqrt() }
+        })
+        .collect();
+    c.bench_function("sqrt_fit_50_points", |b| {
+        b.iter(|| black_box(SqrtFit::fit(&pts)));
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let data = generate(DatasetKind::Cifar10Like, 2000, 2);
+    let model = Mlp::for_kind(ModelKind::Resnet18Like, data.dim(), data.classes, 3);
+    c.bench_function("evaluate_2000_samples", |b| {
+        b.iter(|| black_box(model.evaluate(&data)));
+    });
+}
+
+criterion_group!(benches, bench_fed_round, bench_sqrt_fit, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ledger benchmarks: hashing throughput, transfer execution, full
+//! settlement cost (the prototype-scale measurements of §VI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::StrategyProfile;
+use tradefl_ledger::node::Node;
+use tradefl_ledger::settlement::SettlementSession;
+use tradefl_ledger::sha256;
+use tradefl_ledger::tx::{Transaction, TxPayload};
+use tradefl_ledger::types::{Address, Wei};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(sha256::digest(&data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfer_block(c: &mut Criterion) {
+    let alice = Address::from_name("alice");
+    let bob = Address::from_name("bob");
+    let mut group = c.benchmark_group("mine_block_with_transfers");
+    group.sample_size(20);
+    for count in [10usize, 100] {
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, &count| {
+            b.iter(|| {
+                let mut node = Node::new(&[(alice, Wei(1_000_000_000))]);
+                for k in 0..count {
+                    node.submit(Transaction {
+                        from: alice,
+                        nonce: k as u64,
+                        value: Wei(1),
+                        gas_limit: 21_000,
+                        payload: TxPayload::Transfer { to: bob },
+                    })
+                    .unwrap();
+                }
+                black_box(node.mine())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_settlement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("settlement_end_to_end");
+    group.sample_size(10);
+    for n in [3usize, 5, 10] {
+        let market = MarketConfig::table_ii().with_orgs(n).build(3).unwrap();
+        let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+        let profile = StrategyProfile::minimal(game.market());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let session = SettlementSession::deploy(&game).unwrap();
+                black_box(session.settle(&game, &profile).unwrap().total_gas)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_transfer_block, bench_full_settlement);
+criterion_main!(benches);

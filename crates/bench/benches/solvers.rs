@@ -1,0 +1,87 @@
+//! Solver benchmarks backing the paper's complexity claims.
+//!
+//! * Lemma 4: CGBD is `O(I·m^|N|)` — exponential in `|N|` with the
+//!   traversal master (measured on tiny markets).
+//! * §V-D / Theorem 2 (computational efficiency): DBR is
+//!   `O(T·L·|N|·m)` — polynomial; wall time must grow mildly with `|N|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::StrategyProfile;
+use tradefl_solver::bestresponse::{best_response, Objective};
+use tradefl_solver::cgbd::{CgbdOptions, CgbdSolver};
+use tradefl_solver::dbr::DbrSolver;
+use tradefl_solver::gbd::MasterSearch;
+
+fn game(n: usize) -> CoopetitionGame<SqrtAccuracy> {
+    let market = MarketConfig::table_ii().with_orgs(n).build(7).unwrap();
+    CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+}
+
+fn bench_dbr_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbr_scaling");
+    group.sample_size(10);
+    for n in [4usize, 8, 12, 16] {
+        let g = game(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(DbrSolver::new().solve(&g).unwrap().welfare));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cgbd_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgbd_traversal_scaling");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        let g = game(n);
+        let options = CgbdOptions {
+            master: MasterSearch::Traversal { cap: 4_000_000 },
+            max_iters: 20,
+            ..CgbdOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    CgbdSolver::with_options(options.clone())
+                        .solve(&g)
+                        .unwrap()
+                        .equilibrium
+                        .potential,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let g = game(10);
+    let profile = StrategyProfile::minimal(g.market());
+    c.bench_function("best_response_single_org", |b| {
+        b.iter(|| black_box(best_response(&g, &profile, 0, Objective::Full)));
+    });
+}
+
+fn bench_payoff_evaluation(c: &mut Criterion) {
+    let g = game(10);
+    let profile = StrategyProfile::minimal(g.market());
+    c.bench_function("payoff_eq11_single_org", |b| {
+        b.iter(|| black_box(g.payoff(&profile, 0)));
+    });
+    c.bench_function("potential_eq15_full_profile", |b| {
+        b.iter(|| black_box(g.potential(&profile)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dbr_scaling,
+    bench_cgbd_scaling,
+    bench_best_response,
+    bench_payoff_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! **Extension experiment: price of anarchy vs γ.**
+//!
+//! Not a paper figure — it quantifies the mechanism's headline effect
+//! directly: how much of the centralized welfare optimum does the
+//! *decentralized* equilibrium capture, and how does the incentive
+//! intensity move that ratio? TradeFL's redistribution should push the
+//! PoA toward 1 around γ* and WPR (no redistribution) should stay
+//! further from 1.
+
+use tradefl_bench::{check, finish, game_with, Table, GAMMA_GRID, GAMMA_STAR, SEED};
+use tradefl_core::config::MarketConfig;
+use tradefl_solver::baselines::solve_scheme;
+use tradefl_solver::outcome::Scheme;
+use tradefl_solver::social::{solve_social_optimum, SocialOptions};
+
+fn main() {
+    let mu = MarketConfig::table_ii().rho_mean;
+    let omega_e = MarketConfig::table_ii().params.omega_e;
+    let mut table = Table::new(
+        "Extension: price of anarchy vs gamma",
+        &["gamma", "social W", "DBR W", "PoA(DBR)", "PoA(WPR)"],
+    );
+    let mut poa_dbr = Vec::new();
+    let mut poa_wpr = Vec::new();
+    for &gamma in &GAMMA_GRID {
+        let game = game_with(gamma, mu, omega_e, SEED);
+        let social = solve_social_optimum(&game, SocialOptions::default()).expect("solves");
+        let dbr = solve_scheme(&game, Scheme::Dbr).expect("dbr");
+        let wpr = solve_scheme(&game, Scheme::Wpr).expect("wpr");
+        let pd = social.price_of_anarchy(dbr.welfare);
+        let pw = social.price_of_anarchy(wpr.welfare);
+        table.row(vec![
+            format!("{gamma:.2e}"),
+            format!("{:.1}", social.welfare),
+            format!("{:.1}", dbr.welfare),
+            format!("{pd:.4}"),
+            format!("{pw:.4}"),
+        ]);
+        poa_dbr.push((gamma, pd));
+        poa_wpr.push((gamma, pw));
+    }
+    table.print();
+
+    let at = |series: &[(f64, f64)], g: f64| {
+        series
+            .iter()
+            .find(|(gamma, _)| (*gamma - g).abs() <= 1e-12 + 1e-6 * g)
+            .map(|(_, v)| *v)
+            .expect("gamma on grid")
+    };
+    let mut ok = true;
+    ok &= check(
+        &format!(
+            "redistribution at gamma* improves PoA over gamma=0 ({:.4} vs {:.4})",
+            at(&poa_dbr, GAMMA_STAR),
+            at(&poa_dbr, 0.0)
+        ),
+        at(&poa_dbr, GAMMA_STAR) < at(&poa_dbr, 0.0),
+    );
+    ok &= check(
+        "WPR's PoA is flat in gamma (no redistribution in its payoff)",
+        poa_wpr.iter().all(|(_, v)| (v - poa_wpr[0].1).abs() < 1e-6),
+    );
+    ok &= check(
+        &format!(
+            "DBR's best PoA is within 1% of the social optimum ({:.4})",
+            poa_dbr.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min)
+        ),
+        poa_dbr.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min) < 1.01,
+    );
+    ok &= check(
+        "PoA is always >= 1 (social optimum dominates every equilibrium)",
+        poa_dbr.iter().chain(&poa_wpr).all(|(_, v)| *v >= 1.0 - 1e-9),
+    );
+    finish(ok);
+}

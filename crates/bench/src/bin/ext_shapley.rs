@@ -1,0 +1,136 @@
+//! **Extension experiment: trading-rule payments vs Shapley-fair
+//! shares.**
+//!
+//! Eq. (9) pays for *raw contributed volume*; the Shapley value of the
+//! accuracy coalition game pays for *marginal model improvement*. This
+//! harness measures how closely the two align at the DBR equilibrium —
+//! on homogeneous-quality markets they should correlate strongly
+//! (volume ≈ usefulness), and with heterogeneous quality the
+//! volume-priced rule visibly over-pays the low-quality cohort relative
+//! to its Shapley share.
+
+use tradefl_bench::{check, finish, Table, SEED};
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::contribution::shapley_accuracy;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::market::{Market, MechanismParams};
+use tradefl_core::org::Organization;
+use tradefl_solver::dbr::DbrSolver;
+
+fn spearman_like(a: &[f64], b: &[f64]) -> f64 {
+    // Pearson correlation on ranks (simple tie-free ranking).
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&x, &y| v[x].total_cmp(&v[y]));
+        let mut r = vec![0.0; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            r[i] = rank as f64;
+        }
+        r
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..a.len() {
+        cov += (ra[i] - mean) * (rb[i] - mean);
+        va += (ra[i] - mean).powi(2);
+        vb += (rb[i] - mean).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+fn main() {
+    let mut ok = true;
+
+    // --- Homogeneous quality: volume pricing tracks Shapley ---------
+    let market = MarketConfig::table_ii().with_orgs(8).build(SEED).unwrap();
+    let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+    let eq = DbrSolver::new().solve(&game).expect("dbr converges");
+    let shapley = shapley_accuracy(&game, &eq.profile);
+    let volumes: Vec<f64> = (0..8)
+        .map(|i| eq.profile[i].d * game.market().org(i).data_bits())
+        .collect();
+    let mut t = Table::new(
+        "homogeneous quality: contributed volume vs Shapley value (DBR equilibrium)",
+        &["org", "d_i", "volume (Gbit)", "shapley", "share"],
+    );
+    let shares = shapley.shares();
+    for i in 0..8 {
+        t.row(vec![
+            format!("org-{i}"),
+            format!("{:.3}", eq.profile[i].d),
+            format!("{:.1}", volumes[i] / 1e9),
+            format!("{:.5}", shapley.values[i]),
+            format!("{:.3}", shares[i]),
+        ]);
+    }
+    t.print();
+    let corr = spearman_like(&volumes, &shapley.values);
+    println!("rank correlation(volume, shapley) = {corr:.3}");
+    ok &= check(
+        &format!("with homogeneous quality, volume pricing ranks like Shapley (corr {corr:.2})"),
+        corr > 0.9,
+    );
+    ok &= check(
+        "Shapley efficiency: values sum to the clamped accuracy gain",
+        (shapley.values.iter().sum::<f64>()
+            - (shapley.grand_value - shapley.empty_value))
+            .abs()
+            < 1e-9,
+    );
+
+    // --- Heterogeneous quality: volume pricing over-pays junk -------
+    let orgs: Vec<Organization> = (0..6)
+        .map(|i| {
+            Organization::builder(format!("org-{i}"))
+                .data_bits(20e9)
+                .profitability(1500.0)
+                .eta(100.0)
+                .quality(if i < 3 { 1.0 } else { 0.4 })
+                .compute_levels(vec![1.6e9, 2.4e9, 3.2e9, 4.0e9])
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let rho: Vec<Vec<f64>> = (0..6)
+        .map(|i| (0..6).map(|j| if i == j { 0.0 } else { 0.03 }).collect())
+        .collect();
+    let market = Market::new(orgs, rho, MechanismParams::paper_default()).unwrap();
+    let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+    let eq = DbrSolver::new().solve(&game).expect("dbr converges");
+    let shapley = shapley_accuracy(&game, &eq.profile);
+    let shares = shapley.shares();
+    let raw_volume: Vec<f64> = (0..6)
+        .map(|i| eq.profile[i].d * game.market().org(i).data_bits())
+        .collect();
+    let volume_total: f64 = raw_volume.iter().sum();
+    let mut t = Table::new(
+        "heterogeneous quality (orgs 3-5 at theta=0.4): payment shares",
+        &["org", "theta", "volume share (Eq.9 basis)", "shapley share"],
+    );
+    for i in 0..6 {
+        t.row(vec![
+            format!("org-{i}"),
+            if i < 3 { "1.0".into() } else { "0.4".into() },
+            format!("{:.3}", raw_volume[i] / volume_total),
+            format!("{:.3}", shares[i]),
+        ]);
+    }
+    t.print();
+    let low_volume_share: f64 = (3..6).map(|i| raw_volume[i] / volume_total).sum();
+    let low_shapley_share: f64 = (3..6).map(|i| shares[i]).sum();
+    println!(
+        "low-quality cohort: volume share {low_volume_share:.3} vs shapley share {low_shapley_share:.3}"
+    );
+    ok &= check(
+        &format!(
+            "volume pricing over-credits the low-quality cohort ({low_volume_share:.2} > {low_shapley_share:.2})"
+        ),
+        low_volume_share > low_shapley_share + 0.03,
+    );
+    finish(ok);
+}

@@ -1,0 +1,78 @@
+//! **Fig. 2** — impact of `d_i` on the data-accuracy function
+//! `P(d_i, d_-i)` (the pre-experiments of §III-C).
+//!
+//! For four model×dataset pairs, trains the federated global model at
+//! increasing total data sizes (`|S^k| ∈ [2000, 20000]`, `d_-i = 0.5`
+//! in spirit: everything else fixed), reports measured accuracy, and
+//! fits the paper's `c₀ − c₁/√x` curve. Shape checks: accuracy is
+//! increasing in the data volume with a muted (diminishing) growth
+//! rate — i.e. Eq. (5) holds empirically.
+
+use tradefl_bench::{check, finish, Table, SEED};
+use tradefl_fl_sim::data::DatasetKind;
+use tradefl_fl_sim::fed::FedConfig;
+use tradefl_fl_sim::model::ModelKind;
+use tradefl_fl_sim::probe::{measure_accuracy_curve, SqrtFit};
+
+fn main() {
+    let pairs = [
+        (ModelKind::Resnet18Like, DatasetKind::Cifar10Like),
+        (ModelKind::AlexnetLike, DatasetKind::FmnistLike),
+        (ModelKind::MobilenetLike, DatasetKind::SvhnLike),
+        (ModelKind::DensenetLike, DatasetKind::EurosatLike),
+    ];
+    let sizes = [2000usize, 4000, 8000, 14000, 20000];
+    let config = FedConfig { rounds: 10, local_epochs: 1, batch_size: 32, lr: 0.1, seed: SEED };
+
+    let mut ok = true;
+    let mut fits = Table::new(
+        "Fig. 2: fitted accuracy curves  acc(x) = c0 - c1/sqrt(x)",
+        &["model", "dataset", "c0", "c1", "R^2"],
+    );
+    for (model, dataset) in pairs {
+        let pts = measure_accuracy_curve(model, dataset, &sizes, 10, 1500, &config, SEED)
+            .expect("probe runs");
+        let mut table = Table::new(
+            format!("{model} on {dataset}: accuracy vs total samples"),
+            &["samples", "accuracy", "fitted"],
+        );
+        let fit = SqrtFit::fit(&pts);
+        for p in &pts {
+            table.row(vec![
+                p.samples.to_string(),
+                format!("{:.4}", p.accuracy),
+                format!("{:.4}", fit.predict(p.samples as f64)),
+            ]);
+        }
+        table.print();
+        fits.row(vec![
+            model.label().into(),
+            dataset.label().into(),
+            format!("{:.4}", fit.c0),
+            format!("{:.4}", fit.c1),
+            format!("{:.3}", fit.r_squared),
+        ]);
+
+        // Eq. (5) shape: increasing overall, diminishing increments.
+        let first = pts.first().unwrap().accuracy;
+        let last = pts.last().unwrap().accuracy;
+        ok &= check(
+            &format!("{model}/{dataset}: accuracy increases with data ({first:.3} -> {last:.3})"),
+            last > first,
+        );
+        let early_gain = pts[1].accuracy - pts[0].accuracy;
+        let late_gain = pts[4].accuracy - pts[3].accuracy;
+        ok &= check(
+            &format!(
+                "{model}/{dataset}: growth rate is muted at scale (early {early_gain:+.3}, late {late_gain:+.3})"
+            ),
+            late_gain < early_gain + 0.02,
+        );
+        ok &= check(
+            &format!("{model}/{dataset}: sqrt fit is increasing (c1 = {:.3} > 0)", fit.c1),
+            fit.c1 > 0.0,
+        );
+    }
+    fits.print();
+    finish(ok);
+}

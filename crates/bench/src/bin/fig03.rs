@@ -1,0 +1,131 @@
+//! **Fig. 3** — procedure of the proposed TradeFL based on
+//! smart-contract: a step-by-step transcript of the three-stage
+//! protocol (deposit → contribute → settle), plus the credibility
+//! properties: immutability (tamper detection) and traceability
+//! (arbitration from recorded events).
+
+use tradefl_bench::{check, finish, Table, SEED};
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_ledger::settlement::SettlementSession;
+use tradefl_ledger::tx::Value;
+use tradefl_ledger::types::Wei;
+use tradefl_solver::dbr::DbrSolver;
+
+fn main() {
+    let market = MarketConfig::table_ii().with_orgs(3).build(SEED).unwrap();
+    let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+    let eq = DbrSolver::new().solve(&game).expect("dbr converges");
+    let session = SettlementSession::deploy(&game).expect("deploys");
+
+    println!("step 0: contract deployed at {}", session.contract());
+    let report = session.settle(&game, &eq.profile).expect("settles");
+    let w3 = session.web3();
+
+    let mut transcript = Table::new(
+        "Fig. 3: on-chain procedure transcript",
+        &["step", "event", "count", "example fields"],
+    );
+    for (step, event) in [
+        ("1a", "Registered"),
+        ("1b", "DepositSubmitted"),
+        ("2", "ContributionSubmitted"),
+        ("3a", "PayoffCalculated"),
+        ("3b", "PayoffTransferred"),
+        ("3c", "ProfileRecorded"),
+    ] {
+        let logs = w3.logs_by_event(event);
+        let example = logs
+            .first()
+            .map(|l| {
+                l.fields
+                    .iter()
+                    .map(|(k, v)| match v {
+                        Value::Fixed(f) => format!("{k}={:.4}", f.to_f64()),
+                        Value::I128(i) => format!("{k}={i}"),
+                        Value::Addr(a) => format!("{k}={a}"),
+                        other => format!("{k}={other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default();
+        transcript.row(vec![step.into(), event.into(), logs.len().to_string(), example]);
+    }
+    transcript.print();
+
+    println!(
+        "\nchain height {}, total settlement gas {}",
+        report.chain_height, report.total_gas
+    );
+
+    let mut ok = true;
+    // Credibility property 1: automatic, undeniable execution — the
+    // refunds moved real balances.
+    let refunds = w3.logs_by_event("PayoffTransferred");
+    ok &= check("payoffTransfer executed automatically for every org", refunds.len() == 3);
+
+    // Credibility property 2: immutability — tampering with a recorded
+    // contribution is detected by chain verification.
+    let tampered_ok = w3.with_node(|node| {
+        let mut chain = node.chain().clone();
+        // Rewrite history: change the value attached to the 2nd block's
+        // first transaction in a cloned chain.
+        let blocks = chain.blocks().len();
+        assert!(blocks > 2);
+        // Find a block with transactions.
+        let target = (0..blocks)
+            .find(|&i| !chain.block(i).unwrap().txs.is_empty())
+            .expect("some block has txs");
+        let mut serialized = chain.block(target).unwrap().clone();
+        serialized.txs[0].value = Wei(987_654_321);
+        // Rebuild the chain with the tampered block in place.
+        let mut altered = tradefl_ledger::chain::Blockchain::new();
+        for i in 0..blocks {
+            let mut b = chain.block(i).unwrap().clone();
+            if i == target {
+                b = serialized.clone();
+            }
+            // push() validates; bypass by collecting errors.
+            if altered.push(b).is_err() {
+                return true; // tamper detected at insertion
+            }
+        }
+        chain = altered;
+        chain.verify().is_err()
+    });
+    ok &= check("tampering with a recorded contribution is detected", tampered_ok);
+
+    // Credibility property 3: traceability — arbitration can replay the
+    // full profile history from events alone.
+    let profiles = w3.logs_by_event("ProfileRecorded");
+    let mut arbitration = Table::new(
+        "arbitration evidence (replayed from chain events)",
+        &["org", "d", "f (GHz)", "R_i (payoff units)"],
+    );
+    for log in &profiles {
+        let d = log.field("d").and_then(Value::as_fixed).map(|f| f.to_f64());
+        let f_ghz = log.field("f_ghz").and_then(Value::as_fixed).map(|f| f.to_f64());
+        let r = log
+            .field("redistribution")
+            .and_then(Value::as_fixed)
+            .map(|f| f.to_f64());
+        arbitration.row(vec![
+            format!("{}", log.field("org").and_then(Value::as_addr).unwrap()),
+            format!("{:.4}", d.unwrap_or(f64::NAN)),
+            format!("{:.3}", f_ghz.unwrap_or(f64::NAN)),
+            format!("{:.4}", r.unwrap_or(f64::NAN)),
+        ]);
+    }
+    arbitration.print();
+    ok &= check("profile history replayable from events", profiles.len() == 3);
+    ok &= check(
+        "recorded d match the equilibrium profile",
+        profiles.iter().zip(0..3).all(|(log, _)| {
+            let d = log.field("d").and_then(Value::as_fixed).unwrap().to_f64();
+            (0..3).any(|i| (eq.profile[i].d - d).abs() < 1e-6)
+        }),
+    );
+    finish(ok);
+}

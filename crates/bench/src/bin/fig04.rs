@@ -1,0 +1,65 @@
+//! **Fig. 4** — dynamics of the value of the potential function.
+//!
+//! Replays the per-iteration potential value for CGBD, DBR, FIP and GCA
+//! on the Table II market. Paper shape: all schemes converge; CGBD
+//! attains the largest final potential, with DBR a close second.
+
+use tradefl_bench::{check, finish, fmt, paper_game, Table, SEED};
+use tradefl_solver::baselines::solve_scheme;
+use tradefl_solver::outcome::Scheme;
+
+fn main() {
+    let game = paper_game(SEED);
+    let schemes = [Scheme::Cgbd, Scheme::Dbr, Scheme::Fip, Scheme::Gca];
+    let outcomes: Vec<_> = schemes
+        .iter()
+        .map(|&s| solve_scheme(&game, s).expect("scheme solves"))
+        .collect();
+
+    let max_len = outcomes.iter().map(|o| o.potential_trace.len()).max().unwrap();
+    let mut table = Table::new(
+        "Fig. 4: potential-function value per iteration",
+        &["iter", "CGBD", "DBR", "FIP", "GCA"],
+    );
+    for k in 0..max_len {
+        let mut row = vec![k.to_string()];
+        for o in &outcomes {
+            // Hold the final value once a scheme has converged.
+            let v = o
+                .potential_trace
+                .get(k)
+                .or(o.potential_trace.last())
+                .copied()
+                .unwrap_or(f64::NAN);
+            row.push(fmt(v));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    let mut summary = Table::new("final potential", &["scheme", "U", "iterations"]);
+    for o in &outcomes {
+        summary.row(vec![o.scheme.label().into(), fmt(o.potential), o.iterations.to_string()]);
+    }
+    summary.print();
+
+    let u = |s: Scheme| outcomes.iter().find(|o| o.scheme == s).unwrap().potential;
+    let tol = 1e-6 * u(Scheme::Cgbd).abs().max(1.0);
+    let mut ok = true;
+    ok &= check("all schemes converge", outcomes.iter().all(|o| o.converged || o.scheme == Scheme::Cgbd));
+    ok &= check(
+        "CGBD achieves the largest potential value",
+        u(Scheme::Cgbd) >= u(Scheme::Dbr) - tol
+            && u(Scheme::Cgbd) >= u(Scheme::Fip) - tol
+            && u(Scheme::Cgbd) >= u(Scheme::Gca) - tol,
+    );
+    ok &= check(
+        "the CGBD-DBR gap is small (paper: 'rather small')",
+        (u(Scheme::Cgbd) - u(Scheme::Dbr)).abs() <= 0.05 * u(Scheme::Cgbd).abs(),
+    );
+    ok &= check(
+        "restricted baselines (FIP, GCA) do not beat DBR",
+        u(Scheme::Dbr) >= u(Scheme::Fip) - tol && u(Scheme::Dbr) >= u(Scheme::Gca) - tol,
+    );
+    finish(ok);
+}

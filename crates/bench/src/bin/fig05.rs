@@ -1,0 +1,66 @@
+//! **Fig. 5** — dynamics of organizations' payoffs under DBR.
+//!
+//! Prints each organization's payoff after every DBR round. Paper
+//! shape: payoffs converge to the NE within a few tens of iterations.
+
+use tradefl_bench::{check, finish, paper_game, Table, SEED};
+use tradefl_solver::dbr::{DbrOptions, DbrSolver};
+
+fn main() {
+    let game = paper_game(SEED);
+    // Damped best responses (κ = 0.45) reproduce the paper's gradual
+    // multi-iteration convergence; exact best responses (κ = 1) reach
+    // the same equilibrium in 2-3 rounds (checked at the end).
+    let eq = DbrSolver::with_options(DbrOptions { damping: 0.45, ..DbrOptions::default() })
+        .solve(&game)
+        .expect("dbr converges");
+
+    let n = game.market().len();
+    let headers: Vec<String> = std::iter::once("iter".to_string())
+        .chain((0..n).map(|i| format!("org-{i}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("Fig. 5: per-organization payoff per DBR iteration", &header_refs);
+    for (k, payoffs) in eq.payoff_traces.iter().enumerate() {
+        let mut row = vec![k.to_string()];
+        row.extend(payoffs.iter().map(|p| format!("{p:.1}")));
+        table.row(row);
+    }
+    table.print();
+
+    let mut ok = true;
+    ok &= check("DBR converges to the NE", eq.converged);
+    ok &= check(
+        &format!("convergence within ~25 iterations (paper: ~25); took {}", eq.iterations),
+        (5..=40).contains(&eq.iterations),
+    );
+    // Exact best responses land on the same plateau, just faster.
+    let exact = DbrSolver::new().solve(&game).expect("exact dbr");
+    ok &= check(
+        &format!(
+            "damped and exact dynamics reach the same potential ({:.4} vs {:.4})",
+            eq.potential, exact.potential
+        ),
+        (eq.potential - exact.potential).abs() <= 1e-3 * exact.potential.abs().max(1.0),
+    );
+    // Payoffs settle: the last two rows agree.
+    let rows = &eq.payoff_traces;
+    let settled = rows[rows.len() - 1]
+        .iter()
+        .zip(&rows[rows.len() - 2])
+        .all(|(a, b)| (a - b).abs() <= 1e-6 * a.abs().max(1.0));
+    ok &= check("payoffs are settled at the fixed point", settled);
+    // NE quality: no sampled unilateral deviation helps.
+    let gain = game.best_sampled_deviation_gain(&eq.profile, 24);
+    ok &= check(
+        &format!("no sampled deviation improves any payoff (best gain {gain:.2e})"),
+        gain < 1e-3 * eq.welfare.abs().max(1.0),
+    );
+    // Individual rationality at the NE (Theorem 2).
+    let audit = tradefl_core::mechanism::MechanismAudit::evaluate(&game, &eq.profile);
+    ok &= check(
+        &format!("individual rationality at the NE (min payoff {:.1})", audit.min_payoff),
+        audit.individually_rational(1e-9),
+    );
+    finish(ok);
+}

@@ -1,0 +1,58 @@
+//! **Fig. 6** — social welfare under different schemes.
+//!
+//! Paper shape: CGBD attains the highest social welfare, followed by
+//! DBR; WPR, FIP and GCA trail (WPR lacks compensation, FIP is grid-
+//! restricted, GCA ties compute greedily to data).
+
+use tradefl_bench::{check, finish, paper_game, Table, SEED};
+use tradefl_solver::baselines::solve_scheme;
+use tradefl_solver::outcome::Scheme;
+
+fn main() {
+    let game = paper_game(SEED);
+    let schemes = [Scheme::Cgbd, Scheme::Dbr, Scheme::Wpr, Scheme::Fip, Scheme::Gca];
+    let outcomes: Vec<_> = schemes
+        .iter()
+        .map(|&s| solve_scheme(&game, s).expect("scheme solves"))
+        .collect();
+
+    let mut table = Table::new(
+        "Fig. 6: social welfare by scheme",
+        &["scheme", "welfare", "sum d_i", "damage", "potential"],
+    );
+    for o in &outcomes {
+        table.row(vec![
+            o.scheme.label().into(),
+            format!("{:.1}", o.welfare),
+            format!("{:.3}", o.total_fraction),
+            format!("{:.2}", o.total_damage),
+            format!("{:.4}", o.potential),
+        ]);
+    }
+    table.print();
+
+    let w = |s: Scheme| outcomes.iter().find(|o| o.scheme == s).unwrap().welfare;
+    let mut ok = true;
+    // The potential-maximizing schemes must dominate on welfare; allow
+    // CGBD ≈ DBR (they find the same NE when it is unique).
+    let top = w(Scheme::Cgbd).max(w(Scheme::Dbr));
+    let tol = 1e-4 * top.abs();
+    ok &= check(
+        "CGBD/DBR welfare beats WPR (compensation matters)",
+        top > w(Scheme::Wpr) + tol,
+    );
+    ok &= check("CGBD/DBR welfare >= FIP", top >= w(Scheme::Fip) - tol);
+    ok &= check("CGBD/DBR welfare >= GCA", top >= w(Scheme::Gca) - tol);
+    ok &= check(
+        "CGBD and DBR agree closely",
+        (w(Scheme::Cgbd) - w(Scheme::Dbr)).abs() <= 0.02 * top.abs(),
+    );
+    ok &= check(
+        "WPR contributes the least data",
+        outcomes
+            .iter()
+            .all(|o| o.scheme == Scheme::Wpr || o.total_fraction
+                >= outcomes.iter().find(|x| x.scheme == Scheme::Wpr).unwrap().total_fraction),
+    );
+    finish(ok);
+}

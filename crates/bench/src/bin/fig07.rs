@@ -1,0 +1,76 @@
+//! **Fig. 7** — impact of the incentive intensity γ on social welfare
+//! under DBR.
+//!
+//! Paper shape: welfare is non-monotone in γ — it rises toward an
+//! interior optimum and *drops* at large γ (the paper highlights drops
+//! at γ = 5·10⁻⁸ and 10⁻⁷), because over-weighted redistribution makes
+//! organizations contribute regardless of training overhead.
+
+use tradefl_bench::{check, finish, game_with, Table, GAMMA_GRID, GAMMA_STAR, SEED};
+use tradefl_core::config::MarketConfig;
+use tradefl_solver::dbr::DbrSolver;
+
+fn main() {
+    let mu = MarketConfig::table_ii().rho_mean;
+    let omega_e = MarketConfig::table_ii().params.omega_e;
+    let mut table = Table::new(
+        "Fig. 7: social welfare vs gamma (DBR)",
+        &["gamma", "welfare", "sum d_i", "damage"],
+    );
+    let mut series = Vec::new();
+    for &gamma in &GAMMA_GRID {
+        let game = game_with(gamma, mu, omega_e, SEED);
+        let eq = DbrSolver::new().solve(&game).expect("dbr converges");
+        table.row(vec![
+            format!("{gamma:.2e}"),
+            format!("{:.1}", eq.welfare),
+            format!("{:.3}", eq.total_fraction),
+            format!("{:.2}", eq.total_damage),
+        ]);
+        series.push((gamma, eq.welfare));
+    }
+    table.print();
+
+    let welfare_at = |g: f64| {
+        series
+            .iter()
+            .find(|(gamma, _)| (*gamma - g).abs() <= 1e-12 + 1e-6 * g)
+            .map(|(_, w)| *w)
+            .expect("gamma on grid")
+    };
+    let peak = series.iter().cloned().fold((0.0, f64::NEG_INFINITY), |a, b| {
+        if b.1 > a.1 {
+            b
+        } else {
+            a
+        }
+    });
+    println!("\npeak welfare {:.1} at gamma = {:.2e}", peak.1, peak.0);
+
+    let mut ok = true;
+    ok &= check(
+        "welfare is non-monotone in gamma (interior maximum)",
+        peak.0 > 0.0 && peak.0 < 1e-7,
+    );
+    ok &= check(
+        "welfare drops at gamma = 5e-8 and 1e-7 relative to the peak",
+        welfare_at(5e-8) < peak.1 && welfare_at(1e-7) < peak.1,
+    );
+    ok &= check(
+        "the measured peak sits at the paper's gamma* = 5.12e-9",
+        (peak.0 - GAMMA_STAR).abs() < 1e-12,
+    );
+    ok &= check(
+        "large gamma raises contribution but lowers welfare vs the peak",
+        {
+            let sum_d_peak = 0.0; // placeholder, recomputed below
+            let _ = sum_d_peak;
+            let g_peak = game_with(peak.0, mu, omega_e, SEED);
+            let g_hi = game_with(1e-7, mu, omega_e, SEED);
+            let d_peak = DbrSolver::new().solve(&g_peak).unwrap().total_fraction;
+            let d_hi = DbrSolver::new().solve(&g_hi).unwrap().total_fraction;
+            d_hi > d_peak && welfare_at(1e-7) < peak.1
+        },
+    );
+    finish(ok);
+}

@@ -1,0 +1,65 @@
+//! **Fig. 8** — social welfare under the different schemes as a
+//! function of γ.
+//!
+//! Paper shape: DBR (and CGBD) dominate the baselines across the γ
+//! range; WPR is flat in γ (its payoff ignores redistribution).
+
+use tradefl_bench::{check, finish, game_with, Table, GAMMA_GRID, SEED};
+use tradefl_core::config::MarketConfig;
+use tradefl_solver::baselines::solve_scheme;
+use tradefl_solver::outcome::Scheme;
+
+fn main() {
+    let mu = MarketConfig::table_ii().rho_mean;
+    let omega_e = MarketConfig::table_ii().params.omega_e;
+    let schemes = [Scheme::Dbr, Scheme::Wpr, Scheme::Fip, Scheme::Gca];
+    let mut table = Table::new(
+        "Fig. 8: social welfare vs gamma by scheme",
+        &["gamma", "DBR", "WPR", "FIP", "GCA"],
+    );
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for &gamma in &GAMMA_GRID {
+        let game = game_with(gamma, mu, omega_e, SEED);
+        let mut row = vec![format!("{gamma:.2e}")];
+        for (k, &scheme) in schemes.iter().enumerate() {
+            let eq = solve_scheme(&game, scheme).expect("scheme solves");
+            row.push(format!("{:.1}", eq.welfare));
+            per_scheme[k].push(eq.welfare);
+        }
+        table.row(row);
+    }
+    table.print();
+
+    let mut ok = true;
+    // DBR dominates WPR up to (and at) the welfare peak; past the peak,
+    // over-incentivization can push DBR below the redistribution-free
+    // baseline — that is exactly Fig. 7's warning about large gamma.
+    let peak_idx = per_scheme[0]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    let dominated_up_to_peak = per_scheme[0][..=peak_idx]
+        .iter()
+        .zip(&per_scheme[1])
+        .all(|(dbr, wpr)| dbr >= wpr);
+    ok &= check(
+        &format!("DBR >= WPR at every gamma up to the peak (index {peak_idx})"),
+        dominated_up_to_peak,
+    );
+    let star = 4; // index of 5.12e-9 in GAMMA_GRID
+    ok &= check(
+        "at gamma*, DBR beats every baseline",
+        (1..schemes.len()).all(|k| per_scheme[0][star] >= per_scheme[k][star]),
+    );
+    // WPR is gamma-invariant: its objective drops R_i entirely.
+    let wpr_spread = per_scheme[1]
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    ok &= check(
+        "WPR welfare is flat in gamma",
+        (wpr_spread.1 - wpr_spread.0).abs() <= 1e-6 * wpr_spread.1.abs().max(1.0),
+    );
+    finish(ok);
+}

@@ -1,0 +1,14 @@
+//! **Fig. 13** — training loss of the global model per round
+//! (model-dataset pair A: ResNet-18 analog on CIFAR-10 analog),
+//! comparing the schemes' equilibrium contributions at γ = γ*.
+//!
+//! Paper shape: DBR converges to a lower loss than FIP/WPR/GCA and
+//! tracks TOS closely.
+
+use tradefl_bench::run_loss_figure;
+use tradefl_fl_sim::data::DatasetKind;
+use tradefl_fl_sim::model::ModelKind;
+
+fn main() {
+    run_loss_figure("Fig. 13", ModelKind::Resnet18Like, DatasetKind::Cifar10Like);
+}

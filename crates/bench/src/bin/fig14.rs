@@ -1,0 +1,14 @@
+//! **Fig. 14** — training loss of the global model per round
+//! (model-dataset pair B: MobileNet analog on SVHN analog), comparing
+//! the schemes' equilibrium contributions at γ = γ*.
+//!
+//! Paper shape: as Fig. 13 — DBR converges to a lower loss than
+//! FIP/WPR/GCA and tracks TOS closely.
+
+use tradefl_bench::run_loss_figure;
+use tradefl_fl_sim::data::DatasetKind;
+use tradefl_fl_sim::model::ModelKind;
+
+fn main() {
+    run_loss_figure("Fig. 14", ModelKind::MobilenetLike, DatasetKind::SvhnLike);
+}

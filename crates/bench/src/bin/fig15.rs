@@ -1,0 +1,84 @@
+//! **Fig. 15** — final global-model accuracy for all four
+//! model×dataset pairs under each scheme's equilibrium contributions
+//! (γ = γ*).
+//!
+//! Paper shape: DBR improves accuracy over GCA/WPR/FIP (up to +23.2%
+//! relative on MobileNet-SVHN) and stays close to TOS.
+
+use tradefl_bench::{check, finish, paper_game, train_at_equilibrium, Table, SEED};
+use tradefl_fl_sim::data::DatasetKind;
+use tradefl_fl_sim::fed::FedConfig;
+use tradefl_fl_sim::model::ModelKind;
+use tradefl_solver::baselines::solve_scheme;
+use tradefl_solver::outcome::Scheme;
+
+fn main() {
+    let game = paper_game(SEED);
+    let schemes = [Scheme::Dbr, Scheme::Fip, Scheme::Wpr, Scheme::Gca, Scheme::Tos];
+    let pairs = [
+        (ModelKind::Resnet18Like, DatasetKind::Cifar10Like),
+        (ModelKind::AlexnetLike, DatasetKind::FmnistLike),
+        (ModelKind::MobilenetLike, DatasetKind::SvhnLike),
+        (ModelKind::DensenetLike, DatasetKind::EurosatLike),
+    ];
+    let fed = FedConfig { rounds: 12, local_epochs: 1, batch_size: 32, lr: 0.1, seed: SEED };
+
+    // Equilibrium fractions per scheme (computed once; the market does
+    // not depend on the model/dataset pair).
+    let fractions: Vec<Vec<f64>> = schemes
+        .iter()
+        .map(|&s| {
+            let eq = solve_scheme(&game, s).expect("scheme solves");
+            (0..game.market().len()).map(|i| eq.profile[i].d).collect()
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Fig. 15: final accuracy by scheme and model-dataset pair",
+        &["pair", "DBR", "FIP", "WPR", "GCA", "TOS"],
+    );
+    let mut ok = true;
+    let mut mobilenet_svhn_gain = 0.0f64;
+    for (model, dataset) in pairs {
+        let accs: Vec<f64> = fractions
+            .iter()
+            .map(|fr| {
+                train_at_equilibrium(&game, fr, model, dataset, &fed, 1500, SEED)
+                    .final_accuracy() as f64
+            })
+            .collect();
+        let mut row = vec![format!("{model}/{dataset}")];
+        row.extend(accs.iter().map(|a| format!("{a:.4}")));
+        table.row(row);
+
+        let (dbr, fip, wpr, gca, tos) = (accs[0], accs[1], accs[2], accs[3], accs[4]);
+        ok &= check(
+            &format!("{model}/{dataset}: DBR >= GCA ({dbr:.3} vs {gca:.3})"),
+            dbr >= gca - 0.005,
+        );
+        ok &= check(
+            &format!("{model}/{dataset}: DBR > WPR ({dbr:.3} vs {wpr:.3})"),
+            dbr > wpr,
+        );
+        ok &= check(
+            &format!("{model}/{dataset}: DBR close to TOS ({dbr:.3} vs {tos:.3})"),
+            dbr >= tos - 0.06,
+        );
+        ok &= check(
+            &format!("{model}/{dataset}: DBR >= FIP - eps ({dbr:.3} vs {fip:.3})"),
+            dbr >= fip - 0.02,
+        );
+        if model == ModelKind::MobilenetLike {
+            mobilenet_svhn_gain = (dbr - gca) / gca * 100.0;
+        }
+    }
+    table.print();
+    println!(
+        "\nDBR over GCA on MobileNet/SVHN: +{mobilenet_svhn_gain:.1}% relative accuracy (paper: up to +23.2%)"
+    );
+    ok &= check(
+        &format!("DBR improves accuracy over GCA on MobileNet/SVHN (+{mobilenet_svhn_gain:.1}%)"),
+        mobilenet_svhn_gain > 0.0,
+    );
+    finish(ok);
+}

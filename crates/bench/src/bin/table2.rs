@@ -1,0 +1,64 @@
+//! **Table II** — experimental parameters.
+//!
+//! Prints the configured parameter ranges (matching the paper's table)
+//! and a concrete sampled market, verifying each sampled value falls in
+//! its range.
+
+use tradefl_bench::{check, finish, Table, SEED};
+use tradefl_core::config::MarketConfig;
+
+fn main() {
+    let config = MarketConfig::table_ii();
+    let mut table = Table::new("Table II: experimental parameters", &["parameter", "value"]);
+    table.row(vec!["|N|".into(), config.orgs.to_string()]);
+    table.row(vec!["D_min".into(), config.params.d_min.to_string()]);
+    table.row(vec![
+        "p_i".into(),
+        format!("[{}, {}]", config.profitability.0, config.profitability.1),
+    ]);
+    table.row(vec![
+        "s_i (bits)".into(),
+        format!("[{:.1e}, {:.1e}]", config.data_bits.0, config.data_bits.1),
+    ]);
+    table.row(vec![
+        "|S_i|".into(),
+        format!("[{}, {}]", config.samples.0, config.samples.1),
+    ]);
+    table.row(vec!["kappa".into(), format!("{:.0e}", config.params.kappa)]);
+    table.row(vec![
+        "F_i^(m)".into(),
+        format!("[{:.1}, {:.1}] GHz", config.f_max.0 / 1e9, config.f_max.1 / 1e9),
+    ]);
+    table.row(vec!["gamma*".into(), format!("{:.2e}", config.params.gamma)]);
+    table.row(vec!["lambda".into(), config.params.lambda.to_string()]);
+    table.row(vec!["omega_e".into(), config.params.omega_e.to_string()]);
+    table.row(vec!["tau (s)".into(), config.params.tau.to_string()]);
+    table.row(vec!["rho mean (mu)".into(), config.rho_mean.to_string()]);
+    table.print();
+
+    let market = config.build(SEED).unwrap();
+    let mut sampled = Table::new(
+        format!("sampled market (seed {SEED})"),
+        &["org", "p_i", "s_i (Gbit)", "|S_i|", "F^(m) (GHz)", "eta", "z_i"],
+    );
+    let mut ok = true;
+    for (i, org) in market.orgs().iter().enumerate() {
+        sampled.row(vec![
+            org.name().to_string(),
+            format!("{:.0}", org.profitability()),
+            format!("{:.1}", org.data_bits() / 1e9),
+            org.samples().to_string(),
+            format!("{:.2}", org.max_frequency() / 1e9),
+            format!("{:.0}", org.eta()),
+            format!("{:.0}", market.weight(i)),
+        ]);
+        ok &= org.profitability() >= 500.0 && org.profitability() <= 2500.0;
+        ok &= org.data_bits() >= 15e9 && org.data_bits() <= 25e9;
+        ok &= (1000..=2000).contains(&org.samples());
+        ok &= org.max_frequency() >= 3e9 && org.max_frequency() <= 5e9;
+        ok &= market.weight(i) > 0.0;
+    }
+    sampled.print();
+    let ok = check("all sampled parameters within Table II ranges, z_i > 0", ok);
+    finish(ok);
+}

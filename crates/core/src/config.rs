@@ -1,0 +1,305 @@
+//! Reproducible market generation from the paper's Table II parameters.
+
+use crate::error::{ModelError, Result};
+use crate::market::{Market, MechanismParams};
+use crate::org::Organization;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Sampling ranges for a randomly generated market, defaulting to the
+/// paper's Table II:
+///
+/// | parameter | value |
+/// |-----------|-------|
+/// | `\|N\|`   | 10 |
+/// | `D_min`   | 0.01 |
+/// | `p_i`     | `[500, 2500]` |
+/// | `s_i`     | `[15, 25]·10⁹` bits |
+/// | `\|S_i\|` | `[1000, 2000]` |
+/// | `κ`       | `10⁻²⁷` |
+/// | `F_i^(m)` | 3-5 GHz |
+///
+/// Competition intensities are drawn from `N(μ, (μ/5)²)` as in §VI
+/// (Figs. 10-11), clamped to `[0, 1]`, symmetrized, and rescaled if
+/// necessary so that every potential weight `z_i` stays positive
+/// (the paper: "ρ_{i,j} is mapped to a small number to ensure z_i > 0").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketConfig {
+    /// Number of organizations `|N|`.
+    pub orgs: usize,
+    /// Profitability range `p_i`.
+    pub profitability: (f64, f64),
+    /// Dataset-size range `s_i` (bits).
+    pub data_bits: (f64, f64),
+    /// Sample-count range `|S_i|`.
+    pub samples: (usize, usize),
+    /// Fastest-frequency range `F_i^(m)` (Hz).
+    pub f_max: (f64, f64),
+    /// Ladder length `m` (levels spaced evenly up to `F_i^(m)`).
+    pub levels: usize,
+    /// Per-bit compute cost range `η_i` (cycles/bit).
+    pub eta: (f64, f64),
+    /// Download/upload time range `T_i^(1)`, `T_i^(3)` (seconds).
+    pub comm_time: (f64, f64),
+    /// Download/upload power range (watts).
+    pub comm_power: (f64, f64),
+    /// Mean competition intensity `μ` of `ρ_{i,j} ~ N(μ, (μ/5)²)`.
+    pub rho_mean: f64,
+    /// Mechanism parameters (γ, λ, κ, ϖ_e, τ, D_min).
+    pub params: MechanismParams,
+}
+
+impl MarketConfig {
+    /// The paper's Table II configuration with the DESIGN.md calibration
+    /// for parameters the paper leaves implicit (η, communication, μ).
+    pub fn table_ii() -> Self {
+        Self {
+            orgs: 10,
+            profitability: (500.0, 2500.0),
+            data_bits: (15e9, 25e9),
+            samples: (1000, 2000),
+            f_max: (3e9, 5e9),
+            levels: 4,
+            eta: (80.0, 120.0),
+            comm_time: (3.0, 8.0),
+            comm_power: (5.0, 15.0),
+            rho_mean: 0.03,
+            params: MechanismParams::paper_default(),
+        }
+    }
+
+    /// Returns a copy with a different organization count.
+    pub fn with_orgs(mut self, orgs: usize) -> Self {
+        self.orgs = orgs;
+        self
+    }
+
+    /// Returns a copy with a different mean competition intensity `μ`.
+    pub fn with_rho_mean(mut self, mu: f64) -> Self {
+        self.rho_mean = mu;
+        self
+    }
+
+    /// Returns a copy with a different ladder length `m`.
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Returns a copy with different mechanism parameters.
+    pub fn with_params(mut self, params: MechanismParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Deterministically samples a market from this configuration.
+    ///
+    /// The same `(config, seed)` pair always produces the same market,
+    /// which is what makes every figure harness reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the configuration is degenerate (zero
+    /// organizations, empty ladder, inverted ranges) or produces an
+    /// invalid market.
+    pub fn build(&self, seed: u64) -> Result<Market> {
+        if self.orgs == 0 {
+            return Err(ModelError::NonPositive { name: "orgs", value: 0.0 });
+        }
+        if self.levels == 0 {
+            return Err(ModelError::EmptyComputeLevels { i: 0 });
+        }
+        for (name, (lo, hi)) in [
+            ("profitability", self.profitability),
+            ("data_bits", self.data_bits),
+            ("f_max", self.f_max),
+            ("eta", self.eta),
+            ("comm_time", self.comm_time),
+            ("comm_power", self.comm_power),
+        ] {
+            if !(lo.is_finite() && hi.is_finite()) {
+                return Err(ModelError::NotFinite { name });
+            }
+            if lo > hi {
+                return Err(ModelError::OutOfRange { name, value: lo, min: f64::NEG_INFINITY, max: hi });
+            }
+        }
+        if self.samples.0 > self.samples.1 || self.samples.0 == 0 {
+            return Err(ModelError::OutOfRange {
+                name: "samples",
+                value: self.samples.0 as f64,
+                min: 1.0,
+                max: self.samples.1 as f64,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut orgs = Vec::with_capacity(self.orgs);
+        for i in 0..self.orgs {
+            let f_max = sample(&mut rng, self.f_max);
+            // Evenly spaced ladder from 40% of F^(m) up to F^(m).
+            let levels: Vec<f64> = (0..self.levels)
+                .map(|k| {
+                    if self.levels == 1 {
+                        f_max
+                    } else {
+                        f_max * (0.4 + 0.6 * k as f64 / (self.levels - 1) as f64)
+                    }
+                })
+                .collect();
+            orgs.push(
+                Organization::builder(format!("org-{i}"))
+                    .profitability(sample(&mut rng, self.profitability))
+                    .data_bits(sample(&mut rng, self.data_bits))
+                    .samples(rng.gen_range(self.samples.0..=self.samples.1))
+                    .eta(sample(&mut rng, self.eta))
+                    .compute_levels(levels)
+                    .t_download(sample(&mut rng, self.comm_time))
+                    .t_upload(sample(&mut rng, self.comm_time))
+                    .power_download(sample(&mut rng, self.comm_power))
+                    .power_upload(sample(&mut rng, self.comm_power))
+                    .build()?,
+            );
+        }
+        let rho = self.sample_rho(&mut rng, &orgs);
+        Market::new(orgs, rho, self.params.clone())
+    }
+
+    /// Draws the symmetric competition matrix and rescales it until every
+    /// weight `z_i` is strictly positive.
+    fn sample_rho(&self, rng: &mut StdRng, orgs: &[Organization]) -> Vec<Vec<f64>> {
+        let n = orgs.len();
+        let mu = self.rho_mean.max(0.0);
+        let sigma = mu / 5.0;
+        let mut rho = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = normal(rng, mu, sigma).clamp(0.0, 1.0);
+                rho[i][j] = v;
+                rho[j][i] = v;
+            }
+        }
+        // Rescale to guarantee z_i = p_i - Σ_j ρ_ij p_j > 0 (Theorem 1's
+        // "mapped to a small number" step). Keep 5% headroom.
+        let mut scale: f64 = 1.0;
+        for (i, oi) in orgs.iter().enumerate() {
+            let pressure: f64 = rho[i]
+                .iter()
+                .zip(orgs)
+                .map(|(&r, oj)| r * oj.profitability())
+                .sum();
+            if pressure > 0.0 {
+                scale = scale.min(0.95 * oi.profitability() / pressure);
+            }
+        }
+        if scale < 1.0 {
+            for row in &mut rho {
+                for v in row.iter_mut() {
+                    *v *= scale;
+                }
+            }
+        }
+        rho
+    }
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        Self::table_ii()
+    }
+}
+
+fn sample(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..hi)
+    }
+}
+
+/// Box-Muller draw from `N(mu, sigma^2)`; avoids pulling in rand_distr.
+fn normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return mu;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mu + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_builds_ten_orgs() {
+        let m = MarketConfig::table_ii().build(1).unwrap();
+        assert_eq!(m.len(), 10);
+        for org in m.orgs() {
+            assert!(org.profitability() >= 500.0 && org.profitability() <= 2500.0);
+            assert!(org.data_bits() >= 15e9 && org.data_bits() <= 25e9);
+            assert!((1000..=2000).contains(&org.samples()));
+            assert!(org.max_frequency() >= 3e9 && org.max_frequency() <= 5e9);
+            assert_eq!(org.compute_level_count(), 4);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = MarketConfig::table_ii().build(99).unwrap();
+        let b = MarketConfig::table_ii().build(99).unwrap();
+        let c = MarketConfig::table_ii().build(100).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_always_positive_even_for_large_mu() {
+        for seed in 0..20 {
+            let m = MarketConfig::table_ii().with_rho_mean(0.5).build(seed).unwrap();
+            for i in 0..m.len() {
+                assert!(m.weight(i) > 0.0, "seed {seed} org {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rho_is_symmetric_with_zero_diagonal() {
+        let m = MarketConfig::table_ii().build(3).unwrap();
+        for i in 0..m.len() {
+            assert_eq!(m.rho(i, i), 0.0);
+            for j in 0..m.len() {
+                assert_eq!(m.rho(i, j), m.rho(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_mu_means_no_competition() {
+        let m = MarketConfig::table_ii().with_rho_mean(0.0).build(5).unwrap();
+        for i in 0..m.len() {
+            assert_eq!(m.competition_pressure(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(MarketConfig::table_ii().with_orgs(0).build(1).is_err());
+        assert!(MarketConfig::table_ii().with_levels(0).build(1).is_err());
+        let mut c = MarketConfig::table_ii();
+        c.profitability = (2500.0, 500.0);
+        assert!(c.build(1).is_err());
+        let mut c = MarketConfig::table_ii();
+        c.samples = (0, 10);
+        assert!(c.build(1).is_err());
+    }
+
+    #[test]
+    fn single_level_ladder_uses_f_max() {
+        let m = MarketConfig::table_ii().with_levels(1).build(8).unwrap();
+        for org in m.orgs() {
+            assert_eq!(org.compute_level_count(), 1);
+            assert_eq!(org.frequency(0), org.max_frequency());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Error types for model construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::market::Market`],
+/// an [`crate::org::Organization`] or a strategy profile.
+///
+/// Every public constructor in this crate validates its arguments
+/// (C-VALIDATE) and reports violations through this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Human-readable parameter name, e.g. `"s_i"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter that must lie in an inclusive interval did not.
+    OutOfRange {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Lower inclusive bound.
+        min: f64,
+        /// Upper inclusive bound.
+        max: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NotFinite {
+        /// Human-readable parameter name.
+        name: &'static str,
+    },
+    /// The competition matrix has the wrong shape for the organization set.
+    DimensionMismatch {
+        /// Expected dimension (number of organizations).
+        expected: usize,
+        /// Dimension actually provided.
+        found: usize,
+    },
+    /// The competition matrix is not symmetric; budget balance (Def. 5)
+    /// requires `rho[i][j] == rho[j][i]`.
+    AsymmetricCompetition {
+        /// Row index of the offending entry.
+        i: usize,
+        /// Column index of the offending entry.
+        j: usize,
+    },
+    /// The competition matrix has a non-zero diagonal entry; an
+    /// organization does not compete with itself.
+    SelfCompetition {
+        /// Index of the offending organization.
+        i: usize,
+    },
+    /// The potential-game weight `z_i = p_i - sum_j rho_ij p_j` is not
+    /// strictly positive (required by Theorem 1 of the paper).
+    NonPositiveWeight {
+        /// Index of the offending organization.
+        i: usize,
+        /// The computed weight value.
+        z: f64,
+    },
+    /// An organization has an empty compute-level ladder.
+    EmptyComputeLevels {
+        /// Index of the offending organization.
+        i: usize,
+    },
+    /// Compute levels must be sorted strictly ascending.
+    UnsortedComputeLevels {
+        /// Index of the offending organization.
+        i: usize,
+    },
+    /// A strategy references a compute level index outside the ladder.
+    InvalidComputeLevel {
+        /// Organization index.
+        org: usize,
+        /// Offending level index.
+        level: usize,
+        /// Ladder length `m`.
+        m: usize,
+    },
+    /// A strategy profile has a different length than the market.
+    ProfileLength {
+        /// Expected number of strategies.
+        expected: usize,
+        /// Number of strategies found.
+        found: usize,
+    },
+    /// No feasible data fraction exists for some organization: even the
+    /// minimum contribution `D_min` violates the deadline at the fastest
+    /// compute level.
+    Infeasible {
+        /// Index of the offending organization.
+        org: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            ModelError::OutOfRange { name, value, min, max } => {
+                write!(f, "parameter `{name}` must lie in [{min}, {max}], got {value}")
+            }
+            ModelError::NotFinite { name } => {
+                write!(f, "parameter `{name}` must be finite")
+            }
+            ModelError::DimensionMismatch { expected, found } => {
+                write!(f, "competition matrix dimension {found} does not match {expected} organizations")
+            }
+            ModelError::AsymmetricCompetition { i, j } => {
+                write!(f, "competition matrix must be symmetric, rho[{i}][{j}] != rho[{j}][{i}]")
+            }
+            ModelError::SelfCompetition { i } => {
+                write!(f, "competition matrix diagonal entry rho[{i}][{i}] must be zero")
+            }
+            ModelError::NonPositiveWeight { i, z } => {
+                write!(f, "potential weight z_{i} = {z} is not positive; reduce competition intensities")
+            }
+            ModelError::EmptyComputeLevels { i } => {
+                write!(f, "organization {i} has an empty compute-level ladder")
+            }
+            ModelError::UnsortedComputeLevels { i } => {
+                write!(f, "organization {i} compute levels must be strictly ascending")
+            }
+            ModelError::InvalidComputeLevel { org, level, m } => {
+                write!(f, "organization {org} compute level {level} out of range (m = {m})")
+            }
+            ModelError::ProfileLength { expected, found } => {
+                write!(f, "strategy profile has {found} entries, expected {expected}")
+            }
+            ModelError::Infeasible { org } => {
+                write!(f, "organization {org} cannot meet the deadline even at D_min and the fastest compute level")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+pub(crate) fn ensure_finite(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::NotFinite { name })
+    }
+}
+
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<f64> {
+    ensure_finite(name, value)?;
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::NonPositive { name, value })
+    }
+}
+
+pub(crate) fn ensure_in_range(
+    name: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<f64> {
+    ensure_finite(name, value)?;
+    if value >= min && value <= max {
+        Ok(value)
+    } else {
+        Err(ModelError::OutOfRange { name, value, min, max })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::NonPositive { name: "s_i", value: -1.0 };
+        let msg = e.to_string();
+        assert!(msg.contains("s_i"));
+        assert!(msg.contains("-1"));
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_and_nan() {
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", f64::NAN).is_err());
+        assert!(ensure_positive("x", 1.0).is_ok());
+    }
+
+    #[test]
+    fn ensure_in_range_bounds_inclusive() {
+        assert!(ensure_in_range("x", 0.0, 0.0, 1.0).is_ok());
+        assert!(ensure_in_range("x", 1.0, 0.0, 1.0).is_ok());
+        assert!(ensure_in_range("x", 1.0001, 0.0, 1.0).is_err());
+        assert!(ensure_in_range("x", f64::INFINITY, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

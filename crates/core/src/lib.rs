@@ -1,0 +1,69 @@
+//! Coopetition model, payoff functions and potential game for **TradeFL**.
+//!
+//! This crate implements the economic core of *"TradeFL: A Trading
+//! Mechanism for Cross-Silo Federated Learning"* (Yuan et al., ICDCS
+//! 2023): organizations that both cooperate (jointly train a global
+//! model) and compete (share a market), the payoff-redistribution
+//! trading rule that compensates coopetition damage, and the weighted
+//! potential game whose Nash equilibrium the companion crate
+//! `tradefl-solver` computes.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tradefl_core::accuracy::SqrtAccuracy;
+//! use tradefl_core::config::MarketConfig;
+//! use tradefl_core::game::CoopetitionGame;
+//! use tradefl_core::mechanism::MechanismAudit;
+//! use tradefl_core::strategy::StrategyProfile;
+//!
+//! // Ten organizations sampled from the paper's Table II.
+//! let market = MarketConfig::table_ii().build(42)?;
+//! let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+//!
+//! // Everyone contributes the minimum: payoffs, damage and welfare.
+//! let profile = StrategyProfile::minimal(game.market());
+//! let audit = MechanismAudit::evaluate(&game, &profile);
+//! assert!(audit.budget_balanced_rel(1e-9)); // Σ R_i = 0 (Def. 5)
+//! # Ok::<(), tradefl_core::error::ModelError>(())
+//! ```
+//!
+//! # Modules
+//!
+//! * [`accuracy`] — data-accuracy functions `P(Ω)` (Eq. 4-5), including
+//!   the paper's sqrt bound and an empirical interpolation.
+//! * [`org`] — organization parameters and Eq. (2) timing.
+//! * [`market`] — the organization set, competition matrix `ρ` and
+//!   mechanism knobs (γ, λ, κ, ϖ_e, τ, D_min).
+//! * [`strategy`] — strategies `π_i = {d_i, f_i}` and profiles.
+//! * [`game`] — payoffs (Eq. 11), redistribution (Eq. 9-10), damage
+//!   (Eq. 6-7) and the weighted potential (Eq. 15 / Thm. 1).
+//! * [`mechanism`] — individual-rationality and budget-balance audits
+//!   (Defs. 3-5, Thm. 2).
+//! * [`contribution`] — exact Shapley values of the accuracy game.
+//! * [`config`] — reproducible Table II market generation.
+//! * [`error`] — validation errors.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod accuracy;
+pub mod config;
+pub mod contribution;
+pub mod error;
+pub mod game;
+pub mod market;
+pub mod mechanism;
+pub mod org;
+pub mod strategy;
+
+pub use accuracy::{AccuracyModel, SqrtAccuracy};
+pub use config::MarketConfig;
+pub use contribution::{shapley_accuracy, ShapleyReport};
+pub use error::ModelError;
+pub use game::{CoopetitionGame, PayoffBreakdown};
+pub use market::{Market, MechanismParams};
+pub use mechanism::MechanismAudit;
+pub use org::Organization;
+pub use strategy::{Strategy, StrategyProfile};

@@ -1,0 +1,473 @@
+//! The cross-silo FL market: organizations, competition, mechanism knobs.
+
+use crate::error::{ensure_in_range, ensure_positive, ModelError, Result};
+use crate::org::Organization;
+use serde::{Deserialize, Serialize};
+
+/// Global mechanism and platform parameters (§III, Table II).
+///
+/// * `gamma` — incentive intensity `γ`: compensation price per unit of
+///   contributed-resource difference (Eq. 9).
+/// * `lambda` — unit-uniformizing weight `λ` that maps Hz onto the bit
+///   scale inside the redistribution rule (Eq. 9).
+/// * `kappa` — effective switched capacitance `κ` of the compute chipset
+///   (Eq. 8); Table II uses `10^-27`.
+/// * `omega_e` — training-overhead weight `ϖ_e` in the payoff (Eq. 11).
+/// * `tau` — the round deadline `τ` (seconds) of constraint `C_i^(3)`.
+/// * `d_min` — minimum participating data fraction `D_min ∈ (0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismParams {
+    /// Incentive intensity `γ` (Eq. 9).
+    pub gamma: f64,
+    /// Unit-uniformizing factor `λ` (Eq. 9).
+    pub lambda: f64,
+    /// Effective capacitance `κ` (Eq. 8).
+    pub kappa: f64,
+    /// Training-overhead weight `ϖ_e` (Eq. 11).
+    pub omega_e: f64,
+    /// Round deadline `τ` in seconds (constraint `C_i^(3)`).
+    pub tau: f64,
+    /// Minimum data fraction `D_min` (§III-A).
+    pub d_min: f64,
+}
+
+impl MechanismParams {
+    /// The paper's operating point: `γ* = 5.12·10⁻⁹` (Fig. 10),
+    /// `κ = 10⁻²⁷` (Table II), and calibration values for the remaining
+    /// knobs documented in DESIGN.md.
+    pub fn paper_default() -> Self {
+        Self {
+            gamma: 5.12e-9,
+            lambda: 3.0,
+            kappa: 1e-27,
+            omega_e: 1.66e-3,
+            tau: 600.0,
+            d_min: 0.01,
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `gamma` is negative or not finite, if
+    /// `lambda`, `kappa`, `omega_e` or `tau` is non-positive, or if
+    /// `d_min` lies outside `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if !self.gamma.is_finite() {
+            return Err(ModelError::NotFinite { name: "gamma" });
+        }
+        if self.gamma < 0.0 {
+            return Err(ModelError::OutOfRange {
+                name: "gamma",
+                value: self.gamma,
+                min: 0.0,
+                max: f64::INFINITY,
+            });
+        }
+        ensure_positive("lambda", self.lambda)?;
+        ensure_positive("kappa", self.kappa)?;
+        ensure_positive("omega_e", self.omega_e)?;
+        ensure_positive("tau", self.tau)?;
+        ensure_in_range("d_min", self.d_min, f64::MIN_POSITIVE, 1.0)?;
+        Ok(())
+    }
+
+    /// Returns a copy with a different incentive intensity `γ`; the
+    /// figure harnesses sweep γ with this.
+    pub fn with_gamma(&self, gamma: f64) -> Self {
+        Self { gamma, ..self.clone() }
+    }
+
+    /// Returns a copy with a different overhead weight `ϖ_e` (Fig. 11).
+    pub fn with_omega_e(&self, omega_e: f64) -> Self {
+        Self { omega_e, ..self.clone() }
+    }
+}
+
+impl Default for MechanismParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The set of organizations `𝒪`, the competition-intensity matrix `ρ`,
+/// and the mechanism parameters — everything §III needs that is not the
+/// data-accuracy function.
+///
+/// Invariants enforced at construction:
+/// * `ρ` is square of dimension `|N|`, entries in `[0, 1]`, zero
+///   diagonal, and **symmetric** (budget balance, Def. 5, requires it);
+/// * every potential weight `z_i = p_i − Σ_j ρ_ij p_j` is strictly
+///   positive (Theorem 1);
+/// * every organization can meet the deadline at `D_min` on its fastest
+///   compute level (otherwise it cannot participate at all).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Market {
+    orgs: Vec<Organization>,
+    rho: Vec<Vec<f64>>,
+    params: MechanismParams,
+}
+
+impl Market {
+    /// Builds and validates a market.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on any violated invariant; see the type
+    /// docs for the list.
+    pub fn new(
+        orgs: Vec<Organization>,
+        rho: Vec<Vec<f64>>,
+        params: MechanismParams,
+    ) -> Result<Self> {
+        params.validate()?;
+        let n = orgs.len();
+        if n == 0 {
+            return Err(ModelError::NonPositive { name: "|N|", value: 0.0 });
+        }
+        if rho.len() != n {
+            return Err(ModelError::DimensionMismatch { expected: n, found: rho.len() });
+        }
+        for (i, row) in rho.iter().enumerate() {
+            if row.len() != n {
+                return Err(ModelError::DimensionMismatch { expected: n, found: row.len() });
+            }
+            for (j, &v) in row.iter().enumerate() {
+                ensure_in_range("rho_ij", v, 0.0, 1.0)?;
+                if i == j && v != 0.0 {
+                    return Err(ModelError::SelfCompetition { i });
+                }
+                if (v - rho[j][i]).abs() > 1e-12 {
+                    return Err(ModelError::AsymmetricCompetition { i, j });
+                }
+            }
+        }
+        let market = Self { orgs, rho, params };
+        for i in 0..n {
+            let z = market.weight(i);
+            if z <= 0.0 {
+                return Err(ModelError::NonPositiveWeight { i, z });
+            }
+            // Participation must be possible at all: D_min at the fastest
+            // frequency within the deadline.
+            let org = &market.orgs[i];
+            let t = org.comm_time()
+                + org.training_time(market.params.d_min, org.max_frequency());
+            if t > market.params.tau {
+                return Err(ModelError::Infeasible { org: i });
+            }
+        }
+        Ok(market)
+    }
+
+    /// Number of organizations `|N|`.
+    pub fn len(&self) -> usize {
+        self.orgs.len()
+    }
+
+    /// Whether the market is empty (never true for a constructed market).
+    pub fn is_empty(&self) -> bool {
+        self.orgs.is_empty()
+    }
+
+    /// The organizations in index order.
+    pub fn orgs(&self) -> &[Organization] {
+        &self.orgs
+    }
+
+    /// Organization at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= |N|`.
+    pub fn org(&self, i: usize) -> &Organization {
+        &self.orgs[i]
+    }
+
+    /// Competition intensity `ρ_{i,j} ∈ [0, 1]` (Def. 1 discussion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn rho(&self, i: usize, j: usize) -> f64 {
+        self.rho[i][j]
+    }
+
+    /// The full competition matrix.
+    pub fn rho_matrix(&self) -> &[Vec<f64>] {
+        &self.rho
+    }
+
+    /// Mechanism parameters.
+    pub fn params(&self) -> &MechanismParams {
+        &self.params
+    }
+
+    /// Replaces the mechanism parameters (used by γ/ϖ_e sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the new parameters are invalid or make
+    /// some organization unable to participate within the deadline.
+    pub fn with_params(&self, params: MechanismParams) -> Result<Self> {
+        Self::new(self.orgs.clone(), self.rho.clone(), params)
+    }
+
+    /// Restricts the market to an organization subset (coalition
+    /// analyses, what-if scenarios). Indices keep their relative order;
+    /// the competition matrix is sliced accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `indices` is empty, contains an
+    /// out-of-range or duplicate index, or if the sliced market violates
+    /// a market invariant (cannot happen: removing organizations only
+    /// raises every `z_i`).
+    pub fn subset(&self, indices: &[usize]) -> Result<Market> {
+        if indices.is_empty() {
+            return Err(ModelError::NonPositive { name: "|subset|", value: 0.0 });
+        }
+        let mut seen = vec![false; self.orgs.len()];
+        for &i in indices {
+            if i >= self.orgs.len() {
+                return Err(ModelError::DimensionMismatch {
+                    expected: self.orgs.len(),
+                    found: i,
+                });
+            }
+            if seen[i] {
+                return Err(ModelError::DimensionMismatch {
+                    expected: self.orgs.len(),
+                    found: i,
+                });
+            }
+            seen[i] = true;
+        }
+        let orgs: Vec<Organization> =
+            indices.iter().map(|&i| self.orgs[i].clone()).collect();
+        let rho: Vec<Vec<f64>> = indices
+            .iter()
+            .map(|&i| indices.iter().map(|&j| self.rho[i][j]).collect())
+            .collect();
+        Market::new(orgs, rho, self.params.clone())
+    }
+
+    /// Total competition pressure on `i`: `q_i = Σ_j ρ_{i,j}`.
+    pub fn competition_pressure(&self, i: usize) -> f64 {
+        self.rho[i].iter().sum()
+    }
+
+    /// The weighted-potential-game weight
+    /// `z_i = p_i − Σ_j ρ_{i,j} p_j` (Theorem 1); strictly positive by
+    /// construction.
+    pub fn weight(&self, i: usize) -> f64 {
+        let own = self.orgs[i].profitability();
+        let pressure: f64 = self
+            .rho[i]
+            .iter()
+            .zip(&self.orgs)
+            .map(|(&rho_ij, o)| rho_ij * o.profitability())
+            .sum();
+        own - pressure
+    }
+
+    /// Largest data fraction organization `i` can train within the
+    /// deadline at ladder level `level`, before intersecting the
+    /// `[D_min, 1]` box:
+    /// `d ≤ (τ − T_i^(1) − T_i^(3)) · f / (η_i s_i)`.
+    pub fn deadline_cap(&self, i: usize, level: usize) -> f64 {
+        let org = &self.orgs[i];
+        let budget = self.params.tau - org.comm_time();
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        budget * org.frequency(level) / (org.eta() * org.data_bits())
+    }
+
+    /// The feasible interval `[D_min, min(1, deadline_cap)]` for `d_i` at
+    /// the given ladder level, or `None` when even `D_min` violates the
+    /// deadline there.
+    pub fn feasible_range(&self, i: usize, level: usize) -> Option<(f64, f64)> {
+        let hi = self.deadline_cap(i, level).min(1.0);
+        if hi + 1e-15 < self.params.d_min {
+            None
+        } else {
+            Some((self.params.d_min, hi.max(self.params.d_min)))
+        }
+    }
+
+    /// Accuracy-effective total data volume `Ω = Σ_i θ_i d_i s_i`
+    /// (bits) for the given data fractions. With the default quality
+    /// `θ_i = 1` this is the paper's `Σ d_i s_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != |N|`.
+    pub fn total_data(&self, d: &[f64]) -> f64 {
+        assert_eq!(d.len(), self.orgs.len(), "fraction vector length mismatch");
+        d.iter().zip(&self.orgs).map(|(&di, o)| di * o.effective_bits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org(p: f64) -> Organization {
+        Organization::builder("o")
+            .profitability(p)
+            .compute_levels(vec![1e9, 2e9, 3e9])
+            .build()
+            .unwrap()
+    }
+
+    fn symmetric_rho(n: usize, v: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { v }).collect())
+            .collect()
+    }
+
+    #[test]
+    fn valid_market_constructs() {
+        let m = Market::new(
+            vec![org(1000.0), org(2000.0)],
+            symmetric_rho(2, 0.1),
+            MechanismParams::paper_default(),
+        )
+        .unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        // z_0 = 1000 - 0.1*2000 = 800
+        assert!((m.weight(0) - 800.0).abs() < 1e-9);
+        assert!((m.competition_pressure(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_asymmetric_rho() {
+        let mut rho = symmetric_rho(2, 0.1);
+        rho[0][1] = 0.2;
+        let r = Market::new(vec![org(1000.0), org(1000.0)], rho, MechanismParams::default());
+        assert!(matches!(r, Err(ModelError::AsymmetricCompetition { .. })));
+    }
+
+    #[test]
+    fn rejects_self_competition() {
+        let mut rho = symmetric_rho(2, 0.1);
+        rho[1][1] = 0.3;
+        let r = Market::new(vec![org(1000.0), org(1000.0)], rho, MechanismParams::default());
+        assert!(matches!(r, Err(ModelError::SelfCompetition { i: 1 })));
+    }
+
+    #[test]
+    fn rejects_nonpositive_weight() {
+        // rho = 0.9 between two equally profitable orgs: z = p - 0.9 p > 0,
+        // but with three orgs z = p(1 - 1.8) < 0.
+        let r = Market::new(
+            vec![org(1000.0), org(1000.0), org(1000.0)],
+            symmetric_rho(3, 0.9),
+            MechanismParams::default(),
+        );
+        assert!(matches!(r, Err(ModelError::NonPositiveWeight { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_rho_shape() {
+        let r = Market::new(
+            vec![org(1000.0), org(1000.0)],
+            vec![vec![0.0, 0.1]],
+            MechanismParams::default(),
+        );
+        assert!(matches!(r, Err(ModelError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn deadline_cap_matches_closed_form() {
+        let m = Market::new(
+            vec![org(1000.0)],
+            symmetric_rho(1, 0.0),
+            MechanismParams::paper_default(),
+        )
+        .unwrap();
+        let o = m.org(0);
+        let cap = m.deadline_cap(0, 0);
+        let expect = (m.params().tau - o.comm_time()) * o.frequency(0) / (o.eta() * o.data_bits());
+        assert!((cap - expect).abs() < 1e-12);
+        // With τ=600, comm=10, f=1e9, η=100, s=20e9: cap = 590e9/2e12 = 0.295.
+        assert!((cap - 0.295).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasible_range_clamps_and_rejects() {
+        let mut p = MechanismParams::paper_default();
+        p.tau = 20.0; // 10 s of compute budget
+        let m = Market::new(vec![org(1000.0)], symmetric_rho(1, 0.0), p).unwrap();
+        // cap at level 0 (1 GHz) = 10*1e9/2e12 = 0.005 < D_min = 0.01,
+        // but level 2 (3 GHz) caps at 0.015 >= D_min.
+        assert!(m.feasible_range(0, 0).is_none());
+        let (lo, hi) = m.feasible_range(0, 2).unwrap();
+        assert_eq!(lo, 0.01);
+        assert!((hi - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn market_rejects_fully_infeasible_org() {
+        let mut p = MechanismParams::paper_default();
+        p.tau = 10.5; // 0.5 s budget; cap at 3 GHz = 0.00075 < D_min
+        let r = Market::new(vec![org(1000.0)], symmetric_rho(1, 0.0), p);
+        assert!(matches!(r, Err(ModelError::Infeasible { org: 0 })));
+    }
+
+    #[test]
+    fn total_data_sums_fractions() {
+        let m = Market::new(
+            vec![org(1000.0), org(1000.0)],
+            symmetric_rho(2, 0.05),
+            MechanismParams::paper_default(),
+        )
+        .unwrap();
+        let omega = m.total_data(&[0.5, 0.25]);
+        assert!((omega - (0.5 * 20e9 + 0.25 * 20e9)).abs() < 1.0);
+    }
+
+    #[test]
+    fn subset_slices_orgs_and_rho() {
+        let m = Market::new(
+            vec![org(1000.0), org(1500.0), org(2000.0)],
+            vec![
+                vec![0.00, 0.01, 0.02],
+                vec![0.01, 0.00, 0.03],
+                vec![0.02, 0.03, 0.00],
+            ],
+            MechanismParams::paper_default(),
+        )
+        .unwrap();
+        let sub = m.subset(&[0, 2]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.org(1).profitability(), 2000.0);
+        assert_eq!(sub.rho(0, 1), 0.02);
+        // Removing a competitor raises the remaining weights.
+        assert!(sub.weight(0) > m.weight(0));
+        // Error cases.
+        assert!(m.subset(&[]).is_err());
+        assert!(m.subset(&[5]).is_err());
+        assert!(m.subset(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn gamma_zero_is_allowed_negative_rejected() {
+        let mut p = MechanismParams::paper_default();
+        p.gamma = 0.0;
+        assert!(p.validate().is_ok());
+        p.gamma = -1e-9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn with_gamma_and_omega_e_copies() {
+        let p = MechanismParams::paper_default();
+        assert_eq!(p.with_gamma(1e-8).gamma, 1e-8);
+        assert_eq!(p.with_omega_e(0.1).omega_e, 0.1);
+        assert_eq!(p.with_gamma(1e-8).lambda, p.lambda);
+    }
+}

@@ -1,0 +1,386 @@
+//! Organizations participating in cross-silo federated learning (§III-A).
+
+use crate::error::{ensure_positive, ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One cross-silo FL participant (a financial/medical/pharma entity).
+///
+/// Carries the per-organization constants of §III: local dataset size
+/// `s_i` (bits) and sample count `|S_i|`, per-bit processing cost `η_i`
+/// (CPU cycles/bit), the discrete compute ladder `F_i^(1..m)` (Hz),
+/// profitability `p_i` (revenue per unit of global-model performance),
+/// and the fixed communication times/powers of the download/upload phases.
+///
+/// Construct via [`OrganizationBuilder`]; all parameters are validated.
+///
+/// # Examples
+///
+/// ```
+/// use tradefl_core::org::Organization;
+///
+/// let org = Organization::builder("hospital-a")
+///     .data_bits(20e9)
+///     .samples(1500)
+///     .profitability(1200.0)
+///     .compute_levels(vec![1.0e9, 2.0e9, 3.0e9])
+///     .build()?;
+/// assert_eq!(org.compute_level_count(), 3);
+/// # Ok::<(), tradefl_core::error::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Organization {
+    name: String,
+    s_bits: f64,
+    quality: f64,
+    samples: usize,
+    eta: f64,
+    compute_levels: Vec<f64>,
+    profitability: f64,
+    t_download: f64,
+    t_upload: f64,
+    power_download: f64,
+    power_upload: f64,
+}
+
+impl Organization {
+    /// Starts building an organization with the given display name.
+    pub fn builder(name: impl Into<String>) -> OrganizationBuilder {
+        OrganizationBuilder::new(name)
+    }
+
+    /// Display name of the organization.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Local dataset size `s_i` in bits.
+    pub fn data_bits(&self) -> f64 {
+        self.s_bits
+    }
+
+    /// Data quality `θ_i ∈ (0, 1]` (the paper's footnote 3 treats this
+    /// as a constant; we expose it so heterogeneous-quality markets can
+    /// be studied). Only the *accuracy-effective* volume is scaled;
+    /// energy, deadlines and the trading rule price raw volume.
+    pub fn quality(&self) -> f64 {
+        self.quality
+    }
+
+    /// Accuracy-effective dataset size `θ_i · s_i` in bits.
+    pub fn effective_bits(&self) -> f64 {
+        self.quality * self.s_bits
+    }
+
+    /// Number of local data samples `|S_i|`.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Compute cost `η_i` in CPU cycles per bit of training data.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// The discrete compute ladder `F_i^(1..m)` in Hz, strictly ascending.
+    pub fn compute_levels(&self) -> &[f64] {
+        &self.compute_levels
+    }
+
+    /// Number of compute levels `m`.
+    pub fn compute_level_count(&self) -> usize {
+        self.compute_levels.len()
+    }
+
+    /// Compute frequency (Hz) at ladder index `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= m`; use [`Organization::compute_levels`] to
+    /// inspect the ladder first.
+    pub fn frequency(&self, level: usize) -> f64 {
+        self.compute_levels[level]
+    }
+
+    /// The fastest available frequency `F_i^(m)`.
+    pub fn max_frequency(&self) -> f64 {
+        *self.compute_levels.last().expect("ladder is never empty")
+    }
+
+    /// Profitability `p_i`: revenue per unit of global-model performance.
+    pub fn profitability(&self) -> f64 {
+        self.profitability
+    }
+
+    /// Average model download time `T_i^(1)` in seconds.
+    pub fn t_download(&self) -> f64 {
+        self.t_download
+    }
+
+    /// Average model upload time `T_i^(3)` in seconds.
+    pub fn t_upload(&self) -> f64 {
+        self.t_upload
+    }
+
+    /// Communication power draw during download `E_DL` (watts).
+    pub fn power_download(&self) -> f64 {
+        self.power_download
+    }
+
+    /// Communication power draw during upload `E_UL` (watts).
+    pub fn power_upload(&self) -> f64 {
+        self.power_upload
+    }
+
+    /// Local-training time `T_i^(2)(d, f) = η_i · d · s_i / f` (Eq. 2).
+    ///
+    /// `d` is the contributed data fraction and `f` the chosen frequency
+    /// in Hz.
+    pub fn training_time(&self, d: f64, f: f64) -> f64 {
+        self.eta * d * self.s_bits / f
+    }
+
+    /// Fixed communication time `T_i^(1) + T_i^(3)`.
+    pub fn comm_time(&self) -> f64 {
+        self.t_download + self.t_upload
+    }
+
+    /// Fixed communication energy
+    /// `E_i^comm = E_DL · T_i^(1) + E_UL · T_i^(3)` (§III-D), in joules.
+    pub fn comm_energy(&self) -> f64 {
+        self.power_download * self.t_download + self.power_upload * self.t_upload
+    }
+}
+
+/// Builder for [`Organization`]; see [`Organization::builder`].
+///
+/// Defaults (used by tests and the Table II generator): `η = 100`
+/// cycles/bit, one-level ladder at 3 GHz, `T^(1) = T^(3) = 5 s`,
+/// `E_DL = E_UL = 10 W`.
+#[derive(Debug, Clone)]
+pub struct OrganizationBuilder {
+    name: String,
+    s_bits: f64,
+    quality: f64,
+    samples: usize,
+    eta: f64,
+    compute_levels: Vec<f64>,
+    profitability: f64,
+    t_download: f64,
+    t_upload: f64,
+    power_download: f64,
+    power_upload: f64,
+}
+
+impl OrganizationBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            s_bits: 20e9,
+            quality: 1.0,
+            samples: 1500,
+            eta: 100.0,
+            compute_levels: vec![3.0e9],
+            profitability: 1500.0,
+            t_download: 5.0,
+            t_upload: 5.0,
+            power_download: 10.0,
+            power_upload: 10.0,
+        }
+    }
+
+    /// Sets the local dataset size `s_i` in bits.
+    pub fn data_bits(mut self, s_bits: f64) -> Self {
+        self.s_bits = s_bits;
+        self
+    }
+
+    /// Sets the local sample count `|S_i|`.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the data quality `θ_i ∈ (0, 1]` (default 1.0).
+    pub fn quality(mut self, quality: f64) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Sets the per-bit compute cost `η_i` (cycles/bit).
+    pub fn eta(mut self, eta: f64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// Sets the compute ladder `F_i^(1..m)` in Hz (must end up strictly
+    /// ascending).
+    pub fn compute_levels(mut self, levels: Vec<f64>) -> Self {
+        self.compute_levels = levels;
+        self
+    }
+
+    /// Sets the profitability `p_i`.
+    pub fn profitability(mut self, p: f64) -> Self {
+        self.profitability = p;
+        self
+    }
+
+    /// Sets the model download time `T_i^(1)` (seconds).
+    pub fn t_download(mut self, t: f64) -> Self {
+        self.t_download = t;
+        self
+    }
+
+    /// Sets the model upload time `T_i^(3)` (seconds).
+    pub fn t_upload(mut self, t: f64) -> Self {
+        self.t_upload = t;
+        self
+    }
+
+    /// Sets the download power draw `E_DL` (watts).
+    pub fn power_download(mut self, w: f64) -> Self {
+        self.power_download = w;
+        self
+    }
+
+    /// Sets the upload power draw `E_UL` (watts).
+    pub fn power_upload(mut self, w: f64) -> Self {
+        self.power_upload = w;
+        self
+    }
+
+    /// Validates and produces the [`Organization`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if a numeric parameter is non-positive or
+    /// not finite, if the ladder is empty, or if it is not strictly
+    /// ascending. Communication times/powers may be zero (an organization
+    /// co-located with the server) but not negative.
+    pub fn build(self) -> Result<Organization> {
+        ensure_positive("s_i", self.s_bits)?;
+        crate::error::ensure_in_range("theta_i", self.quality, f64::MIN_POSITIVE, 1.0)?;
+        ensure_positive("eta_i", self.eta)?;
+        ensure_positive("p_i", self.profitability)?;
+        if self.samples == 0 {
+            return Err(ModelError::NonPositive { name: "|S_i|", value: 0.0 });
+        }
+        for (name, v) in [
+            ("T_i^(1)", self.t_download),
+            ("T_i^(3)", self.t_upload),
+            ("E_DL", self.power_download),
+            ("E_UL", self.power_upload),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite { name });
+            }
+            if v < 0.0 {
+                return Err(ModelError::OutOfRange { name, value: v, min: 0.0, max: f64::INFINITY });
+            }
+        }
+        if self.compute_levels.is_empty() {
+            return Err(ModelError::EmptyComputeLevels { i: 0 });
+        }
+        for w in self.compute_levels.windows(2) {
+            if !(w[1] > w[0]) {
+                return Err(ModelError::UnsortedComputeLevels { i: 0 });
+            }
+        }
+        for &f in &self.compute_levels {
+            ensure_positive("F_i", f)?;
+        }
+        Ok(Organization {
+            name: self.name,
+            s_bits: self.s_bits,
+            quality: self.quality,
+            samples: self.samples,
+            eta: self.eta,
+            compute_levels: self.compute_levels,
+            profitability: self.profitability,
+            t_download: self.t_download,
+            t_upload: self.t_upload,
+            power_download: self.power_download,
+            power_upload: self.power_upload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let org = Organization::builder("o").build().unwrap();
+        assert_eq!(org.name(), "o");
+        assert!(org.data_bits() > 0.0);
+        assert_eq!(org.compute_level_count(), 1);
+    }
+
+    #[test]
+    fn training_time_matches_eq2() {
+        let org = Organization::builder("o")
+            .data_bits(10e9)
+            .eta(50.0)
+            .compute_levels(vec![2.5e9])
+            .build()
+            .unwrap();
+        // T2 = 50 * 0.5 * 10e9 / 2.5e9 = 100 s
+        assert!((org.training_time(0.5, 2.5e9) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_energy_combines_both_phases() {
+        let org = Organization::builder("o")
+            .t_download(4.0)
+            .t_upload(6.0)
+            .power_download(2.0)
+            .power_upload(3.0)
+            .build()
+            .unwrap();
+        assert!((org.comm_energy() - (8.0 + 18.0)).abs() < 1e-12);
+        assert!((org.comm_time() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_unsorted_ladder() {
+        let r = Organization::builder("o").compute_levels(vec![3e9, 2e9]).build();
+        assert!(matches!(r, Err(ModelError::UnsortedComputeLevels { .. })));
+    }
+
+    #[test]
+    fn rejects_equal_ladder_entries() {
+        let r = Organization::builder("o").compute_levels(vec![2e9, 2e9]).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_empty_ladder_and_bad_scalars() {
+        assert!(Organization::builder("o").compute_levels(vec![]).build().is_err());
+        assert!(Organization::builder("o").data_bits(0.0).build().is_err());
+        assert!(Organization::builder("o").samples(0).build().is_err());
+        assert!(Organization::builder("o").eta(-1.0).build().is_err());
+        assert!(Organization::builder("o").t_download(-0.1).build().is_err());
+        assert!(Organization::builder("o").profitability(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn zero_comm_times_are_allowed() {
+        let org = Organization::builder("local")
+            .t_download(0.0)
+            .t_upload(0.0)
+            .build()
+            .unwrap();
+        assert_eq!(org.comm_energy(), 0.0);
+    }
+
+    #[test]
+    fn max_frequency_is_ladder_top() {
+        let org = Organization::builder("o")
+            .compute_levels(vec![1e9, 2e9, 5e9])
+            .build()
+            .unwrap();
+        assert_eq!(org.max_frequency(), 5e9);
+        assert_eq!(org.frequency(1), 2e9);
+    }
+}

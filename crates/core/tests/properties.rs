@@ -1,0 +1,186 @@
+//! Property-based tests for the core invariants of the TradeFL model:
+//! Theorem 1 (exact weighted potential), Definition 5 (budget balance),
+//! Eq. (5) (accuracy-model shape) and constraint handling.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+use tradefl_core::accuracy::{AccuracyModel, LogAccuracy, PowerLawAccuracy, SqrtAccuracy};
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::mechanism::MechanismAudit;
+use tradefl_core::strategy::{Strategy, StrategyProfile};
+
+/// A random feasible profile for the market built from `seed`.
+fn feasible_profile(
+    game: &CoopetitionGame<SqrtAccuracy>,
+    picks: &[(f64, u8)],
+) -> StrategyProfile {
+    (0..game.market().len())
+        .map(|i| {
+            let (t, lvl_pick) = picks[i % picks.len()];
+            let m = game.market().org(i).compute_level_count();
+            let mut level = (lvl_pick as usize) % m;
+            // Find a level with a feasible range, preferring the pick.
+            while game.market().feasible_range(i, level).is_none() {
+                level = (level + 1) % m;
+            }
+            let (lo, hi) = game.market().feasible_range(i, level).unwrap();
+            Strategy::new(lo + t * (hi - lo), level)
+        })
+        .collect()
+}
+
+fn any_game() -> impl PropStrategy<Value = CoopetitionGame<SqrtAccuracy>> {
+    (0u64..1000, 2usize..8, 0.0f64..0.3).prop_map(|(seed, n, mu)| {
+        let market = MarketConfig::table_ii()
+            .with_orgs(n)
+            .with_rho_mean(mu)
+            .build(seed)
+            .expect("table-ii config is always buildable");
+        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: the exact potential satisfies identity (14) for every
+    /// unilateral deviation, on random markets and random profiles.
+    #[test]
+    fn potential_identity_holds(
+        game in any_game(),
+        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
+        dev_t in 0.0f64..=1.0,
+        dev_level in any::<u8>(),
+        who in any::<u8>(),
+    ) {
+        let profile = feasible_profile(&game, &picks);
+        let i = (who as usize) % game.market().len();
+        let m = game.market().org(i).compute_level_count();
+        let mut level = (dev_level as usize) % m;
+        while game.market().feasible_range(i, level).is_none() {
+            level = (level + 1) % m;
+        }
+        let (lo, hi) = game.market().feasible_range(i, level).unwrap();
+        let dev = Strategy::new(lo + dev_t * (hi - lo), level);
+        let gap = game.potential_identity_gap(&profile, i, dev);
+        // Scale-aware tolerance: payoffs are O(1e3).
+        prop_assert!(gap < 1e-6, "identity gap {gap}");
+    }
+
+    /// Definition 5: redistribution is budget balanced for any profile on
+    /// a symmetric competition matrix.
+    #[test]
+    fn budget_balance_holds(
+        game in any_game(),
+        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
+    ) {
+        let profile = feasible_profile(&game, &picks);
+        let audit = MechanismAudit::evaluate(&game, &profile);
+        prop_assert!(audit.budget_balanced_rel(1e-9),
+            "sum R_i = {}", audit.redistribution_sum);
+    }
+
+    /// Redistribution is welfare-neutral: social welfare computed with and
+    /// without the R_i terms agrees.
+    #[test]
+    fn redistribution_is_welfare_neutral(
+        game in any_game(),
+        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
+    ) {
+        let profile = feasible_profile(&game, &picks);
+        let with_r = game.social_welfare(&profile);
+        let without_r: f64 = (0..game.market().len())
+            .map(|i| game.payoff_without_redistribution(&profile, i))
+            .sum();
+        prop_assert!((with_r - without_r).abs() <= 1e-6 * with_r.abs().max(1.0));
+    }
+
+    /// Eq. (5) on random sqrt-bound parameterizations: gain is
+    /// non-decreasing and concave above the positive-gain threshold.
+    #[test]
+    fn sqrt_accuracy_shape(
+        epochs in 1.0f64..50.0,
+        scale in 1e9f64..1e12,
+        a0 in 0.5f64..10.0,
+        xs in proptest::collection::vec(0.01f64..=1.0, 3),
+    ) {
+        let m = SqrtAccuracy::new(epochs, scale, a0).unwrap();
+        let floor = m.positive_gain_threshold();
+        prop_assume!(floor.is_finite());
+        let lo = floor * 1.001;
+        let hi = floor * 1000.0;
+        let mut pts: Vec<f64> = xs.iter().map(|t| lo + t * (hi - lo)).collect();
+        pts.sort_by(f64::total_cmp);
+        prop_assert!(m.gain(pts[0]) <= m.gain(pts[1]) + 1e-12);
+        prop_assert!(m.gain(pts[1]) <= m.gain(pts[2]) + 1e-12);
+        prop_assert!(m.gain_deriv(pts[0]) + 1e-15 >= m.gain_deriv(pts[1]));
+        prop_assert!(m.gain_deriv(pts[1]) + 1e-15 >= m.gain_deriv(pts[2]));
+    }
+
+    /// Eq. (5) for the alternative models on arbitrary domains.
+    #[test]
+    fn alternative_models_shape(
+        c in 0.1f64..10.0,
+        scale in 1e8f64..1e11,
+        alpha in 0.05f64..=1.0,
+        a in 0.0f64..1e12,
+        b in 0.0f64..1e12,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let log = LogAccuracy::new(c, scale).unwrap();
+        let pl = PowerLawAccuracy::new(c, scale, alpha).unwrap();
+        for m in [&log as &dyn AccuracyModel, &pl as &dyn AccuracyModel] {
+            prop_assert!(m.gain(hi) + 1e-12 >= m.gain(lo));
+            prop_assert!(m.gain_deriv(lo) + 1e-18 >= m.gain_deriv(hi));
+            prop_assert!(m.gain_deriv(lo) >= 0.0);
+        }
+    }
+
+    /// The minimal profile always validates, and validation accepts
+    /// exactly the profiles inside the constraint set.
+    #[test]
+    fn minimal_profile_is_always_feasible(game in any_game()) {
+        let p = StrategyProfile::minimal(game.market());
+        prop_assert!(p.validate(game.market()).is_ok());
+    }
+
+    /// Shapley efficiency and non-negativity hold on random markets and
+    /// profiles (monotone coalition game ⇒ non-negative values).
+    #[test]
+    fn shapley_axioms_hold(
+        game in any_game(),
+        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
+    ) {
+        use tradefl_core::contribution::shapley_accuracy;
+        let profile = feasible_profile(&game, &picks);
+        let report = shapley_accuracy(&game, &profile);
+        let sum: f64 = report.values.iter().sum();
+        let total = report.grand_value - report.empty_value;
+        prop_assert!((sum - total).abs() <= 1e-9 * total.abs().max(1.0));
+        for (i, v) in report.values.iter().enumerate() {
+            prop_assert!(*v >= -1e-12, "negative shapley value {v} at org {i}");
+        }
+    }
+
+    /// Payoff derivative in d_i is non-increasing (concavity of C_i in
+    /// its own data fraction), which DBR's bisection relies on.
+    #[test]
+    fn payoff_is_concave_in_own_fraction(
+        game in any_game(),
+        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
+        who in any::<u8>(),
+    ) {
+        let profile = feasible_profile(&game, &picks);
+        let i = (who as usize) % game.market().len();
+        let level = profile[i].level;
+        let (lo, hi) = game.market().feasible_range(i, level).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 0..=8 {
+            let d = lo + (hi - lo) * k as f64 / 8.0;
+            let der = game.payoff_d_deriv(&profile.with(i, Strategy::new(d, level)), i);
+            prop_assert!(der <= prev + 1e-9 * prev.abs().max(1.0));
+            prev = der;
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Asynchronous federated training (the paper's footnote 2: "TradeFL
+//! … is applicable to both synchronous and asynchronous scenarios").
+//!
+//! Organizations take heterogeneous wall-clock times per local update —
+//! exactly the Eq. (2) timing model (`T_i = T^(1) + η_i d_i s_i / f_i +
+//! T^(3)`). The server applies each update the moment it arrives,
+//! down-weighting stale contributions with the standard polynomial
+//! staleness discount of FedAsync-style protocols. The simulation runs
+//! on a deterministic event queue, so results are reproducible and the
+//! time axis is *model time*, not host time.
+
+use crate::data::Dataset;
+use crate::fed::{FedConfig, RoundMetrics};
+use crate::linalg::Matrix;
+use crate::model::Mlp;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Asynchronous-training options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncConfig {
+    /// Total number of server updates to apply.
+    pub updates: usize,
+    /// Base mixing weight `α ∈ (0, 1]` for a fresh update.
+    pub alpha: f32,
+    /// Staleness exponent `a`: weight `α · (1 + staleness)^(-a)`.
+    pub staleness_exponent: f32,
+    /// Local epochs per dispatched update.
+    pub local_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate for local SGD.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Evaluate the global model every `eval_every` server updates.
+    pub eval_every: usize,
+    /// Scale each update's weight by the organization's contributed
+    /// sample count (relative to the largest contributor). Without
+    /// this, a fast organization holding almost no data dominates the
+    /// server and stalls convergence.
+    pub weight_by_samples: bool,
+    /// Optional simulated-time budget (seconds). When set, the run
+    /// stops at the first arrival past the budget — the natural way to
+    /// compare against synchronous training, whose wall clock is
+    /// `rounds × max_i latency_i` (the barrier waits for stragglers).
+    pub time_budget: Option<f64>,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        Self {
+            updates: 60,
+            alpha: 0.6,
+            staleness_exponent: 0.5,
+            local_epochs: 1,
+            batch_size: 32,
+            lr: 0.08,
+            seed: 0,
+            eval_every: 10,
+            weight_by_samples: true,
+            time_budget: None,
+        }
+    }
+}
+
+impl AsyncConfig {
+    /// Derives an async config from a synchronous one with a comparable
+    /// total work budget (`updates ≈ rounds × orgs`).
+    pub fn from_fed(fed: &FedConfig, orgs: usize) -> Self {
+        Self {
+            updates: fed.rounds * orgs.max(1),
+            local_epochs: fed.local_epochs,
+            batch_size: fed.batch_size,
+            lr: fed.lr,
+            seed: fed.seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// One applied server update (provenance for analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppliedUpdate {
+    /// Which organization produced it.
+    pub org: usize,
+    /// Simulated arrival time (seconds of model time).
+    pub arrival_time: f64,
+    /// Server version the update was based on.
+    pub based_on_version: usize,
+    /// Server version after applying it.
+    pub new_version: usize,
+    /// Staleness (versions elapsed while the org trained).
+    pub staleness: usize,
+    /// Effective mixing weight after the staleness discount.
+    pub weight: f32,
+}
+
+/// Result of an asynchronous run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsyncOutcome {
+    /// The final global model.
+    pub model: Mlp,
+    /// Evaluation checkpoints (`round` = server version).
+    pub history: Vec<RoundMetrics>,
+    /// Every applied update, in arrival order.
+    pub updates: Vec<AppliedUpdate>,
+    /// Total simulated wall-clock time (seconds).
+    pub elapsed: f64,
+}
+
+impl AsyncOutcome {
+    /// Final test accuracy.
+    pub fn final_accuracy(&self) -> f32 {
+        self.history.last().map_or(f32::NAN, |m| m.accuracy)
+    }
+
+    /// Final test loss.
+    pub fn final_loss(&self) -> f32 {
+        self.history.last().map_or(f32::NAN, |m| m.loss)
+    }
+
+    /// The largest staleness observed (heterogeneity indicator).
+    pub fn max_staleness(&self) -> usize {
+        self.updates.iter().map(|u| u.staleness).max().unwrap_or(0)
+    }
+}
+
+/// Per-organization timing for the event simulation: seconds per
+/// dispatched update, straight from Eq. (2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrgTiming {
+    /// Fixed communication time `T^(1) + T^(3)` (seconds).
+    pub comm: f64,
+    /// Compute time for the org's contracted `d_i` at its chosen `f_i`:
+    /// `η_i d_i s_i / f_i` (seconds).
+    pub compute: f64,
+}
+
+impl OrgTiming {
+    /// Total latency of one update.
+    pub fn latency(&self) -> f64 {
+        self.comm + self.compute
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Arrival {
+    time: f64,
+    org: usize,
+    based_on_version: usize,
+    params: Vec<f32>,
+}
+
+impl Eq for Arrival {}
+
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by time (BinaryHeap is a max-heap), tie-break by org
+        // for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.org.cmp(&self.org))
+    }
+}
+
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs asynchronous federated training.
+///
+/// `fractions[i]` is organization `i`'s contracted data fraction `d_i`;
+/// `timings[i]` its Eq. (2) latency. Organizations with `d_i = 0` (or an
+/// empty shard) never dispatch.
+///
+/// # Errors
+///
+/// Returns [`crate::fed::FedError`] on shape mismatches or when nobody
+/// contributes.
+pub fn train_async(
+    mut global: Mlp,
+    shards: &[Dataset],
+    test: &Dataset,
+    fractions: &[f64],
+    timings: &[OrgTiming],
+    config: &AsyncConfig,
+) -> Result<AsyncOutcome, crate::fed::FedError> {
+    use crate::fed::FedError;
+    if fractions.len() != shards.len() || timings.len() != shards.len() {
+        return Err(FedError::FractionCount {
+            shards: shards.len(),
+            fractions: fractions.len().min(timings.len()),
+        });
+    }
+    for (i, &d) in fractions.iter().enumerate() {
+        if !d.is_finite() || !(0.0..=1.0).contains(&d) {
+            return Err(FedError::BadFraction { org: i, value: d });
+        }
+    }
+    let contributed: Vec<Dataset> = shards
+        .iter()
+        .zip(fractions)
+        .map(|(s, &d)| s.take(((d * s.len() as f64).floor() as usize).min(s.len())))
+        .collect();
+    let active: Vec<usize> =
+        (0..shards.len()).filter(|&i| !contributed[i].is_empty()).collect();
+    if active.is_empty() {
+        return Err(FedError::NothingContributed);
+    }
+
+    let max_contribution = contributed.iter().map(Dataset::len).max().unwrap_or(1) as f32;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xa57c_f3d1);
+    let mut heap: BinaryHeap<Arrival> = BinaryHeap::new();
+    let mut version = 0usize;
+
+    // Everyone starts training against version 0 at t = 0.
+    for &org in &active {
+        let params =
+            local_update(&global, &contributed[org], config, &mut rng);
+        heap.push(Arrival {
+            time: timings[org].latency(),
+            org,
+            based_on_version: 0,
+            params,
+        });
+    }
+
+    let (loss, accuracy) = global.evaluate(test);
+    let mut history = vec![RoundMetrics { round: 0, loss, accuracy }];
+    let mut applied = Vec::with_capacity(config.updates.min(4096));
+    let mut now = 0.0f64;
+    while version < config.updates {
+        if let (Some(budget), Some(next)) = (config.time_budget, heap.peek()) {
+            if next.time > budget {
+                break;
+            }
+        }
+        let arrival = heap.pop().expect("active orgs keep the queue non-empty");
+        now = arrival.time;
+        let staleness = version - arrival.based_on_version;
+        let size_factor = if config.weight_by_samples {
+            contributed[arrival.org].len() as f32 / max_contribution
+        } else {
+            1.0
+        };
+        let weight = config.alpha
+            * size_factor
+            * (1.0 + staleness as f32).powf(-config.staleness_exponent);
+        // θ ← (1 − w) θ + w θ_local
+        let mut params = global.to_params();
+        for (p, l) in params.iter_mut().zip(&arrival.params) {
+            *p = (1.0 - weight) * *p + weight * l;
+        }
+        global.set_params(&params);
+        version += 1;
+        applied.push(AppliedUpdate {
+            org: arrival.org,
+            arrival_time: now,
+            based_on_version: arrival.based_on_version,
+            new_version: version,
+            staleness,
+            weight,
+        });
+        if version % config.eval_every.max(1) == 0 || version == config.updates {
+            let (loss, accuracy) = global.evaluate(test);
+            history.push(RoundMetrics { round: version, loss, accuracy });
+        }
+        // The org immediately starts its next update from the new model.
+        let org = arrival.org;
+        let params = local_update(&global, &contributed[org], config, &mut rng);
+        heap.push(Arrival {
+            time: now + timings[org].latency(),
+            org,
+            based_on_version: version,
+            params,
+        });
+    }
+    if history.last().map(|m| m.round) != Some(version) {
+        let (loss, accuracy) = global.evaluate(test);
+        history.push(RoundMetrics { round: version, loss, accuracy });
+    }
+    Ok(AsyncOutcome { model: global, history, updates: applied, elapsed: now })
+}
+
+fn local_update(
+    global: &Mlp,
+    data: &Dataset,
+    config: &AsyncConfig,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    let mut local = global.clone();
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..config.local_epochs {
+        order.shuffle(rng);
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let mut features = Matrix::zeros(chunk.len(), data.dim());
+            let mut labels = Vec::with_capacity(chunk.len());
+            for (r, &idx) in chunk.iter().enumerate() {
+                features.row_mut(r).copy_from_slice(data.features.row(idx));
+                labels.push(data.labels[idx]);
+            }
+            let batch = Dataset { features, labels, classes: data.classes };
+            local.sgd_step(&batch, config.lr);
+        }
+    }
+    local.to_params()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{generate, DatasetKind};
+    use crate::model::{Mlp, ModelKind};
+
+    fn setup(n: usize) -> (Vec<Dataset>, Dataset) {
+        let pool = generate(DatasetKind::EurosatLike, 300 * n + 400, 21);
+        let mut sizes = vec![300; n];
+        sizes.push(400);
+        let mut shards = pool.shard(&sizes);
+        let test = shards.pop().unwrap();
+        (shards, test)
+    }
+
+    fn even_timings(n: usize) -> Vec<OrgTiming> {
+        (0..n).map(|_| OrgTiming { comm: 5.0, compute: 20.0 }).collect()
+    }
+
+    #[test]
+    fn async_training_improves_accuracy() {
+        let (shards, test) = setup(3);
+        let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 5);
+        let out = train_async(
+            global,
+            &shards,
+            &test,
+            &[1.0, 1.0, 1.0],
+            &even_timings(3),
+            &AsyncConfig::default(),
+        )
+        .unwrap();
+        assert!(out.final_accuracy() > out.history[0].accuracy + 0.15);
+        assert_eq!(out.updates.len(), AsyncConfig::default().updates);
+        assert!(out.elapsed > 0.0);
+    }
+
+    #[test]
+    fn fast_orgs_contribute_more_updates() {
+        let (shards, test) = setup(2);
+        let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 5);
+        let timings = vec![
+            OrgTiming { comm: 5.0, compute: 10.0 },  // fast
+            OrgTiming { comm: 5.0, compute: 100.0 }, // slow straggler
+        ];
+        let out = train_async(
+            global,
+            &shards,
+            &test,
+            &[1.0, 1.0],
+            &timings,
+            &AsyncConfig::default(),
+        )
+        .unwrap();
+        let fast = out.updates.iter().filter(|u| u.org == 0).count();
+        let slow = out.updates.iter().filter(|u| u.org == 1).count();
+        assert!(fast > 3 * slow, "fast {fast} vs slow {slow}");
+        // The straggler's updates are stale and down-weighted.
+        let max_slow_weight = out
+            .updates
+            .iter()
+            .filter(|u| u.org == 1 && u.staleness > 0)
+            .map(|u| u.weight)
+            .fold(0.0f32, f32::max);
+        assert!(max_slow_weight < AsyncConfig::default().alpha);
+        assert!(out.max_staleness() > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (shards, test) = setup(2);
+        let run = |seed| {
+            let global =
+                Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 5);
+            train_async(
+                global,
+                &shards,
+                &test,
+                &[0.8, 0.6],
+                &even_timings(2),
+                &AsyncConfig { seed, ..Default::default() },
+            )
+            .unwrap()
+            .final_accuracy()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (shards, test) = setup(2);
+        let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 5);
+        assert!(train_async(
+            global.clone(),
+            &shards,
+            &test,
+            &[1.0],
+            &even_timings(2),
+            &AsyncConfig::default()
+        )
+        .is_err());
+        assert!(train_async(
+            global.clone(),
+            &shards,
+            &test,
+            &[2.0, 0.5],
+            &even_timings(2),
+            &AsyncConfig::default()
+        )
+        .is_err());
+        assert!(train_async(
+            global,
+            &shards,
+            &test,
+            &[0.0, 0.0],
+            &even_timings(2),
+            &AsyncConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_fraction_org_never_dispatches() {
+        let (shards, test) = setup(2);
+        let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 5);
+        let out = train_async(
+            global,
+            &shards,
+            &test,
+            &[0.0, 1.0],
+            &even_timings(2),
+            &AsyncConfig { updates: 20, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.updates.iter().all(|u| u.org == 1));
+    }
+}

@@ -1,0 +1,275 @@
+//! FedAvg cross-silo training (§III-B, Eqs. 1-3).
+//!
+//! Organizations hold disjoint shards; each round they train locally on
+//! the `d_i`-fraction of their shard they agreed to contribute, and the
+//! server aggregates parameters weighted by contributed sample counts
+//! (Eq. 3's `d_i |S_i|` weights, normalized).
+
+use crate::data::Dataset;
+use crate::model::Mlp;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedConfig {
+    /// Number of federated rounds.
+    pub rounds: usize,
+    /// Local epochs per round (the paper's `G` is the total number of
+    /// training epochs; `rounds × local_epochs` plays that role here).
+    pub local_epochs: usize,
+    /// Mini-batch size for local SGD.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// RNG seed for batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for FedConfig {
+    fn default() -> Self {
+        Self { rounds: 30, local_epochs: 2, batch_size: 32, lr: 0.08, seed: 0 }
+    }
+}
+
+/// Global-model metrics after one round (the Figs. 13-14 series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Round index (1-based; 0 is the untrained model).
+    pub round: usize,
+    /// Test cross-entropy loss.
+    pub loss: f32,
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f32,
+}
+
+/// Outcome of a federated training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedOutcome {
+    /// The trained global model.
+    pub model: Mlp,
+    /// Per-round test metrics, starting with round 0 (untrained).
+    pub history: Vec<RoundMetrics>,
+}
+
+impl FedOutcome {
+    /// Final test accuracy.
+    pub fn final_accuracy(&self) -> f32 {
+        self.history.last().map_or(f32::NAN, |m| m.accuracy)
+    }
+
+    /// Final test loss.
+    pub fn final_loss(&self) -> f32 {
+        self.history.last().map_or(f32::NAN, |m| m.loss)
+    }
+}
+
+/// Errors from federated training setup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedError {
+    /// `fractions.len()` differs from the number of shards.
+    FractionCount {
+        /// Number of shards.
+        shards: usize,
+        /// Number of fractions provided.
+        fractions: usize,
+    },
+    /// A fraction was outside `[0, 1]` or not finite.
+    BadFraction {
+        /// The shard index.
+        org: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// No organization contributed any data.
+    NothingContributed,
+}
+
+impl std::fmt::Display for FedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FedError::FractionCount { shards, fractions } => {
+                write!(f, "{fractions} fractions for {shards} shards")
+            }
+            FedError::BadFraction { org, value } => {
+                write!(f, "fraction {value} of org {org} outside [0, 1]")
+            }
+            FedError::NothingContributed => write!(f, "no organization contributed data"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}
+
+/// Runs FedAvg with per-organization contribution fractions `d`.
+///
+/// `global` is consumed as the starting model (round 0 is evaluated
+/// before any training).
+///
+/// # Errors
+///
+/// [`FedError`] on shape/fraction problems or when `Σ d_i |S_i| = 0`.
+pub fn train_federated(
+    mut global: Mlp,
+    shards: &[Dataset],
+    test: &Dataset,
+    fractions: &[f64],
+    config: &FedConfig,
+) -> Result<FedOutcome, FedError> {
+    if fractions.len() != shards.len() {
+        return Err(FedError::FractionCount {
+            shards: shards.len(),
+            fractions: fractions.len(),
+        });
+    }
+    for (i, &d) in fractions.iter().enumerate() {
+        if !d.is_finite() || !(0.0..=1.0).contains(&d) {
+            return Err(FedError::BadFraction { org: i, value: d });
+        }
+    }
+    // Materialize each org's contributed subset once.
+    let contributed: Vec<Dataset> = shards
+        .iter()
+        .zip(fractions)
+        .map(|(shard, &d)| shard.take(((d * shard.len() as f64).floor() as usize).min(shard.len())))
+        .collect();
+    let weights: Vec<f64> = contributed.iter().map(|c| c.len() as f64).collect();
+    let total_weight: f64 = weights.iter().sum();
+    if total_weight == 0.0 {
+        return Err(FedError::NothingContributed);
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xfed0_5eed);
+    let (loss, accuracy) = global.evaluate(test);
+    let mut history = vec![RoundMetrics { round: 0, loss, accuracy }];
+    for round in 1..=config.rounds {
+        let mut aggregate = vec![0.0f64; global.param_count()];
+        for (org, data) in contributed.iter().enumerate() {
+            if data.is_empty() {
+                continue;
+            }
+            let mut local = global.clone();
+            local_train(&mut local, data, config, &mut rng);
+            let w = weights[org] / total_weight;
+            for (acc, p) in aggregate.iter_mut().zip(local.to_params()) {
+                *acc += w * p as f64;
+            }
+        }
+        let params: Vec<f32> = aggregate.into_iter().map(|v| v as f32).collect();
+        global.set_params(&params);
+        let (loss, accuracy) = global.evaluate(test);
+        history.push(RoundMetrics { round, loss, accuracy });
+    }
+    Ok(FedOutcome { model: global, history })
+}
+
+fn local_train(model: &mut Mlp, data: &Dataset, config: &FedConfig, rng: &mut StdRng) {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..config.local_epochs {
+        order.shuffle(rng);
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let mut batch_features = crate::linalg::Matrix::zeros(chunk.len(), data.dim());
+            let mut batch_labels = Vec::with_capacity(chunk.len());
+            for (r, &idx) in chunk.iter().enumerate() {
+                batch_features.row_mut(r).copy_from_slice(data.features.row(idx));
+                batch_labels.push(data.labels[idx]);
+            }
+            let batch = Dataset {
+                features: batch_features,
+                labels: batch_labels,
+                classes: data.classes,
+            };
+            model.sgd_step(&batch, config.lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{generate, DatasetKind};
+    use crate::model::{Mlp, ModelKind};
+
+    fn setup(n_orgs: usize) -> (Vec<Dataset>, Dataset) {
+        let all = generate(DatasetKind::EurosatLike, 260 * n_orgs + 400, 11);
+        let mut sizes = vec![260; n_orgs];
+        sizes.push(400);
+        let mut shards = all.shard(&sizes);
+        let test = shards.pop().unwrap();
+        (shards, test)
+    }
+
+    fn quick_config() -> FedConfig {
+        FedConfig { rounds: 10, local_epochs: 1, batch_size: 32, lr: 0.1, seed: 1 }
+    }
+
+    #[test]
+    fn federated_training_improves_accuracy() {
+        let (shards, test) = setup(3);
+        let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+        let out =
+            train_federated(global, &shards, &test, &[1.0, 1.0, 1.0], &quick_config()).unwrap();
+        assert_eq!(out.history.len(), 11);
+        assert!(
+            out.final_accuracy() > out.history[0].accuracy + 0.2,
+            "accuracy {} -> {}",
+            out.history[0].accuracy,
+            out.final_accuracy()
+        );
+        assert!(out.final_loss() < out.history[0].loss);
+    }
+
+    #[test]
+    fn more_contributed_data_yields_better_accuracy() {
+        let (shards, test) = setup(4);
+        let mk = |fracs: &[f64]| {
+            let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+            train_federated(global, &shards, &test, fracs, &quick_config())
+                .unwrap()
+                .final_accuracy()
+        };
+        let low = mk(&[0.05, 0.05, 0.05, 0.05]);
+        let high = mk(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(high > low, "full data {high} must beat 5% {low}");
+    }
+
+    #[test]
+    fn zero_contributors_are_skipped_not_fatal() {
+        let (shards, test) = setup(2);
+        let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+        let out = train_federated(global, &shards, &test, &[0.0, 1.0], &quick_config()).unwrap();
+        assert!(out.final_accuracy() > 0.3);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let (shards, test) = setup(2);
+        let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+        assert!(matches!(
+            train_federated(global.clone(), &shards, &test, &[1.0], &quick_config()),
+            Err(FedError::FractionCount { .. })
+        ));
+        assert!(matches!(
+            train_federated(global.clone(), &shards, &test, &[1.5, 0.5], &quick_config()),
+            Err(FedError::BadFraction { org: 0, .. })
+        ));
+        assert!(matches!(
+            train_federated(global, &shards, &test, &[0.0, 0.0], &quick_config()),
+            Err(FedError::NothingContributed)
+        ));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (shards, test) = setup(2);
+        let mk = |seed| {
+            let global = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+            let cfg = FedConfig { seed, ..quick_config() };
+            train_federated(global, &shards, &test, &[0.5, 0.5], &cfg).unwrap().final_accuracy()
+        };
+        assert_eq!(mk(7), mk(7));
+    }
+}

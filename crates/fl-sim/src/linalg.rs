@@ -1,0 +1,256 @@
+//! Minimal dense linear algebra for the training substrate.
+//!
+//! Row-major `f32` matrices with exactly the operations an MLP needs —
+//! no external math crates (DESIGN.md §6).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size must match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            for c in 0..other.rows {
+                let mut acc = 0.0;
+                for (a, b) in self.row(r).iter().zip(other.row(c)) {
+                    acc += a * b;
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (r, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Adds a bias row vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(2, 3, vec![1., 0., 1., 0., 1., 0.]);
+        // a * b^T
+        let c = a.matmul_transposed(&b);
+        assert_eq!(c.as_slice(), &[4., 2., 10., 5.]);
+    }
+
+    #[test]
+    fn transposed_matmul_matches_explicit() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        // a^T * b = [[1,3],[2,4]] * [[5,6],[7,8]] = [[26,30],[38,44]]
+        let c = a.transposed_matmul(&b);
+        assert_eq!(c.as_slice(), &[26., 30., 38., 44.]);
+    }
+
+    #[test]
+    fn axpy_scale_bias_norm() {
+        let mut a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Matrix::from_vec(1, 3, vec![1., 1., 1.]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[3., 4., 5.]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 2., 2.5]);
+        a.add_bias(&[0.5, 0.0, -0.5]);
+        assert_eq!(a.as_slice(), &[2., 2., 2.]);
+        assert!((a.norm() - 12f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn from_fn_and_accessors() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.get(1, 0), 10.0);
+        assert_eq!(m.row(1), &[10., 11.]);
+        let mut m = m;
+        m.set(0, 1, 9.0);
+        assert_eq!(m.get(0, 1), 9.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Classification metrics beyond plain accuracy: confusion matrices,
+//! per-class precision/recall/F1 — what a downstream user needs to
+//! judge the trained global (or personalized) model on their own silo.
+
+use crate::data::Dataset;
+use crate::model::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// A `classes × classes` confusion matrix (`rows` = true class,
+/// `cols` = predicted class).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates `model` on `data` and tabulates predictions.
+    pub fn evaluate(model: &Mlp, data: &Dataset) -> Self {
+        let classes = data.classes;
+        let mut counts = vec![0usize; classes * classes];
+        if !data.is_empty() {
+            let probs = model.forward(&data.features);
+            for (r, &label) in data.labels.iter().enumerate() {
+                let predicted = probs
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                counts[label * classes + predicted] += 1;
+            }
+        }
+        Self { classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.classes + p]
+    }
+
+    /// Total samples tabulated.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let correct: usize = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class precision (NaN for classes never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: usize = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if predicted == 0 {
+            return f64::NAN;
+        }
+        self.count(class, class) as f64 / predicted as f64
+    }
+
+    /// Per-class recall (NaN for classes absent from the data).
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual: usize = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            return f64::NAN;
+        }
+        self.count(class, class) as f64 / actual as f64
+    }
+
+    /// Per-class F1 (harmonic mean of precision and recall; NaN when
+    /// either is undefined, 0 when both are 0).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p.is_nan() || r.is_nan() {
+            return f64::NAN;
+        }
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Macro-averaged F1 over classes with defined F1.
+    pub fn macro_f1(&self) -> f64 {
+        let defined: Vec<f64> =
+            (0..self.classes).map(|c| self.f1(c)).filter(|v| !v.is_nan()).collect();
+        if defined.is_empty() {
+            return f64::NAN;
+        }
+        defined.iter().sum::<f64>() / defined.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{generate, DatasetKind};
+    use crate::model::{Mlp, ModelKind};
+
+    fn trained_pair() -> (Mlp, Dataset) {
+        let pool = generate(DatasetKind::EurosatLike, 900, 5);
+        let train = pool.take(600);
+        let test = pool.shard(&[600, 300]).pop().unwrap();
+        let mut m = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 5);
+        for _ in 0..40 {
+            m.sgd_step(&train, 0.1);
+        }
+        (m, test)
+    }
+
+    #[test]
+    fn accuracy_matches_model_evaluate() {
+        let (m, test) = trained_pair();
+        let cm = ConfusionMatrix::evaluate(&m, &test);
+        let (_, acc) = m.evaluate(&test);
+        assert!((cm.accuracy() - acc as f64).abs() < 1e-6);
+        assert_eq!(cm.total(), test.len());
+        assert_eq!(cm.classes(), 10);
+    }
+
+    #[test]
+    fn row_sums_equal_class_counts() {
+        let (m, test) = trained_pair();
+        let cm = ConfusionMatrix::evaluate(&m, &test);
+        for c in 0..cm.classes() {
+            let row_sum: usize = (0..cm.classes()).map(|p| cm.count(c, p)).sum();
+            let actual = test.labels.iter().filter(|&&l| l == c).count();
+            assert_eq!(row_sum, actual, "class {c}");
+        }
+    }
+
+    #[test]
+    fn f1_bounds_and_macro() {
+        let (m, test) = trained_pair();
+        let cm = ConfusionMatrix::evaluate(&m, &test);
+        for c in 0..cm.classes() {
+            let f1 = cm.f1(c);
+            assert!(f1.is_nan() || (0.0..=1.0).contains(&f1));
+        }
+        let macro_f1 = cm.macro_f1();
+        assert!((0.0..=1.0).contains(&macro_f1));
+        // A decently trained model must beat random-guessing F1.
+        assert!(macro_f1 > 0.3, "macro F1 {macro_f1}");
+    }
+
+    #[test]
+    fn perfect_predictor_has_unit_metrics() {
+        // Degenerate 2-class dataset the model can fit exactly: one
+        // point per class, trained to saturation.
+        let pool = generate(DatasetKind::EurosatLike, 200, 9);
+        let mut m = Mlp::new(pool.dim(), 32, pool.classes, 1);
+        for _ in 0..300 {
+            m.sgd_step(&pool, 0.2);
+        }
+        let cm = ConfusionMatrix::evaluate(&m, &pool);
+        assert!(cm.accuracy() > 0.95, "train accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    fn empty_dataset_yields_nan_metrics() {
+        let pool = generate(DatasetKind::EurosatLike, 10, 1);
+        let m = Mlp::new(pool.dim(), 8, pool.classes, 1);
+        let cm = ConfusionMatrix::evaluate(&m, &pool.take(0));
+        assert!(cm.accuracy().is_nan());
+        assert_eq!(cm.total(), 0);
+    }
+}

@@ -1,0 +1,514 @@
+//! MLP classifiers standing in for the paper's four model families.
+//!
+//! The evaluation trains ResNet-18, AlexNet, DenseNet and MobileNet; we
+//! substitute ReLU MLPs of four capacity tiers (DESIGN.md §2), with the
+//! deeper analogs using two hidden layers. Capacity ordering mirrors
+//! the originals' parameter counts.
+
+use crate::data::Dataset;
+use crate::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The four model-family analogs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// ResNet-18 analog (deepest/widest).
+    Resnet18Like,
+    /// AlexNet analog.
+    AlexnetLike,
+    /// DenseNet analog.
+    DensenetLike,
+    /// MobileNet analog (smallest).
+    MobilenetLike,
+}
+
+impl ModelKind {
+    /// All four analogs.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Resnet18Like,
+        ModelKind::AlexnetLike,
+        ModelKind::DensenetLike,
+        ModelKind::MobilenetLike,
+    ];
+
+    /// Display label used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Resnet18Like => "ResNet-18",
+            ModelKind::AlexnetLike => "AlexNet",
+            ModelKind::DensenetLike => "DenseNet",
+            ModelKind::MobilenetLike => "MobileNet",
+        }
+    }
+
+    /// Hidden-layer widths of the analog (depth mirrors the original
+    /// family's relative depth).
+    pub fn hidden_layers(&self) -> &'static [usize] {
+        match self {
+            ModelKind::Resnet18Like => &[96, 48],
+            ModelKind::AlexnetLike => &[64, 32],
+            ModelKind::DensenetLike => &[48],
+            ModelKind::MobilenetLike => &[32],
+        }
+    }
+
+    /// Width of the first hidden layer (compatibility accessor).
+    pub fn hidden(&self) -> usize {
+        self.hidden_layers()[0]
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One dense layer: `y = x W + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+impl Dense {
+    fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        let lim = (6.0 / (input + output) as f32).sqrt();
+        Self {
+            w: Matrix::from_fn(input, output, |_, _| rng.gen_range(-lim..lim)),
+            b: vec![0.0; output],
+        }
+    }
+
+    fn params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+/// A ReLU MLP (any depth) with softmax cross-entropy loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// One-hidden-layer MLP with seeded Xavier-style weights (the
+    /// original constructor; see [`Mlp::with_layers`] for deeper nets).
+    pub fn new(input_dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        Self::with_layers(input_dim, &[hidden], classes, seed)
+    }
+
+    /// MLP with the given hidden-layer widths (ReLU between layers,
+    /// softmax on the output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim`, `classes` or any hidden width is zero.
+    pub fn with_layers(
+        input_dim: usize,
+        hidden: &[usize],
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(input_dim > 0 && classes > 0, "degenerate model shape");
+        assert!(hidden.iter().all(|&h| h > 0), "zero-width hidden layer");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6d6c_705f_696e_6974);
+        let mut dims = Vec::with_capacity(hidden.len() + 2);
+        dims.push(input_dim);
+        dims.extend_from_slice(hidden);
+        dims.push(classes);
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Builds the analog of `kind` for a dataset shape.
+    pub fn for_kind(kind: ModelKind, input_dim: usize, classes: usize, seed: u64) -> Self {
+        Self::with_layers(input_dim, kind.hidden_layers(), classes, seed)
+    }
+
+    /// Number of layers (hidden + output).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::params).sum()
+    }
+
+    /// Class-probability forward pass (softmax output).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (k, layer) in self.layers.iter().enumerate() {
+            let mut z = h.matmul(&layer.w);
+            z.add_bias(&layer.b);
+            if k < last {
+                relu_inplace(&mut z);
+            } else {
+                softmax_inplace(&mut z);
+            }
+            h = z;
+        }
+        h
+    }
+
+    /// Mean cross-entropy loss and accuracy on a dataset — the Figs.
+    /// 13-15 metrics.
+    pub fn evaluate(&self, data: &Dataset) -> (f32, f32) {
+        if data.is_empty() {
+            return (f32::NAN, f32::NAN);
+        }
+        let probs = self.forward(&data.features);
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+        for (r, &label) in data.labels.iter().enumerate() {
+            let row = probs.row(r);
+            loss -= (row[label].max(1e-12) as f64).ln();
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if argmax == label {
+                correct += 1;
+            }
+        }
+        let n = data.len() as f64;
+        ((loss / n) as f32, (correct as f64 / n) as f32)
+    }
+
+    /// One SGD step on a mini-batch; returns the batch loss.
+    pub fn sgd_step(&mut self, batch: &Dataset, lr: f32) -> f32 {
+        let n = batch.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let last = self.layers.len() - 1;
+
+        // Forward, keeping pre-activations and activations.
+        let mut activations: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
+        let mut pre_activations: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        activations.push(batch.features.clone());
+        for (k, layer) in self.layers.iter().enumerate() {
+            let mut z = activations.last().unwrap().matmul(&layer.w);
+            z.add_bias(&layer.b);
+            pre_activations.push(z.clone());
+            if k < last {
+                relu_inplace(&mut z);
+            } else {
+                softmax_inplace(&mut z);
+            }
+            activations.push(z);
+        }
+
+        // Loss and output-layer gradient (probs − onehot) / n.
+        let mut loss = 0.0f64;
+        let mut delta = activations.last().unwrap().clone();
+        for (r, &label) in batch.labels.iter().enumerate() {
+            let row = delta.row_mut(r);
+            loss -= (row[label].max(1e-12) as f64).ln();
+            row[label] -= 1.0;
+        }
+        delta.scale(1.0 / n as f32);
+
+        // Backward pass with immediate updates (delta refers to the
+        // pre-update weights of later layers only, which backprop has
+        // already consumed).
+        for k in (0..self.layers.len()).rev() {
+            let input = &activations[k];
+            let dw = input.transposed_matmul(&delta);
+            let db = col_sums(&delta);
+            if k > 0 {
+                let mut next_delta = delta.matmul_transposed(&self.layers[k].w);
+                for (v, &pre) in next_delta
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(pre_activations[k - 1].as_slice())
+                {
+                    if pre <= 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                // Update layer k after computing the upstream delta.
+                self.layers[k].w.axpy(-lr, &dw);
+                for (b, g) in self.layers[k].b.iter_mut().zip(&db) {
+                    *b -= lr * g;
+                }
+                delta = next_delta;
+            } else {
+                self.layers[k].w.axpy(-lr, &dw);
+                for (b, g) in self.layers[k].b.iter_mut().zip(&db) {
+                    *b -= lr * g;
+                }
+            }
+        }
+        (loss / n as f64) as f32
+    }
+
+    /// Flattens all parameters (FedAvg aggregation).
+    pub fn to_params(&self) -> Vec<f32> {
+        let mut p = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            p.extend_from_slice(layer.w.as_slice());
+            p.extend_from_slice(&layer.b);
+        }
+        p
+    }
+
+    /// Loads flattened parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from [`Mlp::param_count`].
+    pub fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        let mut rest = params;
+        for layer in &mut self.layers {
+            let (w, r) = rest.split_at(layer.w.rows() * layer.w.cols());
+            let (b, r) = r.split_at(layer.b.len());
+            layer.w.as_mut_slice().copy_from_slice(w);
+            layer.b.copy_from_slice(b);
+            rest = r;
+        }
+    }
+}
+
+/// SGD-with-momentum optimizer state for one [`Mlp`].
+///
+/// Classical momentum: `v ← μ v + g`, `θ ← θ − lr v`. With `μ = 0`
+/// this is exactly [`Mlp::sgd_step`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SgdMomentum {
+    mu: f32,
+    velocity: Vec<f32>,
+}
+
+impl SgdMomentum {
+    /// Creates an optimizer for a model with momentum coefficient
+    /// `mu ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is outside `[0, 1)`.
+    pub fn new(model: &Mlp, mu: f32) -> Self {
+        assert!((0.0..1.0).contains(&mu), "momentum must lie in [0, 1)");
+        Self { mu, velocity: vec![0.0; model.param_count()] }
+    }
+
+    /// One momentum step on a mini-batch; returns the batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model`'s parameter count differs from the one the
+    /// optimizer was created for.
+    pub fn step(&mut self, model: &mut Mlp, batch: &Dataset, lr: f32) -> f32 {
+        assert_eq!(self.velocity.len(), model.param_count(), "optimizer/model mismatch");
+        // Gradient via a probe step: run plain SGD with lr=1 on a clone
+        // would be wasteful; instead reuse sgd_step with the actual lr
+        // on a clone and recover g = (θ_before − θ_after)/lr.
+        let before = model.to_params();
+        let mut probe = model.clone();
+        let loss = probe.sgd_step(batch, lr);
+        let after = probe.to_params();
+        let mut params = before.clone();
+        for i in 0..params.len() {
+            let g = (before[i] - after[i]) / lr;
+            self.velocity[i] = self.mu * self.velocity[i] + g;
+            params[i] -= lr * self.velocity[i];
+        }
+        model.set_params(&params);
+        loss
+    }
+}
+
+fn relu_inplace(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+fn softmax_inplace(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+fn col_sums(m: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0; m.cols()];
+    for r in 0..m.rows() {
+        for (o, &v) in out.iter_mut().zip(m.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{generate, DatasetKind};
+
+    #[test]
+    fn forward_produces_probabilities() {
+        let d = generate(DatasetKind::EurosatLike, 20, 1);
+        let m = Mlp::new(d.dim(), 16, d.classes, 7);
+        let p = m.forward(&d.features);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_training_loss() {
+        let d = generate(DatasetKind::EurosatLike, 300, 2);
+        let mut m = Mlp::new(d.dim(), 24, d.classes, 3);
+        let (loss0, _) = m.evaluate(&d);
+        for _ in 0..60 {
+            m.sgd_step(&d, 0.1);
+        }
+        let (loss1, acc1) = m.evaluate(&d);
+        assert!(loss1 < loss0 * 0.7, "loss {loss0} -> {loss1}");
+        assert!(acc1 > 0.5, "accuracy {acc1}");
+    }
+
+    #[test]
+    fn deep_mlp_trains_too() {
+        let d = generate(DatasetKind::EurosatLike, 300, 2);
+        let mut m = Mlp::with_layers(d.dim(), &[32, 16], d.classes, 3);
+        assert_eq!(m.depth(), 3);
+        let (loss0, _) = m.evaluate(&d);
+        for _ in 0..80 {
+            m.sgd_step(&d, 0.1);
+        }
+        let (loss1, acc1) = m.evaluate(&d);
+        assert!(loss1 < loss0 * 0.8, "loss {loss0} -> {loss1}");
+        assert!(acc1 > 0.4, "accuracy {acc1}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // Check dL/dw for single weights in both layers of a deep net.
+        let d = generate(DatasetKind::EurosatLike, 8, 4).take(8);
+        let m0 = Mlp::with_layers(d.dim(), &[6, 5], d.classes, 5);
+        let eps = 1e-3;
+        let loss_of = |m: &Mlp| m.evaluate(&d).0 as f64;
+        let lr = 1e-4;
+        let mut stepped = m0.clone();
+        stepped.sgd_step(&d, lr);
+        for layer in [0usize, 1, 2] {
+            let g = (m0.layers[layer].w.get(0, 0) - stepped.layers[layer].w.get(0, 0)) / lr;
+            let mut plus = m0.clone();
+            plus.layers[layer].w.set(0, 0, m0.layers[layer].w.get(0, 0) + eps);
+            let mut minus = m0.clone();
+            minus.layers[layer].w.set(0, 0, m0.layers[layer].w.get(0, 0) - eps);
+            let fd = ((loss_of(&plus) - loss_of(&minus)) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (fd - g).abs() < 0.05 * fd.abs().max(0.01),
+                "layer {layer}: finite-diff {fd} vs analytic {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn momentum_zero_equals_plain_sgd() {
+        let d = generate(DatasetKind::EurosatLike, 64, 7);
+        let mut plain = Mlp::new(d.dim(), 8, d.classes, 3);
+        let mut with_opt = plain.clone();
+        let mut opt = SgdMomentum::new(&with_opt, 0.0);
+        for _ in 0..5 {
+            plain.sgd_step(&d, 0.05);
+            opt.step(&mut with_opt, &d, 0.05);
+        }
+        let (a, b) = (plain.to_params(), with_opt.to_params());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_early_training() {
+        let d = generate(DatasetKind::EurosatLike, 400, 8);
+        let mut plain = Mlp::new(d.dim(), 16, d.classes, 3);
+        let mut fast = plain.clone();
+        let mut opt = SgdMomentum::new(&fast, 0.9);
+        for _ in 0..25 {
+            plain.sgd_step(&d, 0.02);
+            opt.step(&mut fast, &d, 0.02);
+        }
+        let (loss_plain, _) = plain.evaluate(&d);
+        let (loss_fast, _) = fast.evaluate(&d);
+        assert!(
+            loss_fast < loss_plain,
+            "momentum should accelerate: {loss_fast} vs {loss_plain}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must lie")]
+    fn momentum_bounds() {
+        let m = Mlp::new(4, 4, 2, 1);
+        let _ = SgdMomentum::new(&m, 1.0);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let m = Mlp::with_layers(10, &[8, 6], 4, 1);
+        let p = m.to_params();
+        assert_eq!(p.len(), m.param_count());
+        let mut m2 = Mlp::with_layers(10, &[8, 6], 4, 2);
+        m2.set_params(&p);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn capacity_ordering_matches_originals() {
+        let dims = (64, 10);
+        let counts: Vec<usize> = ModelKind::ALL
+            .iter()
+            .map(|&k| Mlp::for_kind(k, dims.0, dims.1, 0).param_count())
+            .collect();
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn depth_matches_kind() {
+        assert_eq!(Mlp::for_kind(ModelKind::Resnet18Like, 64, 10, 0).depth(), 3);
+        assert_eq!(Mlp::for_kind(ModelKind::MobilenetLike, 64, 10, 0).depth(), 2);
+    }
+
+    #[test]
+    fn evaluate_on_empty_dataset_is_nan() {
+        let d = generate(DatasetKind::FmnistLike, 10, 1).take(0);
+        let m = Mlp::new(49, 8, 10, 1);
+        let (loss, acc) = m.evaluate(&d);
+        assert!(loss.is_nan() && acc.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn zero_width_layer_panics() {
+        let _ = Mlp::with_layers(10, &[0], 4, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the training substrate: linear algebra
+//! identities, fit recovery, partition invariants and determinism.
+
+use proptest::prelude::*;
+use tradefl_fl_sim::data::{dirichlet_shard, generate, label_skew, DatasetKind};
+use tradefl_fl_sim::linalg::Matrix;
+use tradefl_fl_sim::model::Mlp;
+use tradefl_fl_sim::probe::{ProbePoint, SqrtFit};
+
+fn matrix(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| vals[(r * cols + c) % vals.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `(A Bᵀ)` computed by `matmul_transposed` equals the explicit
+    /// product against the materialized transpose.
+    #[test]
+    fn matmul_transposed_matches_explicit(
+        m in 1usize..5,
+        k in 1usize..5,
+        n in 1usize..5,
+        vals in proptest::collection::vec(-2.0f32..2.0, 1..40),
+    ) {
+        let a = matrix(m, k, &vals);
+        let b = matrix(n, k, &vals);
+        let bt = Matrix::from_fn(k, n, |r, c| b.get(c, r));
+        let fast = a.matmul_transposed(&b);
+        let slow = a.matmul(&bt);
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert!((fast.get(r, c) - slow.get(r, c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// `(Aᵀ B)` computed by `transposed_matmul` equals the explicit
+    /// product.
+    #[test]
+    fn transposed_matmul_matches_explicit(
+        m in 1usize..5,
+        k in 1usize..5,
+        n in 1usize..5,
+        vals in proptest::collection::vec(-2.0f32..2.0, 1..40),
+    ) {
+        let a = matrix(k, m, &vals);
+        let b = matrix(k, n, &vals);
+        let at = Matrix::from_fn(m, k, |r, c| a.get(c, r));
+        let fast = a.transposed_matmul(&b);
+        let slow = at.matmul(&b);
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert!((fast.get(r, c) - slow.get(r, c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// The sqrt fit exactly recovers curves of its own family.
+    #[test]
+    fn sqrt_fit_recovers_exact_curves(
+        c0 in 0.2f64..1.0,
+        c1 in 0.1f64..10.0,
+        base in 50usize..500,
+    ) {
+        let pts: Vec<ProbePoint> = (1..=6)
+            .map(|k| {
+                let x = base * k * k;
+                ProbePoint { samples: x, accuracy: c0 - c1 / (x as f64).sqrt() }
+            })
+            .collect();
+        let fit = SqrtFit::fit(&pts);
+        prop_assert!((fit.c0 - c0).abs() < 1e-6);
+        prop_assert!((fit.c1 - c1).abs() < 1e-6);
+        prop_assert!(fit.r_squared > 0.999);
+    }
+
+    /// MLP parameter vectors round-trip through set_params for random
+    /// shapes.
+    #[test]
+    fn mlp_params_roundtrip(
+        dim in 2usize..20,
+        hidden in 1usize..16,
+        classes in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let a = Mlp::new(dim, hidden, classes, seed);
+        let mut b = Mlp::new(dim, hidden, classes, seed.wrapping_add(1));
+        b.set_params(&a.to_params());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Dirichlet shards always have the requested sizes, valid labels,
+    /// and are deterministic per seed.
+    #[test]
+    fn dirichlet_shard_invariants(
+        beta in 0.05f64..50.0,
+        seed in any::<u64>(),
+        n_orgs in 2usize..5,
+    ) {
+        let data = generate(DatasetKind::EurosatLike, 600, 3);
+        let sizes = vec![600 / n_orgs - 10; n_orgs];
+        let shards = dirichlet_shard(&data, &sizes, beta, seed);
+        prop_assert_eq!(shards.len(), n_orgs);
+        for (s, &want) in shards.iter().zip(&sizes) {
+            prop_assert_eq!(s.len(), want);
+            prop_assert!(s.labels.iter().all(|&l| l < s.classes));
+        }
+        let again = dirichlet_shard(&data, &sizes, beta, seed);
+        prop_assert_eq!(shards, again);
+    }
+
+    /// Label skew is bounded in [0, 1] and zero for single-shard
+    /// partitions.
+    #[test]
+    fn label_skew_bounds(beta in 0.05f64..50.0, seed in any::<u64>()) {
+        let data = generate(DatasetKind::FmnistLike, 400, 4);
+        let shards = dirichlet_shard(&data, &[150, 150], beta, seed);
+        let skew = label_skew(&shards);
+        prop_assert!((0.0..=1.0).contains(&skew));
+        let single = dirichlet_shard(&data, &[300], beta, seed);
+        prop_assert!(label_skew(&single) < 0.05, "one shard ~ pooled distribution");
+    }
+
+    /// Dataset generation is seed-deterministic and kind-shaped for any
+    /// seed.
+    #[test]
+    fn generation_invariants(seed in any::<u64>()) {
+        for kind in DatasetKind::ALL {
+            let d = generate(kind, 64, seed);
+            prop_assert_eq!(d.len(), 64);
+            prop_assert_eq!(d.dim(), kind.dim());
+            prop_assert_eq!(d, generate(kind, 64, seed));
+        }
+    }
+}

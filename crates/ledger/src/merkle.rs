@@ -1,0 +1,242 @@
+//! Merkle trees over transaction hashes: compact inclusion proofs for
+//! light-client arbitration.
+//!
+//! §III-F's arbitration story assumes the disputing party can query the
+//! full chain. With a Merkle root in the block header, an organization
+//! only needs the 32-byte header plus an `O(log n)` proof to convince
+//! an arbitrator that a specific transaction (say, a rival's signed
+//! `contributionSubmit`) was included in a given block — no full replay
+//! required.
+//!
+//! The tree uses domain-separated hashing (`0x00` leaf / `0x01` node
+//! prefixes) to rule out second-preimage tricks between leaves and
+//! internal nodes, and duplicates the last node on odd levels (Bitcoin
+//! style).
+
+use crate::sha256::Sha256;
+use crate::types::Hash256;
+use serde::{Deserialize, Serialize};
+
+/// Which side a sibling hash sits on along the proof path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// Sibling is the left child; our running hash is the right.
+    Left,
+    /// Sibling is the right child.
+    Right,
+}
+
+/// An inclusion proof: the sibling path from a leaf to the root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Sibling hashes from the leaf level upward.
+    pub path: Vec<(Side, Hash256)>,
+}
+
+impl MerkleProof {
+    /// Recomputes the root implied by `leaf` and this proof.
+    pub fn implied_root(&self, leaf: Hash256) -> Hash256 {
+        let mut acc = leaf_hash(leaf);
+        for (side, sibling) in &self.path {
+            acc = match side {
+                Side::Left => node_hash(*sibling, acc),
+                Side::Right => node_hash(acc, *sibling),
+            };
+        }
+        acc
+    }
+
+    /// Verifies the proof against a known root.
+    pub fn verify(&self, leaf: Hash256, root: Hash256) -> bool {
+        self.implied_root(leaf) == root
+    }
+}
+
+/// A Merkle tree built over a list of 32-byte leaves (transaction
+/// hashes).
+///
+/// # Examples
+///
+/// ```
+/// use tradefl_ledger::merkle::MerkleTree;
+/// use tradefl_ledger::types::Hash256;
+///
+/// let leaves = vec![Hash256([1; 32]), Hash256([2; 32]), Hash256([3; 32])];
+/// let tree = MerkleTree::build(&leaves);
+/// let proof = tree.prove(1).expect("in range");
+/// assert!(proof.verify(leaves[1], tree.root()));
+/// assert!(!proof.verify(leaves[0], tree.root()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// levels[0] = hashed leaves; last level = [root].
+    levels: Vec<Vec<Hash256>>,
+}
+
+impl MerkleTree {
+    /// Builds the tree. An empty leaf set gets the conventional
+    /// all-zero root.
+    pub fn build(leaves: &[Hash256]) -> Self {
+        if leaves.is_empty() {
+            return Self { levels: vec![vec![Hash256::ZERO]] };
+        }
+        let mut levels = vec![leaves.iter().map(|&l| leaf_hash(l)).collect::<Vec<_>>()];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = pair[0];
+                let right = pair.get(1).copied().unwrap_or(pair[0]);
+                next.push(node_hash(left, right));
+            }
+            levels.push(next);
+        }
+        Self { levels }
+    }
+
+    /// The root hash.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        if self.levels.len() == 1 && self.levels[0][0] == Hash256::ZERO {
+            0
+        } else {
+            self.levels[0].len()
+        }
+    }
+
+    /// Whether the tree was built from zero leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    ///
+    /// Returns `None` if the index is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            let sibling = level
+                .get(sibling_idx)
+                .copied()
+                .unwrap_or(level[idx]); // odd level: duplicated last node
+            let side = if sibling_idx < idx { Side::Left } else { Side::Right };
+            path.push((side, sibling));
+            idx /= 2;
+        }
+        Some(MerkleProof { leaf_index: index, path })
+    }
+}
+
+fn leaf_hash(leaf: Hash256) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(&leaf.0);
+    Hash256(h.finalize())
+}
+
+fn node_hash(left: Hash256, right: Hash256) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(&left.0);
+    h.update(&right.0);
+    Hash256(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Hash256> {
+        (0..n)
+            .map(|i| {
+                let mut b = [0u8; 32];
+                b[0] = i as u8;
+                b[1] = (i >> 8) as u8;
+                Hash256(b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf_and_size() {
+        for n in 1..=17 {
+            let ls = leaves(n);
+            let tree = MerkleTree::build(&ls);
+            assert_eq!(tree.len(), n);
+            for (i, &leaf) in ls.iter().enumerate() {
+                let proof = tree.prove(i).expect("in range");
+                assert!(proof.verify(leaf, tree.root()), "n={n} leaf={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_or_tampered_path_fails() {
+        let ls = leaves(8);
+        let tree = MerkleTree::build(&ls);
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(ls[4], tree.root()), "wrong leaf");
+        let mut bad = proof.clone();
+        bad.path[1].1 = Hash256([0xff; 32]);
+        assert!(!bad.verify(ls[3], tree.root()), "tampered sibling");
+        let mut flipped = proof;
+        flipped.path[0].0 = match flipped.path[0].0 {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        };
+        assert!(!flipped.verify(ls[3], tree.root()), "flipped side");
+    }
+
+    #[test]
+    fn roots_differ_when_any_leaf_changes() {
+        let ls = leaves(9);
+        let base = MerkleTree::build(&ls).root();
+        for i in 0..9 {
+            let mut altered = ls.clone();
+            altered[i].0[31] ^= 1;
+            assert_ne!(MerkleTree::build(&altered).root(), base, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn domain_separation_prevents_leaf_node_confusion() {
+        // A one-leaf tree's root must differ from the raw leaf, and a
+        // two-leaf tree's root must differ from hashing the leaves as a
+        // single leaf.
+        let ls = leaves(2);
+        let tree = MerkleTree::build(&ls);
+        assert_ne!(tree.root(), ls[0]);
+        assert_ne!(tree.root(), leaf_hash(ls[0]));
+    }
+
+    #[test]
+    fn empty_and_single_trees() {
+        let empty = MerkleTree::build(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.root(), Hash256::ZERO);
+        assert!(empty.prove(0).is_none());
+
+        let one = MerkleTree::build(&leaves(1));
+        assert_eq!(one.len(), 1);
+        let proof = one.prove(0).unwrap();
+        assert!(proof.path.is_empty());
+        assert!(proof.verify(leaves(1)[0], one.root()));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let tree = MerkleTree::build(&leaves(5));
+        assert!(tree.prove(5).is_none());
+    }
+}

@@ -1,0 +1,450 @@
+//! A multi-validator proof-of-authority network.
+//!
+//! The paper's prototype runs on an Ethereum *private chain* — in
+//! practice a small set of known validators (the organizations
+//! themselves) taking turns to produce blocks. This module simulates
+//! exactly that: a deterministic round-robin proposer schedule, full
+//! re-execution validation on every replica ([`Node::apply_block`]),
+//! and rejection of any proposer that lies about execution results.
+//! All replicas converge to identical state roots, which is what makes
+//! the settlement *decentralized* rather than trusted-third-party.
+
+use crate::chain::Block;
+use crate::contract::Contract;
+use crate::node::{BlockApplyError, Node, NodeError};
+use crate::tx::{Receipt, Transaction};
+use crate::types::{Address, Hash256, Wei};
+use std::fmt;
+
+/// One validator: an organization running a full replica.
+pub struct Validator {
+    /// Display name (e.g. the organization).
+    pub name: String,
+    /// The validator's full node.
+    pub node: Node,
+}
+
+impl fmt::Debug for Validator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Validator")
+            .field("name", &self.name)
+            .field("height", &self.node.chain().height())
+            .finish()
+    }
+}
+
+/// Outcome of one consensus round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Index of the proposing validator.
+    pub proposer: usize,
+    /// Hash of the produced block.
+    pub block_hash: Hash256,
+    /// Validators that accepted the block.
+    pub accepted_by: Vec<usize>,
+    /// Validators that rejected it, with their reasons.
+    pub rejected_by: Vec<(usize, BlockApplyError)>,
+}
+
+impl RoundOutcome {
+    /// Whether every replica accepted the block.
+    pub fn unanimous(&self) -> bool {
+        self.rejected_by.is_empty()
+    }
+}
+
+/// Errors from network operation.
+#[derive(Debug)]
+pub enum NetworkError {
+    /// A transaction was rejected at submission by the proposer's
+    /// mempool rules.
+    Submission(NodeError),
+    /// The network has no validators.
+    Empty,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Submission(e) => write!(f, "submission rejected: {e}"),
+            NetworkError::Empty => write!(f, "network has no validators"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// The round-robin PoA network.
+///
+/// # Examples
+///
+/// ```
+/// use tradefl_ledger::network::Network;
+/// use tradefl_ledger::tx::{Transaction, TxPayload};
+/// use tradefl_ledger::types::{Address, Wei};
+///
+/// let alice = Address::from_name("alice");
+/// let mut net = Network::new(&["v0", "v1", "v2"], &[(alice, Wei(1_000))]);
+/// net.submit(Transaction {
+///     from: alice,
+///     nonce: 0,
+///     value: Wei(10),
+///     gas_limit: 21_000,
+///     payload: TxPayload::Transfer { to: Address::from_name("bob") },
+/// });
+/// let outcome = net.round().expect("validators present");
+/// assert!(outcome.unanimous());
+/// assert!(net.converged());
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    validators: Vec<Validator>,
+    next_proposer: usize,
+    /// Pending transactions awaiting the next block (network mempool).
+    mempool: Vec<Transaction>,
+}
+
+impl Network {
+    /// Boots `names.len()` replicas with identical genesis allocations.
+    pub fn new(names: &[&str], allocations: &[(Address, Wei)]) -> Self {
+        let validators = names
+            .iter()
+            .map(|&name| Validator { name: name.to_string(), node: Node::new(allocations) })
+            .collect();
+        Self { validators, next_proposer: 0, mempool: Vec::new() }
+    }
+
+    /// Number of validators.
+    pub fn len(&self) -> usize {
+        self.validators.len()
+    }
+
+    /// Whether the network has no validators.
+    pub fn is_empty(&self) -> bool {
+        self.validators.is_empty()
+    }
+
+    /// Read access to a validator.
+    pub fn validator(&self, i: usize) -> &Validator {
+        &self.validators[i]
+    }
+
+    /// Deploys the same contract on every replica; returns the (shared)
+    /// address. Replicas stay identical because deployment is
+    /// deterministic.
+    pub fn deploy(&mut self, prototype: Box<dyn Contract>) -> Address {
+        let mut addr = None;
+        for v in &mut self.validators {
+            let a = v.node.deploy(prototype.snapshot());
+            match addr {
+                None => addr = Some(a),
+                Some(prev) => assert_eq!(prev, a, "deterministic deployment addresses"),
+            }
+        }
+        addr.expect("network has validators")
+    }
+
+    /// Queues a transaction in the network mempool.
+    pub fn submit(&mut self, tx: Transaction) -> Hash256 {
+        let hash = tx.hash();
+        self.mempool.push(tx);
+        hash
+    }
+
+    /// Runs one consensus round: the scheduled proposer executes the
+    /// mempool into a block; every other replica re-executes and
+    /// accepts or rejects. An optional `tamper` closure mutates the
+    /// block in flight (Byzantine-proposer injection for tests).
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Empty`] if there are no validators.
+    pub fn round_with(
+        &mut self,
+        tamper: Option<&dyn Fn(&mut Block)>,
+    ) -> Result<RoundOutcome, NetworkError> {
+        if self.validators.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        let proposer = self.next_proposer;
+        self.next_proposer = (self.next_proposer + 1) % self.validators.len();
+
+        // The proposer executes the mempool.
+        let txs: Vec<Transaction> = std::mem::take(&mut self.mempool);
+        {
+            let node = &mut self.validators[proposer].node;
+            for tx in txs {
+                // Invalid submissions are dropped (they would revert
+                // deterministically anyway; dropping keeps tests crisp).
+                let _ = node.submit(tx);
+            }
+            node.mine();
+        }
+        let mut block = self.validators[proposer]
+            .node
+            .chain()
+            .blocks()
+            .last()
+            .expect("just mined")
+            .clone();
+        if let Some(t) = tamper {
+            t(&mut block);
+        }
+        let block_hash = block.hash();
+
+        // Broadcast: every other replica re-executes.
+        let mut accepted_by = vec![proposer];
+        let mut rejected_by = Vec::new();
+        for i in 0..self.validators.len() {
+            if i == proposer {
+                continue;
+            }
+            match self.validators[i].node.apply_block(&block) {
+                Ok(()) => accepted_by.push(i),
+                Err(e) => rejected_by.push((i, e)),
+            }
+        }
+        Ok(RoundOutcome { proposer, block_hash, accepted_by, rejected_by })
+    }
+
+    /// Runs one honest consensus round.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::round_with`].
+    pub fn round(&mut self) -> Result<RoundOutcome, NetworkError> {
+        self.round_with(None)
+    }
+
+    /// Whether every replica holds the same tip hash and state root.
+    pub fn converged(&self) -> bool {
+        let Some(first) = self.validators.first() else {
+            return true;
+        };
+        let tip = first.node.chain().tip_hash();
+        let root = first.node.state().root();
+        self.validators.iter().all(|v| {
+            v.node.chain().tip_hash() == tip && v.node.state().root() == root
+        })
+    }
+
+    /// Receipt lookup on the first replica (all replicas agree once
+    /// converged).
+    pub fn receipt(&self, tx_hash: Hash256) -> Option<&Receipt> {
+        self.validators.first().and_then(|v| v.node.receipt(tx_hash))
+    }
+
+    /// A validator joining late: boots from the same genesis
+    /// allocations and contract set, then catches up by replaying every
+    /// block from an existing replica ([`Node::apply_block`] validates
+    /// each one). Returns the new validator's index.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Empty`] when there is nobody to sync from; a
+    /// [`BlockApplyError`] panic cannot occur because the source chain
+    /// already passed full validation on every honest replica.
+    pub fn join(
+        &mut self,
+        name: &str,
+        allocations: &[(Address, Wei)],
+        contracts: &[(Address, Box<dyn Contract>)],
+    ) -> Result<usize, NetworkError> {
+        let source = self.validators.first().ok_or(NetworkError::Empty)?;
+        let blocks: Vec<Block> = source.node.chain().blocks().to_vec();
+        let mut node = Node::new(allocations);
+        for (expected_addr, prototype) in contracts {
+            let addr = node.deploy(prototype.snapshot());
+            assert_eq!(
+                addr, *expected_addr,
+                "late joiner must deploy the same contracts in the same order"
+            );
+        }
+        // The fresh node mined its own genesis; replay everything after.
+        for block in blocks.iter().skip(1) {
+            node.apply_block(block)
+                .expect("blocks from an honest replica replay cleanly");
+        }
+        self.validators.push(Validator { name: name.to_string(), node });
+        Ok(self.validators.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxPayload;
+
+    fn transfer(from: &str, to: &str, nonce: u64, value: u128) -> Transaction {
+        Transaction {
+            from: Address::from_name(from),
+            nonce,
+            value: Wei(value),
+            gas_limit: 21_000,
+            payload: TxPayload::Transfer { to: Address::from_name(to) },
+        }
+    }
+
+    fn boot(n: usize) -> Network {
+        let names: Vec<String> = (0..n).map(|i| format!("validator-{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        Network::new(
+            &name_refs,
+            &[
+                (Address::from_name("alice"), Wei(1_000_000)),
+                (Address::from_name("bob"), Wei(500_000)),
+            ],
+        )
+    }
+
+    #[test]
+    fn replicas_converge_over_many_rounds() {
+        let mut net = boot(4);
+        assert_eq!(net.len(), 4);
+        for k in 0..6 {
+            net.submit(transfer("alice", "bob", k, 100 + k as u128));
+            let outcome = net.round().unwrap();
+            assert!(outcome.unanimous(), "round {k}: {:?}", outcome.rejected_by);
+            assert_eq!(outcome.proposer, (k as usize) % 4);
+        }
+        assert!(net.converged());
+        let bob = Address::from_name("bob");
+        let balance = net.validator(0).node.state().balance_of(bob);
+        for i in 1..4 {
+            assert_eq!(net.validator(i).node.state().balance_of(bob), balance);
+        }
+    }
+
+    #[test]
+    fn byzantine_proposer_is_rejected_by_all_replicas() {
+        let mut net = boot(3);
+        net.submit(transfer("alice", "bob", 0, 100));
+        // The proposer claims a different state root (e.g. silently
+        // crediting itself).
+        let outcome = net
+            .round_with(Some(&|block: &mut Block| {
+                block.header.state_root = Hash256([0xde; 32]);
+            }))
+            .unwrap();
+        assert_eq!(outcome.rejected_by.len(), 2);
+        for (_, err) in &outcome.rejected_by {
+            assert!(matches!(
+                err,
+                BlockApplyError::StateRootMismatch | BlockApplyError::ReceiptMismatch
+            ));
+        }
+        assert!(!net.converged(), "the lying proposer forked itself off");
+    }
+
+    #[test]
+    fn tampered_receipts_are_rejected() {
+        let mut net = boot(3);
+        net.submit(transfer("alice", "bob", 0, 100));
+        let outcome = net
+            .round_with(Some(&|block: &mut Block| {
+                if let Some(r) = block.receipts.first_mut() {
+                    r.gas_used += 1;
+                }
+            }))
+            .unwrap();
+        assert_eq!(outcome.rejected_by.len(), 2);
+        assert!(outcome
+            .rejected_by
+            .iter()
+            .all(|(_, e)| *e == BlockApplyError::ReceiptMismatch));
+    }
+
+    #[test]
+    fn empty_rounds_keep_replicas_in_sync() {
+        let mut net = boot(2);
+        for _ in 0..3 {
+            let o = net.round().unwrap();
+            assert!(o.unanimous());
+        }
+        assert!(net.converged());
+        assert_eq!(net.validator(0).node.chain().height(), 4); // genesis + 3
+    }
+
+    #[test]
+    fn late_joining_validator_syncs_by_replay() {
+        let allocations = [
+            (Address::from_name("alice"), Wei(1_000_000)),
+            (Address::from_name("bob"), Wei(500_000)),
+        ];
+        let mut net = Network::new(&["v0", "v1"], &allocations);
+        for k in 0..4 {
+            net.submit(transfer("alice", "bob", k, 50));
+            assert!(net.round().unwrap().unanimous());
+        }
+        let idx = net.join("latecomer", &allocations, &[]).unwrap();
+        assert_eq!(idx, 2);
+        assert!(net.converged(), "the late joiner must hold the same state");
+        // And it participates in consensus from now on.
+        net.submit(transfer("alice", "bob", 4, 50));
+        let outcome = net.round().unwrap();
+        assert!(outcome.unanimous());
+        assert_eq!(outcome.accepted_by.len(), 3);
+    }
+
+    #[test]
+    fn contract_execution_replicates() {
+        use crate::tradefl_contract::{SessionParams, TradeFlContract};
+        use crate::types::Fixed;
+
+        let orgs: Vec<Address> =
+            (0..3).map(|i| Address::from_name(&format!("org-{i}"))).collect();
+        let allocations: Vec<(Address, Wei)> =
+            orgs.iter().map(|&a| (a, Wei(10_000_000))).collect();
+        let names = ["v0", "v1", "v2"];
+        let mut net = Network::new(&names, &allocations);
+        let params = SessionParams {
+            participants: orgs.clone(),
+            gamma_per_gbit: Fixed::from_f64(5.12),
+            lambda: Fixed::from_f64(3.0),
+            rho: vec![
+                vec![Fixed::ZERO, Fixed::from_f64(0.1), Fixed::from_f64(0.1)],
+                vec![Fixed::from_f64(0.1), Fixed::ZERO, Fixed::from_f64(0.1)],
+                vec![Fixed::from_f64(0.1), Fixed::from_f64(0.1), Fixed::ZERO],
+            ],
+            s_gbits: vec![Fixed::from_f64(20.0); 3],
+            required_deposit: Wei(1_000_000),
+            wei_per_payoff_unit: 1_000,
+            attestation_key: None,
+        };
+        let contract = net.deploy(Box::new(TradeFlContract::new(params).unwrap()));
+
+        // Full settlement, one tx per round, proposers rotating.
+        let call = |from: Address, nonce: u64, function: &str, args, value| Transaction {
+            from,
+            nonce,
+            value,
+            gas_limit: 10_000_000,
+            payload: TxPayload::Call { contract, function: function.into(), args },
+        };
+        for &o in &orgs {
+            net.submit(call(o, 0, "register", vec![], Wei::ZERO));
+        }
+        assert!(net.round().unwrap().unanimous());
+        for &o in &orgs {
+            net.submit(call(o, 1, "depositSubmit", vec![], Wei(1_000_000)));
+        }
+        assert!(net.round().unwrap().unanimous());
+        for (k, &o) in orgs.iter().enumerate() {
+            net.submit(call(
+                o,
+                2,
+                "contributionSubmit",
+                vec![
+                    crate::tx::Value::Fixed(Fixed::from_f64(0.2 + 0.3 * k as f64)),
+                    crate::tx::Value::Fixed(Fixed::from_f64(3.0)),
+                ],
+                Wei::ZERO,
+            ));
+        }
+        assert!(net.round().unwrap().unanimous());
+        net.submit(call(orgs[0], 3, "payoffCalculate", vec![], Wei::ZERO));
+        net.submit(call(orgs[0], 4, "payoffTransfer", vec![], Wei::ZERO));
+        assert!(net.round().unwrap().unanimous());
+        assert!(net.converged(), "all replicas hold the settled state");
+    }
+}

@@ -1,0 +1,575 @@
+//! A single-node private chain: mempool, deterministic execution,
+//! block production — the stand-in for the paper's Ethereum private
+//! blockchain.
+
+use crate::chain::{Block, BlockHeader, Blockchain};
+use crate::contract::{CallContext, Contract, ContractError, GasMeter};
+use crate::state::WorldState;
+use crate::tx::{ExecStatus, Receipt, Transaction, TxPayload, Value};
+use crate::types::{Address, Hash256, Wei};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors surfaced when submitting transactions to the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The nonce does not match the sender's account nonce at
+    /// execution time (stale or replayed transaction).
+    BadNonce {
+        /// Nonce carried by the transaction.
+        got: u64,
+        /// Nonce the account expects next.
+        expected: u64,
+    },
+    /// Sender balance cannot cover the attached value.
+    InsufficientFunds,
+    /// Target of a contract call is not a deployed contract.
+    NoSuchContract(Address),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::BadNonce { got, expected } => {
+                write!(f, "bad nonce {got}, account expects {expected}")
+            }
+            NodeError::InsufficientFunds => write!(f, "insufficient funds for attached value"),
+            NodeError::NoSuchContract(a) => write!(f, "no contract deployed at {a}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// Why a replica refused a proposed block (consensus validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockApplyError {
+    /// Height does not extend this replica's chain.
+    WrongHeight {
+        /// Height carried by the block.
+        got: u64,
+        /// Height this replica expects next.
+        expected: u64,
+    },
+    /// Parent hash does not match this replica's tip.
+    WrongParent,
+    /// The transaction root does not match the block's transactions.
+    BadTxRoot,
+    /// Local re-execution produced different receipts than claimed.
+    ReceiptMismatch,
+    /// Local re-execution produced a different state root.
+    StateRootMismatch,
+}
+
+impl fmt::Display for BlockApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockApplyError::WrongHeight { got, expected } => {
+                write!(f, "block height {got}, replica expects {expected}")
+            }
+            BlockApplyError::WrongParent => write!(f, "parent hash does not match tip"),
+            BlockApplyError::BadTxRoot => write!(f, "transaction root mismatch"),
+            BlockApplyError::ReceiptMismatch => {
+                write!(f, "re-execution produced different receipts")
+            }
+            BlockApplyError::StateRootMismatch => {
+                write!(f, "re-execution produced a different state root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockApplyError {}
+
+/// The single-node chain.
+pub struct Node {
+    chain: Blockchain,
+    state: WorldState,
+    contracts: BTreeMap<Address, Box<dyn Contract>>,
+    pending: Vec<Transaction>,
+    clock: u64,
+    deploy_counter: u64,
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("height", &self.chain.height())
+            .field("accounts", &self.state.len())
+            .field("contracts", &self.contracts.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl Node {
+    /// Boots a node with genesis allocations and mines the (empty)
+    /// genesis block.
+    pub fn new(allocations: &[(Address, Wei)]) -> Self {
+        let mut node = Self {
+            chain: Blockchain::new(),
+            state: WorldState::with_allocations(allocations),
+            contracts: BTreeMap::new(),
+            pending: Vec::new(),
+            clock: 0,
+            deploy_counter: 0,
+        };
+        node.mine(); // genesis
+        node
+    }
+
+    /// The chain (read-only).
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// Current world state (read-only).
+    pub fn state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// Deploys a contract, returning its address. Deployment is a
+    /// node-level operation (the paper deploys via migration tooling,
+    /// not an on-chain tx).
+    pub fn deploy(&mut self, contract: Box<dyn Contract>) -> Address {
+        self.deploy_counter += 1;
+        let addr = Address::from_name(&format!(
+            "contract/{}/{}",
+            contract.name(),
+            self.deploy_counter
+        ));
+        self.contracts.insert(addr, contract);
+        addr
+    }
+
+    /// Whether a contract is deployed at `addr`.
+    pub fn is_contract(&self, addr: Address) -> bool {
+        self.contracts.contains_key(&addr)
+    }
+
+    /// Queues a transaction; validation happens at mining time, but the
+    /// obvious failures are rejected immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError`] for stale nonces (relative to queued txs),
+    /// unfunded value transfers, or calls to unknown contracts.
+    pub fn submit(&mut self, tx: Transaction) -> Result<Hash256, NodeError> {
+        if let TxPayload::Call { contract, .. } = &tx.payload {
+            if !self.contracts.contains_key(contract) {
+                return Err(NodeError::NoSuchContract(*contract));
+            }
+        }
+        let queued_from_sender =
+            self.pending.iter().filter(|p| p.from == tx.from).count() as u64;
+        let expected = self.state.nonce_of(tx.from) + queued_from_sender;
+        if tx.nonce != expected {
+            return Err(NodeError::BadNonce { got: tx.nonce, expected });
+        }
+        let hash = tx.hash();
+        self.pending.push(tx);
+        Ok(hash)
+    }
+
+    /// Executes all pending transactions and appends a block. Returns
+    /// the new block's hash.
+    pub fn mine(&mut self) -> Hash256 {
+        self.clock += 1;
+        let txs: Vec<Transaction> = std::mem::take(&mut self.pending);
+        let mut receipts = Vec::with_capacity(txs.len());
+        for tx in &txs {
+            receipts.push(self.execute(tx));
+        }
+        let header = BlockHeader {
+            number: self.chain.height() as u64,
+            parent: self.chain.tip_hash(),
+            timestamp: self.clock,
+            tx_root: Block::compute_tx_root(&txs),
+            receipts_root: Block::compute_receipts_root(&receipts),
+            state_root: self.state.root(),
+        };
+        let block = Block { header, txs, receipts };
+        let hash = block.hash();
+        self.chain.push(block).expect("node-produced blocks always extend the tip");
+        hash
+    }
+
+    /// Receipt lookup across the whole chain.
+    pub fn receipt(&self, tx_hash: Hash256) -> Option<&Receipt> {
+        self.chain.receipt(tx_hash)
+    }
+
+    /// Applies a block produced by *another* node: re-executes its
+    /// transactions locally and accepts the block only if the resulting
+    /// receipts and state root match the proposer's claims. On any
+    /// mismatch the local state is rolled back and the block rejected —
+    /// this is the consensus-side validation of the multi-validator
+    /// network ([`crate::network`]).
+    ///
+    /// # Errors
+    ///
+    /// [`BlockApplyError`] describing the first discrepancy; the node
+    /// is left exactly as before the call.
+    pub fn apply_block(&mut self, block: &crate::chain::Block) -> Result<(), BlockApplyError> {
+        let expected_number = self.chain.height() as u64;
+        if block.header.number != expected_number {
+            return Err(BlockApplyError::WrongHeight {
+                got: block.header.number,
+                expected: expected_number,
+            });
+        }
+        if block.header.parent != self.chain.tip_hash() {
+            return Err(BlockApplyError::WrongParent);
+        }
+        if block.header.tx_root != crate::chain::Block::compute_tx_root(&block.txs) {
+            return Err(BlockApplyError::BadTxRoot);
+        }
+        // Snapshot for rollback.
+        let state_snapshot = self.state.clone();
+        let contracts_snapshot: BTreeMap<Address, Box<dyn Contract>> =
+            self.contracts.iter().map(|(a, c)| (*a, c.snapshot())).collect();
+        let clock_snapshot = self.clock;
+
+        self.clock = block.header.timestamp;
+        let mut receipts = Vec::with_capacity(block.txs.len());
+        for tx in &block.txs {
+            receipts.push(self.execute(tx));
+        }
+        let rollback = |node: &mut Node| {
+            node.state = state_snapshot.clone();
+            node.contracts =
+                contracts_snapshot.iter().map(|(a, c)| (*a, c.snapshot())).collect();
+            node.clock = clock_snapshot;
+        };
+        if receipts != block.receipts {
+            rollback(self);
+            return Err(BlockApplyError::ReceiptMismatch);
+        }
+        if self.state.root() != block.header.state_root {
+            rollback(self);
+            return Err(BlockApplyError::StateRootMismatch);
+        }
+        self.chain
+            .push(block.clone())
+            .expect("validated block extends the tip");
+        Ok(())
+    }
+
+    /// Drops any queued transactions (used when a proposer's block
+    /// already covers them).
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Read-only contract call: executes against a scratch copy of the
+    /// state so nothing persists — the `eth_call` analogue.
+    pub fn call_view(
+        &self,
+        contract_addr: Address,
+        caller: Address,
+        function: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, ContractError> {
+        let contract = self
+            .contracts
+            .get(&contract_addr)
+            .ok_or_else(|| ContractError::revert("no such contract"))?;
+        let mut scratch_contract = contract.snapshot();
+        let mut scratch_state = self.state.clone();
+        let mut logs = Vec::new();
+        let mut gas = GasMeter::new(u64::MAX);
+        let mut ctx = CallContext::new(
+            caller,
+            Wei::ZERO,
+            self.chain.height() as u64,
+            contract_addr,
+            &mut scratch_state,
+            &mut logs,
+            &mut gas,
+        );
+        scratch_contract.call(&mut ctx, function, args)
+    }
+
+    fn execute(&mut self, tx: &Transaction) -> Receipt {
+        let tx_hash = tx.hash();
+        let expected_nonce = self.state.nonce_of(tx.from);
+        if tx.nonce != expected_nonce {
+            return Receipt {
+                tx_hash,
+                status: ExecStatus::Reverted(format!(
+                    "bad nonce {} (expected {expected_nonce})",
+                    tx.nonce
+                )),
+                gas_used: 0,
+                logs: vec![],
+                return_data: vec![],
+            };
+        }
+        // Nonce burns even on revert (Ethereum semantics).
+        self.state.bump_nonce(tx.from);
+
+        let state_snapshot = self.state.clone();
+        let result = match &tx.payload {
+            TxPayload::Transfer { to } => {
+                const TRANSFER_GAS: u64 = 21_000;
+                if tx.gas_limit < TRANSFER_GAS {
+                    Err((ContractError::OutOfGas, 0))
+                } else {
+                    match self.state.transfer(tx.from, *to, tx.value) {
+                        Ok(()) => Ok((vec![], vec![], TRANSFER_GAS)),
+                        Err(e) => {
+                            Err((ContractError::revert(e.to_string()), TRANSFER_GAS))
+                        }
+                    }
+                }
+            }
+            TxPayload::Call { contract, function, args } => {
+                match self.contracts.get_mut(contract) {
+                    None => Err((ContractError::revert("no such contract"), 0)),
+                    Some(c) => {
+                        let contract_snapshot = c.snapshot();
+                        // Attached value moves in before the call.
+                        let funding = self.state.transfer(tx.from, *contract, tx.value);
+                        match funding {
+                            Err(e) => Err((ContractError::revert(e.to_string()), 0)),
+                            Ok(()) => {
+                                let mut logs = Vec::new();
+                                let mut gas = GasMeter::new(tx.gas_limit);
+                                let block_number = self.chain.height() as u64;
+                                let mut ctx = CallContext::new(
+                                    tx.from,
+                                    tx.value,
+                                    block_number,
+                                    *contract,
+                                    &mut self.state,
+                                    &mut logs,
+                                    &mut gas,
+                                );
+                                match c.call(&mut ctx, function, args) {
+                                    Ok(ret) => Ok((ret, logs, gas.used())),
+                                    Err(e) => {
+                                        let used = gas.used();
+                                        *c = contract_snapshot;
+                                        Err((e, used))
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match result {
+            Ok((return_data, logs, gas_used)) => Receipt {
+                tx_hash,
+                status: ExecStatus::Success,
+                gas_used,
+                logs,
+                return_data,
+            },
+            Err((e, gas_used)) => {
+                // Roll back everything except the nonce bump.
+                let nonce_holder = self.state.nonce_of(tx.from);
+                self.state = state_snapshot;
+                while self.state.nonce_of(tx.from) < nonce_holder {
+                    self.state.bump_nonce(tx.from);
+                }
+                Receipt {
+                    tx_hash,
+                    status: ExecStatus::Reverted(e.to_string()),
+                    gas_used,
+                    logs: vec![],
+                    return_data: vec![],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy counter contract for framework tests.
+    #[derive(Debug, Clone)]
+    struct Counter {
+        count: u64,
+    }
+
+    impl Contract for Counter {
+        fn call(
+            &mut self,
+            ctx: &mut CallContext<'_>,
+            function: &str,
+            args: &[Value],
+        ) -> Result<Vec<Value>, ContractError> {
+            ctx.charge_gas(1_000)?;
+            match function {
+                "increment" => {
+                    self.count += 1;
+                    ctx.emit("Incremented", vec![("count".into(), Value::U64(self.count))]);
+                    Ok(vec![Value::U64(self.count)])
+                }
+                "get" => Ok(vec![Value::U64(self.count)]),
+                "fail" => Err(ContractError::revert("always fails")),
+                "burn" => {
+                    ctx.charge_gas(u64::MAX)?;
+                    Ok(vec![])
+                }
+                "set" => {
+                    let v = args
+                        .first()
+                        .and_then(Value::as_u64)
+                        .ok_or(ContractError::BadArgs("expected u64"))?;
+                    self.count = v;
+                    Ok(vec![])
+                }
+                other => Err(ContractError::UnknownFunction(other.into())),
+            }
+        }
+
+        fn name(&self) -> &str {
+            "counter"
+        }
+
+        fn snapshot(&self) -> Box<dyn Contract> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn setup() -> (Node, Address, Address) {
+        let alice = Address::from_name("alice");
+        let mut node = Node::new(&[(alice, Wei(1_000_000))]);
+        let counter = node.deploy(Box::new(Counter { count: 0 }));
+        (node, alice, counter)
+    }
+
+    fn call_tx(from: Address, nonce: u64, contract: Address, function: &str) -> Transaction {
+        Transaction {
+            from,
+            nonce,
+            value: Wei::ZERO,
+            gas_limit: 100_000,
+            payload: TxPayload::Call {
+                contract,
+                function: function.into(),
+                args: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn transfer_moves_funds_and_produces_block() {
+        let alice = Address::from_name("alice");
+        let bob = Address::from_name("bob");
+        let mut node = Node::new(&[(alice, Wei(100))]);
+        let h = node
+            .submit(Transaction {
+                from: alice,
+                nonce: 0,
+                value: Wei(30),
+                gas_limit: 21_000,
+                payload: TxPayload::Transfer { to: bob },
+            })
+            .unwrap();
+        node.mine();
+        assert_eq!(node.state().balance_of(bob), Wei(30));
+        assert!(node.receipt(h).unwrap().status.is_success());
+        assert_eq!(node.chain().height(), 2); // genesis + 1
+        node.chain().verify().unwrap();
+    }
+
+    #[test]
+    fn contract_call_executes_and_logs() {
+        let (mut node, alice, counter) = setup();
+        let h = node.submit(call_tx(alice, 0, counter, "increment")).unwrap();
+        node.mine();
+        let r = node.receipt(h).unwrap();
+        assert!(r.status.is_success());
+        assert_eq!(r.return_data, vec![Value::U64(1)]);
+        assert_eq!(r.logs.len(), 1);
+        assert!(r.gas_used >= 1_000);
+    }
+
+    #[test]
+    fn revert_rolls_back_state_and_contract() {
+        let (mut node, alice, counter) = setup();
+        node.submit(call_tx(alice, 0, counter, "increment")).unwrap();
+        // A failing call carrying value: the value must bounce back.
+        let mut failing = call_tx(alice, 1, counter, "fail");
+        failing.value = Wei(500);
+        node.submit(failing).unwrap();
+        node.mine();
+        assert_eq!(node.state().balance_of(alice), Wei(1_000_000));
+        let got = node.call_view(counter, alice, "get", &[]).unwrap();
+        assert_eq!(got, vec![Value::U64(1)], "count survives only the successful call");
+    }
+
+    #[test]
+    fn out_of_gas_reverts() {
+        let (mut node, alice, counter) = setup();
+        let h = node.submit(call_tx(alice, 0, counter, "burn")).unwrap();
+        node.mine();
+        let r = node.receipt(h).unwrap();
+        assert!(matches!(&r.status, ExecStatus::Reverted(m) if m.contains("gas")));
+    }
+
+    #[test]
+    fn nonce_rules_prevent_replay() {
+        let (mut node, alice, counter) = setup();
+        node.submit(call_tx(alice, 0, counter, "increment")).unwrap();
+        // Same nonce again: rejected at submission.
+        assert!(matches!(
+            node.submit(call_tx(alice, 0, counter, "increment")),
+            Err(NodeError::BadNonce { got: 0, expected: 1 })
+        ));
+        // Queued nonce accounting allows consecutive queuing.
+        node.submit(call_tx(alice, 1, counter, "increment")).unwrap();
+        node.mine();
+        let got = node.call_view(counter, alice, "get", &[]).unwrap();
+        assert_eq!(got, vec![Value::U64(2)]);
+    }
+
+    #[test]
+    fn view_calls_do_not_mutate() {
+        let (node, alice, counter) = setup();
+        let before = node.state().root();
+        let _ = node.call_view(counter, alice, "increment", &[]).unwrap();
+        assert_eq!(node.state().root(), before);
+        let got = node.call_view(counter, alice, "get", &[]).unwrap();
+        assert_eq!(got, vec![Value::U64(0)]);
+    }
+
+    #[test]
+    fn unknown_contract_rejected_at_submit() {
+        let (mut node, alice, _) = setup();
+        let bogus = Address::from_name("bogus");
+        assert!(matches!(
+            node.submit(call_tx(alice, 0, bogus, "x")),
+            Err(NodeError::NoSuchContract(_))
+        ));
+    }
+
+    #[test]
+    fn bad_args_revert() {
+        let (mut node, alice, counter) = setup();
+        let mut tx = call_tx(alice, 0, counter, "set");
+        if let TxPayload::Call { args, .. } = &mut tx.payload {
+            args.push(Value::Str("not a number".into()));
+        }
+        let h = node.submit(tx).unwrap();
+        node.mine();
+        assert!(matches!(&node.receipt(h).unwrap().status, ExecStatus::Reverted(_)));
+    }
+
+    #[test]
+    fn total_supply_is_conserved() {
+        let (mut node, alice, counter) = setup();
+        let supply = node.state().total_supply();
+        let mut tx = call_tx(alice, 0, counter, "increment");
+        tx.value = Wei(123);
+        node.submit(tx).unwrap();
+        node.mine();
+        assert_eq!(node.state().total_supply(), supply);
+    }
+}

@@ -1,0 +1,410 @@
+//! End-to-end settlement: bridges the off-chain coopetition game (the
+//! equilibrium `{d_i*, f_i*}` computed by `tradefl-solver`) onto the
+//! on-chain TradeFL contract, runs the Fig. 3 procedure, and verifies
+//! that the on-chain redistribution matches the off-chain Eq. (10).
+
+use crate::attestation::Enclave;
+use crate::contract::ContractError;
+use crate::node::Node;
+use crate::tradefl_contract::{SessionParams, TradeFlContract};
+use crate::tx::Value;
+use crate::types::{Address, Fixed, Wei};
+use crate::web3::Web3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tradefl_core::accuracy::AccuracyModel;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::StrategyProfile;
+
+/// Wei per fixed-point payoff unit used by [`SettlementSession`].
+pub const DEFAULT_WEI_PER_UNIT: u128 = 1_000_000;
+
+/// Errors from the settlement driver.
+#[derive(Debug)]
+pub enum SettlementError {
+    /// A contract call reverted (carries the on-chain reason).
+    Contract(ContractError),
+    /// A transaction could not be submitted.
+    Node(crate::node::NodeError),
+    /// A mined transaction reverted.
+    Reverted {
+        /// The ABI function that reverted.
+        function: &'static str,
+        /// Revert reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SettlementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SettlementError::Contract(e) => write!(f, "contract error: {e}"),
+            SettlementError::Node(e) => write!(f, "node error: {e}"),
+            SettlementError::Reverted { function, reason } => {
+                write!(f, "{function} reverted: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SettlementError {}
+
+impl From<ContractError> for SettlementError {
+    fn from(e: ContractError) -> Self {
+        SettlementError::Contract(e)
+    }
+}
+
+impl From<crate::node::NodeError> for SettlementError {
+    fn from(e: crate::node::NodeError) -> Self {
+        SettlementError::Node(e)
+    }
+}
+
+/// Outcome of a full on-chain settlement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettlementReport {
+    /// Organization addresses in market order.
+    pub addresses: Vec<Address>,
+    /// On-chain redistribution per organization (payoff units).
+    pub onchain_redistribution: Vec<f64>,
+    /// Off-chain `R_i` from Eq. (10) for comparison.
+    pub offchain_redistribution: Vec<f64>,
+    /// Largest absolute discrepancy between the two.
+    pub max_abs_error: f64,
+    /// Total gas consumed across all settlement transactions.
+    pub total_gas: u64,
+    /// Chain height after settlement.
+    pub chain_height: usize,
+}
+
+impl SettlementReport {
+    /// Whether on-chain and off-chain redistributions agree within
+    /// `tol` payoff units.
+    pub fn consistent(&self, tol: f64) -> bool {
+        self.max_abs_error <= tol
+    }
+}
+
+/// Drives one trading session end to end.
+#[derive(Debug)]
+pub struct SettlementSession {
+    web3: Web3,
+    contract: Address,
+    addresses: Vec<Address>,
+    required_deposit: Wei,
+    enclave: Option<Enclave>,
+}
+
+impl SettlementSession {
+    /// Builds the on-chain session for a game: boots a private chain,
+    /// funds every organization, deploys the TradeFL contract with the
+    /// market's parameters (converted to Gbit/GHz fixed point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates contract parameter validation failures.
+    pub fn deploy<A: AccuracyModel>(
+        game: &CoopetitionGame<A>,
+    ) -> Result<Self, SettlementError> {
+        Self::deploy_with(game, None)
+    }
+
+    /// Like [`SettlementSession::deploy`], but the session requires
+    /// TEE-attested contribution reports (footnote 6): the contract is
+    /// deployed with the enclave's verification key and every
+    /// `contributionSubmit` must carry a valid MAC.
+    pub fn deploy_attested<A: AccuracyModel>(
+        game: &CoopetitionGame<A>,
+        enclave: Enclave,
+    ) -> Result<Self, SettlementError> {
+        Self::deploy_with(game, Some(enclave))
+    }
+
+    fn deploy_with<A: AccuracyModel>(
+        game: &CoopetitionGame<A>,
+        enclave: Option<Enclave>,
+    ) -> Result<Self, SettlementError> {
+        let market = game.market();
+        let n = market.len();
+        let addresses: Vec<Address> =
+            market.orgs().iter().map(|o| Address::from_name(o.name())).collect();
+
+        // Worst-case |R_i| bound sizes the bond: γ' · q_i · x_max, where
+        // x_max bounds any resource-index difference.
+        let gamma_per_gbit = market.params().gamma * 1e9;
+        let x_max = market
+            .orgs()
+            .iter()
+            .map(|o| o.data_bits() / 1e9 + market.params().lambda * o.max_frequency() / 1e9)
+            .fold(0.0f64, f64::max);
+        let q_max = (0..n)
+            .map(|i| market.competition_pressure(i))
+            .fold(0.0f64, f64::max);
+        let bound_units = gamma_per_gbit * q_max * x_max * 1.05 + 1.0;
+        let required_deposit =
+            Wei((bound_units * DEFAULT_WEI_PER_UNIT as f64).ceil() as u128);
+
+        let params = SessionParams {
+            participants: addresses.clone(),
+            gamma_per_gbit: Fixed::from_f64(gamma_per_gbit),
+            lambda: Fixed::from_f64(market.params().lambda),
+            rho: (0..n)
+                .map(|i| (0..n).map(|j| Fixed::from_f64(market.rho(i, j))).collect())
+                .collect(),
+            s_gbits: market
+                .orgs()
+                .iter()
+                .map(|o| Fixed::from_f64(o.data_bits() / 1e9))
+                .collect(),
+            required_deposit,
+            wei_per_payoff_unit: DEFAULT_WEI_PER_UNIT,
+            attestation_key: enclave.as_ref().map(|e| e.verification_key()),
+        };
+        let contract_impl = TradeFlContract::new(params)?;
+
+        // Fund each org with 4x its bond so deposits always clear.
+        let allocations: Vec<(Address, Wei)> = addresses
+            .iter()
+            .map(|&a| (a, Wei(required_deposit.0 * 4)))
+            .collect();
+        let mut node = Node::new(&allocations);
+        let contract = node.deploy(Box::new(contract_impl));
+        Ok(Self { web3: Web3::new(node), contract, addresses, required_deposit, enclave })
+    }
+
+    /// The Web3 handle (for inspecting the chain afterwards).
+    pub fn web3(&self) -> &Web3 {
+        &self.web3
+    }
+
+    /// The deployed contract address.
+    pub fn contract(&self) -> Address {
+        self.contract
+    }
+
+    /// Runs the full Fig. 3 procedure for an equilibrium profile:
+    /// register → deposit → contribute → calculate → transfer →
+    /// record, then compares on-chain `R_i` against Eq. (10).
+    ///
+    /// # Errors
+    ///
+    /// [`SettlementError::Reverted`] if any on-chain step fails.
+    pub fn settle<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+        profile: &StrategyProfile,
+    ) -> Result<SettlementReport, SettlementError> {
+        let market = game.market();
+        let n = market.len();
+        let mut total_gas = 0u64;
+        let mut run = |from: Address,
+                       function: &'static str,
+                       args: Vec<Value>,
+                       value: Wei|
+         -> Result<Vec<Value>, SettlementError> {
+            let receipt = self
+                .web3
+                .call_and_mine(from, self.contract, function, args, value)?;
+            total_gas_add(&mut total_gas, receipt.gas_used);
+            match receipt.status {
+                crate::tx::ExecStatus::Success => Ok(receipt.return_data),
+                crate::tx::ExecStatus::Reverted(reason) => {
+                    Err(SettlementError::Reverted { function, reason })
+                }
+            }
+        };
+
+        for &addr in &self.addresses {
+            run(addr, "register", vec![], Wei::ZERO)?;
+        }
+        for &addr in &self.addresses {
+            run(addr, "depositSubmit", vec![], self.required_deposit)?;
+        }
+        for (i, &addr) in self.addresses.iter().enumerate() {
+            let org = market.org(i);
+            let d = Fixed::from_f64(profile[i].d);
+            let f_ghz = Fixed::from_f64(org.frequency(profile[i].level) / 1e9);
+            let mut args = vec![Value::Fixed(d), Value::Fixed(f_ghz)];
+            if let Some(enclave) = &self.enclave {
+                // The measurement enclave observed the training run and
+                // signs the report (footnote 6).
+                let att = enclave.attest(addr, d, f_ghz);
+                args.push(Value::Bytes(att.mac.to_vec()));
+            }
+            run(addr, "contributionSubmit", args, Wei::ZERO)?;
+        }
+        let calculated = run(self.addresses[0], "payoffCalculate", vec![], Wei::ZERO)?;
+        run(self.addresses[0], "payoffTransfer", vec![], Wei::ZERO)?;
+        for &addr in &self.addresses {
+            run(addr, "profileRecord", vec![Value::Addr(addr)], Wei::ZERO)?;
+        }
+
+        let onchain: Vec<f64> = calculated
+            .iter()
+            .map(|v| v.as_fixed().map(Fixed::to_f64).unwrap_or(f64::NAN))
+            .collect();
+        let offchain: Vec<f64> =
+            (0..n).map(|i| game.redistribution(profile, i)).collect();
+        let max_abs_error = onchain
+            .iter()
+            .zip(&offchain)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        Ok(SettlementReport {
+            addresses: self.addresses.clone(),
+            onchain_redistribution: onchain,
+            offchain_redistribution: offchain,
+            max_abs_error,
+            total_gas,
+            chain_height: self.web3.height(),
+        })
+    }
+}
+
+fn total_gas_add(total: &mut u64, used: u64) {
+    *total = total.saturating_add(used);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tradefl_core::accuracy::SqrtAccuracy;
+    use tradefl_core::config::MarketConfig;
+    use tradefl_core::strategy::Strategy;
+
+    fn game(n: usize, seed: u64) -> CoopetitionGame<SqrtAccuracy> {
+        let market = MarketConfig::table_ii().with_orgs(n).build(seed).unwrap();
+        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+    }
+
+    fn spread_profile(g: &CoopetitionGame<SqrtAccuracy>) -> StrategyProfile {
+        (0..g.market().len())
+            .map(|i| {
+                let level = g.market().org(i).compute_level_count() - 1;
+                let (lo, hi) = g.market().feasible_range(i, level).unwrap();
+                let t = i as f64 / g.market().len().max(1) as f64;
+                Strategy::new(lo + t * (hi - lo), level)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn onchain_settlement_matches_offchain_eq10() {
+        let g = game(5, 77);
+        let profile = spread_profile(&g);
+        let session = SettlementSession::deploy(&g).unwrap();
+        let report = session.settle(&g, &profile).unwrap();
+        // Fixed-point resolution is 1e-9 per term; allow generous slack.
+        assert!(
+            report.consistent(1e-3),
+            "max error {} (on {:?} vs off {:?})",
+            report.max_abs_error,
+            report.onchain_redistribution,
+            report.offchain_redistribution
+        );
+        assert!(report.total_gas > 0);
+        session.web3().verify_chain().unwrap();
+    }
+
+    #[test]
+    fn settlement_emits_full_audit_trail() {
+        let g = game(3, 5);
+        let profile = spread_profile(&g);
+        let session = SettlementSession::deploy(&g).unwrap();
+        session.settle(&g, &profile).unwrap();
+        let w = session.web3();
+        assert_eq!(w.logs_by_event("Registered").len(), 3);
+        assert_eq!(w.logs_by_event("DepositSubmitted").len(), 3);
+        assert_eq!(w.logs_by_event("ContributionSubmitted").len(), 3);
+        assert_eq!(w.logs_by_event("PayoffCalculated").len(), 3);
+        assert_eq!(w.logs_by_event("PayoffTransferred").len(), 3);
+        assert_eq!(w.logs_by_event("ProfileRecorded").len(), 3);
+    }
+
+    #[test]
+    fn attested_session_accepts_enclave_signed_reports() {
+        let g = game(3, 31);
+        let profile = spread_profile(&g);
+        let enclave = crate::attestation::Enclave::from_label("vendor-x");
+        let session = SettlementSession::deploy_attested(&g, enclave).unwrap();
+        let report = session.settle(&g, &profile).unwrap();
+        assert!(report.consistent(1e-3));
+    }
+
+    #[test]
+    fn attested_session_rejects_unattested_contributions() {
+        let g = game(3, 33);
+        let enclave = crate::attestation::Enclave::from_label("vendor-x");
+        let session = SettlementSession::deploy_attested(&g, enclave.clone()).unwrap();
+        let w3 = session.web3();
+        let addrs: Vec<Address> = g
+            .market()
+            .orgs()
+            .iter()
+            .map(|o| Address::from_name(o.name()))
+            .collect();
+        for &a in &addrs {
+            assert!(w3
+                .call_and_mine(a, session.contract(), "register", vec![], Wei::ZERO)
+                .unwrap()
+                .status
+                .is_success());
+        }
+        for &a in &addrs {
+            let bond = Wei(w3.balance(a).0 / 4);
+            assert!(w3
+                .call_and_mine(a, session.contract(), "depositSubmit", vec![], bond)
+                .unwrap()
+                .status
+                .is_success());
+        }
+        let d = Fixed::from_f64(0.5);
+        let f = Fixed::from_f64(3.0);
+        // Missing attestation: rejected.
+        let r = w3
+            .call_and_mine(
+                addrs[0],
+                session.contract(),
+                "contributionSubmit",
+                vec![Value::Fixed(d), Value::Fixed(f)],
+                Wei::ZERO,
+            )
+            .unwrap();
+        assert!(!r.status.is_success(), "unattested report must revert");
+        // Attestation for a DIFFERENT d (the org inflates its report).
+        let att = enclave.attest(addrs[0], Fixed::from_f64(0.1), f);
+        let r = w3
+            .call_and_mine(
+                addrs[0],
+                session.contract(),
+                "contributionSubmit",
+                vec![Value::Fixed(d), Value::Fixed(f), Value::Bytes(att.mac.to_vec())],
+                Wei::ZERO,
+            )
+            .unwrap();
+        assert!(!r.status.is_success(), "inflated report must revert");
+        // Honest, properly attested report: accepted.
+        let att = enclave.attest(addrs[0], d, f);
+        let r = w3
+            .call_and_mine(
+                addrs[0],
+                session.contract(),
+                "contributionSubmit",
+                vec![Value::Fixed(d), Value::Fixed(f), Value::Bytes(att.mac.to_vec())],
+                Wei::ZERO,
+            )
+            .unwrap();
+        assert!(r.status.is_success());
+    }
+
+    #[test]
+    fn settling_twice_is_rejected() {
+        let g = game(3, 9);
+        let profile = spread_profile(&g);
+        let session = SettlementSession::deploy(&g).unwrap();
+        session.settle(&g, &profile).unwrap();
+        let err = session.settle(&g, &profile).unwrap_err();
+        assert!(matches!(err, SettlementError::Reverted { function: "register", .. }));
+    }
+}

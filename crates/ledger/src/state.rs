@@ -1,0 +1,209 @@
+//! World state: account balances and nonces with a deterministic root.
+
+use crate::sha256::Sha256;
+use crate::types::{Address, Hash256, Wei};
+use bytes::{BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An externally owned or contract account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Account {
+    /// Current balance.
+    pub balance: Wei,
+    /// Transactions sent so far (replay protection).
+    pub nonce: u64,
+}
+
+/// Errors from balance manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// Debit exceeding the account balance.
+    InsufficientBalance {
+        /// Account being debited.
+        account: Address,
+        /// Balance available.
+        available: Wei,
+        /// Amount requested.
+        requested: Wei,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::InsufficientBalance { account, available, requested } => write!(
+                f,
+                "account {account} holds {available} but {requested} was requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// The full account state. A `BTreeMap` keeps iteration (and therefore
+/// the state root) deterministic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorldState {
+    accounts: BTreeMap<Address, Account>,
+}
+
+impl WorldState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// State pre-funded with the given allocations (genesis).
+    pub fn with_allocations(allocs: &[(Address, Wei)]) -> Self {
+        let mut s = Self::new();
+        for &(addr, amount) in allocs {
+            s.accounts.entry(addr).or_default().balance = amount;
+        }
+        s
+    }
+
+    /// Balance of `addr` (zero for unknown accounts).
+    pub fn balance_of(&self, addr: Address) -> Wei {
+        self.accounts.get(&addr).map_or(Wei::ZERO, |a| a.balance)
+    }
+
+    /// Nonce of `addr` (zero for unknown accounts).
+    pub fn nonce_of(&self, addr: Address) -> u64 {
+        self.accounts.get(&addr).map_or(0, |a| a.nonce)
+    }
+
+    /// Credits `amount` to `addr`, creating the account if needed.
+    pub fn credit(&mut self, addr: Address, amount: Wei) {
+        let acct = self.accounts.entry(addr).or_default();
+        acct.balance = acct.balance + amount;
+    }
+
+    /// Debits `amount` from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::InsufficientBalance`] if the account cannot cover
+    /// the amount; the state is unchanged in that case.
+    pub fn debit(&mut self, addr: Address, amount: Wei) -> Result<(), StateError> {
+        let acct = self.accounts.entry(addr).or_default();
+        match acct.balance.checked_sub(amount) {
+            Some(rest) => {
+                acct.balance = rest;
+                Ok(())
+            }
+            None => Err(StateError::InsufficientBalance {
+                account: addr,
+                available: acct.balance,
+                requested: amount,
+            }),
+        }
+    }
+
+    /// Moves `amount` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::InsufficientBalance`] if `from` cannot cover it.
+    pub fn transfer(&mut self, from: Address, to: Address, amount: Wei) -> Result<(), StateError> {
+        self.debit(from, amount)?;
+        self.credit(to, amount);
+        Ok(())
+    }
+
+    /// Increments `addr`'s nonce.
+    pub fn bump_nonce(&mut self, addr: Address) {
+        self.accounts.entry(addr).or_default().nonce += 1;
+    }
+
+    /// Number of accounts ever touched.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether no account exists.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Total wei across all accounts (conservation checks).
+    pub fn total_supply(&self) -> Wei {
+        self.accounts.values().map(|a| a.balance).sum()
+    }
+
+    /// Deterministic digest of the entire state (the block header's
+    /// `state_root`).
+    pub fn root(&self) -> Hash256 {
+        let mut buf = BytesMut::with_capacity(self.accounts.len() * 56);
+        for (addr, acct) in &self.accounts {
+            buf.put_slice(&addr.0);
+            buf.put_u128(acct.balance.0);
+            buf.put_u64(acct.nonce);
+        }
+        let mut h = Sha256::new();
+        h.update(&buf);
+        Hash256(h.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: &str) -> Address {
+        Address::from_name(n)
+    }
+
+    #[test]
+    fn credit_debit_and_transfer() {
+        let mut s = WorldState::new();
+        s.credit(addr("a"), Wei(100));
+        s.transfer(addr("a"), addr("b"), Wei(40)).unwrap();
+        assert_eq!(s.balance_of(addr("a")), Wei(60));
+        assert_eq!(s.balance_of(addr("b")), Wei(40));
+        assert_eq!(s.total_supply(), Wei(100));
+    }
+
+    #[test]
+    fn debit_fails_without_funds_and_preserves_state() {
+        let mut s = WorldState::new();
+        s.credit(addr("a"), Wei(10));
+        let before = s.clone();
+        let err = s.debit(addr("a"), Wei(11)).unwrap_err();
+        assert!(matches!(err, StateError::InsufficientBalance { .. }));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn root_changes_with_any_mutation() {
+        let mut s = WorldState::with_allocations(&[(addr("a"), Wei(5))]);
+        let r0 = s.root();
+        s.credit(addr("a"), Wei(1));
+        let r1 = s.root();
+        assert_ne!(r0, r1);
+        s.bump_nonce(addr("a"));
+        assert_ne!(r1, s.root());
+    }
+
+    #[test]
+    fn root_is_order_independent() {
+        let mut s1 = WorldState::new();
+        s1.credit(addr("a"), Wei(1));
+        s1.credit(addr("b"), Wei(2));
+        let mut s2 = WorldState::new();
+        s2.credit(addr("b"), Wei(2));
+        s2.credit(addr("a"), Wei(1));
+        assert_eq!(s1.root(), s2.root());
+    }
+
+    #[test]
+    fn genesis_allocations() {
+        let s = WorldState::with_allocations(&[(addr("x"), Wei(7)), (addr("y"), Wei(9))]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.balance_of(addr("x")), Wei(7));
+        assert_eq!(s.nonce_of(addr("x")), 0);
+    }
+}

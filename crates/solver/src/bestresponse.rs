@@ -1,0 +1,202 @@
+//! Single-organization best responses (Definition 9).
+//!
+//! The best response maximizes `C_i(π_i, π_-i)` over `d_i` (continuous,
+//! concave — bisection on the derivative) and the compute level
+//! (discrete — enumerated), mirroring how the paper solves (24) "by the
+//! proposed GBD-based algorithm since (24) has a similar structure to
+//! (18)": fix the integer part, solve the convex part exactly.
+
+use serde::{Deserialize, Serialize};
+use tradefl_core::accuracy::AccuracyModel;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::{Strategy, StrategyProfile};
+
+/// Which payoff an organization best-responds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// The full TradeFL payoff `C_i` (Eq. 11).
+    Full,
+    /// The payoff with redistribution removed (the WPR baseline).
+    WithoutRedistribution,
+}
+
+impl Objective {
+    /// Evaluates the chosen payoff for organization `i`.
+    pub fn payoff<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+        profile: &StrategyProfile,
+        i: usize,
+    ) -> f64 {
+        match self {
+            Objective::Full => game.payoff(profile, i),
+            Objective::WithoutRedistribution => game.payoff_without_redistribution(profile, i),
+        }
+    }
+
+    fn d_deriv<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+        profile: &StrategyProfile,
+        i: usize,
+    ) -> f64 {
+        match self {
+            Objective::Full => game.payoff_d_deriv(profile, i),
+            Objective::WithoutRedistribution => {
+                game.payoff_without_redistribution_d_deriv(profile, i)
+            }
+        }
+    }
+}
+
+/// A best response together with the payoff it attains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BestResponse {
+    /// The maximizing strategy.
+    pub strategy: Strategy,
+    /// The payoff `C_i` at the maximizing strategy (under the chosen
+    /// objective).
+    pub payoff: f64,
+}
+
+/// Computes organization `i`'s best response to `profile`'s `π_-i`.
+///
+/// Returns `None` only if no compute level admits a feasible data
+/// fraction (the market constructor normally rules this out).
+pub fn best_response<A: AccuracyModel>(
+    game: &CoopetitionGame<A>,
+    profile: &StrategyProfile,
+    i: usize,
+    objective: Objective,
+) -> Option<BestResponse> {
+    let market = game.market();
+    let org = market.org(i);
+    let mut best: Option<BestResponse> = None;
+    for level in 0..org.compute_level_count() {
+        let Some((lo, hi)) = market.feasible_range(i, level) else {
+            continue;
+        };
+        let d = maximize_concave_1d(game, profile, i, level, lo, hi, objective);
+        let candidate = Strategy::new(d, level);
+        let payoff = objective.payoff(game, &profile.with(i, candidate), i);
+        if best.map_or(true, |b| payoff > b.payoff) {
+            best = Some(BestResponse { strategy: candidate, payoff });
+        }
+    }
+    best
+}
+
+/// Maximizes the concave payoff in `d` on `[lo, hi]` at a fixed level by
+/// bisection on the (monotonically non-increasing) derivative.
+fn maximize_concave_1d<A: AccuracyModel>(
+    game: &CoopetitionGame<A>,
+    profile: &StrategyProfile,
+    i: usize,
+    level: usize,
+    lo: f64,
+    hi: f64,
+    objective: Objective,
+) -> f64 {
+    let deriv_at = |d: f64| -> f64 {
+        objective.d_deriv(game, &profile.with(i, Strategy::new(d, level)), i)
+    };
+    if deriv_at(lo) <= 0.0 {
+        return lo;
+    }
+    if deriv_at(hi) >= 0.0 {
+        return hi;
+    }
+    let (mut a, mut b) = (lo, hi);
+    for _ in 0..64 {
+        let mid = 0.5 * (a + b);
+        if deriv_at(mid) > 0.0 {
+            a = mid;
+        } else {
+            b = mid;
+        }
+        if b - a < 1e-12 {
+            break;
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tradefl_core::accuracy::SqrtAccuracy;
+    use tradefl_core::config::MarketConfig;
+
+    fn game(n: usize, seed: u64) -> CoopetitionGame<SqrtAccuracy> {
+        let market = MarketConfig::table_ii().with_orgs(n).build(seed).unwrap();
+        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+    }
+
+    #[test]
+    fn best_response_beats_grid_search() {
+        let g = game(4, 17);
+        let profile = StrategyProfile::minimal(g.market());
+        for i in 0..4 {
+            let br = best_response(&g, &profile, i, Objective::Full).unwrap();
+            // No grid alternative may beat the reported best response.
+            for level in 0..g.market().org(i).compute_level_count() {
+                if let Some((lo, hi)) = g.market().feasible_range(i, level) {
+                    for k in 0..=40 {
+                        let d = lo + (hi - lo) * k as f64 / 40.0;
+                        let alt = g.payoff(&profile.with(i, Strategy::new(d, level)), i);
+                        assert!(
+                            alt <= br.payoff + 1e-6 * br.payoff.abs().max(1.0),
+                            "i={i} level={level} d={d}: {alt} > {}",
+                            br.payoff
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_response_is_feasible() {
+        let g = game(5, 29);
+        let profile = StrategyProfile::minimal(g.market());
+        for i in 0..5 {
+            let br = best_response(&g, &profile, i, Objective::Full).unwrap();
+            let updated = profile.with(i, br.strategy);
+            updated.validate(g.market()).unwrap();
+        }
+    }
+
+    #[test]
+    fn wpr_objective_contributes_no_more_than_full() {
+        // Redistribution only adds incentive to contribute, so at γ > 0
+        // the WPR best response never exceeds the full one in d.
+        let g = game(4, 31);
+        let profile = StrategyProfile::minimal(g.market());
+        for i in 0..4 {
+            let full = best_response(&g, &profile, i, Objective::Full).unwrap();
+            let wpr =
+                best_response(&g, &profile, i, Objective::WithoutRedistribution).unwrap();
+            assert!(
+                wpr.strategy.d <= full.strategy.d + 1e-9,
+                "i={i}: wpr d {} > full d {}",
+                wpr.strategy.d,
+                full.strategy.d
+            );
+        }
+    }
+
+    #[test]
+    fn zero_gamma_makes_objectives_agree() {
+        let g0 = game(3, 5);
+        let params = g0.market().params().with_gamma(0.0);
+        let g = g0.with_params(params).unwrap();
+        let profile = StrategyProfile::minimal(g.market());
+        for i in 0..3 {
+            let a = best_response(&g, &profile, i, Objective::Full).unwrap();
+            let b =
+                best_response(&g, &profile, i, Objective::WithoutRedistribution).unwrap();
+            assert!((a.strategy.d - b.strategy.d).abs() < 1e-9);
+            assert_eq!(a.strategy.level, b.strategy.level);
+        }
+    }
+}

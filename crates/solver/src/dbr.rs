@@ -1,0 +1,359 @@
+//! **DBR** — the distributed best-response algorithm (Algorithm 2).
+//!
+//! Organizations start from `d_i = D_min, f_i = F_i^(m)` and take turns
+//! playing best responses until a full pass changes nothing. Because the
+//! coopetition game is a weighted potential game (Theorem 1), every
+//! improving move strictly increases the potential and the dynamics
+//! reach a Nash equilibrium in finitely many effective updates \[33\].
+
+use crate::bestresponse::{best_response, Objective};
+use crate::error::{Result, SolveError};
+use crate::outcome::{Equilibrium, Scheme};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tradefl_core::accuracy::AccuracyModel;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::StrategyProfile;
+
+/// The order in which organizations update within a round (an ablation
+/// axis; the paper uses a fixed order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateOrder {
+    /// Organizations update in index order every round.
+    RoundRobin,
+    /// Organizations update in a freshly shuffled order each round,
+    /// seeded for reproducibility.
+    Shuffled {
+        /// RNG seed for the per-round shuffles.
+        seed: u64,
+    },
+}
+
+/// Options for [`DbrSolver`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbrOptions {
+    /// Maximum number of rounds `H`.
+    pub max_rounds: usize,
+    /// A strategy update smaller than this (in profile distance) counts
+    /// as "no change".
+    pub tol: f64,
+    /// Payoff each organization best-responds to (`Full` for DBR, or
+    /// `WithoutRedistribution` for the WPR baseline).
+    pub objective: Objective,
+    /// Update order within a round.
+    pub order: UpdateOrder,
+    /// Minimum payoff improvement required to accept a move; guards
+    /// against floating-point cycling near the equilibrium.
+    pub min_improvement: f64,
+    /// Step damping `κ ∈ (0, 1]`: each organization moves its data
+    /// fraction only `κ` of the way toward its best response
+    /// (`d ← d + κ (d* − d)`), adopting the best-response compute level
+    /// when doing so improves its payoff. `κ = 1` is the exact best
+    /// response; smaller values reproduce the gradual multi-iteration
+    /// convergence of the paper's Fig. 5. Because the payoff is concave
+    /// in `d_i`, every damped move still improves the mover's payoff,
+    /// so the potential stays monotone (Theorem 1).
+    pub damping: f64,
+}
+
+impl Default for DbrOptions {
+    fn default() -> Self {
+        Self {
+            max_rounds: 200,
+            tol: 1e-7,
+            objective: Objective::Full,
+            order: UpdateOrder::RoundRobin,
+            min_improvement: 1e-9,
+            damping: 1.0,
+        }
+    }
+}
+
+/// Algorithm 2's driver.
+#[derive(Debug, Clone, Default)]
+pub struct DbrSolver {
+    options: DbrOptions,
+}
+
+impl DbrSolver {
+    /// Creates a solver with default options (full payoff, round-robin).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with explicit options.
+    pub fn with_options(options: DbrOptions) -> Self {
+        Self { options }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &DbrOptions {
+        &self.options
+    }
+
+    /// Runs best-response dynamics from the minimal profile.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::InfeasibleProblem`] if some organization has no
+    ///   feasible strategy at any level;
+    /// * [`SolveError::DidNotConverge`] if `max_rounds` passes complete
+    ///   without reaching a fixed point (the profile reached so far is
+    ///   lost; raise `max_rounds`).
+    pub fn solve<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+    ) -> Result<Equilibrium> {
+        self.solve_from(game, StrategyProfile::minimal(game.market()))
+    }
+
+    /// Runs best-response dynamics from an explicit starting profile.
+    ///
+    /// # Errors
+    ///
+    /// See [`DbrSolver::solve`]; additionally propagates validation
+    /// errors if `start` is not feasible.
+    pub fn solve_from<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+        start: StrategyProfile,
+    ) -> Result<Equilibrium> {
+        start.validate(game.market())?;
+        let n = game.market().len();
+        let mut profile = start;
+        let mut potential_trace = vec![game.potential(&profile)];
+        let mut payoff_traces =
+            vec![(0..n).map(|i| game.payoff(&profile, i)).collect::<Vec<_>>()];
+        let mut rng = match self.options.order {
+            UpdateOrder::Shuffled { seed } => Some(StdRng::seed_from_u64(seed)),
+            UpdateOrder::RoundRobin => None,
+        };
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut converged = false;
+        let mut rounds = 0;
+        while rounds < self.options.max_rounds {
+            rounds += 1;
+            if let Some(rng) = rng.as_mut() {
+                order.shuffle(rng);
+            }
+            let mut any_change = false;
+            let mut round_gain = 0.0f64;
+            let mut payoff_scale = 1.0f64;
+            for &i in &order {
+                let current = self.options.objective.payoff(game, &profile, i);
+                let br = best_response(game, &profile, i, self.options.objective)
+                    .ok_or(SolveError::InfeasibleProblem { org: i })?;
+                // Damped step toward the best response; the candidate is
+                // only accepted if it improves the mover's payoff, which
+                // keeps the potential monotone even across level jumps.
+                let kappa = self.options.damping.clamp(1e-6, 1.0);
+                let stepped = crate::bestresponse::BestResponse {
+                    strategy: tradefl_core::strategy::Strategy::new(
+                        profile[i].d + kappa * (br.strategy.d - profile[i].d),
+                        br.strategy.level,
+                    ),
+                    payoff: 0.0,
+                };
+                let candidate = if kappa >= 1.0 {
+                    br.strategy
+                } else {
+                    let damped_profile = profile.with(i, stepped.strategy);
+                    if damped_profile.validate(game.market()).is_ok()
+                        && self.options.objective.payoff(game, &damped_profile, i)
+                            > current
+                    {
+                        stepped.strategy
+                    } else {
+                        br.strategy
+                    }
+                };
+                let payoff_at =
+                    self.options.objective.payoff(game, &profile.with(i, candidate), i);
+                let moved = profile.with(i, candidate).distance(&profile);
+                payoff_scale = payoff_scale.max(current.abs());
+                if payoff_at > current + self.options.min_improvement
+                    && moved > self.options.tol
+                {
+                    round_gain = round_gain.max(payoff_at - current);
+                    profile.set(i, candidate);
+                    any_change = true;
+                }
+            }
+            potential_trace.push(game.potential(&profile));
+            payoff_traces.push((0..n).map(|i| game.payoff(&profile, i)).collect());
+            // Stop on a fixed point, or when the largest accepted payoff
+            // improvement in a full round is below solver precision —
+            // in a (weighted) potential game residual micro-moves of
+            // that size cannot accumulate into anything (prevents
+            // cycling near knife-edge level ties). The criterion uses
+            // the *objective's* payoffs, so it is correct for the WPR
+            // variant too.
+            if !any_change || round_gain <= 1e-10 * payoff_scale {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(SolveError::DidNotConverge {
+                algorithm: "dbr",
+                iterations: rounds,
+                residual: potential_trace
+                    .last()
+                    .zip(potential_trace.iter().rev().nth(1))
+                    .map(|(a, b)| (a - b).abs())
+                    .unwrap_or(f64::NAN),
+            });
+        }
+        let scheme = match self.options.objective {
+            Objective::Full => Scheme::Dbr,
+            Objective::WithoutRedistribution => Scheme::Wpr,
+        };
+        Ok(Equilibrium::from_profile(
+            scheme,
+            game,
+            profile,
+            rounds,
+            converged,
+            potential_trace,
+            payoff_traces,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tradefl_core::accuracy::SqrtAccuracy;
+    use tradefl_core::config::MarketConfig;
+
+    fn game(n: usize, seed: u64) -> CoopetitionGame<SqrtAccuracy> {
+        let market = MarketConfig::table_ii().with_orgs(n).build(seed).unwrap();
+        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+    }
+
+    #[test]
+    fn dbr_converges_and_is_nash() {
+        let g = game(6, 11);
+        let eq = DbrSolver::new().solve(&g).unwrap();
+        assert!(eq.converged);
+        assert_eq!(eq.scheme, Scheme::Dbr);
+        eq.profile.validate(g.market()).unwrap();
+        // ε-Nash against a sampled deviation grid.
+        let gain = g.best_sampled_deviation_gain(&eq.profile, 24);
+        assert!(gain < 1e-3 * eq.welfare.abs().max(1.0), "deviation gain {gain}");
+    }
+
+    #[test]
+    fn potential_is_monotone_along_the_dynamics() {
+        let g = game(8, 13);
+        let eq = DbrSolver::new().solve(&g).unwrap();
+        for w in eq.potential_trace.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9 * w[0].abs().max(1.0),
+                "potential decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn traces_have_one_row_per_round_plus_start() {
+        let g = game(4, 3);
+        let eq = DbrSolver::new().solve(&g).unwrap();
+        assert_eq!(eq.potential_trace.len(), eq.iterations + 1);
+        assert_eq!(eq.payoff_traces.len(), eq.iterations + 1);
+        assert_eq!(eq.payoff_traces[0].len(), 4);
+    }
+
+    #[test]
+    fn shuffled_order_reaches_the_same_potential_plateau() {
+        let g = game(6, 19);
+        let a = DbrSolver::new().solve(&g).unwrap();
+        let b = DbrSolver::with_options(DbrOptions {
+            order: UpdateOrder::Shuffled { seed: 5 },
+            ..DbrOptions::default()
+        })
+        .solve(&g)
+        .unwrap();
+        // Different NE may be reached, but in this (smooth, concave-ish)
+        // regime both orders find the same potential level.
+        assert!(
+            (a.potential - b.potential).abs() < 1e-3 * a.potential.abs().max(1.0),
+            "round-robin {} vs shuffled {}",
+            a.potential,
+            b.potential
+        );
+    }
+
+    #[test]
+    fn wpr_contributes_less_data_than_dbr() {
+        let g = game(10, 42);
+        let dbr = DbrSolver::new().solve(&g).unwrap();
+        let wpr = DbrSolver::with_options(DbrOptions {
+            objective: Objective::WithoutRedistribution,
+            ..DbrOptions::default()
+        })
+        .solve(&g)
+        .unwrap();
+        assert_eq!(wpr.scheme, Scheme::Wpr);
+        assert!(
+            dbr.total_fraction > wpr.total_fraction,
+            "redistribution must raise contributions: dbr {} vs wpr {}",
+            dbr.total_fraction,
+            wpr.total_fraction
+        );
+    }
+
+    #[test]
+    fn damped_dynamics_converge_to_the_same_equilibrium_slower() {
+        let g = game(8, 23);
+        let exact = DbrSolver::new().solve(&g).unwrap();
+        let damped = DbrSolver::with_options(DbrOptions {
+            damping: 0.3,
+            ..DbrOptions::default()
+        })
+        .solve(&g)
+        .unwrap();
+        assert!(damped.converged);
+        assert!(
+            damped.iterations > exact.iterations,
+            "damping must lengthen the path: {} vs {}",
+            damped.iterations,
+            exact.iterations
+        );
+        assert!(
+            (damped.potential - exact.potential).abs()
+                <= 1e-3 * exact.potential.abs().max(1.0),
+            "same plateau: {} vs {}",
+            damped.potential,
+            exact.potential
+        );
+        // Potential stays monotone under damping too.
+        for w in damped.potential_trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9 * w[0].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn solve_from_rejects_invalid_start() {
+        let g = game(3, 2);
+        let bad = StrategyProfile::from_parts(&[2.0, 0.5, 0.5], &[0, 0, 0]);
+        assert!(DbrSolver::new().solve_from(&g, bad).is_err());
+    }
+
+    #[test]
+    fn equilibrium_is_individually_rational_at_gamma_star() {
+        let g = game(10, 7);
+        let eq = DbrSolver::new().solve(&g).unwrap();
+        let audit = tradefl_core::mechanism::MechanismAudit::evaluate(&g, &eq.profile);
+        assert!(
+            audit.individually_rational(1e-9),
+            "min payoff {}",
+            audit.min_payoff
+        );
+        assert!(audit.budget_balanced_rel(1e-9));
+    }
+}

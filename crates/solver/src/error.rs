@@ -1,0 +1,102 @@
+//! Solver error types.
+
+use std::fmt;
+use tradefl_core::ModelError;
+
+/// Errors raised by the equilibrium solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// A model-level validation failure (invalid market, profile, …).
+    Model(ModelError),
+    /// The optimization problem has an empty feasible set: some
+    /// organization cannot satisfy the deadline at any compute level.
+    InfeasibleProblem {
+        /// Index of the organization with an empty feasible set.
+        org: usize,
+    },
+    /// An iterative method hit its iteration cap before reaching the
+    /// requested tolerance.
+    DidNotConverge {
+        /// Name of the algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual or gap at termination.
+        residual: f64,
+    },
+    /// A numeric invariant broke (NaN objective, singular Newton system).
+    Numeric {
+        /// Description of what went wrong.
+        what: &'static str,
+    },
+    /// The master-problem search space is too large for the exhaustive
+    /// traversal mode (`m^|N|` exceeds the configured cap).
+    MasterTooLarge {
+        /// Size of the ladder product space `m^|N|` (saturating).
+        combinations: u128,
+        /// Configured cap.
+        cap: u128,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Model(e) => write!(f, "model error: {e}"),
+            SolveError::InfeasibleProblem { org } => {
+                write!(f, "organization {org} has no deadline-feasible strategy")
+            }
+            SolveError::DidNotConverge { algorithm, iterations, residual } => {
+                write!(f, "{algorithm} did not converge after {iterations} iterations (residual {residual:.3e})")
+            }
+            SolveError::Numeric { what } => write!(f, "numeric failure: {what}"),
+            SolveError::MasterTooLarge { combinations, cap } => {
+                write!(f, "master traversal space {combinations} exceeds cap {cap}; use the coordinate-descent master")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SolveError {
+    fn from(e: ModelError) -> Self {
+        SolveError::Model(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SolveError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_data() {
+        let e = SolveError::DidNotConverge { algorithm: "cgbd", iterations: 10, residual: 0.5 };
+        assert!(e.to_string().contains("cgbd"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn model_errors_convert_and_chain() {
+        let m = ModelError::NotFinite { name: "x" };
+        let e: SolveError = m.clone().into();
+        assert_eq!(e, SolveError::Model(m));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+    }
+}

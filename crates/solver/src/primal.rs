@@ -1,0 +1,529 @@
+//! The primal problem (19) of CGBD and its feasibility check (21).
+//!
+//! With the compute levels `f` fixed, maximizing the potential over the
+//! data vector `d` is a concave problem (Lemma 1): the objective is
+//!
+//! ```text
+//!   U(d; f) = P(Ω(d)) + Σ_i c_i d_i + const(f),
+//!   c_i = (γ q_i − ϖ_e κ f_i² η_i) s_i / z_i,
+//! ```
+//!
+//! over the box `[D_min, min(1, deadline_cap_i)]` — the deadline
+//! constraint `C^(3)` is linear in `d_i` and folds into the box. The
+//! solver is a log-barrier interior-point method with damped Newton
+//! steps (the Hessian is diagonal-plus-rank-one, solved by
+//! Sherman-Morrison), exactly the class of method the paper invokes
+//! \[44\]; a projected-gradient solver cross-checks it in the tests.
+//!
+//! The returned Lagrange multipliers live in the space of the original
+//! deadline constraints `G_i(d, f) = T_i^(1) + η_i d_i s_i / f_i +
+//! T_i^(3) − τ ≤ 0`, ready for Benders cuts (Eq. 20).
+
+use crate::error::{Result, SolveError};
+use serde::{Deserialize, Serialize};
+use tradefl_core::accuracy::AccuracyModel;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::{Strategy, StrategyProfile};
+
+/// Solution of the primal problem (19) at fixed compute levels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimalSolution {
+    /// Optimal data fractions `d*`.
+    pub d: Vec<f64>,
+    /// Potential value `U(d*; f)` (the *maximization* objective; the
+    /// paper's primal minimizes `−U`).
+    pub value: f64,
+    /// Lagrange multipliers `u_i ≥ 0` of the deadline constraints
+    /// `G_i ≤ 0`, in constraint space (Eq. 20).
+    pub multipliers: Vec<f64>,
+    /// Newton iterations used across all barrier stages.
+    pub iterations: usize,
+}
+
+/// Outcome of the feasibility-check problem (21).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityOutcome {
+    /// Minimal constraint violation `ζ*`; `ζ* > 0` means (19) is
+    /// infeasible at these compute levels.
+    pub zeta: f64,
+    /// Multipliers `λ` of the relaxed constraints (they sum to 1 and
+    /// concentrate on the most violated constraints).
+    pub lambda: Vec<f64>,
+    /// The minimizing data vector (everyone at `D_min`, where the
+    /// violation is smallest).
+    pub d: Vec<f64>,
+}
+
+/// The primal problem (19): fixed ladder levels, continuous `d`.
+#[derive(Debug)]
+pub struct PrimalProblem<'g, A> {
+    game: &'g CoopetitionGame<A>,
+    levels: Vec<usize>,
+}
+
+impl<'g, A: AccuracyModel> PrimalProblem<'g, A> {
+    /// Binds the problem to a game and a compute-level assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len()` differs from the number of organizations
+    /// or any level index is out of range.
+    pub fn new(game: &'g CoopetitionGame<A>, levels: &[usize]) -> Self {
+        let market = game.market();
+        assert_eq!(levels.len(), market.len(), "one level per organization");
+        for (i, &l) in levels.iter().enumerate() {
+            assert!(
+                l < market.org(i).compute_level_count(),
+                "level {l} out of range for organization {i}"
+            );
+        }
+        Self { game, levels: levels.to_vec() }
+    }
+
+    /// The per-organization box `[lo_i, hi_i]`, or `None` when the
+    /// deadline leaves no room even for `D_min` (problem infeasible,
+    /// Eq. 21 takes over).
+    pub fn bounds(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        let market = self.game.market();
+        let mut lo = Vec::with_capacity(market.len());
+        let mut hi = Vec::with_capacity(market.len());
+        for i in 0..market.len() {
+            let (l, h) = market.feasible_range(i, self.levels[i])?;
+            lo.push(l);
+            hi.push(h);
+        }
+        Some((lo, hi))
+    }
+
+    /// Whether (19) has a non-empty feasible set at these levels.
+    pub fn is_feasible(&self) -> bool {
+        self.bounds().is_some()
+    }
+
+    fn profile(&self, d: &[f64]) -> StrategyProfile {
+        d.iter()
+            .zip(&self.levels)
+            .map(|(&d, &l)| Strategy::new(d, l))
+            .collect()
+    }
+
+    /// Potential value `U(d; f)` at the bound levels.
+    pub fn objective(&self, d: &[f64]) -> f64 {
+        self.game.potential(&self.profile(d))
+    }
+
+    /// Gradient `∇_d U(d; f)`.
+    pub fn gradient(&self, d: &[f64]) -> Vec<f64> {
+        self.game.potential_d_grad(&self.profile(d))
+    }
+
+    /// Rank-one curvature data of `∇²_d U = P''(Ω) · s sᵀ`:
+    /// returns `(P''(Ω), s)` where `s` is the dataset-size vector.
+    fn curvature(&self, d: &[f64]) -> (f64, Vec<f64>) {
+        let market = self.game.market();
+        let omega = market.total_data(d);
+        let p2 = self.game.accuracy().gain_curvature(omega);
+        let s: Vec<f64> = market.orgs().iter().map(|o| o.effective_bits()).collect();
+        (p2, s)
+    }
+
+    /// Solves (19) by the interior-point method.
+    ///
+    /// `tol` controls both the barrier duality gap (`2n/t < tol`) and the
+    /// Newton decrement threshold. Typical value: `1e-8` relative to the
+    /// potential's scale.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::InfeasibleProblem`] when the feasible set is
+    ///   empty (run [`PrimalProblem::feasibility_check`] instead);
+    /// * [`SolveError::Numeric`] if the objective ever evaluates to NaN.
+    pub fn solve(&self, tol: f64) -> Result<PrimalSolution> {
+        let (lo, hi) = self.bounds().ok_or_else(|| {
+            let org = (0..self.game.market().len())
+                .find(|&i| self.game.market().feasible_range(i, self.levels[i]).is_none())
+                .unwrap_or(0);
+            SolveError::InfeasibleProblem { org }
+        })?;
+        let n = lo.len();
+
+        // Degenerate boxes (lo == hi) pin coordinates; keep a mask.
+        let pinned: Vec<bool> =
+            lo.iter().zip(&hi).map(|(&l, &h)| h - l < 1e-14).collect();
+
+        // Strictly interior start: midpoint.
+        let mut d: Vec<f64> = lo.iter().zip(&hi).map(|(&l, &h)| 0.5 * (l + h)).collect();
+
+        // Scale-invariant barrier: objective magnitudes are O(1).
+        let mut t = 1.0;
+        let mut newton_iters = 0usize;
+        let max_outer = 60;
+        let mut outer = 0;
+        while 2.0 * n as f64 / t >= tol && outer < max_outer {
+            outer += 1;
+            // Newton loop at this barrier weight.
+            for _ in 0..50 {
+                let g_u = self.gradient(&d);
+                if g_u.iter().any(|v| !v.is_finite()) {
+                    return Err(SolveError::Numeric { what: "non-finite gradient" });
+                }
+                let (p2, s) = self.curvature(&d);
+                // minimize h(d) = -t U(d) - Σ ln(d-lo) - Σ ln(hi-d)
+                let mut grad = vec![0.0; n];
+                let mut diag = vec![0.0; n];
+                for i in 0..n {
+                    if pinned[i] {
+                        grad[i] = 0.0;
+                        diag[i] = 1.0;
+                        continue;
+                    }
+                    let a = d[i] - lo[i];
+                    let b = hi[i] - d[i];
+                    grad[i] = -t * g_u[i] - 1.0 / a + 1.0 / b;
+                    diag[i] = 1.0 / (a * a) + 1.0 / (b * b);
+                }
+                // Hessian = diag + beta s s^T with beta = -t P'' >= 0
+                let beta = -t * p2;
+                let step = sherman_morrison_solve(&diag, beta, &s, &grad, &pinned);
+                let decrement: f64 =
+                    grad.iter().zip(&step).map(|(g, x)| g * x).sum::<f64>();
+                newton_iters += 1;
+                if !decrement.is_finite() {
+                    return Err(SolveError::Numeric { what: "non-finite newton decrement" });
+                }
+                if decrement < tol * tol {
+                    break;
+                }
+                // Backtracking: stay strictly inside the box, decrease h.
+                let h0 = self.barrier_value(&d, &lo, &hi, t, &pinned)?;
+                let mut alpha = 1.0;
+                loop {
+                    let cand: Vec<f64> = d
+                        .iter()
+                        .zip(&step)
+                        .map(|(&di, &xi)| di - alpha * xi)
+                        .collect();
+                    let inside = cand.iter().enumerate().all(|(i, &v)| {
+                        pinned[i] || (v > lo[i] && v < hi[i])
+                    });
+                    if inside {
+                        let h1 = self.barrier_value(&cand, &lo, &hi, t, &pinned)?;
+                        if h1 <= h0 - 0.25 * alpha * decrement {
+                            d = cand;
+                            break;
+                        }
+                    }
+                    alpha *= 0.5;
+                    if alpha < 1e-12 {
+                        break; // numerically stuck; accept current point
+                    }
+                }
+                if alpha < 1e-12 {
+                    break;
+                }
+            }
+            // Multiplier estimates sharpen as t grows.
+            t *= 8.0;
+        }
+
+        // Deadline multipliers: the barrier multiplier of the upper bound
+        // 1/(t (hi - d)) maps into G-space through dG/dd = η s / f, and
+        // only when the upper bound comes from the deadline (cap < 1).
+        let market = self.game.market();
+        let mut multipliers = vec![0.0; n];
+        for i in 0..n {
+            let cap = market.deadline_cap(i, self.levels[i]);
+            if cap < 1.0 && !pinned[i] {
+                let org = market.org(i);
+                let f = org.frequency(self.levels[i]);
+                let mu = 1.0 / (t / 8.0 * (hi[i] - d[i]).max(1e-300));
+                multipliers[i] = mu * f / (org.eta() * org.data_bits());
+            }
+        }
+        let value = self.objective(&d);
+        if !value.is_finite() {
+            return Err(SolveError::Numeric { what: "non-finite objective" });
+        }
+        Ok(PrimalSolution { d, value, multipliers, iterations: newton_iters })
+    }
+
+    fn barrier_value(
+        &self,
+        d: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        t: f64,
+        pinned: &[bool],
+    ) -> Result<f64> {
+        let mut v = -t * self.objective(d);
+        for i in 0..d.len() {
+            if pinned[i] {
+                continue;
+            }
+            v -= (d[i] - lo[i]).ln() + (hi[i] - d[i]).ln();
+        }
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(SolveError::Numeric { what: "non-finite barrier value" })
+        }
+    }
+
+    /// Solves (19) by projected gradient ascent — a slower, simpler
+    /// method used to cross-check the interior-point solver.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PrimalProblem::solve`].
+    pub fn solve_projected(&self, tol: f64, max_iters: usize) -> Result<PrimalSolution> {
+        let (lo, hi) = self.bounds().ok_or(SolveError::InfeasibleProblem { org: 0 })?;
+        let n = lo.len();
+        let mut d: Vec<f64> = lo.iter().zip(&hi).map(|(&l, &h)| 0.5 * (l + h)).collect();
+        let mut step = 0.25;
+        let mut value = self.objective(&d);
+        let mut iters = 0;
+        for _ in 0..max_iters {
+            iters += 1;
+            let g = self.gradient(&d);
+            // Normalize the gradient to box units so one step size fits
+            // all coordinates.
+            let scale = g.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-300);
+            let cand: Vec<f64> = (0..n)
+                .map(|i| (d[i] + step * g[i] / scale).clamp(lo[i], hi[i]))
+                .collect();
+            let cand_value = self.objective(&cand);
+            if cand_value > value {
+                let moved: f64 = cand
+                    .iter()
+                    .zip(&d)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                d = cand;
+                value = cand_value;
+                step = (step * 1.5).min(0.5);
+                if moved < tol {
+                    break;
+                }
+            } else {
+                step *= 0.5;
+                if step < tol * 1e-3 {
+                    break;
+                }
+            }
+        }
+        if !value.is_finite() {
+            return Err(SolveError::Numeric { what: "non-finite objective" });
+        }
+        Ok(PrimalSolution { d, value, multipliers: vec![0.0; n], iterations: iters })
+    }
+
+    /// The feasibility-check problem (21). Because every constraint
+    /// residual is increasing in `d_i`, the minimizer sets `d = D_min`,
+    /// and `ζ*` is the largest residual clamped at zero. The multipliers
+    /// are uniform over the maximizing constraints (they sum to one), as
+    /// in the LP dual of the min-max form.
+    pub fn feasibility_check(&self) -> FeasibilityOutcome {
+        let market = self.game.market();
+        let d_min = market.params().d_min;
+        let n = market.len();
+        let d = vec![d_min; n];
+        let residuals: Vec<f64> = (0..n)
+            .map(|i| {
+                let org = market.org(i);
+                org.comm_time() + org.training_time(d_min, org.frequency(self.levels[i]))
+                    - market.params().tau
+            })
+            .collect();
+        let zeta = residuals.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0);
+        let mut lambda = vec![0.0; n];
+        if zeta > 0.0 {
+            let winners: Vec<usize> = (0..n)
+                .filter(|&i| residuals[i] >= zeta - 1e-12 * zeta.abs().max(1.0))
+                .collect();
+            for &i in &winners {
+                lambda[i] = 1.0 / winners.len() as f64;
+            }
+        }
+        FeasibilityOutcome { zeta, lambda, d }
+    }
+}
+
+/// Solves `(diag(D) + beta s sᵀ) x = r` by Sherman-Morrison, skipping
+/// pinned coordinates (their rows are identity).
+fn sherman_morrison_solve(
+    diag: &[f64],
+    beta: f64,
+    s: &[f64],
+    r: &[f64],
+    pinned: &[bool],
+) -> Vec<f64> {
+    let n = diag.len();
+    let mut dinv_r = vec![0.0; n];
+    let mut dinv_s = vec![0.0; n];
+    for i in 0..n {
+        if pinned[i] {
+            continue;
+        }
+        dinv_r[i] = r[i] / diag[i];
+        dinv_s[i] = s[i] / diag[i];
+    }
+    if beta == 0.0 {
+        return dinv_r;
+    }
+    let s_dinv_r: f64 = (0..n).filter(|&i| !pinned[i]).map(|i| s[i] * dinv_r[i]).sum();
+    let s_dinv_s: f64 = (0..n).filter(|&i| !pinned[i]).map(|i| s[i] * dinv_s[i]).sum();
+    let factor = beta * s_dinv_r / (1.0 + beta * s_dinv_s);
+    (0..n)
+        .map(|i| if pinned[i] { 0.0 } else { dinv_r[i] - factor * dinv_s[i] })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tradefl_core::accuracy::SqrtAccuracy;
+    use tradefl_core::config::MarketConfig;
+    use tradefl_core::market::MechanismParams;
+
+    fn game(n: usize, seed: u64) -> CoopetitionGame<SqrtAccuracy> {
+        let market = MarketConfig::table_ii().with_orgs(n).build(seed).unwrap();
+        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+    }
+
+    fn top_levels<A>(game: &CoopetitionGame<A>) -> Vec<usize>
+    where
+        A: tradefl_core::accuracy::AccuracyModel,
+    {
+        (0..game.market().len())
+            .map(|i| game.market().org(i).compute_level_count() - 1)
+            .collect()
+    }
+
+    #[test]
+    fn sherman_morrison_matches_direct_solve() {
+        let diag = vec![2.0, 3.0, 4.0];
+        let s = vec![1.0, 2.0, 0.5];
+        let beta = 0.7;
+        let r = vec![1.0, -2.0, 0.5];
+        let x = sherman_morrison_solve(&diag, beta, &s, &r, &[false, false, false]);
+        // Verify A x = r.
+        for i in 0..3 {
+            let sx: f64 = s.iter().zip(&x).map(|(si, xi)| si * xi).sum();
+            let ax = diag[i] * x[i] + beta * s[i] * sx;
+            assert!((ax - r[i]).abs() < 1e-10, "row {i}: {ax} vs {}", r[i]);
+        }
+    }
+
+    #[test]
+    fn interior_point_agrees_with_projected_gradient() {
+        for seed in [1, 7, 23] {
+            let g = game(5, seed);
+            let levels = top_levels(&g);
+            let prob = PrimalProblem::new(&g, &levels);
+            let ip = prob.solve(1e-10).unwrap();
+            let pg = prob.solve_projected(1e-9, 20_000).unwrap();
+            assert!(
+                (ip.value - pg.value).abs() <= 1e-4 * ip.value.abs().max(1.0),
+                "seed {seed}: ip {} vs pg {}",
+                ip.value,
+                pg.value
+            );
+        }
+    }
+
+    #[test]
+    fn solution_is_feasible_and_a_stationary_point() {
+        let g = game(6, 3);
+        let levels = top_levels(&g);
+        let prob = PrimalProblem::new(&g, &levels);
+        let sol = prob.solve(1e-10).unwrap();
+        let (lo, hi) = prob.bounds().unwrap();
+        let grad = prob.gradient(&sol.d);
+        for i in 0..sol.d.len() {
+            assert!(sol.d[i] >= lo[i] - 1e-9 && sol.d[i] <= hi[i] + 1e-9);
+            // Interior coordinates must have (near-)zero gradient;
+            // boundary coordinates must push outward.
+            let interior =
+                sol.d[i] > lo[i] + 1e-6 * (hi[i] - lo[i]) && sol.d[i] < hi[i] - 1e-6 * (hi[i] - lo[i]);
+            if interior {
+                assert!(
+                    grad[i].abs() < 1e-3 * grad.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0),
+                    "interior coordinate {i} has gradient {}",
+                    grad[i]
+                );
+            } else if sol.d[i] >= hi[i] - 1e-6 * (hi[i] - lo[i]) {
+                assert!(grad[i] > -1e-6, "at upper bound gradient must be >= 0, got {}", grad[i]);
+            } else {
+                assert!(grad[i] < 1e-6, "at lower bound gradient must be <= 0, got {}", grad[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn multipliers_are_nonnegative_and_zero_off_deadline() {
+        let g = game(5, 9);
+        let levels = top_levels(&g);
+        let prob = PrimalProblem::new(&g, &levels);
+        let sol = prob.solve(1e-10).unwrap();
+        let (_, hi) = prob.bounds().unwrap();
+        for i in 0..sol.d.len() {
+            assert!(sol.multipliers[i] >= 0.0);
+            let cap = g.market().deadline_cap(i, levels[i]);
+            if cap >= 1.0 {
+                assert_eq!(sol.multipliers[i], 0.0, "no deadline constraint at org {i}");
+            }
+            // Multipliers are only meaningfully positive at active caps.
+            if sol.d[i] < hi[i] - 1e-3 {
+                assert!(sol.multipliers[i] < 1.0, "inactive constraint has large multiplier");
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_check_detects_tight_deadline() {
+        // Build a market whose lowest ladder level cannot make D_min.
+        let mut cfg = MarketConfig::table_ii().with_orgs(3);
+        cfg.params = MechanismParams { tau: 18.0, ..MechanismParams::paper_default() };
+        cfg.comm_time = (5.0, 5.0); // comm = 10 s, budget = 8 s
+        cfg.eta = (100.0, 100.0);
+        cfg.data_bits = (20e9, 20e9);
+        // cap(level) = 8 f / 2e12; level 0 has f = 0.4 f_max ∈ [1.2e9, 2e9]
+        // -> cap <= 0.008 < D_min = 0.01: infeasible at level 0.
+        let market = cfg.build(4).unwrap();
+        let g = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+        let prob = PrimalProblem::new(&g, &[0, 0, 0]);
+        assert!(!prob.is_feasible());
+        let out = prob.feasibility_check();
+        assert!(out.zeta > 0.0);
+        let lam_sum: f64 = out.lambda.iter().sum();
+        assert!((lam_sum - 1.0).abs() < 1e-9);
+        assert!(prob.solve(1e-8).is_err());
+
+        // At the top level the same market is feasible.
+        let top = top_levels(&g);
+        let prob = PrimalProblem::new(&g, &top);
+        assert!(prob.is_feasible());
+        assert_eq!(prob.feasibility_check().zeta, 0.0);
+    }
+
+    #[test]
+    fn objective_matches_game_potential() {
+        let g = game(4, 5);
+        let levels = top_levels(&g);
+        let prob = PrimalProblem::new(&g, &levels);
+        let d = vec![0.2; 4];
+        let profile: StrategyProfile = d
+            .iter()
+            .zip(&levels)
+            .map(|(&d, &l)| Strategy::new(d, l))
+            .collect();
+        assert!((prob.objective(&d) - g.potential(&profile)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one level per organization")]
+    fn wrong_level_count_panics() {
+        let g = game(3, 1);
+        let _ = PrimalProblem::new(&g, &[0, 0]);
+    }
+}

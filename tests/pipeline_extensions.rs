@@ -1,0 +1,53 @@
+//! Integration: the pipeline's extension options (attested settlement,
+//! non-i.i.d. partitioning, personalization) compose end to end.
+
+use tradefl::fl::personalize::PersonalizeConfig;
+use tradefl::pipeline::{Pipeline, PipelineConfig};
+
+#[test]
+fn attested_pipeline_settles() {
+    let config = PipelineConfig { attested: true, ..PipelineConfig::quick() };
+    let report = Pipeline::new(config).run(11).expect("attested pipeline runs");
+    assert!(report.settlement.consistent(1e-3));
+    assert!(report.personalized.is_none());
+}
+
+#[test]
+fn non_iid_pipeline_trains() {
+    let config = PipelineConfig {
+        dirichlet_beta: Some(0.3),
+        ..PipelineConfig::quick()
+    };
+    let report = Pipeline::new(config).run(13).expect("non-iid pipeline runs");
+    let h = &report.training.history;
+    assert!(h.last().unwrap().loss < h[0].loss, "training still reduces loss");
+}
+
+#[test]
+fn personalization_produces_per_org_models() {
+    let config = PipelineConfig {
+        dirichlet_beta: Some(0.3), // skewed silos make personalization matter
+        personalize: Some(PersonalizeConfig::default()),
+        ..PipelineConfig::quick()
+    };
+    let report = Pipeline::new(config).run(17).expect("personalized pipeline runs");
+    let personalized = report.personalized.expect("personalization requested");
+    assert_eq!(personalized.len(), 4);
+    // On skewed silos, personalization should help at least half of them.
+    let improved = personalized.iter().filter(|p| p.gain() > 0.0).count();
+    assert!(improved >= 2, "only {improved}/4 organizations improved");
+}
+
+#[test]
+fn all_extensions_compose() {
+    let config = PipelineConfig {
+        attested: true,
+        dirichlet_beta: Some(0.5),
+        personalize: Some(PersonalizeConfig::default()),
+        ..PipelineConfig::quick()
+    };
+    let report = Pipeline::new(config).run(19).expect("full-extension pipeline runs");
+    assert!(report.settlement.consistent(1e-3));
+    assert!(report.personalized.is_some());
+    assert!(report.equilibrium.converged);
+}
