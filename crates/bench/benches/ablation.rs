@@ -7,7 +7,8 @@
 //! Quality deltas (not just timing) are asserted in the test suites;
 //! here we measure the cost side of each trade-off.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tradefl_runtime::bench::Criterion;
+use tradefl_runtime::{bench_group, bench_main};
 use std::collections::HashSet;
 use std::hint::black_box;
 use tradefl_core::accuracy::SqrtAccuracy;
@@ -97,5 +98,5 @@ fn bench_dbr_orders(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_master_modes, bench_primal_modes, bench_dbr_orders);
-criterion_main!(benches);
+bench_group!(benches, bench_master_modes, bench_primal_modes, bench_dbr_orders);
+bench_main!(benches);

@@ -1,7 +1,8 @@
 //! Benchmarks for the beyond-the-paper extensions: consensus rounds,
 //! the social-optimum solver, asynchronous training and attestation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tradefl_runtime::bench::{BenchmarkId, Criterion};
+use tradefl_runtime::{bench_group, bench_main};
 use std::hint::black_box;
 use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
@@ -110,11 +111,11 @@ fn bench_attestation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_network_round,
     bench_social_optimum,
     bench_async_round,
     bench_attestation
 );
-criterion_main!(benches);
+bench_main!(benches);

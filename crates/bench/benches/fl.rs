@@ -1,7 +1,8 @@
 //! Federated-training substrate benchmarks: per-round cost and the
 //! Fig. 2 probe machinery.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tradefl_runtime::bench::{BenchmarkId, Criterion};
+use tradefl_runtime::{bench_group, bench_main};
 use std::hint::black_box;
 use tradefl_fl_sim::data::{generate, DatasetKind};
 use tradefl_fl_sim::fed::{train_federated, FedConfig};
@@ -54,5 +55,5 @@ fn bench_inference(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fed_round, bench_sqrt_fit, bench_inference);
-criterion_main!(benches);
+bench_group!(benches, bench_fed_round, bench_sqrt_fit, bench_inference);
+bench_main!(benches);

@@ -1,7 +1,8 @@
 //! Ledger benchmarks: hashing throughput, transfer execution, full
 //! settlement cost (the prototype-scale measurements of §VI).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tradefl_runtime::bench::{BenchmarkId, Criterion, Throughput};
+use tradefl_runtime::{bench_group, bench_main};
 use std::hint::black_box;
 use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
@@ -69,5 +70,5 @@ fn bench_full_settlement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_transfer_block, bench_full_settlement);
-criterion_main!(benches);
+bench_group!(benches, bench_sha256, bench_transfer_block, bench_full_settlement);
+bench_main!(benches);

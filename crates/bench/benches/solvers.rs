@@ -5,7 +5,8 @@
 //! * §V-D / Theorem 2 (computational efficiency): DBR is
 //!   `O(T·L·|N|·m)` — polynomial; wall time must grow mildly with `|N|`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tradefl_runtime::bench::{BenchmarkId, Criterion};
+use tradefl_runtime::{bench_group, bench_main};
 use std::hint::black_box;
 use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
@@ -77,11 +78,11 @@ fn bench_payoff_evaluation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_dbr_scaling,
     bench_cgbd_scaling,
     bench_best_response,
     bench_payoff_evaluation
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -3,9 +3,7 @@
 use crate::error::{ModelError, Result};
 use crate::market::{Market, MechanismParams};
 use crate::org::Organization;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
 
 /// Sampling ranges for a randomly generated market, defaulting to the
 /// paper's Table II:
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// (Figs. 10-11), clamped to `[0, 1]`, symmetrized, and rescaled if
 /// necessary so that every potential weight `z_i` stays positive
 /// (the paper: "ρ_{i,j} is mapped to a small number to ensure z_i > 0").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MarketConfig {
     /// Number of organizations `|N|`.
     pub orgs: usize,

@@ -14,10 +14,9 @@
 use crate::accuracy::AccuracyModel;
 use crate::game::CoopetitionGame;
 use crate::strategy::StrategyProfile;
-use serde::{Deserialize, Serialize};
 
 /// Exact Shapley decomposition of the accuracy gain `P(Ω)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShapleyReport {
     /// Shapley value per organization (sums to `v(N) − v(∅)`).
     pub values: Vec<f64>,

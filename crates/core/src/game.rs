@@ -38,11 +38,10 @@ use crate::accuracy::AccuracyModel;
 use crate::error::Result;
 use crate::market::Market;
 use crate::strategy::{Strategy, StrategyProfile};
-use serde::{Deserialize, Serialize};
 
 /// Itemized payoff of one organization under a strategy profile
 /// (the terms of Eq. 11).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PayoffBreakdown {
     /// Revenue from the global model, `p_i · P(Ω)`.
     pub revenue: f64,

@@ -2,7 +2,6 @@
 
 use crate::error::{ensure_in_range, ensure_positive, ModelError, Result};
 use crate::org::Organization;
-use serde::{Deserialize, Serialize};
 
 /// Global mechanism and platform parameters (§III, Table II).
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// * `omega_e` — training-overhead weight `ϖ_e` in the payoff (Eq. 11).
 /// * `tau` — the round deadline `τ` (seconds) of constraint `C_i^(3)`.
 /// * `d_min` — minimum participating data fraction `D_min ∈ (0, 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MechanismParams {
     /// Incentive intensity `γ` (Eq. 9).
     pub gamma: f64,
@@ -102,7 +101,7 @@ impl Default for MechanismParams {
 ///   positive (Theorem 1);
 /// * every organization can meet the deadline at `D_min` on its fastest
 ///   compute level (otherwise it cannot participate at all).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Market {
     orgs: Vec<Organization>,
     rho: Vec<Vec<f64>>,

@@ -10,10 +10,9 @@
 use crate::accuracy::AccuracyModel;
 use crate::game::CoopetitionGame;
 use crate::strategy::StrategyProfile;
-use serde::{Deserialize, Serialize};
 
 /// Result of auditing a strategy profile against Definitions 3-5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MechanismAudit {
     /// Per-organization payoffs `C_i` at the audited profile.
     pub payoffs: Vec<f64>,

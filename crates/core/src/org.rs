@@ -1,7 +1,6 @@
 //! Organizations participating in cross-silo federated learning (§III-A).
 
 use crate::error::{ensure_positive, ModelError, Result};
-use serde::{Deserialize, Serialize};
 
 /// One cross-silo FL participant (a financial/medical/pharma entity).
 ///
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(org.compute_level_count(), 3);
 /// # Ok::<(), tradefl_core::error::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Organization {
     name: String,
     s_bits: f64,

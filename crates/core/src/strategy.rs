@@ -2,12 +2,11 @@
 
 use crate::error::{ModelError, Result};
 use crate::market::Market;
-use serde::{Deserialize, Serialize};
 
 /// One organization's strategy: the contributed data fraction
 /// `d_i ∈ [D_min, 1]` and the chosen compute-ladder index
 /// (so `f_i = F_i^(level+1)` in the paper's 1-based notation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Strategy {
     /// Contributed data fraction `d_i`.
     pub d: f64,
@@ -34,7 +33,7 @@ impl Strategy {
 /// assert_eq!(profile.len(), 2);
 /// assert_eq!(profile[1].level, 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategyProfile(Vec<Strategy>);
 
 impl StrategyProfile {

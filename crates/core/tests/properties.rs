@@ -1,14 +1,17 @@
 //! Property-based tests for the core invariants of the TradeFL model:
 //! Theorem 1 (exact weighted potential), Definition 5 (budget balance),
 //! Eq. (5) (accuracy-model shape) and constraint handling.
+//!
+//! Runs on the in-tree `tradefl_runtime::check` harness with pinned
+//! seeds; failures print a `TRADEFL_PROP_SEED` replay line.
 
-use proptest::prelude::*;
-use proptest::strategy::Strategy as PropStrategy;
 use tradefl_core::accuracy::{AccuracyModel, LogAccuracy, PowerLawAccuracy, SqrtAccuracy};
 use tradefl_core::config::MarketConfig;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::mechanism::MechanismAudit;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
+use tradefl_runtime::check::Gen;
+use tradefl_runtime::{prop_assert, prop_assume, props};
 
 /// A random feasible profile for the market built from `seed`.
 fn feasible_profile(
@@ -30,30 +33,33 @@ fn feasible_profile(
         .collect()
 }
 
-fn any_game() -> impl PropStrategy<Value = CoopetitionGame<SqrtAccuracy>> {
-    (0u64..1000, 2usize..8, 0.0f64..0.3).prop_map(|(seed, n, mu)| {
-        let market = MarketConfig::table_ii()
-            .with_orgs(n)
-            .with_rho_mean(mu)
-            .build(seed)
-            .expect("table-ii config is always buildable");
-        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
-    })
+fn any_game(g: &mut Gen) -> CoopetitionGame<SqrtAccuracy> {
+    let seed = g.u64(0..1000);
+    let n = g.usize(2..8);
+    let mu = g.f64(0.0..0.3);
+    let market = MarketConfig::table_ii()
+        .with_orgs(n)
+        .with_rho_mean(mu)
+        .build(seed)
+        .expect("table-ii config is always buildable");
+    CoopetitionGame::new(market, SqrtAccuracy::paper_default())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn any_picks(g: &mut Gen) -> Vec<(f64, u8)> {
+    g.vec(8..=8usize, |g| (g.f64(0.0..=1.0), g.any_u8()))
+}
+
+props! {
+    #![cases = 64]
 
     /// Theorem 1: the exact potential satisfies identity (14) for every
     /// unilateral deviation, on random markets and random profiles.
-    #[test]
-    fn potential_identity_holds(
-        game in any_game(),
-        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
-        dev_t in 0.0f64..=1.0,
-        dev_level in any::<u8>(),
-        who in any::<u8>(),
-    ) {
+    fn potential_identity_holds(g) {
+        let game = any_game(g);
+        let picks = any_picks(g);
+        let dev_t = g.f64(0.0..=1.0);
+        let dev_level = g.any_u8();
+        let who = g.any_u8();
         let profile = feasible_profile(&game, &picks);
         let i = (who as usize) % game.market().len();
         let m = game.market().org(i).compute_level_count();
@@ -70,11 +76,9 @@ proptest! {
 
     /// Definition 5: redistribution is budget balanced for any profile on
     /// a symmetric competition matrix.
-    #[test]
-    fn budget_balance_holds(
-        game in any_game(),
-        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
-    ) {
+    fn budget_balance_holds(g) {
+        let game = any_game(g);
+        let picks = any_picks(g);
         let profile = feasible_profile(&game, &picks);
         let audit = MechanismAudit::evaluate(&game, &profile);
         prop_assert!(audit.budget_balanced_rel(1e-9),
@@ -83,11 +87,9 @@ proptest! {
 
     /// Redistribution is welfare-neutral: social welfare computed with and
     /// without the R_i terms agrees.
-    #[test]
-    fn redistribution_is_welfare_neutral(
-        game in any_game(),
-        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
-    ) {
+    fn redistribution_is_welfare_neutral(g) {
+        let game = any_game(g);
+        let picks = any_picks(g);
         let profile = feasible_profile(&game, &picks);
         let with_r = game.social_welfare(&profile);
         let without_r: f64 = (0..game.market().len())
@@ -98,13 +100,11 @@ proptest! {
 
     /// Eq. (5) on random sqrt-bound parameterizations: gain is
     /// non-decreasing and concave above the positive-gain threshold.
-    #[test]
-    fn sqrt_accuracy_shape(
-        epochs in 1.0f64..50.0,
-        scale in 1e9f64..1e12,
-        a0 in 0.5f64..10.0,
-        xs in proptest::collection::vec(0.01f64..=1.0, 3),
-    ) {
+    fn sqrt_accuracy_shape(g) {
+        let epochs = g.f64(1.0..50.0);
+        let scale = g.f64(1e9..1e12);
+        let a0 = g.f64(0.5..10.0);
+        let xs = g.vec(3..=3usize, |g| g.f64(0.01..=1.0));
         let m = SqrtAccuracy::new(epochs, scale, a0).unwrap();
         let floor = m.positive_gain_threshold();
         prop_assume!(floor.is_finite());
@@ -119,14 +119,12 @@ proptest! {
     }
 
     /// Eq. (5) for the alternative models on arbitrary domains.
-    #[test]
-    fn alternative_models_shape(
-        c in 0.1f64..10.0,
-        scale in 1e8f64..1e11,
-        alpha in 0.05f64..=1.0,
-        a in 0.0f64..1e12,
-        b in 0.0f64..1e12,
-    ) {
+    fn alternative_models_shape(g) {
+        let c = g.f64(0.1..10.0);
+        let scale = g.f64(1e8..1e11);
+        let alpha = g.f64(0.05..=1.0);
+        let a = g.f64(0.0..1e12);
+        let b = g.f64(0.0..1e12);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let log = LogAccuracy::new(c, scale).unwrap();
         let pl = PowerLawAccuracy::new(c, scale, alpha).unwrap();
@@ -139,20 +137,18 @@ proptest! {
 
     /// The minimal profile always validates, and validation accepts
     /// exactly the profiles inside the constraint set.
-    #[test]
-    fn minimal_profile_is_always_feasible(game in any_game()) {
+    fn minimal_profile_is_always_feasible(g) {
+        let game = any_game(g);
         let p = StrategyProfile::minimal(game.market());
         prop_assert!(p.validate(game.market()).is_ok());
     }
 
     /// Shapley efficiency and non-negativity hold on random markets and
     /// profiles (monotone coalition game ⇒ non-negative values).
-    #[test]
-    fn shapley_axioms_hold(
-        game in any_game(),
-        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
-    ) {
+    fn shapley_axioms_hold(g) {
         use tradefl_core::contribution::shapley_accuracy;
+        let game = any_game(g);
+        let picks = any_picks(g);
         let profile = feasible_profile(&game, &picks);
         let report = shapley_accuracy(&game, &profile);
         let sum: f64 = report.values.iter().sum();
@@ -165,12 +161,10 @@ proptest! {
 
     /// Payoff derivative in d_i is non-increasing (concavity of C_i in
     /// its own data fraction), which DBR's bisection relies on.
-    #[test]
-    fn payoff_is_concave_in_own_fraction(
-        game in any_game(),
-        picks in proptest::collection::vec((0.0f64..=1.0, any::<u8>()), 8),
-        who in any::<u8>(),
-    ) {
+    fn payoff_is_concave_in_own_fraction(g) {
+        let game = any_game(g);
+        let picks = any_picks(g);
+        let who = g.any_u8();
         let profile = feasible_profile(&game, &picks);
         let i = (who as usize) % game.market().len();
         let level = profile[i].level;

@@ -13,15 +13,12 @@ use crate::data::Dataset;
 use crate::fed::{FedConfig, RoundMetrics};
 use crate::linalg::Matrix;
 use crate::model::Mlp;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Asynchronous-training options.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AsyncConfig {
     /// Total number of server updates to apply.
     pub updates: usize,
@@ -84,7 +81,7 @@ impl AsyncConfig {
 }
 
 /// One applied server update (provenance for analysis).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppliedUpdate {
     /// Which organization produced it.
     pub org: usize,
@@ -101,7 +98,7 @@ pub struct AppliedUpdate {
 }
 
 /// Result of an asynchronous run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AsyncOutcome {
     /// The final global model.
     pub model: Mlp,
@@ -132,7 +129,7 @@ impl AsyncOutcome {
 
 /// Per-organization timing for the event simulation: seconds per
 /// dispatched update, straight from Eq. (2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OrgTiming {
     /// Fixed communication time `T^(1) + T^(3)` (seconds).
     pub comm: f64,

@@ -9,12 +9,10 @@
 //! training data, which these datasets reproduce measurably.
 
 use crate::linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
 
 /// The four benchmark dataset analogs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// CIFAR-10 analog: 10 classes, 64 features, hard (low separation).
     Cifar10Like,
@@ -96,7 +94,7 @@ impl std::fmt::Display for DatasetKind {
 }
 
 /// A labelled classification dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Feature matrix, one sample per row.
     pub features: Matrix,

@@ -7,13 +7,10 @@
 
 use crate::data::Dataset;
 use crate::model::Mlp;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FedConfig {
     /// Number of federated rounds.
     pub rounds: usize,
@@ -35,7 +32,7 @@ impl Default for FedConfig {
 }
 
 /// Global-model metrics after one round (the Figs. 13-14 series).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundMetrics {
     /// Round index (1-based; 0 is the untrained model).
     pub round: usize,
@@ -46,7 +43,7 @@ pub struct RoundMetrics {
 }
 
 /// Outcome of a federated training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FedOutcome {
     /// The trained global model.
     pub model: Mlp,

@@ -3,10 +3,9 @@
 //! Row-major `f32` matrices with exactly the operations an MLP needs —
 //! no external math crates (DESIGN.md §6).
 
-use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

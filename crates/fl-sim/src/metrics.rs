@@ -4,11 +4,10 @@
 
 use crate::data::Dataset;
 use crate::model::Mlp;
-use serde::{Deserialize, Serialize};
 
 /// A `classes × classes` confusion matrix (`rows` = true class,
 /// `cols` = predicted class).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     classes: usize,
     counts: Vec<usize>,

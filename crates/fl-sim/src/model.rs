@@ -7,12 +7,10 @@
 
 use crate::data::Dataset;
 use crate::linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
 
 /// The four model-family analogs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// ResNet-18 analog (deepest/widest).
     Resnet18Like,
@@ -67,7 +65,7 @@ impl std::fmt::Display for ModelKind {
 }
 
 /// One dense layer: `y = x W + b`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Dense {
     w: Matrix,
     b: Vec<f32>,
@@ -88,7 +86,7 @@ impl Dense {
 }
 
 /// A ReLU MLP (any depth) with softmax cross-entropy loss.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     layers: Vec<Dense>,
 }
@@ -284,7 +282,7 @@ impl Mlp {
 ///
 /// Classical momentum: `v ← μ v + g`, `θ ← θ − lr v`. With `μ = 0`
 /// this is exactly [`Mlp::sgd_step`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SgdMomentum {
     mu: f32,
     velocity: Vec<f32>,

@@ -14,13 +14,10 @@ use crate::data::Dataset;
 use crate::fed::FedConfig;
 use crate::linalg::Matrix;
 use crate::model::Mlp;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// Personalization hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PersonalizeConfig {
     /// Local fine-tuning epochs.
     pub epochs: usize,
@@ -50,7 +47,7 @@ impl PersonalizeConfig {
 }
 
 /// Per-organization outcome of personalization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PersonalizedModel {
     /// The adapted model.
     pub model: Mlp,

@@ -10,12 +10,11 @@
 use crate::data::{generate, DatasetKind};
 use crate::fed::{train_federated, FedConfig, FedError};
 use crate::model::{Mlp, ModelKind};
-use serde::{Deserialize, Serialize};
 use tradefl_core::accuracy::EmpiricalAccuracy;
 use tradefl_core::error::ModelError;
 
 /// One measured point of the data-accuracy curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbePoint {
     /// Total contributed samples across organizations.
     pub samples: usize,
@@ -24,7 +23,7 @@ pub struct ProbePoint {
 }
 
 /// A fitted `accuracy(x) = c0 − c1/√x` curve with its fit quality.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SqrtFit {
     /// Asymptotic accuracy `c0`.
     pub c0: f64,

@@ -1,28 +1,29 @@
 //! Property-based tests for the training substrate: linear algebra
 //! identities, fit recovery, partition invariants and determinism.
+//!
+//! Runs on the in-tree `tradefl_runtime::check` harness with pinned
+//! seeds; failures print a `TRADEFL_PROP_SEED` replay line.
 
-use proptest::prelude::*;
 use tradefl_fl_sim::data::{dirichlet_shard, generate, label_skew, DatasetKind};
 use tradefl_fl_sim::linalg::Matrix;
 use tradefl_fl_sim::model::Mlp;
 use tradefl_fl_sim::probe::{ProbePoint, SqrtFit};
+use tradefl_runtime::{prop_assert, prop_assert_eq, props};
 
 fn matrix(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
     Matrix::from_fn(rows, cols, |r, c| vals[(r * cols + c) % vals.len()])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    #![cases = 32]
 
     /// `(A Bᵀ)` computed by `matmul_transposed` equals the explicit
     /// product against the materialized transpose.
-    #[test]
-    fn matmul_transposed_matches_explicit(
-        m in 1usize..5,
-        k in 1usize..5,
-        n in 1usize..5,
-        vals in proptest::collection::vec(-2.0f32..2.0, 1..40),
-    ) {
+    fn matmul_transposed_matches_explicit(g) {
+        let m = g.usize(1..5);
+        let k = g.usize(1..5);
+        let n = g.usize(1..5);
+        let vals = g.vec(1..40usize, |g| g.f32(-2.0..2.0));
         let a = matrix(m, k, &vals);
         let b = matrix(n, k, &vals);
         let bt = Matrix::from_fn(k, n, |r, c| b.get(c, r));
@@ -37,13 +38,11 @@ proptest! {
 
     /// `(Aᵀ B)` computed by `transposed_matmul` equals the explicit
     /// product.
-    #[test]
-    fn transposed_matmul_matches_explicit(
-        m in 1usize..5,
-        k in 1usize..5,
-        n in 1usize..5,
-        vals in proptest::collection::vec(-2.0f32..2.0, 1..40),
-    ) {
+    fn transposed_matmul_matches_explicit(g) {
+        let m = g.usize(1..5);
+        let k = g.usize(1..5);
+        let n = g.usize(1..5);
+        let vals = g.vec(1..40usize, |g| g.f32(-2.0..2.0));
         let a = matrix(k, m, &vals);
         let b = matrix(k, n, &vals);
         let at = Matrix::from_fn(m, k, |r, c| a.get(c, r));
@@ -57,12 +56,10 @@ proptest! {
     }
 
     /// The sqrt fit exactly recovers curves of its own family.
-    #[test]
-    fn sqrt_fit_recovers_exact_curves(
-        c0 in 0.2f64..1.0,
-        c1 in 0.1f64..10.0,
-        base in 50usize..500,
-    ) {
+    fn sqrt_fit_recovers_exact_curves(g) {
+        let c0 = g.f64(0.2..1.0);
+        let c1 = g.f64(0.1..10.0);
+        let base = g.usize(50..500);
         let pts: Vec<ProbePoint> = (1..=6)
             .map(|k| {
                 let x = base * k * k;
@@ -77,13 +74,11 @@ proptest! {
 
     /// MLP parameter vectors round-trip through set_params for random
     /// shapes.
-    #[test]
-    fn mlp_params_roundtrip(
-        dim in 2usize..20,
-        hidden in 1usize..16,
-        classes in 2usize..8,
-        seed in any::<u64>(),
-    ) {
+    fn mlp_params_roundtrip(g) {
+        let dim = g.usize(2..20);
+        let hidden = g.usize(1..16);
+        let classes = g.usize(2..8);
+        let seed = g.any_u64();
         let a = Mlp::new(dim, hidden, classes, seed);
         let mut b = Mlp::new(dim, hidden, classes, seed.wrapping_add(1));
         b.set_params(&a.to_params());
@@ -92,12 +87,10 @@ proptest! {
 
     /// Dirichlet shards always have the requested sizes, valid labels,
     /// and are deterministic per seed.
-    #[test]
-    fn dirichlet_shard_invariants(
-        beta in 0.05f64..50.0,
-        seed in any::<u64>(),
-        n_orgs in 2usize..5,
-    ) {
+    fn dirichlet_shard_invariants(g) {
+        let beta = g.f64(0.05..50.0);
+        let seed = g.any_u64();
+        let n_orgs = g.usize(2..5);
         let data = generate(DatasetKind::EurosatLike, 600, 3);
         let sizes = vec![600 / n_orgs - 10; n_orgs];
         let shards = dirichlet_shard(&data, &sizes, beta, seed);
@@ -112,8 +105,9 @@ proptest! {
 
     /// Label skew is bounded in [0, 1] and zero for single-shard
     /// partitions.
-    #[test]
-    fn label_skew_bounds(beta in 0.05f64..50.0, seed in any::<u64>()) {
+    fn label_skew_bounds(g) {
+        let beta = g.f64(0.05..50.0);
+        let seed = g.any_u64();
         let data = generate(DatasetKind::FmnistLike, 400, 4);
         let shards = dirichlet_shard(&data, &[150, 150], beta, seed);
         let skew = label_skew(&shards);
@@ -124,13 +118,13 @@ proptest! {
 
     /// Dataset generation is seed-deterministic and kind-shaped for any
     /// seed.
-    #[test]
-    fn generation_invariants(seed in any::<u64>()) {
+    fn generation_invariants(g) {
+        let seed = g.any_u64();
         for kind in DatasetKind::ALL {
             let d = generate(kind, 64, seed);
             prop_assert_eq!(d.len(), 64);
             prop_assert_eq!(d.dim(), kind.dim());
-            prop_assert_eq!(d, generate(kind, 64, seed));
+            prop_assert_eq!(&d, &generate(kind, 64, seed));
         }
     }
 }

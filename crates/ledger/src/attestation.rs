@@ -16,10 +16,9 @@
 
 use crate::sha256::{digest, Sha256, DIGEST_LEN};
 use crate::types::{Address, Fixed};
-use serde::{Deserialize, Serialize};
 
 /// An attestation over a contribution report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Attestation {
     /// MAC over the canonical report encoding.
     pub mac: [u8; DIGEST_LEN],

@@ -6,12 +6,11 @@ use crate::merkle::{MerkleProof, MerkleTree};
 use crate::sha256::Sha256;
 use crate::tx::{Log, Receipt, Transaction};
 use crate::types::Hash256;
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::codec::BytesMut;
 use std::fmt;
 
 /// Block header.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockHeader {
     /// Height (genesis = 0).
     pub number: u64,
@@ -28,7 +27,7 @@ pub struct BlockHeader {
 }
 
 /// A block: header + ordered transactions + their receipts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// The header.
     pub header: BlockHeader,
@@ -141,7 +140,7 @@ impl fmt::Display for ChainError {
 impl std::error::Error for ChainError {}
 
 /// An append-only chain of blocks.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Blockchain {
     blocks: Vec<Block>,
 }

@@ -14,7 +14,7 @@
 use crate::chain::{Block, BlockHeader, Blockchain};
 use crate::tx::{ExecStatus, Log, Receipt, Transaction, TxPayload, Value};
 use crate::types::{Address, Fixed, Hash256, Wei};
-use bytes::{Buf, BufMut, BytesMut};
+use tradefl_runtime::codec::{Buf, BytesMut};
 use std::fmt;
 
 /// Format version written at the head of every export.

@@ -15,10 +15,9 @@
 
 use crate::sha256::Sha256;
 use crate::types::Hash256;
-use serde::{Deserialize, Serialize};
 
 /// Which side a sibling hash sits on along the proof path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Side {
     /// Sibling is the left child; our running hash is the right.
     Left,
@@ -27,7 +26,7 @@ pub enum Side {
 }
 
 /// An inclusion proof: the sibling path from a leaf to the root.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MerkleProof {
     /// Index of the proven leaf.
     pub leaf_index: usize,

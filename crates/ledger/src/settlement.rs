@@ -10,7 +10,6 @@ use crate::tradefl_contract::{SessionParams, TradeFlContract};
 use crate::tx::Value;
 use crate::types::{Address, Fixed, Wei};
 use crate::web3::Web3;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
@@ -62,7 +61,7 @@ impl From<crate::node::NodeError> for SettlementError {
 }
 
 /// Outcome of a full on-chain settlement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SettlementReport {
     /// Organization addresses in market order.
     pub addresses: Vec<Address>,

@@ -2,13 +2,12 @@
 
 use crate::sha256::Sha256;
 use crate::types::{Address, Hash256, Wei};
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::codec::BytesMut;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// An externally owned or contract account.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Account {
     /// Current balance.
     pub balance: Wei,
@@ -45,7 +44,7 @@ impl std::error::Error for StateError {}
 
 /// The full account state. A `BTreeMap` keeps iteration (and therefore
 /// the state root) deterministic.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct WorldState {
     accounts: BTreeMap<Address, Account>,
 }

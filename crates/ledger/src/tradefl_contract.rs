@@ -31,7 +31,6 @@
 use crate::contract::{CallContext, Contract, ContractError};
 use crate::tx::Value;
 use crate::types::{Address, Fixed, Wei};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Gas schedule (flat per function, linear parts charged separately).
@@ -48,7 +47,7 @@ mod gas {
 }
 
 /// Immutable deployment parameters of one trading session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionParams {
     /// Participating organizations, in index order (the order fixes the
     /// meaning of `rho`).
@@ -109,7 +108,7 @@ impl SessionParams {
 }
 
 /// The session's lifecycle phase (Fig. 3's three steps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Step 1a: organizations register.
     Registration,
@@ -124,7 +123,7 @@ pub enum Phase {
 }
 
 /// One organization's submitted contribution profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Contribution {
     /// Data fraction `d_i` (fixed-point in `[0, 1]`).
     pub d: Fixed,

@@ -2,12 +2,11 @@
 
 use crate::sha256::Sha256;
 use crate::types::{Address, Fixed, Hash256, Wei};
-use bytes::{BufMut, BytesMut};
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::codec::BytesMut;
 
 /// A dynamically typed ABI value (the private chain's stand-in for
 /// Ethereum ABI encoding).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Value {
     /// Unsigned 64-bit integer.
     U64(u64),
@@ -81,7 +80,7 @@ impl Value {
 }
 
 /// What a transaction does.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TxPayload {
     /// Plain value transfer (the attached `value` moves from sender to
     /// `to`).
@@ -104,7 +103,7 @@ pub enum TxPayload {
 /// A signed-in-spirit transaction (the private chain trusts the `from`
 /// field; signature verification is out of scope, as in the paper's
 /// prototype).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transaction {
     /// Sender address.
     pub from: Address,
@@ -150,7 +149,7 @@ impl Transaction {
 
 /// An event emitted by a contract during execution, persisted in the
 /// block for traceability — the arbitration evidence of §III-F.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Log {
     /// Emitting contract.
     pub contract: Address,
@@ -168,7 +167,7 @@ impl Log {
 }
 
 /// Result of executing one transaction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExecStatus {
     /// Execution succeeded and state changes were committed.
     Success,
@@ -185,7 +184,7 @@ impl ExecStatus {
 }
 
 /// Transaction receipt.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Receipt {
     /// Hash of the transaction this receipt belongs to.
     pub tx_hash: Hash256,

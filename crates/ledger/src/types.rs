@@ -2,11 +2,10 @@
 //! numbers for deterministic on-chain arithmetic.
 
 use crate::sha256;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 20-byte account address (Ethereum-style).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Address(pub [u8; 20]);
 
 impl Address {
@@ -36,7 +35,7 @@ impl fmt::Display for Address {
 }
 
 /// A 32-byte hash (block hash, tx hash).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Hash256(pub [u8; 32]);
 
 impl Hash256 {
@@ -64,7 +63,7 @@ impl From<[u8; 32]> for Hash256 {
 /// Currency amount in wei (the smallest unit of the private chain's
 /// native token). Unsigned; signed flows are expressed by direction.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct Wei(pub u128);
 
@@ -113,7 +112,7 @@ impl std::iter::Sum for Wei {
 /// used for all on-chain payoff arithmetic (floats are non-deterministic
 /// across platforms and have no place in consensus-critical code).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct Fixed(pub i128);
 

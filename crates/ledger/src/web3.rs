@@ -11,7 +11,7 @@ use crate::contract::ContractError;
 use crate::node::{Node, NodeError};
 use crate::tx::{Log, Receipt, Transaction, TxPayload, Value};
 use crate::types::{Address, Hash256, Wei};
-use parking_lot::Mutex;
+use tradefl_runtime::sync::Mutex;
 use std::sync::Arc;
 
 /// Shared connection to the private chain.

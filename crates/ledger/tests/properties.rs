@@ -1,9 +1,10 @@
 //! Property-based tests for the ledger substrate: on-chain/off-chain
 //! settlement agreement, exact budget balance in fixed point, hashing
 //! robustness, and tamper detection.
+//!
+//! Runs on the in-tree `tradefl_runtime::check` harness with pinned
+//! seeds; failures print a `TRADEFL_PROP_SEED` replay line.
 
-use proptest::prelude::*;
-use proptest::strategy::Strategy as PropStrategy;
 use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
 use tradefl_core::game::CoopetitionGame;
@@ -11,16 +12,19 @@ use tradefl_core::strategy::{Strategy, StrategyProfile};
 use tradefl_ledger::settlement::SettlementSession;
 use tradefl_ledger::sha256;
 use tradefl_ledger::types::Fixed;
+use tradefl_runtime::check::Gen;
+use tradefl_runtime::{prop_assert, prop_assert_eq, props};
 
-fn any_game() -> impl PropStrategy<Value = CoopetitionGame<SqrtAccuracy>> {
-    (0u64..200, 2usize..6, 0.01f64..0.2).prop_map(|(seed, n, mu)| {
-        let market = MarketConfig::table_ii()
-            .with_orgs(n)
-            .with_rho_mean(mu)
-            .build(seed)
-            .unwrap();
-        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
-    })
+fn any_game(g: &mut Gen) -> CoopetitionGame<SqrtAccuracy> {
+    let seed = g.u64(0..200);
+    let n = g.usize(2..6);
+    let mu = g.f64(0.01..0.2);
+    let market = MarketConfig::table_ii()
+        .with_orgs(n)
+        .with_rho_mean(mu)
+        .build(seed)
+        .unwrap();
+    CoopetitionGame::new(market, SqrtAccuracy::paper_default())
 }
 
 fn profile_for(game: &CoopetitionGame<SqrtAccuracy>, ts: &[f64]) -> StrategyProfile {
@@ -34,16 +38,14 @@ fn profile_for(game: &CoopetitionGame<SqrtAccuracy>, ts: &[f64]) -> StrategyProf
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+props! {
+    #![cases = 12]
 
     /// The on-chain redistribution matches Eq. (10) for random markets
     /// and contribution profiles, and the chain verifies afterwards.
-    #[test]
-    fn settlement_matches_offchain(
-        game in any_game(),
-        ts in proptest::collection::vec(0.0f64..=1.0, 6),
-    ) {
+    fn settlement_matches_offchain(g) {
+        let game = any_game(g);
+        let ts = g.vec(6..=6usize, |g| g.f64(0.0..=1.0));
         let profile = profile_for(&game, &ts);
         let session = SettlementSession::deploy(&game).unwrap();
         let report = session.settle(&game, &profile).unwrap();
@@ -60,12 +62,10 @@ proptest! {
 
     /// SHA-256 streaming invariance: any chunking of the input produces
     /// the identical digest.
-    #[test]
-    fn sha256_chunking_invariance(
-        data in proptest::collection::vec(any::<u8>(), 0..300),
-        cut_a in 0usize..300,
-        cut_b in 0usize..300,
-    ) {
+    fn sha256_chunking_invariance(g) {
+        let data = g.vec(0..300usize, |g| g.any_u8());
+        let cut_a = g.usize(0..300);
+        let cut_b = g.usize(0..300);
         let whole = sha256::digest(&data);
         let (a, b) = (cut_a.min(data.len()), cut_b.min(data.len()));
         let (lo, hi) = (a.min(b), a.max(b));
@@ -77,23 +77,22 @@ proptest! {
     }
 
     /// Fixed-point round trips stay within quantization error.
-    #[test]
-    fn fixed_point_roundtrip(v in -1e15f64..1e15) {
+    fn fixed_point_roundtrip(g) {
+        let v = g.f64(-1e15..1e15);
         let f = Fixed::from_f64(v);
         prop_assert!((f.to_f64() - v).abs() <= 0.5 / Fixed::SCALE as f64 * v.abs().max(1.0) + 1e-9);
     }
 
     /// Chain export/import round-trips for chains of random transfers,
     /// and decoding any strict prefix fails.
-    #[test]
-    fn codec_roundtrip_random_chains(
-        amounts in proptest::collection::vec(1u128..1000, 1..8),
-        cut_fraction in 0.05f64..0.95,
-    ) {
+    fn codec_roundtrip_random_chains(g) {
         use tradefl_ledger::codec::{decode_chain, encode_chain};
         use tradefl_ledger::node::Node;
         use tradefl_ledger::tx::{Transaction, TxPayload};
         use tradefl_ledger::types::{Address, Wei};
+
+        let amounts = g.vec(1..8usize, |g| g.u64(1..1000) as u128);
+        let cut_fraction = g.f64(0.05..0.95);
 
         let alice = Address::from_name("alice");
         let bob = Address::from_name("bob");

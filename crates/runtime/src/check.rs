@@ -1,0 +1,508 @@
+//! A seeded property-testing harness — the in-tree replacement for
+//! `proptest`.
+//!
+//! Properties are written with the [`props!`] macro: each property is
+//! a function of a generator context [`Gen`] that draws its inputs and
+//! asserts with [`prop_assert!`]/[`prop_assert_eq!`], discarding
+//! uninteresting cases with [`prop_assume!`].
+//!
+//! ```
+//! use tradefl_runtime::{prop_assert, props};
+//!
+//! props! {
+//!     #![cases = 32]
+//!
+//!     fn addition_commutes(g) {
+//!         let a = g.f64(-1e6..1e6);
+//!         let b = g.f64(-1e6..1e6);
+//!         prop_assert!(a + b == b + a, "{a} + {b}");
+//!     }
+//! }
+//! ```
+//!
+//! (The macro expands to ordinary `#[test]` functions, so properties
+//! run under `cargo test` like any other test.)
+//!
+//! **Determinism & replay.** Every case seed derives from a pinned
+//! base seed and the property's name, so runs are bit-identical across
+//! machines and time. When a case fails, the panic message names the
+//! case seed; re-run just that case with
+//! `TRADEFL_PROP_SEED=<seed> cargo test <property_name>` (and
+//! optionally `TRADEFL_PROP_SIZE=<f64>`).
+//!
+//! **Minimization-lite.** On failure the harness replays the failing
+//! case at progressively smaller *sizes*. Size scales every generator
+//! — ranges contract toward their lower bound and collections shrink —
+//! so the reported counterexample is drawn from the smallest input
+//! region that still fails. This is coarser than structural shrinking
+//! but needs no generator reflection and keeps replay exact.
+
+use crate::rng::{Rng, SampleRange, SeedableRng, StdRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Default number of cases per property (matching the budget the
+/// previous proptest suites used most).
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Pinned base seed; never derived from time or environment, so the
+/// suite is reproducible by construction.
+pub const BASE_SEED: u64 = 0x7452_6144_6546_4c31; // "TrRaDeFL1"
+
+/// Why a case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseFail {
+    /// The case's preconditions did not hold ([`prop_assume!`]); the
+    /// harness draws a replacement case.
+    Discard,
+    /// A property assertion failed with this message.
+    Fail(String),
+}
+
+impl CaseFail {
+    /// Constructs the failing variant (used by the assertion macros).
+    pub fn fail(msg: String) -> Self {
+        CaseFail::Fail(msg)
+    }
+}
+
+/// Outcome of one property case.
+pub type CaseResult = Result<(), CaseFail>;
+
+/// Generator context handed to each property case.
+///
+/// All draws go through the deterministic [`StdRng`] and are scaled by
+/// the case's *size* in `(0, 1]`: at size 1 every range is sampled in
+/// full; at smaller sizes ranges contract toward their start and
+/// collections toward their minimum length, which is what lets the
+/// harness search for smaller counterexamples on failure.
+#[derive(Debug)]
+pub struct Gen {
+    rng: StdRng,
+    size: f64,
+}
+
+impl Gen {
+    /// A generator for one case.
+    pub fn new(seed: u64, size: f64) -> Self {
+        Gen { rng: StdRng::seed_from_u64(seed), size: size.clamp(0.001, 1.0) }
+    }
+
+    /// The size factor this case runs at.
+    pub fn size(&self) -> f64 {
+        self.size
+    }
+
+    /// Direct access to the underlying generator (for calling code
+    /// that already takes an `StdRng`).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform `f64` from a range, contracted by size.
+    pub fn f64<R: ScaledRange<f64>>(&mut self, range: R) -> f64 {
+        range.scaled(self.size).sample_from(&mut self.rng)
+    }
+
+    /// Uniform `f32` from a half-open range, contracted by size.
+    pub fn f32(&mut self, range: Range<f32>) -> f32 {
+        let lo = range.start as f64;
+        let hi = range.end as f64;
+        self.f64(lo..hi) as f32
+    }
+
+    /// Uniform `usize` from a range, contracted by size.
+    pub fn usize<R: ScaledRange<usize>>(&mut self, range: R) -> usize {
+        range.scaled(self.size).sample_from(&mut self.rng)
+    }
+
+    /// Uniform `u64` from a range, contracted by size.
+    pub fn u64<R: ScaledRange<u64>>(&mut self, range: R) -> u64 {
+        range.scaled(self.size).sample_from(&mut self.rng)
+    }
+
+    /// Any `u64` (full width at size 1).
+    pub fn any_u64(&mut self) -> u64 {
+        if self.size >= 1.0 {
+            self.rng.next_u64()
+        } else {
+            self.u64(0..=(u64::MAX as f64 * self.size) as u64)
+        }
+    }
+
+    /// Any `u8` (size leaves the 256-value space alone; it is already
+    /// minimal).
+    pub fn any_u8(&mut self) -> u8 {
+        (self.rng.next_u64() >> 56) as u8
+    }
+
+    /// Bernoulli draw.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A vector whose length is drawn from `len`, elements from `f`.
+    pub fn vec<T, R: ScaledRange<usize>>(
+        &mut self,
+        len: R,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Ranges that contract toward their start under a size factor.
+pub trait ScaledRange<T>: SampleRange<T> {
+    /// The contracted range (identity at `size = 1`).
+    fn scaled(self, size: f64) -> Self;
+}
+
+impl ScaledRange<f64> for Range<f64> {
+    fn scaled(self, size: f64) -> Self {
+        if size >= 1.0 {
+            return self;
+        }
+        let hi = self.start + (self.end - self.start) * size;
+        // Keep the range non-empty: f64 ranges stay above start.
+        self.start..hi.max(self.start + (self.end - self.start) * 1e-6)
+    }
+}
+
+impl ScaledRange<f64> for RangeInclusive<f64> {
+    fn scaled(self, size: f64) -> Self {
+        if size >= 1.0 {
+            return self;
+        }
+        let (lo, hi) = (*self.start(), *self.end());
+        lo..=(lo + (hi - lo) * size)
+    }
+}
+
+macro_rules! impl_scaled_int {
+    ($($t:ty),*) => {$(
+        impl ScaledRange<$t> for Range<$t> {
+            fn scaled(self, size: f64) -> Self {
+                if size >= 1.0 {
+                    return self;
+                }
+                let span = (self.end - self.start) as f64;
+                let hi = self.start + ((span * size).ceil() as $t).max(1);
+                self.start..hi.min(self.end)
+            }
+        }
+        impl ScaledRange<$t> for RangeInclusive<$t> {
+            fn scaled(self, size: f64) -> Self {
+                if size >= 1.0 {
+                    return self;
+                }
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi - lo) as f64;
+                lo..=(lo + (span * size).ceil() as $t).min(hi)
+            }
+        }
+    )*};
+}
+
+impl_scaled_int!(usize, u64);
+
+/// Shrink ladder tried on failure, largest first.
+const SHRINK_SIZES: [f64; 4] = [0.5, 0.25, 0.1, 0.04];
+
+/// Runs `cases` cases of a property, panicking with a replayable
+/// report on the first failure.
+///
+/// # Panics
+///
+/// Panics when a case fails (after minimization), or when the
+/// discard budget (`cases * 16`) is exhausted — mirroring proptest's
+/// behavior so over-restrictive `prop_assume!` filters are caught.
+pub fn run_prop(name: &str, cases: u32, prop: impl Fn(&mut Gen) -> CaseResult) {
+    // Replay path: one exact case, no search.
+    if let Some(seed) = env_u64("TRADEFL_PROP_SEED") {
+        let size = env_f64("TRADEFL_PROP_SIZE").unwrap_or(1.0);
+        if let Err(CaseFail::Fail(msg)) = prop(&mut Gen::new(seed, size)) {
+            panic!(
+                "property '{name}' failed on replay \
+                 (TRADEFL_PROP_SEED={seed:#x}, size {size}): {msg}"
+            );
+        }
+        return;
+    }
+
+    let base = BASE_SEED ^ fnv1a(name.as_bytes());
+    let mut discards: u64 = 0;
+    let max_discards = cases as u64 * 16;
+    let mut case: u64 = 0;
+    let mut passed: u32 = 0;
+    while passed < cases {
+        let seed = mix(base.wrapping_add(case));
+        case += 1;
+        match prop(&mut Gen::new(seed, 1.0)) {
+            Ok(()) => passed += 1,
+            Err(CaseFail::Discard) => {
+                discards += 1;
+                assert!(
+                    discards <= max_discards,
+                    "property '{name}': discard budget exhausted \
+                     ({discards} discards for {passed}/{cases} cases) — \
+                     prop_assume! filters are too restrictive"
+                );
+            }
+            Err(CaseFail::Fail(msg)) => {
+                let (seed, size, msg) = minimize(&prop, seed, msg);
+                panic!(
+                    "property '{name}' failed (case {case}, seed {seed:#x}, \
+                     size {size}): {msg}\n\
+                     replay: TRADEFL_PROP_SEED={seed:#x} \
+                     TRADEFL_PROP_SIZE={size} cargo test {name}"
+                );
+            }
+        }
+    }
+}
+
+/// Replays the failing seed at smaller sizes; returns the smallest
+/// still-failing configuration.
+fn minimize(
+    prop: &impl Fn(&mut Gen) -> CaseResult,
+    seed: u64,
+    original_msg: String,
+) -> (u64, f64, String) {
+    let mut best = (seed, 1.0, original_msg);
+    for &size in SHRINK_SIZES.iter().rev() {
+        // Try smallest first; take the first size that fails.
+        if let Err(CaseFail::Fail(msg)) = prop(&mut Gen::new(seed, size)) {
+            best = (seed, size, msg);
+            break;
+        }
+    }
+    best
+}
+
+/// FNV-1a over bytes — stable property-name hashing (std's `Hasher`
+/// is not guaranteed stable across releases).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer — decorrelates sequential case indices.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// A set-but-malformed replay variable panics instead of being
+// ignored: silently falling back to the normal search would make the
+// user believe they replayed the failing case.
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    };
+    Some(parsed.unwrap_or_else(|| {
+        panic!("{key}={raw:?} is not a u64 (use decimal or 0x-prefixed hex)")
+    }))
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    let raw = std::env::var(key).ok()?;
+    let raw = raw.trim();
+    Some(raw.parse().unwrap_or_else(|_| panic!("{key}={raw:?} is not a number")))
+}
+
+/// Declares seeded property tests. See the [module docs](self) for the
+/// shape; an optional `#![cases = N]` header sets the per-property
+/// case count (default [`DEFAULT_CASES`]).
+#[macro_export]
+macro_rules! props {
+    (#![cases = $cases:expr] $($rest:tt)*) => {
+        $crate::__props_internal! { $cases; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__props_internal! { $crate::check::DEFAULT_CASES; $($rest)* }
+    };
+}
+
+/// Implementation detail of [`props!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __props_internal {
+    ($cases:expr; $( $(#[$meta:meta])* fn $name:ident($g:ident) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::check::run_prop(
+                    stringify!($name),
+                    $cases,
+                    |$g: &mut $crate::check::Gen| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the harness can minimize and report a replay seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::check::CaseFail::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::check::CaseFail::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err($crate::check::CaseFail::fail(format!(
+                "equality failed at {}:{}: {:?} != {:?}",
+                file!(),
+                line!(),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition does not hold; the
+/// harness draws a replacement (bounded by the discard budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::check::CaseFail::Discard);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run_prop("always_true", 10, |g| {
+            let _ = g.f64(0.0..1.0);
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_seed() {
+        let result = std::panic::catch_unwind(|| {
+            run_prop("always_false", 10, |_| {
+                Err(CaseFail::Fail("boom".into()))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("TRADEFL_PROP_SEED"), "replay hint in: {msg}");
+        assert!(msg.contains("boom"), "original message in: {msg}");
+    }
+
+    #[test]
+    fn minimization_reports_smaller_size_when_it_still_fails() {
+        let result = std::panic::catch_unwind(|| {
+            // Fails for any x >= 0, so every size fails and the
+            // harness should settle on the smallest rung.
+            run_prop("fails_at_any_size", 5, |g| {
+                let x = g.f64(0.0..100.0);
+                if x >= 0.0 {
+                    return Err(CaseFail::Fail(format!("x = {x}")));
+                }
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("size 0.04"), "smallest rung reported: {msg}");
+    }
+
+    #[test]
+    fn discard_budget_is_enforced() {
+        let result = std::panic::catch_unwind(|| {
+            run_prop("discards_everything", 4, |_| Err(CaseFail::Discard));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("discard budget"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            run_prop("deterministic", 8, |g| {
+                seen.borrow_mut().push((g.any_u64(), g.usize(0..100)));
+                Ok(())
+            });
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn sizes_contract_generator_ranges() {
+        let mut big = Gen::new(7, 1.0);
+        let mut small = Gen::new(7, 0.05);
+        for _ in 0..100 {
+            assert!(big.f64(0.0..1000.0) < 1000.0);
+            assert!(small.f64(0.0..1000.0) <= 50.0 + 1e-9);
+            assert!(small.usize(0..100) <= 5);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_follow_the_requested_range() {
+        let mut g = Gen::new(11, 1.0);
+        for _ in 0..50 {
+            let v = g.vec(2..6usize, |g| g.any_u8());
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    props! {
+        #![cases = 8]
+
+        /// The macro surface compiles and runs end to end.
+        fn props_macro_smoke(g) {
+            let a = g.f64(0.0..=1.0);
+            let v = g.vec(1..4usize, |g| g.usize(0..10));
+            prop_assume!(!v.is_empty());
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! **tradefl-runtime** — the zero-dependency substrate for the TradeFL
+//! workspace.
+//!
+//! The reproduction validates the paper's claims (Eq. (9)–(11)
+//! redistribution, Theorem 1's weighted potential, Algorithms 1–2)
+//! purely through deterministic, seeded simulation. Nothing requires a
+//! crates.io dependency, and the build environment has no registry
+//! access, so everything the workspace used to pull from the registry
+//! lives here instead, fully controlled and auditable:
+//!
+//! * [`rng`] — a seedable xoshiro256++ generator (SplitMix64 seeding)
+//!   with the `rand`-style trait surface the workspace uses
+//!   (`seed_from_u64`, `gen_range`, `gen_bool`, `shuffle`, Gaussian
+//!   draws for data synthesis);
+//! * [`sync`] — std-backed, poison-transparent `Mutex`/`RwLock`
+//!   wrappers (replacing `parking_lot`) and scoped-thread + channel
+//!   helpers (replacing `crossbeam`);
+//! * [`codec`] — a byte-oriented buffer ([`codec::BytesMut`], the
+//!   [`codec::Buf`] cursor trait) replacing `bytes`, plus the
+//!   [`codec::ByteEncode`]/[`codec::ByteDecode`] traits and the
+//!   derive-free [`impl_codec!`] macro replacing `serde` derives;
+//! * [`check`] — a seeded property-testing harness (the [`props!`]
+//!   macro with generator methods on [`check::Gen`], fixed-seed
+//!   replay via `TRADEFL_PROP_SEED`, and size-shrinking
+//!   minimization-lite) replacing `proptest`;
+//! * [`bench`] — a wall-clock benchmark runner and the
+//!   [`bench_group!`]/[`bench_main!`] macros replacing `criterion` for
+//!   `harness = false` bench targets.
+//!
+//! The workspace-level guard test `tests/no_external_deps.rs` asserts
+//! that no manifest ever reintroduces a registry dependency.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod check;
+pub mod codec;
+pub mod rng;
+pub mod sync;

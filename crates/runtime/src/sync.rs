@@ -1,0 +1,200 @@
+//! Synchronization primitives over `std::sync`, with the
+//! `parking_lot`-style ergonomics the workspace uses: `lock()`,
+//! `read()` and `write()` return guards directly instead of
+//! `Result`s.
+//!
+//! Lock poisoning is deliberately transparent: a panic while holding a
+//! lock does not brick every other holder. The workspace's shared
+//! state (the in-process chain node behind [`crate::sync::Mutex`]) is
+//! consistent at every public API boundary, so continuing after an
+//! unwinding panic in an unrelated thread is sound here — exactly the
+//! rationale `parking_lot` applies globally.
+//!
+//! Scoped fork/join helpers ([`scope`]) and mpsc channels
+//! ([`channel`]) cover what `crossbeam` provided for the bench
+//! harness.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock whose `lock()` never returns `Err`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`]; releases on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Wraps a value in a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Poison-transparent.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A readers-writer lock whose accessors never return `Err`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// RAII read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// RAII write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Wraps a value in a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access. Poison-transparent.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access. Poison-transparent.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Scoped fork/join: spawned threads may borrow from the enclosing
+/// stack frame and are all joined before `scope` returns (the
+/// `crossbeam::scope` pattern, provided by std since 1.63).
+pub use std::thread::scope;
+
+/// Re-export of the scope handle type for signatures.
+pub use std::thread::Scope;
+
+/// Multi-producer single-consumer channels (the `crossbeam::channel`
+/// subset the bench harness needs).
+pub mod channel {
+    pub use std::sync::mpsc::{channel, sync_channel, Receiver, RecvError, SendError, Sender, SyncSender, TryRecvError};
+
+    /// Unbounded channel (crossbeam naming).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel()
+    }
+
+    /// Bounded channel (crossbeam naming).
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        sync_channel(cap)
+    }
+}
+
+/// Runs `jobs` closures on up to `workers` scoped threads and returns
+/// their results in input order — the fork/join shape the bench
+/// harness uses for embarrassingly parallel sweeps.
+///
+/// # Panics
+///
+/// Propagates the first panic from any job.
+pub fn parallel_map<T, F>(workers: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    assert!(workers > 0, "parallel_map needs at least one worker");
+    let n = jobs.len();
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = Mutex::new(0usize);
+    // Hand each worker the shared job list behind a mutex of indexed
+    // thunks; jobs are pulled in order so results land in order.
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<&mut Option<T>>> = out.iter_mut().map(Mutex::new).collect();
+    scope(|s| {
+        for _ in 0..workers.min(n.max(1)) {
+            s.spawn(|| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().take().expect("job taken once");
+                let result = job();
+                **slots[i].lock() = Some(result);
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("every job ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trips() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_reads() {
+        let l = RwLock::new(1);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 2);
+        drop((a, b));
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<_> = (0..17).map(|i| move || i * i).collect();
+        let got = parallel_map(4, jobs);
+        assert_eq!(got, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn channels_deliver() {
+        let (tx, rx) = channel::unbounded();
+        scope(|s| {
+            s.spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

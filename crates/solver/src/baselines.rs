@@ -5,7 +5,6 @@
 use crate::bestresponse::Objective;
 use crate::error::{Result, SolveError};
 use crate::outcome::{Equilibrium, Scheme};
-use serde::{Deserialize, Serialize};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
@@ -14,7 +13,7 @@ use tradefl_core::strategy::{Strategy, StrategyProfile};
 /// Allocation"): organizations still best-respond in `d`, but the
 /// compute level is *tied* to the data fraction through `f_i = k · d_i`
 /// (snapped to the nearest ladder level), instead of being optimized.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GcaOptions {
     /// The proportionality constant `k`, as a multiple of each
     /// organization's fastest frequency (so `coupling = 1.0` maps
@@ -169,7 +168,7 @@ fn tied_feasible<A: AccuracyModel>(
 /// Options for the **FIP** baseline: best-response dynamics restricted
 /// to the discretized data grid `d̂_i ∈ {e, 2e, …, 1}` (finite
 /// improvement property of potential games).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FipOptions {
     /// Grid step `e`.
     pub step: f64,

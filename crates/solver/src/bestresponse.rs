@@ -6,13 +6,12 @@
 //! proposed GBD-based algorithm since (24) has a similar structure to
 //! (18)": fix the integer part, solve the convex part exactly.
 
-use serde::{Deserialize, Serialize};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
 
 /// Which payoff an organization best-responds to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
     /// The full TradeFL payoff `C_i` (Eq. 11).
     Full,
@@ -50,7 +49,7 @@ impl Objective {
 }
 
 /// A best response together with the payoff it attains.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BestResponse {
     /// The maximizing strategy.
     pub strategy: Strategy,

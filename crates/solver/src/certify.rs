@@ -10,13 +10,12 @@
 
 use crate::bestresponse::{best_response, Objective};
 use crate::error::{Result, SolveError};
-use serde::{Deserialize, Serialize};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::StrategyProfile;
 
 /// The outcome of certifying a strategy profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NashCertificate {
     /// The largest payoff improvement any organization can achieve by
     /// unilateral deviation (exact up to bisection tolerance).

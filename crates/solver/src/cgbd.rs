@@ -18,14 +18,13 @@ use crate::error::{Result, SolveError};
 use crate::gbd::{master_value, solve_master, Cut, MasterSearch};
 use crate::outcome::{Equilibrium, Scheme};
 use crate::primal::PrimalProblem;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
 
 /// Options for [`CgbdSolver`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CgbdOptions {
     /// Convergence tolerance `ε` on `UB − LB`.
     pub epsilon: f64,
@@ -56,7 +55,7 @@ impl Default for CgbdOptions {
 }
 
 /// One CGBD iteration's bookkeeping (for convergence plots).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CgbdIteration {
     /// Iteration index `k` (1-based).
     pub k: usize,
@@ -70,7 +69,7 @@ pub struct CgbdIteration {
 }
 
 /// Full CGBD result: the equilibrium plus the UB/LB convergence trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CgbdReport {
     /// The resulting (δ+ε)-optimal profile and its metrics.
     pub equilibrium: Equilibrium,

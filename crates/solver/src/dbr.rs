@@ -9,17 +9,14 @@
 use crate::bestresponse::{best_response, Objective};
 use crate::error::{Result, SolveError};
 use crate::outcome::{Equilibrium, Scheme};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::StrategyProfile;
 
 /// The order in which organizations update within a round (an ablation
 /// axis; the paper uses a fixed order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateOrder {
     /// Organizations update in index order every round.
     RoundRobin,
@@ -32,7 +29,7 @@ pub enum UpdateOrder {
 }
 
 /// Options for [`DbrSolver`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DbrOptions {
     /// Maximum number of rounds `H`.
     pub max_rounds: usize,

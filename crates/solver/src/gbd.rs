@@ -9,9 +9,7 @@
 //! clearly flagged as a heuristic.
 
 use crate::error::{Result, SolveError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
 use std::collections::HashSet;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
@@ -48,7 +46,7 @@ pub fn potential_at<A: AccuracyModel>(
 }
 
 /// A Benders cut produced by one CGBD iteration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cut {
     /// Optimality cut from a feasible primal (Eq. 20). Construct via
     /// [`Cut::optimality`], which caches the accuracy-curve data at the
@@ -146,7 +144,7 @@ impl Cut {
 }
 
 /// How the master problem (23) searches the ladder product space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MasterSearch {
     /// Exhaustive traversal (paper-faithful); errors out if `m^|N|`
     /// exceeds `cap`.
@@ -205,7 +203,7 @@ pub fn master_value<A: AccuracyModel>(
 }
 
 /// Solution of one master solve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MasterSolution {
     /// The next level assignment `f^(k)` to hand to the primal: the best
     /// assignment *not yet visited*, or the global minimizer if every

@@ -1,12 +1,11 @@
 //! Equilibrium outcomes and per-iteration traces shared by all solvers.
 
-use serde::{Deserialize, Serialize};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::StrategyProfile;
 
 /// Which scheme produced an outcome (§VI's comparison set).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Centralized GBD (Algorithm 1).
     Cgbd,
@@ -50,7 +49,7 @@ impl std::fmt::Display for Scheme {
 /// The result of running a scheme to (approximate) equilibrium, with the
 /// aggregate metrics every figure of §VI reports and the per-iteration
 /// traces behind Figs. 4-5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Equilibrium {
     /// Scheme that produced this outcome.
     pub scheme: Scheme,

@@ -20,13 +20,12 @@
 //! T_i^(3) − τ ≤ 0`, ready for Benders cuts (Eq. 20).
 
 use crate::error::{Result, SolveError};
-use serde::{Deserialize, Serialize};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
 
 /// Solution of the primal problem (19) at fixed compute levels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrimalSolution {
     /// Optimal data fractions `d*`.
     pub d: Vec<f64>,
@@ -41,7 +40,7 @@ pub struct PrimalSolution {
 }
 
 /// Outcome of the feasibility-check problem (21).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeasibilityOutcome {
     /// Minimal constraint violation `ζ*`; `ζ* > 0` means (19) is
     /// infeasible at these compute levels.

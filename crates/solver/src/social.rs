@@ -24,13 +24,12 @@
 //! over the discrete levels.
 
 use crate::error::{Result, SolveError};
-use serde::{Deserialize, Serialize};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
 
 /// Options for [`solve_social_optimum`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SocialOptions {
     /// Projected-gradient iterations per level assignment.
     pub max_iters: usize,
@@ -47,7 +46,7 @@ impl Default for SocialOptions {
 }
 
 /// The welfare optimum and its comparison against an equilibrium.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SocialOptimum {
     /// The welfare-maximizing profile.
     pub profile: StrategyProfile,

@@ -16,12 +16,11 @@
 
 use crate::dbr::{DbrOptions, DbrSolver};
 use crate::error::Result;
-use serde::{Deserialize, Serialize};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 
 /// Options for [`tune_gamma`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuneOptions {
     /// Lower end of the γ search range (0 is allowed).
     pub gamma_min: f64,
@@ -48,7 +47,7 @@ impl Default for TuneOptions {
 }
 
 /// One evaluated candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuneSample {
     /// The candidate incentive intensity.
     pub gamma: f64,
@@ -59,7 +58,7 @@ pub struct TuneSample {
 }
 
 /// Result of the search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuneReport {
     /// The best incentive intensity found.
     pub gamma_star: f64,

@@ -2,37 +2,39 @@
 //! of DBR, CGBD's optimality guarantee (Lemma 3) against the exhaustive
 //! oracle, primal-solver agreement, and the mechanism properties of
 //! Theorem 2 at equilibrium.
+//!
+//! Runs on the in-tree `tradefl_runtime::check` harness with pinned
+//! seeds; failures print a `TRADEFL_PROP_SEED` replay line.
 
-use proptest::prelude::*;
-use proptest::strategy::Strategy as PropStrategy;
 use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::mechanism::MechanismAudit;
+use tradefl_runtime::check::Gen;
+use tradefl_runtime::{prop_assert, prop_assume, props};
 use tradefl_solver::cgbd::{exhaustive_optimum, CgbdSolver};
 use tradefl_solver::dbr::DbrSolver;
 use tradefl_solver::primal::PrimalProblem;
 
-fn any_game(
-    max_orgs: usize,
-) -> impl PropStrategy<Value = CoopetitionGame<SqrtAccuracy>> {
-    (0u64..500, 2usize..=max_orgs, 0.0f64..0.25).prop_map(|(seed, n, mu)| {
-        let market = MarketConfig::table_ii()
-            .with_orgs(n)
-            .with_rho_mean(mu)
-            .build(seed)
-            .expect("table-ii markets always build");
-        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
-    })
+fn any_game(g: &mut Gen, max_orgs: usize) -> CoopetitionGame<SqrtAccuracy> {
+    let seed = g.u64(0..500);
+    let n = g.usize(2..=max_orgs);
+    let mu = g.f64(0.0..0.25);
+    let market = MarketConfig::table_ii()
+        .with_orgs(n)
+        .with_rho_mean(mu)
+        .build(seed)
+        .expect("table-ii markets always build");
+    CoopetitionGame::new(market, SqrtAccuracy::paper_default())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+props! {
+    #![cases = 16]
 
     /// DBR terminates at an ε-Nash equilibrium (Definition 6) for random
     /// markets: no sampled unilateral deviation improves any payoff.
-    #[test]
-    fn dbr_reaches_epsilon_nash(game in any_game(7)) {
+    fn dbr_reaches_epsilon_nash(g) {
+        let game = any_game(g, 7);
         let eq = DbrSolver::new().solve(&game).unwrap();
         prop_assert!(eq.converged);
         let gain = game.best_sampled_deviation_gain(&eq.profile, 16);
@@ -41,8 +43,8 @@ proptest! {
 
     /// Lemma 3 on random small instances: CGBD's potential matches the
     /// brute-force optimum within (δ+ε).
-    #[test]
-    fn cgbd_is_delta_eps_optimal(game in any_game(3)) {
+    fn cgbd_is_delta_eps_optimal(g) {
+        let game = any_game(g, 3);
         let report = CgbdSolver::new().solve(&game).unwrap();
         let (_, oracle) = exhaustive_optimum(&game, 1e-10).unwrap();
         let got = report.equilibrium.potential;
@@ -54,8 +56,9 @@ proptest! {
 
     /// The interior-point and projected-gradient primal solvers agree on
     /// random instances and level assignments.
-    #[test]
-    fn primal_solvers_agree(game in any_game(6), level_pick in any::<u8>()) {
+    fn primal_solvers_agree(g) {
+        let game = any_game(g, 6);
+        let level_pick = g.any_u8();
         let n = game.market().len();
         let levels: Vec<usize> = (0..n)
             .map(|i| {
@@ -75,8 +78,8 @@ proptest! {
 
     /// Theorem 2 at equilibrium: individual rationality and budget
     /// balance hold at the DBR fixed point on random markets.
-    #[test]
-    fn theorem2_properties_hold_at_equilibrium(game in any_game(8)) {
+    fn theorem2_properties_hold_at_equilibrium(g) {
+        let game = any_game(g, 8);
         let eq = DbrSolver::new().solve(&game).unwrap();
         let audit = MechanismAudit::evaluate(&game, &eq.profile);
         prop_assert!(audit.budget_balanced_rel(1e-9));
@@ -88,8 +91,8 @@ proptest! {
 
     /// Potential monotonicity along DBR (the FIP of weighted potential
     /// games): each accepted round weakly increases U.
-    #[test]
-    fn dbr_potential_monotone(game in any_game(6)) {
+    fn dbr_potential_monotone(g) {
+        let game = any_game(g, 6);
         let eq = DbrSolver::new().solve(&game).unwrap();
         for w in eq.potential_trace.windows(2) {
             prop_assert!(w[1] >= w[0] - 1e-9 * w[0].abs().max(1.0));
@@ -98,8 +101,8 @@ proptest! {
 
     /// Exact certification: DBR fixed points certify as ε-Nash with a
     /// tiny ε under the true best responses (not just sampled grids).
-    #[test]
-    fn dbr_certifies_exactly(game in any_game(7)) {
+    fn dbr_certifies_exactly(g) {
+        let game = any_game(g, 7);
         let eq = DbrSolver::new().solve(&game).unwrap();
         let cert = tradefl_solver::certify::certify_nash(&game, &eq.profile).unwrap();
         prop_assert!(
@@ -110,14 +113,12 @@ proptest! {
 
     /// Benders optimality cuts are valid lower bounds of the Lagrangian
     /// for random instances, anchors and candidate ladders.
-    #[test]
-    fn optimality_cuts_are_valid_lower_bounds(
-        game in any_game(4),
-        level_pick in any::<u8>(),
-        t_anchor in 0.1f64..=0.9,
-        t_eval in 0.0f64..=1.0,
-    ) {
+    fn optimality_cuts_are_valid_lower_bounds(g) {
         use tradefl_solver::gbd::{deadline_residuals, potential_at, Cut};
+        let game = any_game(g, 4);
+        let level_pick = g.any_u8();
+        let t_anchor = g.f64(0.1..=0.9);
+        let t_eval = g.f64(0.0..=1.0);
         let n = game.market().len();
         let anchor_levels: Vec<usize> = (0..n)
             .map(|i| game.market().org(i).compute_level_count() - 1)
@@ -154,9 +155,9 @@ proptest! {
 
     /// The social optimum dominates the DBR equilibrium welfare for
     /// random markets (PoA ≥ 1).
-    #[test]
-    fn social_optimum_dominates_dbr(game in any_game(5)) {
+    fn social_optimum_dominates_dbr(g) {
         use tradefl_solver::social::{solve_social_optimum, SocialOptions};
+        let game = any_game(g, 5);
         let eq = DbrSolver::new().solve(&game).unwrap();
         let opt = solve_social_optimum(&game, SocialOptions::default()).unwrap();
         prop_assert!(

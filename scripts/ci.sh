@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the TradeFL workspace.
+#
+# Must pass with the crates.io registry unreachable: the workspace is
+# zero-dependency by policy (every dependency is a path dependency into
+# crates/, enforced by tests/no_external_deps.rs). See DESIGN.md §6.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests (all crates, property suites included)"
+cargo test -q --workspace
+
+echo "==> bench targets build (harness = false, tradefl_runtime::bench)"
+cargo build --benches
+
+echo "==> examples build"
+cargo build --examples
+
+echo "ci.sh: all gates passed"

@@ -1,0 +1,85 @@
+//! Determinism regression tests: the entire pipeline is a pure
+//! function of its seed. The same seed must produce *bit-identical*
+//! equilibrium strategies from `DbrSolver` and bit-identical ledger
+//! state roots across two independent runs — the foundation every
+//! reproducibility claim (and the `tradefl_runtime::check` replay
+//! mechanism) rests on.
+
+use tradefl::ledger::types::Hash256;
+use tradefl::prelude::*;
+use tradefl::solver::dbr::{DbrOptions, UpdateOrder};
+
+fn game(seed: u64) -> CoopetitionGame<SqrtAccuracy> {
+    let market = MarketConfig::table_ii().with_orgs(6).build(seed).unwrap();
+    CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+}
+
+/// Every per-block state root of the settlement chain for `seed`.
+fn settlement_state_roots(seed: u64) -> Vec<Hash256> {
+    let g = game(seed);
+    let eq = DbrSolver::new().solve(&g).unwrap();
+    let session = SettlementSession::deploy(&g).unwrap();
+    session.settle(&g, &eq.profile).unwrap();
+    session.web3().with_node(|node| {
+        node.chain().blocks().iter().map(|b| b.header.state_root).collect()
+    })
+}
+
+#[test]
+fn dbr_equilibrium_is_bit_identical_across_runs() {
+    for seed in [0, 7, 31337] {
+        let a = DbrSolver::new().solve(&game(seed)).unwrap();
+        let b = DbrSolver::new().solve(&game(seed)).unwrap();
+        for (i, (sa, sb)) in a.profile.iter().zip(b.profile.iter()).enumerate() {
+            // Bit-level equality, not approximate: `to_bits` also
+            // distinguishes -0.0 from 0.0 and would catch any NaN.
+            assert_eq!(sa.d.to_bits(), sb.d.to_bits(), "d differs at org {i} (seed {seed})");
+            assert_eq!(sa.level, sb.level, "level differs at org {i} (seed {seed})");
+        }
+        assert_eq!(a.welfare.to_bits(), b.welfare.to_bits(), "welfare differs (seed {seed})");
+    }
+}
+
+#[test]
+fn dbr_shuffled_order_is_bit_identical_across_runs() {
+    // The shuffled update order exercises the runtime RNG inside the
+    // solver itself, not just in market construction.
+    let opts = DbrOptions {
+        order: UpdateOrder::Shuffled { seed: 99 },
+        ..DbrOptions::default()
+    };
+    let a = DbrSolver::with_options(opts.clone()).solve(&game(5)).unwrap();
+    let b = DbrSolver::with_options(opts).solve(&game(5)).unwrap();
+    assert_eq!(a.profile, b.profile);
+    assert_eq!(a.potential.to_bits(), b.potential.to_bits());
+}
+
+#[test]
+fn ledger_state_roots_are_bit_identical_across_runs() {
+    let a = settlement_state_roots(17);
+    let b = settlement_state_roots(17);
+    assert!(!a.is_empty(), "settlement mined at least one block");
+    assert_eq!(a, b, "state roots must match block-for-block");
+}
+
+#[test]
+fn different_seeds_change_the_equilibrium() {
+    // Guards against a degenerate "determinism" where the seed is
+    // ignored entirely.
+    let a = DbrSolver::new().solve(&game(1)).unwrap();
+    let b = DbrSolver::new().solve(&game(2)).unwrap();
+    assert_ne!(a.profile, b.profile);
+}
+
+#[test]
+fn training_is_bit_identical_across_runs() {
+    use tradefl::pipeline::{Pipeline, PipelineConfig};
+    let a = Pipeline::new(PipelineConfig::quick()).run(21).unwrap();
+    let b = Pipeline::new(PipelineConfig::quick()).run(21).unwrap();
+    assert_eq!(
+        a.training.final_accuracy().to_bits(),
+        b.training.final_accuracy().to_bits(),
+        "federated training must be seed-deterministic"
+    );
+    assert_eq!(a.settlement.onchain_redistribution, b.settlement.onchain_redistribution);
+}

@@ -1,0 +1,168 @@
+//! Guard: the workspace must stay zero-dependency.
+//!
+//! The tier-1 gate (`cargo build --release && cargo test -q`) runs in
+//! an environment with no crates.io access, so a single registry
+//! dependency anywhere in the workspace breaks every build at step
+//! zero. This test walks every `Cargo.toml` and fails if any
+//! `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]` or
+//! `[workspace.dependencies]` entry is not a `path` dependency — so a
+//! future PR cannot silently reintroduce one.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All manifests of the workspace: the root plus every `crates/*`
+/// member.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ exists") {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() >= 6, "expected root + >=5 member manifests, found {}", out.len());
+    out
+}
+
+/// Minimal TOML section scan — enough to classify dependency tables
+/// without a TOML parser (which would itself be a registry crate).
+///
+/// Returns `(section, key, value)` for every `key = value` line inside
+/// a dependency-declaring section, handling both `[deps]` tables with
+/// inline values and `[deps.name]` subtables.
+fn dependency_entries(text: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].trim().to_string();
+            // `[dependencies.foo]` style subtable: record the entry
+            // itself; its keys are validated by the subtable pass.
+            if let Some(name) = section
+                .strip_prefix("dependencies.")
+                .or_else(|| section.strip_prefix("dev-dependencies."))
+                .or_else(|| section.strip_prefix("build-dependencies."))
+                .or_else(|| section.strip_prefix("workspace.dependencies."))
+            {
+                out.push((section.clone(), name.to_string(), "<subtable>".to_string()));
+            }
+            continue;
+        }
+        let in_dep_table = matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+        );
+        let in_dep_subtable = section.starts_with("dependencies.")
+            || section.starts_with("dev-dependencies.")
+            || section.starts_with("build-dependencies.")
+            || section.starts_with("workspace.dependencies.");
+        if !in_dep_table && !in_dep_subtable {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            out.push((section.clone(), key.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    out
+}
+
+/// Whether one dependency declaration line is path-only.
+///
+/// Accepted shapes:
+///   `name.workspace = true`              (resolved at the root)
+///   `name = { path = "..." , ... }`      (inline table with a path)
+///   `version = / path = ...` keys inside a `[deps.name]` subtable
+///     — allowed only when a `path` key is present in that subtable.
+fn is_path_dependency(value: &str) -> bool {
+    if value == "true" {
+        // `name.workspace = true` arrives with key `name.workspace`;
+        // the caller checks the key suffix.
+        return true;
+    }
+    value.contains("path") && value.contains('{')
+}
+
+#[test]
+fn workspace_has_no_registry_dependencies() {
+    let mut violations = String::new();
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let entries = dependency_entries(&text);
+        for (section, key, value) in &entries {
+            let ok = if key.ends_with(".workspace") {
+                // `name.workspace = true` — the root declaration is
+                // itself checked below.
+                value == "true"
+            } else if value == "<subtable>" {
+                // `[dependencies.name]` — require a `path` key within.
+                entries.iter().any(|(s, k, _)| s == section && k == "path")
+            } else if section.ends_with(&format!(".{key}")) || key == "path" || key == "version" {
+                // keys inside a subtable; `path` legitimizes, other
+                // keys are inert details.
+                true
+            } else {
+                is_path_dependency(value)
+            };
+            if !ok {
+                let _ = writeln!(
+                    violations,
+                    "  {}: [{section}] {key} = {value}",
+                    manifest.display()
+                );
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "registry (non-path) dependencies found — the zero-dependency \
+         policy (see DESIGN.md) forbids these because the build \
+         environment has no crates.io access:\n{violations}"
+    );
+}
+
+#[test]
+fn guard_detects_a_registry_dependency() {
+    // Self-test: the scanner must actually flag the shapes a future PR
+    // would introduce.
+    let bad = "[dependencies]\nrand = \"0.8\"\n";
+    let entries = dependency_entries(bad);
+    assert_eq!(entries.len(), 1);
+    assert!(!is_path_dependency(&entries[0].2));
+
+    let bad_table = "[dependencies]\nserde = { version = \"1\", features = [\"derive\"] }\n";
+    let entries = dependency_entries(bad_table);
+    assert!(!is_path_dependency(&entries[0].2));
+
+    let good = "[dependencies]\ntradefl-core = { path = \"crates/core\" }\n";
+    let entries = dependency_entries(good);
+    assert!(is_path_dependency(&entries[0].2));
+
+    let good_ws = "[dependencies]\ntradefl-core.workspace = true\n";
+    let entries = dependency_entries(good_ws);
+    assert_eq!(entries[0].1, "tradefl-core.workspace");
+}
+
+#[test]
+fn workspace_dependency_declarations_are_all_path_deps() {
+    // Belt-and-braces on the root: every `[workspace.dependencies]`
+    // value must carry an explicit `path`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = fs::read_to_string(root).unwrap();
+    for (section, key, value) in dependency_entries(&text) {
+        if section == "workspace.dependencies" {
+            assert!(
+                value.contains("path"),
+                "[workspace.dependencies] {key} = {value} is not a path dependency"
+            );
+        }
+    }
+}
