@@ -1,0 +1,567 @@
+//! Records the serial-vs-pooled perf baseline (`BENCH_solvers.json`).
+//!
+//! Each bench runs the same workload once on a single-worker pool
+//! (serial semantics) and once on a multi-worker pool, reporting the
+//! median wall-clock of several repeats. Results are bit-compatible by
+//! the determinism contract (DESIGN.md §6), so the comparison is pure
+//! wall-clock. The CGBD traversal additionally contrasts the reference
+//! odometer scan with the pooled table scan — the algorithmic half of
+//! that speedup (per-cut lookup tables) applies even on single-core
+//! hosts, which is why `host_parallelism` is recorded alongside
+//! `workers`: read speedups against it.
+//!
+//! Usage:
+//!   perf_baseline [--fast] [--out FILE]   # run benches, write JSON
+//!   perf_baseline --check FILE            # validate a baseline file
+//!
+//! `--fast` (or the `TRADEFL_BENCH_FAST` env var) shrinks instance
+//! sizes and repeat counts to smoke-test scale for CI.
+
+use std::collections::HashSet;
+use std::time::Instant;
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::StrategyProfile;
+use tradefl_fl_sim::data::{generate, DatasetKind};
+use tradefl_fl_sim::fed::{train_federated_with, FedConfig};
+use tradefl_fl_sim::model::{Mlp, ModelKind};
+use tradefl_runtime::sync::pool::Pool;
+use tradefl_solver::bestresponse::{best_response_with, Objective};
+use tradefl_solver::cgbd::exhaustive_optimum_with;
+use tradefl_solver::dbr::DbrSolver;
+use tradefl_solver::gbd::{traverse_pooled, traverse_reference, Cut};
+
+const SCHEMA: &str = "tradefl-bench-baseline/v1";
+/// Pooled worker count; the acceptance bar for the CGBD traversal
+/// speedup is stated at 4+ workers.
+const WORKERS: usize = 4;
+
+fn game(n: usize, seed: u64) -> CoopetitionGame<SqrtAccuracy> {
+    let market = MarketConfig::table_ii().with_orgs(n).build(seed).unwrap();
+    CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times `work` `repeats` times (after one warmup) and returns the
+/// median in milliseconds.
+fn time_ms(repeats: usize, mut work: impl FnMut()) -> f64 {
+    work();
+    let samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            work();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    median_ms(samples)
+}
+
+struct BenchRow {
+    name: &'static str,
+    serial_ms: f64,
+    pooled_ms: f64,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.pooled_ms
+    }
+}
+
+/// A realistic mid-solve cut stack: several optimality anchors plus a
+/// feasibility cut, like CGBD holds a few iterations in.
+fn cut_stack(g: &CoopetitionGame<SqrtAccuracy>) -> Vec<Cut> {
+    let n = g.market().len();
+    let d_min = g.market().params().d_min;
+    let mut cuts = Vec::new();
+    for (k, d) in [0.1, 0.2, 0.35, 0.5, 0.7, 0.9].into_iter().enumerate() {
+        let u = vec![0.02 * k as f64; n];
+        cuts.push(Cut::optimality(g, vec![d; n], u));
+    }
+    cuts.push(Cut::Feasibility {
+        d: vec![d_min; n],
+        lambda: vec![1.0 / n as f64; n],
+    });
+    cuts
+}
+
+fn run_benches(fast: bool) -> Vec<BenchRow> {
+    let repeats = if fast { 3 } else { 7 };
+    let mut rows = Vec::new();
+    let serial_pool = Pool::new(1);
+    let pooled_pool = Pool::new(WORKERS);
+
+    // CGBD master traversal: reference odometer scan vs pooled table
+    // scan over the full ladder product space.
+    {
+        let n = if fast { 6 } else { 8 };
+        let g = game(n, 7);
+        let cuts = cut_stack(&g);
+        let visited = HashSet::new();
+        let cap = 1u128 << 40;
+        let reference = traverse_reference(&g, &cuts, &visited, cap).unwrap();
+        let pooled = traverse_pooled(&g, &cuts, &visited, cap, &pooled_pool).unwrap();
+        assert_eq!(reference.levels, pooled.levels, "traversal paths disagree");
+        assert!(
+            (reference.phi - pooled.phi).abs() <= 1e-9 * reference.phi.abs().max(1.0),
+            "traversal phi mismatch: {} vs {}",
+            reference.phi,
+            pooled.phi
+        );
+        rows.push(BenchRow {
+            name: "cgbd_traversal",
+            serial_ms: time_ms(repeats, || {
+                traverse_reference(&g, &cuts, &visited, cap).unwrap();
+            }),
+            pooled_ms: time_ms(repeats, || {
+                traverse_pooled(&g, &cuts, &visited, cap, &pooled_pool).unwrap();
+            }),
+        });
+    }
+
+    // Exhaustive primal oracle over every ladder assignment.
+    {
+        let g = game(if fast { 3 } else { 4 }, 11);
+        rows.push(BenchRow {
+            name: "exhaustive_optimum",
+            serial_ms: time_ms(repeats, || {
+                exhaustive_optimum_with(&g, 1e-9, &serial_pool).unwrap();
+            }),
+            pooled_ms: time_ms(repeats, || {
+                exhaustive_optimum_with(&g, 1e-9, &pooled_pool).unwrap();
+            }),
+        });
+    }
+
+    // Full DBR solve (Algorithm 2) on the paper-scale market.
+    {
+        let g = game(if fast { 6 } else { 10 }, 42);
+        rows.push(BenchRow {
+            name: "dbr_solve",
+            serial_ms: time_ms(repeats, || {
+                DbrSolver::new().solve_with(&g, &serial_pool).unwrap();
+            }),
+            pooled_ms: time_ms(repeats, || {
+                DbrSolver::new().solve_with(&g, &pooled_pool).unwrap();
+            }),
+        });
+    }
+
+    // One organization's best response at the minimal profile.
+    {
+        let g = game(if fast { 6 } else { 10 }, 42);
+        let profile = StrategyProfile::minimal(g.market());
+        rows.push(BenchRow {
+            name: "best_response",
+            serial_ms: time_ms(repeats * 10, || {
+                best_response_with(&g, &profile, 0, Objective::Full, &serial_pool)
+                    .unwrap();
+            }),
+            pooled_ms: time_ms(repeats * 10, || {
+                best_response_with(&g, &profile, 0, Objective::Full, &pooled_pool)
+                    .unwrap();
+            }),
+        });
+    }
+
+    // FedAvg rounds with per-silo local training.
+    {
+        let (orgs, per_shard, test_n) = if fast { (3, 120, 200) } else { (4, 260, 400) };
+        let all = generate(DatasetKind::EurosatLike, per_shard * orgs + test_n, 11);
+        let mut sizes = vec![per_shard; orgs];
+        sizes.push(test_n);
+        let mut shards = all.shard(&sizes);
+        let test = shards.pop().unwrap();
+        let fractions = vec![1.0; orgs];
+        let config = FedConfig {
+            rounds: if fast { 1 } else { 2 },
+            local_epochs: 1,
+            batch_size: 32,
+            lr: 0.1,
+            seed: 1,
+        };
+        let mk = || Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+        rows.push(BenchRow {
+            name: "fedavg_round",
+            serial_ms: time_ms(repeats, || {
+                train_federated_with(mk(), &shards, &test, &fractions, &config, &serial_pool)
+                    .unwrap();
+            }),
+            pooled_ms: time_ms(repeats, || {
+                train_federated_with(mk(), &shards, &test, &fractions, &config, &pooled_pool)
+                    .unwrap();
+            }),
+        });
+    }
+
+    rows
+}
+
+fn render_json(rows: &[BenchRow], fast: bool, repeats_note: &str) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    out.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str(&format!("  \"repeats\": \"{repeats_note}\",\n"));
+    out.push_str("  \"benches\": [\n");
+    for (k, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.4}, \"pooled_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            row.name,
+            row.serial_ms,
+            row.pooled_ms,
+            row.speedup(),
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for `--check` (the workspace has no serde by
+// policy): full recursive-descent parse, then schema assertions.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => {
+                pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), String> {
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", ch as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos + 1)
+                        .ok_or_else(|| self.error("bad escape"))?;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        _ => return Err(self.error("unsupported escape")),
+                    });
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 passes through byte-wise.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser::new(text);
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing garbage"));
+        }
+        Ok(v)
+    }
+}
+
+/// Validates a baseline file: well-formed JSON, right schema tag, and
+/// every bench row carries finite positive timings and a consistent
+/// speedup. Returns an explanation on the first violation.
+fn check_baseline(text: &str) -> Result<usize, String> {
+    let root = Parser::parse(text)?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema '{schema}' != '{SCHEMA}'"));
+    }
+    for key in ["workers", "host_parallelism"] {
+        let v = root
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric \"{key}\""))?;
+        if v < 1.0 {
+            return Err(format!("\"{key}\" = {v} < 1"));
+        }
+    }
+    let benches = match root.get("benches") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Json::Arr(_)) => return Err("\"benches\" is empty".into()),
+        _ => return Err("missing \"benches\" array".into()),
+    };
+    for (k, row) in benches.iter().enumerate() {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("bench {k}: missing \"name\""))?;
+        let mut nums = [0.0f64; 3];
+        for (slot, key) in nums.iter_mut().zip(["serial_ms", "pooled_ms", "speedup"]) {
+            *slot = row
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("bench '{name}': missing \"{key}\""))?;
+            if !slot.is_finite() || *slot <= 0.0 {
+                return Err(format!("bench '{name}': \"{key}\" = {slot} not positive"));
+            }
+        }
+        let implied = nums[0] / nums[1];
+        if (implied - nums[2]).abs() > 0.05 * implied.abs().max(1.0) {
+            return Err(format!(
+                "bench '{name}': speedup {} inconsistent with {:.3}",
+                nums[2], implied
+            ));
+        }
+    }
+    Ok(benches.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = std::env::var("TRADEFL_BENCH_FAST").is_ok();
+    let mut out_path = String::from("BENCH_solvers.json");
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => {
+                out_path = it.next().expect("--out needs a path").clone();
+            }
+            "--check" => {
+                check_path = Some(it.next().expect("--check needs a path").clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("perf_baseline --check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_baseline(&text) {
+            Ok(n) => println!("perf_baseline --check: {path} OK ({n} benches)"),
+            Err(e) => {
+                eprintln!("perf_baseline --check: {path} MALFORMED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let repeats_note = if fast { "median of 3 (fast)" } else { "median of 7" };
+    let rows = run_benches(fast);
+    let json = render_json(&rows, fast, repeats_note);
+    check_baseline(&json).expect("self-emitted baseline must validate");
+    std::fs::write(&out_path, &json).expect("baseline file writes");
+    println!("wrote {out_path}");
+    for row in &rows {
+        println!(
+            "  {:<20} serial {:>10.3} ms   pooled {:>10.3} ms   speedup {:>6.2}x",
+            row.name,
+            row.serial_ms,
+            row.pooled_ms,
+            row.speedup()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_accepts_emitted_shape() {
+        let rows = vec![
+            BenchRow { name: "a", serial_ms: 2.0, pooled_ms: 1.0 },
+            BenchRow { name: "b", serial_ms: 3.0, pooled_ms: 3.0 },
+        ];
+        let json = render_json(&rows, true, "median of 3 (fast)");
+        assert_eq!(check_baseline(&json), Ok(2));
+    }
+
+    #[test]
+    fn checker_rejects_garbage_and_bad_schemas() {
+        assert!(check_baseline("not json").is_err());
+        assert!(check_baseline("{\"schema\": \"other/v9\"}").is_err());
+        assert!(check_baseline(
+            "{\"schema\": \"tradefl-bench-baseline/v1\", \"workers\": 4, \
+             \"host_parallelism\": 1, \"benches\": []}"
+        )
+        .is_err());
+        // Inconsistent speedup field.
+        assert!(check_baseline(
+            "{\"schema\": \"tradefl-bench-baseline/v1\", \"workers\": 4, \
+             \"host_parallelism\": 1, \"benches\": [{\"name\": \"x\", \
+             \"serial_ms\": 10.0, \"pooled_ms\": 1.0, \"speedup\": 2.0}]}"
+        )
+        .is_err());
+    }
+}

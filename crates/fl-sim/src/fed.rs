@@ -5,9 +5,17 @@
 //! server aggregates parameters weighted by contributed sample counts
 //! (Eq. 3's `d_i |S_i|` weights, normalized).
 
+//! Per-silo local training runs on the work-stealing pool: each
+//! `(round, org)` pair derives its own RNG seed from `config.seed`
+//! (SplitMix64-style mixing), so a silo's local run is a pure function
+//! of `(global model, shard, round, org)` — independent of scheduling
+//! — and client deltas are merged in fixed silo order. Results are
+//! therefore bit-identical for every worker count.
+
 use crate::data::Dataset;
 use crate::model::Mlp;
 use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
+use tradefl_runtime::sync::pool::Pool;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,11 +117,30 @@ impl std::error::Error for FedError {}
 ///
 /// [`FedError`] on shape/fraction problems or when `Σ d_i |S_i| = 0`.
 pub fn train_federated(
+    global: Mlp,
+    shards: &[Dataset],
+    test: &Dataset,
+    fractions: &[f64],
+    config: &FedConfig,
+) -> Result<FedOutcome, FedError> {
+    train_federated_with(global, shards, test, fractions, config, Pool::global())
+}
+
+/// [`train_federated`] on an explicit pool: silos train concurrently
+/// within a round (each from its own derived seed, see the module
+/// docs) and the server merges their parameters in fixed silo order —
+/// bit-identical for every worker count.
+///
+/// # Errors
+///
+/// See [`train_federated`].
+pub fn train_federated_with(
     mut global: Mlp,
     shards: &[Dataset],
     test: &Dataset,
     fractions: &[f64],
     config: &FedConfig,
+    pool: &Pool,
 ) -> Result<FedOutcome, FedError> {
     if fractions.len() != shards.len() {
         return Err(FedError::FractionCount {
@@ -138,19 +165,29 @@ pub fn train_federated(
         return Err(FedError::NothingContributed);
     }
 
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xfed0_5eed);
     let (loss, accuracy) = global.evaluate(test);
     let mut history = vec![RoundMetrics { round: 0, loss, accuracy }];
     for round in 1..=config.rounds {
+        // Fan out: one local-training job per contributing silo, each
+        // deterministically seeded by (round, org).
+        let locals: Vec<Option<Vec<f32>>> =
+            pool.map_indexed(contributed.len(), |org| {
+                let data = &contributed[org];
+                if data.is_empty() {
+                    return None;
+                }
+                let mut local = global.clone();
+                let mut rng =
+                    StdRng::seed_from_u64(silo_seed(config.seed, round, org));
+                local_train(&mut local, data, config, &mut rng);
+                Some(local.to_params())
+            });
+        // Merge in fixed silo order (weighted FedAvg, Eq. 3).
         let mut aggregate = vec![0.0f64; global.param_count()];
-        for (org, data) in contributed.iter().enumerate() {
-            if data.is_empty() {
-                continue;
-            }
-            let mut local = global.clone();
-            local_train(&mut local, data, config, &mut rng);
+        for (org, params) in locals.iter().enumerate() {
+            let Some(params) = params else { continue };
             let w = weights[org] / total_weight;
-            for (acc, p) in aggregate.iter_mut().zip(local.to_params()) {
+            for (acc, &p) in aggregate.iter_mut().zip(params) {
                 *acc += w * p as f64;
             }
         }
@@ -160,6 +197,21 @@ pub fn train_federated(
         history.push(RoundMetrics { round, loss, accuracy });
     }
     Ok(FedOutcome { model: global, history })
+}
+
+/// Derives the local-training RNG seed for one `(round, org)` cell:
+/// SplitMix64-style finalization over the base seed and both indices,
+/// so cells are statistically independent and each local run is
+/// reproducible in isolation.
+fn silo_seed(base: u64, round: usize, org: usize) -> u64 {
+    let mut z = base ^ 0xfed0_5eed;
+    for v in [round as u64, org as u64] {
+        z = z.wrapping_add(v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    z
 }
 
 fn local_train(model: &mut Mlp, data: &Dataset, config: &FedConfig, rng: &mut StdRng) {

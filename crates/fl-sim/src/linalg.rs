@@ -91,14 +91,21 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j over row slices: the output row is resolved once per
+        // `r` and each `a` comes off the row slice, so the inner loop
+        // is pure slice iteration with no per-element index
+        // arithmetic or bounds checks.
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k);
+            let arow = self.row(r);
+            let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
+            for (k, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
+                    // Skip, don't multiply: ReLU activations are ~half
+                    // zeros, and `0.0 * b` would still have to honor
+                    // inf/NaN in `b`.
                     continue;
                 }
                 let orow = other.row(k);
-                let out_row = out.row_mut(r);
                 for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += a * b;
                 }
@@ -116,12 +123,14 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for r in 0..self.rows {
-            for c in 0..other.rows {
+            let arow = self.row(r);
+            let out_row = &mut out.data[r * other.rows..(r + 1) * other.rows];
+            for (c, o) in out_row.iter_mut().enumerate() {
                 let mut acc = 0.0;
-                for (a, b) in self.row(r).iter().zip(other.row(c)) {
+                for (a, b) in arow.iter().zip(other.row(c)) {
                     acc += a * b;
                 }
-                out.set(r, c, acc);
+                *o = acc;
             }
         }
         out

@@ -12,7 +12,11 @@
 //!
 //! Scoped fork/join helpers ([`scope`]) and mpsc channels
 //! ([`channel`]) cover what `crossbeam` provided for the bench
-//! harness.
+//! harness. The [`pool`] submodule adds the work-stealing pool the
+//! solver and FL hot paths run on; [`parallel_map`] is now a thin
+//! fork/join veneer over it.
+
+pub mod pool;
 
 use std::sync::PoisonError;
 
@@ -94,6 +98,10 @@ impl<T: ?Sized> RwLock<T> {
 /// `crossbeam::scope` pattern, provided by std since 1.63).
 pub use std::thread::scope;
 
+/// Condition variable (std's; pairs with this module's [`Mutex`]
+/// because its guards are std guards).
+pub use std::sync::Condvar;
+
 /// Re-export of the scope handle type for signatures.
 pub use std::thread::Scope;
 
@@ -115,43 +123,22 @@ pub mod channel {
 
 /// Runs `jobs` closures on up to `workers` scoped threads and returns
 /// their results in input order — the fork/join shape the bench
-/// harness uses for embarrassingly parallel sweeps.
+/// harness uses for embarrassingly parallel sweeps. Backed by the
+/// work-stealing [`pool::Pool`].
 ///
 /// # Panics
 ///
-/// Propagates the first panic from any job.
+/// Re-raises the first panic from any job **with its original
+/// payload** (a panicking job no longer surfaces as the opaque
+/// "a scoped thread panicked" join error, and never wedges the other
+/// workers).
 pub fn parallel_map<T, F>(workers: usize, jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
     assert!(workers > 0, "parallel_map needs at least one worker");
-    let n = jobs.len();
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let next = Mutex::new(0usize);
-    // Hand each worker the shared job list behind a mutex of indexed
-    // thunks; jobs are pulled in order so results land in order.
-    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let slots: Vec<Mutex<&mut Option<T>>> = out.iter_mut().map(Mutex::new).collect();
-    scope(|s| {
-        for _ in 0..workers.min(n.max(1)) {
-            s.spawn(|| loop {
-                let i = {
-                    let mut guard = next.lock();
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                if i >= n {
-                    break;
-                }
-                let job = jobs[i].lock().take().expect("job taken once");
-                let result = job();
-                **slots[i].lock() = Some(result);
-            });
-        }
-    });
-    out.into_iter().map(|v| v.expect("every job ran")).collect()
+    pool::Pool::new(workers).map(jobs)
 }
 
 #[cfg(test)]
@@ -182,6 +169,32 @@ mod tests {
         let jobs: Vec<_> = (0..17).map(|i| move || i * i).collect();
         let got = parallel_map(4, jobs);
         assert_eq!(got, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_propagates_the_original_panic_payload() {
+        // Regression: the fork/join implementation used to surface job
+        // panics as std's opaque scope-join panic (or, with a poisoned
+        // slot mutex, hang follow-up lockers). The pool must re-raise
+        // the job's own payload.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        std::panic::panic_any(format!("job {i} exploded"));
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(2, jobs)
+        }))
+        .unwrap_err();
+        assert_eq!(
+            err.downcast_ref::<String>().expect("payload preserved"),
+            "job 3 exploded"
+        );
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! A zero-dependency work-stealing thread pool.
+//!
+//! [`Pool`] runs batches of closures across worker threads with the
+//! classic work-stealing shape: each worker owns a deque it pops LIFO
+//! (hot caches for locality), a global injector feeds overflow, and an
+//! idle worker steals FIFO from the front of a sibling's deque (the
+//! oldest — and usually largest — pending unit of work).
+//!
+//! Two deliberate design points, both downstream of the workspace's
+//! `#![forbid(unsafe_code)]`:
+//!
+//! * **Scoped workers, not resident threads.** A resident pool running
+//!   closures that borrow the caller's stack requires lifetime erasure
+//!   (`unsafe`). Instead every [`Pool::scope`] call stands up its
+//!   workers inside [`std::thread::scope`], which makes borrowed tasks
+//!   sound for free. Spawn cost (~tens of µs per worker) is noise for
+//!   the solver/FL workloads this pool serves, whose tasks are in the
+//!   hundreds-of-µs-to-ms range; [`Pool::map`] falls back to inline
+//!   execution for single-worker pools and single-job batches so the
+//!   serial path pays nothing.
+//! * **Determinism is the caller's contract, not the scheduler's.**
+//!   Task *execution order* is nondeterministic; every combinator here
+//!   returns results **in input order**, so any caller that merges
+//!   results positionally (as the solver and FL hot paths do) is
+//!   bit-identical for every worker count, including 1. This is the
+//!   threading contract `tests/determinism.rs` pins.
+//!
+//! Worker count resolution: `TRADEFL_THREADS` (clamped to `1..=256`)
+//! overrides [`std::thread::available_parallelism`] for
+//! [`Pool::global`].
+//!
+//! # Panics
+//!
+//! A panicking task does not hang or poison the pool: the first
+//! panic's **original payload** is captured and re-raised on the
+//! calling thread once the scope has drained (remaining queued tasks
+//! are abandoned, running ones finish).
+
+use super::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+/// A boxed unit of work queued on the pool.
+type Task<'t> = Box<dyn FnOnce() + Send + 't>;
+
+/// Work-stealing thread pool handle. Cheap to create; worker threads
+/// are stood up per [`Pool::scope`]/[`Pool::map`] call (see the module
+/// docs for why).
+#[derive(Debug, Clone)]
+pub struct Pool {
+    workers: usize,
+}
+
+/// Scheduling state shared between the scope body and the workers.
+struct Shared<'t> {
+    /// Global FIFO injector: tasks not yet assigned to a worker.
+    injector: Mutex<VecDeque<Task<'t>>>,
+    /// Per-worker deques: owner pops back (LIFO), thieves pop front.
+    deques: Vec<Mutex<VecDeque<Task<'t>>>>,
+    /// Counters + shutdown flag guarded by one short-lived lock.
+    state: Mutex<State>,
+    /// Wakes idle workers on spawn and on close.
+    signal: Condvar,
+    /// First panic payload raised by a task.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Tasks currently sitting in the injector or any deque.
+    queued: usize,
+    /// Set once the scope body has returned (or unwound): no further
+    /// spawns can happen, workers drain and exit.
+    closed: bool,
+    /// Set on the first task panic: pending tasks are dropped instead
+    /// of run, so the payload surfaces promptly.
+    aborted: bool,
+    /// Round-robin cursor for assigning spawned tasks to deques.
+    next_deque: usize,
+}
+
+impl<'t> Shared<'t> {
+    fn new(workers: usize) -> Self {
+        Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(State::default()),
+            signal: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Queues a task on the next deque in round-robin order (the
+    /// injector catches overflow only via stealing misses, keeping the
+    /// common path contention-free on the owner's deque).
+    fn push(&self, task: Task<'t>) {
+        let target = {
+            let mut st = self.state.lock();
+            st.queued += 1;
+            let t = st.next_deque;
+            st.next_deque = (st.next_deque + 1) % self.deques.len();
+            t
+        };
+        self.deques[target].lock().push_back(task);
+        self.signal.notify_one();
+    }
+
+    /// Takes one task: own deque back, then injector front, then steal
+    /// a sibling's front. Returns `None` when every queue is empty.
+    fn grab(&self, me: usize) -> Option<Task<'t>> {
+        if let Some(t) = self.deques[me].lock().pop_back() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            if let Some(t) = self.deques[(me + k) % n].lock().pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        drop(slot);
+        self.state.lock().aborted = true;
+    }
+
+    /// Marks the scope closed and wakes everyone so workers can exit.
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.signal.notify_all();
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            if let Some(task) = self.grab(me) {
+                let run = {
+                    let mut st = self.state.lock();
+                    st.queued -= 1;
+                    !st.aborted
+                };
+                if run {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                        self.record_panic(payload);
+                    }
+                } else {
+                    drop(task);
+                }
+                continue;
+            }
+            let st = self.state.lock();
+            // Re-check under the lock: a push between `grab` and here
+            // bumps `queued`, so we cannot miss a wake-up.
+            if st.queued > 0 {
+                continue;
+            }
+            if st.closed {
+                return;
+            }
+            drop(self.signal.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner));
+        }
+    }
+}
+
+/// Closes the shared state when the scope body exits — including by
+/// panic, so workers never wait forever on a scope that unwound.
+struct CloseOnDrop<'s, 't>(&'s Shared<'t>);
+
+impl Drop for CloseOnDrop<'_, '_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Spawn handle passed to the closure of [`Pool::scope`].
+pub struct PoolScope<'s, 't> {
+    shared: &'s Shared<'t>,
+}
+
+impl std::fmt::Debug for PoolScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolScope").finish_non_exhaustive()
+    }
+}
+
+impl<'s, 't> PoolScope<'s, 't> {
+    /// Queues `task` for execution by the scope's workers. Tasks may
+    /// borrow anything that outlives the [`Pool::scope`] call.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 't) {
+        self.shared.push(Box::new(task));
+    }
+}
+
+impl Pool {
+    /// A pool handle with exactly `workers` worker threads per scope
+    /// (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool { workers: workers.max(1) }
+    }
+
+    /// The process-wide pool: `TRADEFL_THREADS` if set, else
+    /// [`std::thread::available_parallelism`]. Resolved once.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+            Pool::new(
+                thread_override(std::env::var("TRADEFL_THREADS").ok().as_deref())
+                    .unwrap_or(fallback),
+            )
+        })
+    }
+
+    /// Number of worker threads a scope of this pool runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `body` with a spawn handle; every spawned task completes
+    /// before `scope` returns. The first task panic is re-raised here
+    /// with its original payload after the scope drains.
+    pub fn scope<'t, R>(&self, body: impl FnOnce(&PoolScope<'_, 't>) -> R) -> R {
+        let shared: Shared<'t> = Shared::new(self.workers);
+        let out = std::thread::scope(|s| {
+            for w in 0..self.workers {
+                let shared = &shared;
+                s.spawn(move || shared.worker_loop(w));
+            }
+            let _closer = CloseOnDrop(&shared);
+            body(&PoolScope { shared: &shared })
+        });
+        if let Some(payload) = shared.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        out
+    }
+
+    /// Runs every job and returns the results **in input order**
+    /// (execution order is up to the scheduler). Single-worker pools
+    /// and single-job batches run inline without spawning threads.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first job panic with its original payload.
+    pub fn map<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if self.workers == 1 || jobs.len() <= 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (slot, job) in slots.iter().zip(jobs) {
+                s.spawn(move || {
+                    *slot.lock() = Some(job());
+                });
+            }
+        });
+        slots.into_iter().map(|m| m.into_inner().expect("pool scope ran every job")).collect()
+    }
+
+    /// Applies `f` to every index in `0..n`, returning results in index
+    /// order. Indices are grouped into contiguous chunks (a few per
+    /// worker) so per-task overhead amortizes while stealing can still
+    /// rebalance uneven chunks.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(self.workers * CHUNKS_PER_WORKER).max(1);
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..n).step_by(chunk).map(|lo| lo..(lo + chunk).min(n)).collect();
+        let f = &f;
+        self.map(
+            ranges
+                .into_iter()
+                .map(|r| move || r.map(f).collect::<Vec<T>>())
+                .collect(),
+        )
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// How many stealable chunks [`Pool::map_indexed`] cuts per worker.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Parses a `TRADEFL_THREADS` value: a positive integer, clamped to
+/// 256. Unset, empty, or unparsable values return `None` (the caller
+/// falls back to the detected parallelism).
+pub fn thread_override(raw: Option<&str>) -> Option<usize> {
+    let n: usize = raw?.trim().parse().ok()?;
+    if n == 0 {
+        None
+    } else {
+        Some(n.min(256))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_returns_results_in_input_order() {
+        for workers in [1, 2, 4, 8] {
+            let pool = Pool::new(workers);
+            let jobs: Vec<_> = (0..53).map(|i| move || i * 3).collect();
+            assert_eq!(pool.map(jobs), (0..53).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_for_every_worker_count() {
+        let serial: Vec<u64> = (0..1000u64).map(|i| i * i + 1).collect();
+        for workers in [1, 2, 3, 7] {
+            let got = Pool::new(workers).map_indexed(1000, |i| (i as u64) * (i as u64) + 1);
+            assert_eq!(got, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn scope_runs_borrowed_tasks_with_stealing() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panic_payload_is_propagated_verbatim() {
+        let pool = Pool::new(3);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..8).map(|i| move || {
+                if i == 5 {
+                    std::panic::panic_any(String::from("original payload 5"));
+                }
+                i
+            }).collect::<Vec<_>>());
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("payload type preserved");
+        assert_eq!(msg, "original payload 5");
+    }
+
+    #[test]
+    fn panic_in_scope_body_does_not_hang_workers() {
+        let pool = Pool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| {});
+                panic!("scope body panic");
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "scope body panic");
+    }
+
+    #[test]
+    fn empty_and_single_job_batches_run_inline() {
+        let pool = Pool::new(4);
+        let empty: Vec<fn() -> u8> = Vec::new();
+        assert!(pool.map(empty).is_empty());
+        assert_eq!(pool.map(vec![|| 9u8]), vec![9]);
+        assert!(pool.map_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn thread_override_parses_and_clamps() {
+        assert_eq!(thread_override(None), None);
+        assert_eq!(thread_override(Some("")), None);
+        assert_eq!(thread_override(Some("0")), None);
+        assert_eq!(thread_override(Some("nope")), None);
+        assert_eq!(thread_override(Some("4")), Some(4));
+        assert_eq!(thread_override(Some(" 12 ")), Some(12));
+        assert_eq!(thread_override(Some("100000")), Some(256));
+    }
+
+    #[test]
+    fn global_pool_has_at_least_one_worker() {
+        assert!(Pool::global().workers() >= 1);
+    }
+}

@@ -9,6 +9,7 @@
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
+use tradefl_runtime::sync::pool::Pool;
 
 /// Which payoff an organization best-responds to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +59,8 @@ pub struct BestResponse {
     pub payoff: f64,
 }
 
-/// Computes organization `i`'s best response to `profile`'s `π_-i`.
+/// Computes organization `i`'s best response to `profile`'s `π_-i` on
+/// the global work-stealing pool (see [`best_response_with`]).
 ///
 /// Returns `None` only if no compute level admits a feasible data
 /// fraction (the market constructor normally rules this out).
@@ -68,21 +70,69 @@ pub fn best_response<A: AccuracyModel>(
     i: usize,
     objective: Objective,
 ) -> Option<BestResponse> {
-    let market = game.market();
-    let org = market.org(i);
-    let mut best: Option<BestResponse> = None;
-    for level in 0..org.compute_level_count() {
-        let Some((lo, hi)) = market.feasible_range(i, level) else {
-            continue;
+    best_response_with(game, profile, i, objective, Pool::global())
+}
+
+/// Minimum estimated sweep work (`levels × |N|`, proportional to the
+/// number of payoff-term evaluations the bisections will do) before
+/// the per-level search fans out to the pool. `Pool::scope` stands up
+/// scoped workers per call (~100µs); a single level's bisection on a
+/// paper-scale market is ~25µs, so pooling only pays on markets with
+/// big ladders *and* many organizations. Depends only on the instance,
+/// never on the worker count — and both paths merge identically, so
+/// the choice cannot affect results.
+const POOLED_SEARCH_MIN_WORK: usize = 256;
+
+/// [`best_response`] on an explicit pool: the per-level 1-D
+/// maximizations run as independent pool jobs and the per-level optima
+/// merge in ladder order with a strict-improvement comparison — the
+/// serial loop's first-maximum-wins (lowest level wins ties) rule — so
+/// the result is bit-identical for every worker count. Each level's
+/// bisection depends only on `(game, profile, i, level)`, never on the
+/// other levels, so parallelism cannot perturb any individual
+/// candidate either.
+pub fn best_response_with<A: AccuracyModel>(
+    game: &CoopetitionGame<A>,
+    profile: &StrategyProfile,
+    i: usize,
+    objective: Objective,
+    pool: &Pool,
+) -> Option<BestResponse> {
+    let levels = game.market().org(i).compute_level_count();
+    let work = levels * game.market().len();
+    let candidates: Vec<Option<BestResponse>> =
+        if pool.workers() > 1 && levels > 1 && work >= POOLED_SEARCH_MIN_WORK {
+            pool.map_indexed(levels, |level| {
+                level_candidate(game, profile, i, level, objective)
+            })
+        } else {
+            (0..levels)
+                .map(|level| level_candidate(game, profile, i, level, objective))
+                .collect()
         };
-        let d = maximize_concave_1d(game, profile, i, level, lo, hi, objective);
-        let candidate = Strategy::new(d, level);
-        let payoff = objective.payoff(game, &profile.with(i, candidate), i);
-        if best.map_or(true, |b| payoff > b.payoff) {
-            best = Some(BestResponse { strategy: candidate, payoff });
+    let mut best: Option<BestResponse> = None;
+    for candidate in candidates.into_iter().flatten() {
+        if best.map_or(true, |b| candidate.payoff > b.payoff) {
+            best = Some(candidate);
         }
     }
     best
+}
+
+/// The best feasible `(d, payoff)` at one fixed ladder level, or
+/// `None` when the level cannot meet the deadline at any `d`.
+fn level_candidate<A: AccuracyModel>(
+    game: &CoopetitionGame<A>,
+    profile: &StrategyProfile,
+    i: usize,
+    level: usize,
+    objective: Objective,
+) -> Option<BestResponse> {
+    let (lo, hi) = game.market().feasible_range(i, level)?;
+    let d = maximize_concave_1d(game, profile, i, level, lo, hi, objective);
+    let candidate = Strategy::new(d, level);
+    let payoff = objective.payoff(game, &profile.with(i, candidate), i);
+    Some(BestResponse { strategy: candidate, payoff })
 }
 
 /// Maximizes the concave payoff in `d` on `[lo, hi]` at a fixed level by

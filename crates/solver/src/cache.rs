@@ -1,0 +1,232 @@
+//! Memoized payoff evaluation shared across best-response sweeps.
+//!
+//! Best-response dynamics revisit the *same* strategy profile many
+//! times per round: every organization reads its current payoff at the
+//! round's incumbent profile, the round-end trace re-evaluates all `n`
+//! payoffs at that profile again, and rejected moves leave the profile
+//! unchanged for the next mover. [`PayoffCache`] memoizes the full
+//! payoff **vector** per (objective, profile) pair so those repeat
+//! evaluations become a hash lookup instead of `n` fresh
+//! `CoopetitionGame` traversals.
+//!
+//! # Determinism contract
+//!
+//! A cached vector is the verbatim result of the first evaluation, so
+//! a hit is **bit-identical** to recomputation — the cache can never
+//! change a solver's output, only its wall-clock. Keys hash the raw
+//! IEEE-754 bits of each `d_i` (`f64::to_bits`), so distinct NaN
+//! payloads or `±0.0` map to distinct entries rather than risking a
+//! wrong hit.
+
+use crate::bestresponse::Objective;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tradefl_core::accuracy::AccuracyModel;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_core::strategy::StrategyProfile;
+use tradefl_runtime::sync::Mutex;
+
+/// Exact profile identity: objective tag plus `(d_i bits, level_i)`
+/// per organization.
+type Key = (u8, Vec<(u64, usize)>);
+
+fn objective_tag(objective: Objective) -> u8 {
+    match objective {
+        Objective::Full => 0,
+        Objective::WithoutRedistribution => 1,
+    }
+}
+
+fn key(objective: Objective, profile: &StrategyProfile) -> Key {
+    (
+        objective_tag(objective),
+        profile.iter().map(|s| (s.d.to_bits(), s.level)).collect(),
+    )
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Key, Arc<[f64]>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A memoizing payoff evaluator keyed on exact strategy profiles.
+///
+/// Thread-safe (a [`Mutex`] around the table) so one cache can be
+/// shared across a pooled sweep; evaluation itself happens outside the
+/// lock, so a slow miss never blocks concurrent hits for long. The
+/// table is bounded by an epoch rule: when it reaches the entry limit
+/// it is cleared wholesale (best-response dynamics only ever re-read
+/// *recent* profiles, so wholesale epochs lose almost nothing and keep
+/// the bound O(1) to enforce).
+#[derive(Debug)]
+pub struct PayoffCache {
+    inner: Mutex<Inner>,
+    limit: usize,
+}
+
+impl Default for PayoffCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PayoffCache {
+    /// Default entry limit before an epoch clear.
+    pub const DEFAULT_LIMIT: usize = 8192;
+
+    /// Creates an empty cache with [`Self::DEFAULT_LIMIT`].
+    pub fn new() -> Self {
+        Self::with_limit(Self::DEFAULT_LIMIT)
+    }
+
+    /// Creates an empty cache that clears itself upon reaching
+    /// `limit` entries (minimum 1).
+    pub fn with_limit(limit: usize) -> Self {
+        Self { inner: Mutex::new(Inner::default()), limit: limit.max(1) }
+    }
+
+    /// Returns the payoff vector `(C_0, …, C_{n-1})` at `profile`
+    /// under `objective`, evaluating and memoizing it on first sight.
+    pub fn payoffs<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+        profile: &StrategyProfile,
+        objective: Objective,
+    ) -> Arc<[f64]> {
+        let k = key(objective, profile);
+        if let Some(hit) = {
+            let mut inner = self.inner.lock();
+            let hit = inner.map.get(&k).cloned();
+            if hit.is_some() {
+                inner.hits += 1;
+            }
+            hit
+        } {
+            return hit;
+        }
+        let n = game.market().len();
+        let values: Arc<[f64]> =
+            (0..n).map(|i| objective.payoff(game, profile, i)).collect();
+        let mut inner = self.inner.lock();
+        inner.misses += 1;
+        if inner.map.len() >= self.limit {
+            inner.map.clear();
+        }
+        // First write wins on a race: both racers computed the same
+        // pure function, so either value is the canonical one.
+        inner.map.entry(k).or_insert_with(|| values.clone());
+        values
+    }
+
+    /// Organization `i`'s memoized payoff at `profile`.
+    pub fn payoff<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+        profile: &StrategyProfile,
+        objective: Objective,
+        i: usize,
+    ) -> f64 {
+        self.payoffs(game, profile, objective)[i]
+    }
+
+    /// Number of memoized profiles currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tradefl_core::accuracy::SqrtAccuracy;
+    use tradefl_core::config::MarketConfig;
+    use tradefl_runtime::{prop_assert, props};
+
+    fn game(n: usize, seed: u64) -> CoopetitionGame<SqrtAccuracy> {
+        let market = MarketConfig::table_ii().with_orgs(n).build(seed).unwrap();
+        CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let g = game(4, 9);
+        let p = StrategyProfile::minimal(g.market());
+        let cache = PayoffCache::new();
+        let a = cache.payoffs(&g, &p, Objective::Full);
+        let b = cache.payoffs(&g, &p, Objective::Full);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a hit");
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn objectives_do_not_collide() {
+        let g = game(3, 4);
+        let p = StrategyProfile::minimal(g.market());
+        let cache = PayoffCache::new();
+        let full = cache.payoffs(&g, &p, Objective::Full);
+        let wpr = cache.payoffs(&g, &p, Objective::WithoutRedistribution);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(full, wpr, "γ > 0 makes the two objectives differ");
+    }
+
+    #[test]
+    fn epoch_clear_bounds_the_table() {
+        let g = game(3, 4);
+        let cache = PayoffCache::with_limit(4);
+        for k in 0..20 {
+            let d = 0.2 + 0.03 * k as f64;
+            let p = StrategyProfile::from_parts(&[d, 0.5, 0.5], &[0, 0, 0]);
+            cache.payoffs(&g, &p, Objective::Full);
+            assert!(cache.len() <= 4);
+        }
+    }
+
+    props! {
+        #![cases = 48]
+
+        fn cached_payoffs_are_bit_identical_to_recomputed(g) {
+            let n = g.usize(2..=6);
+            let game = game(n, g.u64(0..500));
+            let cache = PayoffCache::new();
+            let objective = if g.u64(0..2) == 0 {
+                Objective::Full
+            } else {
+                Objective::WithoutRedistribution
+            };
+            // A random profile: d in [d_min, 1], any ladder level.
+            let d_min = game.market().params().d_min;
+            let profile: StrategyProfile = (0..n)
+                .map(|i| {
+                    let levels = game.market().org(i).compute_level_count();
+                    tradefl_core::strategy::Strategy::new(
+                        g.f64(d_min..1.0),
+                        g.usize(0..levels),
+                    )
+                })
+                .collect();
+            let warm = cache.payoffs(&game, &profile, objective);
+            let cached = cache.payoffs(&game, &profile, objective);
+            for i in 0..n {
+                let fresh = objective.payoff(&game, &profile, i);
+                prop_assert!(
+                    cached[i].to_bits() == fresh.to_bits(),
+                    "org {} cached {} != fresh {}", i, cached[i], fresh
+                );
+            }
+            prop_assert!(Arc::ptr_eq(&warm, &cached));
+        }
+    }
+}

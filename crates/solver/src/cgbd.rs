@@ -20,6 +20,7 @@ use crate::outcome::{Equilibrium, Scheme};
 use crate::primal::PrimalProblem;
 use std::collections::HashSet;
 use tradefl_core::accuracy::AccuracyModel;
+use tradefl_runtime::sync::pool::Pool;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
 
@@ -217,7 +218,8 @@ impl CgbdSolver {
 
 /// Brute-force oracle: solves the primal for **every** ladder assignment
 /// and returns the best profile and potential. Exponential in `|N|`;
-/// intended for tests and small-instance validation of Lemma 3.
+/// intended for tests and small-instance validation of Lemma 3. Runs
+/// on the global work-stealing pool (see [`exhaustive_optimum_with`]).
 ///
 /// # Errors
 ///
@@ -227,39 +229,75 @@ pub fn exhaustive_optimum<A: AccuracyModel>(
     game: &CoopetitionGame<A>,
     primal_tol: f64,
 ) -> Result<(StrategyProfile, f64)> {
+    exhaustive_optimum_with(game, primal_tol, Pool::global())
+}
+
+/// [`exhaustive_optimum`] on an explicit pool: the ladder product
+/// space is split into index ranges, each chunk solves its primals
+/// independently, and chunk winners merge in index order with
+/// strict-improvement comparisons — the same first-maximum-wins rule
+/// as the serial loop, so results are bit-identical for every worker
+/// count. Primal solves depend only on `(game, levels)`, so
+/// parallelism cannot change any individual solution either.
+///
+/// # Errors
+///
+/// See [`exhaustive_optimum`]. When several assignments fail
+/// numerically, the error reported is the one at the smallest
+/// assignment index (the serial loop would have stopped at it first).
+pub fn exhaustive_optimum_with<A: AccuracyModel>(
+    game: &CoopetitionGame<A>,
+    primal_tol: f64,
+    pool: &Pool,
+) -> Result<(StrategyProfile, f64)> {
     let market = game.market();
     let sizes: Vec<usize> =
         market.orgs().iter().map(|o| o.compute_level_count()).collect();
-    let mut levels = vec![0usize; sizes.len()];
-    let mut best: Option<(StrategyProfile, f64)> = None;
-    loop {
-        let primal = PrimalProblem::new(game, &levels);
-        if primal.is_feasible() {
-            let sol = primal.solve(primal_tol)?;
-            if best.as_ref().map_or(true, |(_, u)| sol.value > *u) {
-                let profile: StrategyProfile = sol
-                    .d
-                    .iter()
-                    .zip(&levels)
-                    .map(|(&d, &l)| Strategy::new(d, l))
-                    .collect();
-                best = Some((profile, sol.value));
+    let total: usize = sizes.iter().product();
+    let results: Vec<Result<Option<(usize, StrategyProfile, f64)>>> =
+        pool.map_indexed(total.div_ceil(EXHAUSTIVE_CHUNK), |c| {
+            let lo = c * EXHAUSTIVE_CHUNK;
+            let hi = (lo + EXHAUSTIVE_CHUNK).min(total);
+            let mut levels = vec![0usize; sizes.len()];
+            let mut best: Option<(usize, StrategyProfile, f64)> = None;
+            for idx in lo..hi {
+                let mut rem = idx;
+                for (l, &m) in levels.iter_mut().zip(&sizes) {
+                    *l = rem % m;
+                    rem /= m;
+                }
+                let primal = PrimalProblem::new(game, &levels);
+                if primal.is_feasible() {
+                    let sol = primal.solve(primal_tol)?;
+                    if best.as_ref().map_or(true, |(_, _, u)| sol.value > *u) {
+                        let profile: StrategyProfile = sol
+                            .d
+                            .iter()
+                            .zip(&levels)
+                            .map(|(&d, &l)| Strategy::new(d, l))
+                            .collect();
+                        best = Some((idx, profile, sol.value));
+                    }
+                }
             }
-        }
-        let mut pos = 0;
-        loop {
-            if pos == sizes.len() {
-                return best.ok_or(SolveError::InfeasibleProblem { org: 0 });
+            Ok(best)
+        });
+    let mut best: Option<(usize, StrategyProfile, f64)> = None;
+    for chunk in results {
+        if let Some((idx, profile, value)) = chunk? {
+            if best.as_ref().map_or(true, |(_, _, u)| value > *u) {
+                best = Some((idx, profile, value));
             }
-            levels[pos] += 1;
-            if levels[pos] < sizes[pos] {
-                break;
-            }
-            levels[pos] = 0;
-            pos += 1;
         }
     }
+    best.map(|(_, profile, value)| (profile, value))
+        .ok_or(SolveError::InfeasibleProblem { org: 0 })
 }
+
+/// Ladder assignments per oracle chunk: primal solves are the unit of
+/// work (hundreds of µs each), so modest chunks keep stealable slack
+/// without per-task overhead mattering.
+const EXHAUSTIVE_CHUNK: usize = 16;
 
 /// Convenience: the master epigraph value at a specific assignment,
 /// re-exported for diagnostics.

@@ -6,10 +6,12 @@
 //! improving move strictly increases the potential and the dynamics
 //! reach a Nash equilibrium in finitely many effective updates \[33\].
 
-use crate::bestresponse::{best_response, Objective};
+use crate::bestresponse::{best_response_with, Objective};
+use crate::cache::PayoffCache;
 use crate::error::{Result, SolveError};
 use crate::outcome::{Equilibrium, Scheme};
 use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
+use tradefl_runtime::sync::pool::Pool;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::StrategyProfile;
@@ -106,7 +108,22 @@ impl DbrSolver {
         self.solve_from(game, StrategyProfile::minimal(game.market()))
     }
 
-    /// Runs best-response dynamics from an explicit starting profile.
+    /// [`DbrSolver::solve`] on an explicit pool (see
+    /// [`DbrSolver::solve_from_with`] for the threading contract).
+    ///
+    /// # Errors
+    ///
+    /// See [`DbrSolver::solve`].
+    pub fn solve_with<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+        pool: &Pool,
+    ) -> Result<Equilibrium> {
+        self.solve_from_with(game, StrategyProfile::minimal(game.market()), pool)
+    }
+
+    /// Runs best-response dynamics from an explicit starting profile on
+    /// the global work-stealing pool.
     ///
     /// # Errors
     ///
@@ -117,12 +134,34 @@ impl DbrSolver {
         game: &CoopetitionGame<A>,
         start: StrategyProfile,
     ) -> Result<Equilibrium> {
+        self.solve_from_with(game, start, Pool::global())
+    }
+
+    /// [`DbrSolver::solve_from`] on an explicit pool. The dynamics stay
+    /// strictly sequential across organizations (Algorithm 2's
+    /// Gauss-Seidel order is part of the convergence argument); the
+    /// parallelism lives *inside* each best response
+    /// ([`best_response_with`]), and a [`PayoffCache`] memoizes the
+    /// incumbent profile's payoff vector across movers and trace rows.
+    /// Both are bit-transparent, so results are identical for every
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`DbrSolver::solve_from`].
+    pub fn solve_from_with<A: AccuracyModel>(
+        &self,
+        game: &CoopetitionGame<A>,
+        start: StrategyProfile,
+        pool: &Pool,
+    ) -> Result<Equilibrium> {
         start.validate(game.market())?;
+        let cache = PayoffCache::new();
         let n = game.market().len();
         let mut profile = start;
         let mut potential_trace = vec![game.potential(&profile)];
         let mut payoff_traces =
-            vec![(0..n).map(|i| game.payoff(&profile, i)).collect::<Vec<_>>()];
+            vec![cache.payoffs(game, &profile, Objective::Full).to_vec()];
         let mut rng = match self.options.order {
             UpdateOrder::Shuffled { seed } => Some(StdRng::seed_from_u64(seed)),
             UpdateOrder::RoundRobin => None,
@@ -139,9 +178,11 @@ impl DbrSolver {
             let mut round_gain = 0.0f64;
             let mut payoff_scale = 1.0f64;
             for &i in &order {
-                let current = self.options.objective.payoff(game, &profile, i);
-                let br = best_response(game, &profile, i, self.options.objective)
-                    .ok_or(SolveError::InfeasibleProblem { org: i })?;
+                let current =
+                    cache.payoff(game, &profile, self.options.objective, i);
+                let br =
+                    best_response_with(game, &profile, i, self.options.objective, pool)
+                        .ok_or(SolveError::InfeasibleProblem { org: i })?;
                 // Damped step toward the best response; the candidate is
                 // only accepted if it improves the mover's payoff, which
                 // keeps the potential monotone even across level jumps.
@@ -179,7 +220,8 @@ impl DbrSolver {
                 }
             }
             potential_trace.push(game.potential(&profile));
-            payoff_traces.push((0..n).map(|i| game.payoff(&profile, i)).collect());
+            payoff_traces
+                .push(cache.payoffs(game, &profile, Objective::Full).to_vec());
             // Stop on a fixed point, or when the largest accepted payoff
             // improvement in a full round is below solver precision —
             // in a (weighted) potential game residual micro-moves of

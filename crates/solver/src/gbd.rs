@@ -10,6 +10,7 @@
 
 use crate::error::{Result, SolveError};
 use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
+use tradefl_runtime::sync::pool::Pool;
 use std::collections::HashSet;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
@@ -221,6 +222,15 @@ pub struct MasterSolution {
     pub evaluated: usize,
 }
 
+/// Candidate spaces at least this large route the traversal through
+/// the pooled table scan ([`traverse_pooled`]); smaller ones stay on
+/// the reference odometer loop, whose per-candidate cost is already
+/// below the table-build overhead. The threshold deliberately depends
+/// only on the instance — never on the worker count — so the selected
+/// code path (and hence every last bit of the result) is identical
+/// under `TRADEFL_THREADS=1` and any other setting.
+const POOLED_TRAVERSAL_MIN_COMBOS: u128 = 512;
+
 /// Solves the master problem (23), preferring assignments not in
 /// `visited` (Lemma 2: no `f` repeats itself).
 ///
@@ -238,11 +248,28 @@ pub fn solve_master<A: AccuracyModel>(
     visited: &HashSet<Vec<usize>>,
 ) -> Result<MasterSolution> {
     match search {
-        MasterSearch::Traversal { cap } => traverse(game, cuts, visited, cap),
+        MasterSearch::Traversal { cap } => {
+            let combos = combination_count(game);
+            if combos >= POOLED_TRAVERSAL_MIN_COMBOS {
+                traverse_pooled(game, cuts, visited, cap, Pool::global())
+            } else {
+                traverse_reference(game, cuts, visited, cap)
+            }
+        }
         MasterSearch::CoordinateDescent { restarts, max_sweeps, seed } => {
             coordinate_descent(game, cuts, visited, restarts, max_sweeps, seed)
         }
     }
+}
+
+/// Size of the ladder product space `|𝓕| = Π m_i`.
+fn combination_count<A: AccuracyModel>(game: &CoopetitionGame<A>) -> u128 {
+    game.market()
+        .orgs()
+        .iter()
+        .map(|o| o.compute_level_count() as u128)
+        .try_fold(1u128, u128::checked_mul)
+        .unwrap_or(u128::MAX)
 }
 
 fn ladder_sizes<A: AccuracyModel>(game: &CoopetitionGame<A>) -> Vec<usize> {
@@ -253,7 +280,16 @@ fn ladder_sizes<A: AccuracyModel>(game: &CoopetitionGame<A>) -> Vec<usize> {
         .collect()
 }
 
-fn traverse<A: AccuracyModel>(
+/// The paper-faithful odometer traversal, evaluating
+/// [`Cut::evaluate`] per candidate. Kept as the reference
+/// implementation (and the fast path for small candidate spaces, where
+/// building the lookup tables of [`traverse_pooled`] costs more than
+/// it saves).
+///
+/// # Errors
+///
+/// See [`solve_master`].
+pub fn traverse_reference<A: AccuracyModel>(
     game: &CoopetitionGame<A>,
     cuts: &[Cut],
     visited: &HashSet<Vec<usize>>,
@@ -304,6 +340,228 @@ fn traverse<A: AccuracyModel>(
             pos += 1;
         }
     }
+}
+
+/// Per-cut lookup tables for the pooled traversal.
+///
+/// Every cut of (20)/(22) is **separable across organizations** at a
+/// fixed candidate: the optimality cut's epigraph value is a constant
+/// (anchor data) plus one term per organization that depends only on
+/// that organization's own ladder level, and a feasibility cut's
+/// violation is a pure sum of per-organization residual terms. So the
+/// whole cut stack collapses into `per_org[i][level]` tables built
+/// once per master solve — candidate evaluation then costs one add
+/// per (cut, org) instead of re-deriving frequencies, energy prices
+/// and Lagrangian coefficients every time. This is what makes the
+/// traversal worth parallelizing at all: the tables shrink the
+/// per-candidate constant, the pool splits the `Π m_i` candidates.
+///
+/// The tables reproduce [`Cut::evaluate`]'s arithmetic with each
+/// organization's three sub-terms pre-summed; the grouping changes the
+/// floating-point rounding by at most an ulp-level reassociation,
+/// which is why the reference path is kept byte-stable and the
+/// selection between paths depends only on the instance size.
+#[derive(Debug)]
+struct CutTables {
+    /// `(base, per_org)` for each optimality cut: value at a candidate
+    /// is `base + Σ_i per_org[i][levels[i]]`.
+    optimality: Vec<(f64, Vec<Vec<f64>>)>,
+    /// `per_org` for each feasibility cut: violation is
+    /// `Σ_i per_org[i][levels[i]]`, infeasible when `> 1e-9`.
+    feasibility: Vec<Vec<Vec<f64>>>,
+}
+
+impl CutTables {
+    fn build<A: AccuracyModel>(game: &CoopetitionGame<A>, cuts: &[Cut]) -> Self {
+        let market = game.market();
+        let params = market.params();
+        let n = market.len();
+        let mut optimality = Vec::new();
+        let mut feasibility = Vec::new();
+        for cut in cuts {
+            match cut {
+                Cut::Optimality { d: _, u, omega, p_value, p_deriv } => {
+                    let base = -p_value + p_deriv * omega;
+                    let per_org: Vec<Vec<f64>> = (0..n)
+                        .map(|i| {
+                            let org = market.org(i);
+                            let s = org.data_bits();
+                            let z = market.weight(i);
+                            let q = market.competition_pressure(i);
+                            org.compute_levels()
+                                .iter()
+                                .map(|&f| {
+                                    let c = (params.gamma * q
+                                        - params.omega_e * params.kappa * f * f * org.eta())
+                                        * s
+                                        / z;
+                                    let coeff = -p_deriv * org.effective_bits() - c
+                                        + u[i] * org.eta() * s / f;
+                                    let linear =
+                                        if coeff > 0.0 { coeff * params.d_min } else { coeff };
+                                    linear + u[i] * (org.comm_time() - params.tau)
+                                        - (params.gamma * q * params.lambda * f
+                                            - params.omega_e * org.comm_energy())
+                                            / z
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    optimality.push((base, per_org));
+                }
+                Cut::Feasibility { d, lambda } => {
+                    let per_org: Vec<Vec<f64>> = (0..n)
+                        .map(|i| {
+                            let org = market.org(i);
+                            org.compute_levels()
+                                .iter()
+                                .map(|&f| {
+                                    lambda[i]
+                                        * (org.comm_time() + org.training_time(d[i], f)
+                                            - params.tau)
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    feasibility.push(per_org);
+                }
+            }
+        }
+        CutTables { optimality, feasibility }
+    }
+
+    /// Master objective at `levels`, or `None` on a feasibility-cut
+    /// violation — the table-based analogue of [`master_value`].
+    fn value(&self, levels: &[usize]) -> Option<f64> {
+        for per_org in &self.feasibility {
+            let violation: f64 =
+                per_org.iter().zip(levels).map(|(t, &l)| t[l]).sum();
+            if violation > 1e-9 {
+                return None;
+            }
+        }
+        if self.optimality.is_empty() {
+            // No epigraph yet — mirror `master_value`'s flat surface.
+            return Some(0.0);
+        }
+        let mut best = f64::NEG_INFINITY;
+        for (base, per_org) in &self.optimality {
+            let v = base + per_org.iter().zip(levels).map(|(t, &l)| t[l]).sum::<f64>();
+            best = best.max(v);
+        }
+        Some(best)
+    }
+}
+
+/// Decodes candidate `index` into the mixed-radix odometer state the
+/// reference traversal would reach after `index` increments (digit 0
+/// runs fastest).
+fn decode_levels(mut index: usize, sizes: &[usize], levels: &mut [usize]) {
+    for (l, &m) in levels.iter_mut().zip(sizes) {
+        *l = index % m;
+        index /= m;
+    }
+}
+
+/// Chunk-local scan results: `(index, φ)` of the best candidate and of
+/// the best *unvisited* candidate, if any.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkBest {
+    best: Option<(usize, f64)>,
+    best_fresh: Option<(usize, f64)>,
+}
+
+/// The pooled traversal: per-cut tables built once, the `Π m_i`
+/// candidate space split into index ranges scanned by the
+/// work-stealing pool, chunk results merged **in chunk order with
+/// strict-improvement comparisons** — exactly the first-minimum-wins
+/// rule of the serial odometer loop, so the outcome is bit-identical
+/// for every worker count (including 1).
+///
+/// # Errors
+///
+/// See [`solve_master`].
+pub fn traverse_pooled<A: AccuracyModel>(
+    game: &CoopetitionGame<A>,
+    cuts: &[Cut],
+    visited: &HashSet<Vec<usize>>,
+    cap: u128,
+    pool: &Pool,
+) -> Result<MasterSolution> {
+    let sizes = ladder_sizes(game);
+    let combinations = sizes
+        .iter()
+        .try_fold(1u128, |acc, &m| acc.checked_mul(m as u128))
+        .unwrap_or(u128::MAX);
+    if combinations > cap {
+        return Err(SolveError::MasterTooLarge { combinations, cap });
+    }
+    let total = usize::try_from(combinations)
+        .map_err(|_| SolveError::MasterTooLarge { combinations, cap })?;
+    let tables = CutTables::build(game, cuts);
+    let chunk = total.div_ceil(pool.workers() * 4).max(1);
+    let starts: Vec<usize> = (0..total).step_by(chunk).collect();
+    let chunk_bests: Vec<ChunkBest> = pool.map(
+        starts
+            .iter()
+            .map(|&lo| {
+                let (tables, sizes, visited) = (&tables, &sizes, visited);
+                move || {
+                    let hi = (lo + chunk).min(total);
+                    let mut levels = vec![0usize; sizes.len()];
+                    decode_levels(lo, sizes, &mut levels);
+                    let mut out = ChunkBest::default();
+                    for idx in lo..hi {
+                        if let Some(phi) = tables.value(&levels) {
+                            if out.best.map_or(true, |(_, b)| phi < b) {
+                                out.best = Some((idx, phi));
+                            }
+                            if out.best_fresh.map_or(true, |(_, b)| phi < b)
+                                && !visited.contains(levels.as_slice())
+                            {
+                                out.best_fresh = Some((idx, phi));
+                            }
+                        }
+                        // Odometer increment (digit 0 fastest).
+                        for (l, &m) in levels.iter_mut().zip(sizes.iter()) {
+                            *l += 1;
+                            if *l < m {
+                                break;
+                            }
+                            *l = 0;
+                        }
+                    }
+                    out
+                }
+            })
+            .collect(),
+    );
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_fresh: Option<(usize, f64)> = None;
+    for cb in chunk_bests {
+        if let Some((idx, phi)) = cb.best {
+            if best.map_or(true, |(_, b)| phi < b) {
+                best = Some((idx, phi));
+            }
+        }
+        if let Some((idx, phi)) = cb.best_fresh {
+            if best_fresh.map_or(true, |(_, b)| phi < b) {
+                best_fresh = Some((idx, phi));
+            }
+        }
+    }
+    let (gidx, phi) = best.ok_or(SolveError::InfeasibleProblem { org: 0 })?;
+    let mut levels = vec![0usize; sizes.len()];
+    Ok(match best_fresh {
+        Some((fidx, _)) => {
+            decode_levels(fidx, &sizes, &mut levels);
+            MasterSolution { levels, phi, fresh: true, evaluated: total }
+        }
+        None => {
+            decode_levels(gidx, &sizes, &mut levels);
+            MasterSolution { levels, phi, fresh: false, evaluated: total }
+        }
+    })
 }
 
 fn coordinate_descent<A: AccuracyModel>(

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Records the serial-vs-pooled solver/FL perf baseline.
+#
+# Full mode writes BENCH_solvers.json at the repo root (the committed
+# perf trajectory); --fast (or TRADEFL_BENCH_FAST=1) runs smoke-scale
+# instances and writes under target/ so CI never clobbers the recorded
+# baseline. Either way the emitted file is re-validated with
+# `perf_baseline --check`, which fails on malformed JSON.
+#
+# Usage: scripts/bench.sh [--fast]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST="${TRADEFL_BENCH_FAST:-}"
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "bench.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --release -q -p tradefl-bench --bin perf_baseline
+BIN=target/release/perf_baseline
+
+if [ -n "$FAST" ]; then
+  OUT=target/BENCH_solvers.fast.json
+  TRADEFL_BENCH_FAST=1 "$BIN" --fast --out "$OUT"
+else
+  OUT=BENCH_solvers.json
+  "$BIN" --out "$OUT"
+fi
+
+"$BIN" --check "$OUT"
+echo "bench.sh: baseline at $OUT"

@@ -24,4 +24,13 @@ cargo build --benches
 echo "==> examples build"
 cargo build --examples
 
+echo "==> perf smoke: scripts/bench.sh --fast (TRADEFL_BENCH_FAST scale)"
+scripts/bench.sh --fast
+
+echo "==> committed BENCH_*.json baselines are well-formed"
+for f in BENCH_*.json; do
+  [ -e "$f" ] || continue
+  target/release/perf_baseline --check "$f"
+done
+
 echo "ci.sh: all gates passed"

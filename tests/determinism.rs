@@ -71,6 +71,114 @@ fn different_seeds_change_the_equilibrium() {
     assert_ne!(a.profile, b.profile);
 }
 
+// --- pooled-vs-serial bit-identity -----------------------------------
+//
+// The work-stealing pool changes chunking with the worker count, so
+// these tests run each pooled hot path on explicit 1-, 4- and 8-worker
+// pools and demand bit-identical outputs. (Explicit pools rather than
+// the TRADEFL_THREADS override: the env var configures the process-wide
+// global pool once, so a single test process cannot observe two
+// settings of it — `thread_override` parsing is unit-tested in
+// `tradefl_runtime::sync::pool` instead.)
+
+use tradefl_runtime::sync::pool::Pool;
+
+#[test]
+fn pooled_master_traversal_is_bit_identical_for_any_worker_count() {
+    use std::collections::HashSet;
+    use tradefl::solver::gbd::{traverse_pooled, traverse_reference, Cut};
+
+    let g = game(9); // 6 orgs → 4^6 = 4096 candidates
+    let cuts = vec![
+        Cut::optimality(&g, vec![0.2; 6], vec![0.0; 6]),
+        Cut::optimality(&g, vec![0.5; 6], vec![0.05; 6]),
+    ];
+    let visited: HashSet<Vec<usize>> = HashSet::new();
+    let reference = traverse_reference(&g, &cuts, &visited, 1 << 20).unwrap();
+    let runs: Vec<_> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| {
+            traverse_pooled(&g, &cuts, &visited, 1 << 20, &Pool::new(w)).unwrap()
+        })
+        .collect();
+    for (k, sol) in runs.iter().enumerate() {
+        assert_eq!(
+            sol.levels, runs[0].levels,
+            "traversal levels differ at worker count index {k}"
+        );
+        assert_eq!(
+            sol.phi.to_bits(),
+            runs[0].phi.to_bits(),
+            "traversal phi differs at worker count index {k}"
+        );
+        // The table path may differ from the reference by reassociation
+        // only — same argmin, matching value to solver precision.
+        assert_eq!(sol.levels, reference.levels);
+        assert!((sol.phi - reference.phi).abs() <= 1e-9 * reference.phi.abs().max(1.0));
+    }
+}
+
+#[test]
+fn pooled_exhaustive_oracle_is_bit_identical_for_any_worker_count() {
+    use tradefl::solver::cgbd::exhaustive_optimum_with;
+
+    let market = MarketConfig::table_ii().with_orgs(3).build(4).unwrap();
+    let g = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+    let runs: Vec<_> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| exhaustive_optimum_with(&g, 1e-9, &Pool::new(w)).unwrap())
+        .collect();
+    for (profile, value) in &runs {
+        assert_eq!(value.to_bits(), runs[0].1.to_bits(), "oracle value differs");
+        for (s, s0) in profile.iter().zip(runs[0].0.iter()) {
+            assert_eq!(s.d.to_bits(), s0.d.to_bits(), "oracle d differs");
+            assert_eq!(s.level, s0.level, "oracle level differs");
+        }
+    }
+}
+
+#[test]
+fn pooled_dbr_is_bit_identical_for_any_worker_count() {
+    let runs: Vec<_> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| DbrSolver::new().solve_with(&game(7), &Pool::new(w)).unwrap())
+        .collect();
+    for eq in &runs {
+        assert_eq!(eq.profile, runs[0].profile, "DBR profile differs");
+        assert_eq!(eq.welfare.to_bits(), runs[0].welfare.to_bits());
+        assert_eq!(eq.iterations, runs[0].iterations);
+    }
+}
+
+#[test]
+fn pooled_fedavg_is_bit_identical_for_any_worker_count() {
+    use tradefl::fl::data::{generate, DatasetKind};
+    use tradefl::fl::fed::train_federated_with;
+    use tradefl::fl::model::{Mlp, ModelKind};
+
+    let all = generate(DatasetKind::EurosatLike, 3 * 120 + 200, 11);
+    let mut shards = all.shard(&[120, 120, 120, 200]);
+    let test = shards.pop().unwrap();
+    let config = FedConfig { rounds: 2, local_epochs: 1, batch_size: 32, lr: 0.1, seed: 5 };
+    let runs: Vec<_> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| {
+            let global =
+                Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+            train_federated_with(global, &shards, &test, &[1.0, 0.5, 0.8], &config, &Pool::new(w))
+                .unwrap()
+        })
+        .collect();
+    for out in &runs {
+        assert_eq!(out.history.len(), runs[0].history.len());
+        for (m, m0) in out.history.iter().zip(&runs[0].history) {
+            assert_eq!(m.loss.to_bits(), m0.loss.to_bits(), "round {} loss", m.round);
+            assert_eq!(m.accuracy.to_bits(), m0.accuracy.to_bits(), "round {} acc", m.round);
+        }
+        assert_eq!(out.model, runs[0].model, "global model parameters differ");
+    }
+}
+
 #[test]
 fn training_is_bit_identical_across_runs() {
     use tradefl::pipeline::{Pipeline, PipelineConfig};
