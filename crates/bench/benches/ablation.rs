@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices DESIGN.md §7 calls out:
+//! Ablation benchmarks for the design choices DESIGN.md §8 calls out:
 //!
 //! * master problem: exhaustive traversal vs coordinate descent;
 //! * primal solver: interior point vs projected gradient;
@@ -9,7 +9,7 @@
 
 use tradefl_runtime::bench::Criterion;
 use tradefl_runtime::{bench_group, bench_main};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::hint::black_box;
 use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
@@ -31,7 +31,7 @@ fn bench_master_modes(c: &mut Criterion) {
         Cut::optimality(&g, sol.d.clone(), sol.multipliers.clone()),
         Cut::optimality(&g, vec![0.2; 6], vec![0.0; 6]),
     ];
-    let visited = HashSet::new();
+    let visited = BTreeSet::new();
     let mut group = c.benchmark_group("master_problem");
     group.sample_size(20);
     group.bench_function("traversal_4096", |b| {

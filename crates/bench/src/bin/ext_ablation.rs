@@ -2,7 +2,7 @@
 //!
 //! The Criterion benches measure the *cost* of each design choice; this
 //! harness measures the *quality*: solution values, iteration counts
-//! and agreement between the alternatives DESIGN.md §7 lists.
+//! and agreement between the alternatives DESIGN.md §8 lists.
 
 use tradefl_bench::{check, finish, paper_game, Table, SEED};
 use tradefl_core::accuracy::SqrtAccuracy;

@@ -17,7 +17,7 @@
 //! `--fast` (or the `TRADEFL_BENCH_FAST` env var) shrinks instance
 //! sizes and repeat counts to smoke-test scale for CI.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Instant;
 use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
@@ -102,7 +102,7 @@ fn run_benches(fast: bool) -> Vec<BenchRow> {
         let n = if fast { 6 } else { 8 };
         let g = game(n, 7);
         let cuts = cut_stack(&g);
-        let visited = HashSet::new();
+        let visited = BTreeSet::new();
         let cap = 1u128 << 40;
         let reference = traverse_reference(&g, &cuts, &visited, cap).unwrap();
         let pooled = traverse_pooled(&g, &cuts, &visited, cap, &pooled_pool).unwrap();

@@ -353,6 +353,7 @@ impl EmpiricalAccuracy {
             }
         }
         pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // lint:allow(no-panic-in-lib): pts was rejected as too short above, so last() exists
         let span = pts.last().unwrap().0 - pts[0].0;
         let tol = 1e-9 * span.max(1.0);
         let mut prev_slope = f64::INFINITY;

@@ -217,6 +217,7 @@ fn sample(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
 
 /// Box-Muller draw from `N(mu, sigma^2)`; avoids pulling in rand_distr.
 fn normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    // lint:allow(no-float-eq): exact-zero sigma is the degenerate "no noise" case
     if sigma == 0.0 {
         return mu;
     }

@@ -134,6 +134,7 @@ impl Market {
             }
             for (j, &v) in row.iter().enumerate() {
                 ensure_in_range("rho_ij", v, 0.0, 1.0)?;
+                // lint:allow(no-float-eq): rho_ii must be exactly zero by construction
                 if i == j && v != 0.0 {
                     return Err(ModelError::SelfCompetition { i });
                 }

@@ -102,6 +102,7 @@ impl Organization {
 
     /// The fastest available frequency `F_i^(m)`.
     pub fn max_frequency(&self) -> f64 {
+        // lint:allow(no-panic-in-lib): the compute ladder is validated non-empty at construction
         *self.compute_levels.last().expect("ladder is never empty")
     }
 

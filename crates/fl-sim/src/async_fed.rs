@@ -240,6 +240,7 @@ pub fn train_async(
                 break;
             }
         }
+        // lint:allow(no-panic-in-lib): the loop guard above breaks before the queue can drain
         let arrival = heap.pop().expect("active orgs keep the queue non-empty");
         now = arrival.time;
         let staleness = version - arrival.based_on_version;

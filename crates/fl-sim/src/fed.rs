@@ -161,6 +161,7 @@ pub fn train_federated_with(
         .collect();
     let weights: Vec<f64> = contributed.iter().map(|c| c.len() as f64).collect();
     let total_weight: f64 = weights.iter().sum();
+    // lint:allow(no-float-eq): weights are whole sample counts; exactly zero means nobody contributed
     if total_weight == 0.0 {
         return Err(FedError::NothingContributed);
     }

@@ -99,6 +99,7 @@ impl Matrix {
             let arow = self.row(r);
             let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
             for (k, &a) in arow.iter().enumerate() {
+                // lint:allow(no-float-eq): ReLU emits exact 0.0, so the sparsity skip is exact
                 if a == 0.0 {
                     // Skip, don't multiply: ReLU activations are ~half
                     // zeros, and `0.0 * b` would still have to honor
@@ -148,6 +149,7 @@ impl Matrix {
             let arow = self.row(k);
             let brow = other.row(k);
             for (r, &a) in arow.iter().enumerate() {
+                // lint:allow(no-float-eq): ReLU emits exact 0.0, so the sparsity skip is exact
                 if a == 0.0 {
                     continue;
                 }

@@ -85,6 +85,7 @@ impl ConfusionMatrix {
         if p.is_nan() || r.is_nan() {
             return f64::NAN;
         }
+        // lint:allow(no-float-eq): exact-zero guard for the 0/0 F1 case
         if p + r == 0.0 {
             return 0.0;
         }

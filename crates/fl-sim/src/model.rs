@@ -195,6 +195,7 @@ impl Mlp {
         let mut pre_activations: Vec<Matrix> = Vec::with_capacity(self.layers.len());
         activations.push(batch.features.clone());
         for (k, layer) in self.layers.iter().enumerate() {
+            // lint:allow(no-panic-in-lib): activations is seeded with the input batch above
             let mut z = activations.last().unwrap().matmul(&layer.w);
             z.add_bias(&layer.b);
             pre_activations.push(z.clone());
@@ -208,6 +209,7 @@ impl Mlp {
 
         // Loss and output-layer gradient (probs − onehot) / n.
         let mut loss = 0.0f64;
+        // lint:allow(no-panic-in-lib): activations is seeded with the input batch above
         let mut delta = activations.last().unwrap().clone();
         for (r, &label) in batch.labels.iter().enumerate() {
             let row = delta.row_mut(r);

@@ -133,6 +133,7 @@ pub fn measure_accuracy_curve(
     let test = {
         // The tail of the pool is the held-out test set.
         let all = pool.shard(&[max_samples, test_samples]);
+        // lint:allow(no-panic-in-lib): shard(&[a, b]) always yields exactly two shards
         all.into_iter().nth(1).expect("two shards requested")
     };
     let mut out = Vec::with_capacity(sample_counts.len());

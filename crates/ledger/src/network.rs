@@ -61,6 +61,24 @@ pub enum NetworkError {
     Submission(NodeError),
     /// The network has no validators.
     Empty,
+    /// Replicas produced different addresses for the same deployment —
+    /// the network is no longer replicated deterministically.
+    DeployDiverged {
+        /// Address the first replica produced.
+        expected: Address,
+        /// The diverging address.
+        got: Address,
+    },
+    /// A block from the sync source failed validation during catch-up
+    /// replay ([`Network::join`]).
+    Sync {
+        /// Height of the block that failed to replay.
+        height: u64,
+        /// Why the replica refused it.
+        source: BlockApplyError,
+    },
+    /// An internal consistency failure (a bug, not bad peer input).
+    Internal(&'static str),
 }
 
 impl fmt::Display for NetworkError {
@@ -68,6 +86,13 @@ impl fmt::Display for NetworkError {
         match self {
             NetworkError::Submission(e) => write!(f, "submission rejected: {e}"),
             NetworkError::Empty => write!(f, "network has no validators"),
+            NetworkError::DeployDiverged { expected, got } => {
+                write!(f, "deployment diverged across replicas: {expected} vs {got}")
+            }
+            NetworkError::Sync { height, source } => {
+                write!(f, "sync failed replaying block {height}: {source}")
+            }
+            NetworkError::Internal(what) => write!(f, "internal network error: {what}"),
         }
     }
 }
@@ -132,16 +157,26 @@ impl Network {
     /// Deploys the same contract on every replica; returns the (shared)
     /// address. Replicas stay identical because deployment is
     /// deterministic.
-    pub fn deploy(&mut self, prototype: Box<dyn Contract>) -> Address {
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Empty`] with no validators to deploy on;
+    /// [`NetworkError::DeployDiverged`] if replicas disagree on the
+    /// deployment address (replication is broken — deterministic
+    /// deployment should make this impossible).
+    pub fn deploy(&mut self, prototype: Box<dyn Contract>) -> Result<Address, NetworkError> {
         let mut addr = None;
         for v in &mut self.validators {
             let a = v.node.deploy(prototype.snapshot());
             match addr {
                 None => addr = Some(a),
-                Some(prev) => assert_eq!(prev, a, "deterministic deployment addresses"),
+                Some(expected) if expected != a => {
+                    return Err(NetworkError::DeployDiverged { expected, got: a });
+                }
+                Some(_) => {}
             }
         }
-        addr.expect("network has validators")
+        addr.ok_or(NetworkError::Empty)
     }
 
     /// Queues a transaction in the network mempool.
@@ -180,13 +215,10 @@ impl Network {
             }
             node.mine();
         }
-        let mut block = self.validators[proposer]
-            .node
-            .chain()
-            .blocks()
-            .last()
-            .expect("just mined")
-            .clone();
+        let Some(mined) = self.validators[proposer].node.chain().blocks().last() else {
+            return Err(NetworkError::Internal("proposer mined no block"));
+        };
+        let mut block = mined.clone();
         if let Some(t) = tamper {
             t(&mut block);
         }
@@ -241,9 +273,11 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// [`NetworkError::Empty`] when there is nobody to sync from; a
-    /// [`BlockApplyError`] panic cannot occur because the source chain
-    /// already passed full validation on every honest replica.
+    /// [`NetworkError::Empty`] when there is nobody to sync from;
+    /// [`NetworkError::DeployDiverged`] when the joiner's contract
+    /// deployments do not land on the expected addresses;
+    /// [`NetworkError::Sync`] when a replayed block fails validation —
+    /// a corrupt or lying sync source must not panic the joiner.
     pub fn join(
         &mut self,
         name: &str,
@@ -255,15 +289,16 @@ impl Network {
         let mut node = Node::new(allocations);
         for (expected_addr, prototype) in contracts {
             let addr = node.deploy(prototype.snapshot());
-            assert_eq!(
-                addr, *expected_addr,
-                "late joiner must deploy the same contracts in the same order"
-            );
+            if addr != *expected_addr {
+                return Err(NetworkError::DeployDiverged { expected: *expected_addr, got: addr });
+            }
         }
         // The fresh node mined its own genesis; replay everything after.
         for block in blocks.iter().skip(1) {
-            node.apply_block(block)
-                .expect("blocks from an honest replica replay cleanly");
+            node.apply_block(block).map_err(|source| NetworkError::Sync {
+                height: block.header.number,
+                source,
+            })?;
         }
         self.validators.push(Validator { name: name.to_string(), node });
         Ok(self.validators.len() - 1)
@@ -355,6 +390,25 @@ mod tests {
     }
 
     #[test]
+    fn tampered_receipts_root_is_rejected_without_panicking() {
+        // A proposer lying in the *header* (rather than the receipts
+        // themselves) used to trip an `expect` deep in `apply_block`;
+        // it must now surface as a rejection on every honest replica.
+        let mut net = boot(3);
+        net.submit(transfer("alice", "bob", 0, 100));
+        let outcome = net
+            .round_with(Some(&|block: &mut Block| {
+                block.header.receipts_root = Hash256([0xbe; 32]);
+            }))
+            .unwrap();
+        assert_eq!(outcome.rejected_by.len(), 2);
+        assert!(outcome
+            .rejected_by
+            .iter()
+            .all(|(_, e)| *e == BlockApplyError::BadReceiptsRoot));
+    }
+
+    #[test]
     fn empty_rounds_keep_replicas_in_sync() {
         let mut net = boot(2);
         for _ in 0..3 {
@@ -411,7 +465,7 @@ mod tests {
             wei_per_payoff_unit: 1_000,
             attestation_key: None,
         };
-        let contract = net.deploy(Box::new(TradeFlContract::new(params).unwrap()));
+        let contract = net.deploy(Box::new(TradeFlContract::new(params).unwrap())).unwrap();
 
         // Full settlement, one tx per round, proposers rotating.
         let call = |from: Address, nonce: u64, function: &str, args, value| Transaction {

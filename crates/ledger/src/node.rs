@@ -59,6 +59,9 @@ pub enum BlockApplyError {
     ReceiptMismatch,
     /// Local re-execution produced a different state root.
     StateRootMismatch,
+    /// The receipts root claimed in the header does not match the
+    /// block's own receipts (a malformed or lying proposer).
+    BadReceiptsRoot,
 }
 
 impl fmt::Display for BlockApplyError {
@@ -74,6 +77,9 @@ impl fmt::Display for BlockApplyError {
             }
             BlockApplyError::StateRootMismatch => {
                 write!(f, "re-execution produced a different state root")
+            }
+            BlockApplyError::BadReceiptsRoot => {
+                write!(f, "header receipts root does not match the block's receipts")
             }
         }
     }
@@ -190,6 +196,10 @@ impl Node {
         };
         let block = Block { header, txs, receipts };
         let hash = block.hash();
+        // Not a peer-input path: the header was computed from this
+        // node's own tip and freshly executed receipts two lines up,
+        // so every push check holds by construction.
+        // lint:allow(no-panic-in-lib): invariant: self-mined header derives from own tip
         self.chain.push(block).expect("node-produced blocks always extend the tip");
         hash
     }
@@ -249,9 +259,15 @@ impl Node {
             rollback(self);
             return Err(BlockApplyError::StateRootMismatch);
         }
-        self.chain
-            .push(block.clone())
-            .expect("validated block extends the tip");
+        // Peer input stays fallible to the end: height, parent and tx
+        // root were pre-checked above and receipts re-executed, so the
+        // only discrepancy `Blockchain::push` can still find is a
+        // header receipts root that belies the block's own receipts —
+        // a malformed proposer must be rejected, never panic a replica.
+        if let Err(_chain_err) = self.chain.push(block.clone()) {
+            rollback(self);
+            return Err(BlockApplyError::BadReceiptsRoot);
+        }
         Ok(())
     }
 

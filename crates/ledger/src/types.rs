@@ -91,6 +91,7 @@ impl fmt::Display for Wei {
 impl std::ops::Add for Wei {
     type Output = Wei;
     fn add(self, rhs: Wei) -> Wei {
+        // lint:allow(no-panic-in-lib): balance overflow is a broken-ledger invariant; abort beats silent wrap
         Wei(self.0.checked_add(rhs.0).expect("wei overflow"))
     }
 }
@@ -98,6 +99,7 @@ impl std::ops::Add for Wei {
 impl std::ops::Sub for Wei {
     type Output = Wei;
     fn sub(self, rhs: Wei) -> Wei {
+        // lint:allow(no-panic-in-lib): callers check balances first; underflow is a broken-ledger invariant
         Wei(self.0.checked_sub(rhs.0).expect("wei underflow"))
     }
 }

@@ -122,6 +122,7 @@ impl Web3 {
         self.mine();
         Ok(self
             .receipt(hash)
+            // lint:allow(no-panic-in-lib): the tx was mined by the preceding line of this method
             .expect("just-mined transaction must have a receipt"))
     }
 

@@ -1,0 +1,398 @@
+//! The rule engine: file discovery, `#[cfg(test)]` scoping, the
+//! `lint:allow` escape hatch, and finding assembly.
+//!
+//! # Allow syntax
+//!
+//! ```text
+//! // lint:allow(rule-id): reason the rule does not apply here
+//! ```
+//!
+//! An allow suppresses findings of `rule-id` on the comment's own
+//! line(s) and the line immediately after — so it works both as a
+//! trailing comment on the offending line and as a comment on the line
+//! above. Two invariants are enforced by the engine itself:
+//!
+//! * every allow must name a known rule **and** carry a non-empty
+//!   reason after a colon (`bad-allow` otherwise);
+//! * every allow must actually suppress something (`unused-allow`
+//!   otherwise) — fixed code must shed its annotations.
+//!
+//! Neither meta finding is suppressible.
+//!
+//! # `#[cfg(test)]` scoping
+//!
+//! Rules with `in_tests: false` skip findings inside `#[cfg(test)]`
+//! items. Detection is token-based: the attribute sequence
+//! `# [ cfg ( test ) ]` marks the start of a span that ends at the
+//! matching close brace of the item's body (or at a top-level `;` for
+//! brace-less items). Only the literal `test` predicate is recognized
+//! — `#[cfg(any(test, …))]` shapes are not used in this workspace.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::manifest;
+use crate::rules;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One confirmed lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule's id.
+    pub rule: String,
+    /// Workspace-relative file path (`/`-separated).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Inclusive 1-based line ranges covered by `#[cfg(test)]` items.
+pub fn test_spans(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].kind == TokKind::Punct
+            && tokens[i].text == "#"
+            && tokens[i + 1].text == "["
+            && tokens[i + 2].kind == TokKind::Ident
+            && tokens[i + 2].text == "cfg"
+            && tokens[i + 3].text == "("
+            && tokens[i + 4].kind == TokKind::Ident
+            && tokens[i + 4].text == "test"
+            && tokens[i + 5].text == ")"
+            && tokens[i + 6].text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Walk past the attribute to the item body: the span ends at
+        // the matching `}` of the first top-level `{`, or at a
+        // top-level `;` (e.g. `#[cfg(test)] mod tests;`).
+        let mut j = i + 7;
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end_line = t.line;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line;
+            j += 1;
+        }
+        spans.push((start_line, end_line));
+        i = j + 1;
+    }
+    spans
+}
+
+fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// One parsed `lint:allow` marker.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    /// Lines this allow suppresses (comment lines plus the next line).
+    lo: u32,
+    hi: u32,
+    /// Line reported for bad/unused findings about the allow itself.
+    at: u32,
+    valid_reason: bool,
+    used: bool,
+}
+
+/// Whether a comment is a doc comment (`///`, `//!`, `/**`, `/*!`).
+/// Doc comments never carry allows — they document items, while an
+/// allow annotates a code line — so marker text quoted in prose or
+/// rendered examples can never suppress anything.
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/***"))
+        || text.starts_with("/*!")
+}
+
+/// Extracts every `lint:allow(rule): reason` marker from a comment.
+fn parse_allows(comment: &Comment) -> Vec<Allow> {
+    const MARKER: &str = "lint:allow(";
+    let mut out = Vec::new();
+    if is_doc_comment(&comment.text) {
+        return out;
+    }
+    let text = &comment.text;
+    let mut from = 0usize;
+    while let Some(off) = text[from..].find(MARKER) {
+        let open = from + off + MARKER.len();
+        let Some(close_rel) = text[open..].find(')') else {
+            break;
+        };
+        let close = open + close_rel;
+        let rule = text[open..close].trim().to_string();
+        let rest = &text[close + 1..];
+        // Reason: a ':' then non-empty text (up to the next marker if
+        // several allows share one comment).
+        let reason_end = rest.find(MARKER).unwrap_or(rest.len());
+        let reason_part = rest[..reason_end].trim_start();
+        let valid_reason = reason_part
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        out.push(Allow {
+            rule,
+            lo: comment.line,
+            hi: comment.end_line + 1,
+            at: comment.line,
+            valid_reason,
+            used: false,
+        });
+        from = close + 1;
+    }
+    out
+}
+
+/// Lints one file's source text: token rules, test-span filtering, and
+/// the allow machinery. `rel_path` drives rule scoping, so tests can
+/// pass synthetic paths.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let target = rules::classify(rel_path);
+    let spans = test_spans(&lexed.tokens);
+    let raw = rules::run_token_rules(rel_path, target, &lexed.tokens);
+
+    let mut allows: Vec<Allow> = lexed.comments.iter().flat_map(parse_allows).collect();
+    let mut out = Vec::new();
+
+    for f in raw {
+        // Token rules only emit ids from the RULES table.
+        let Some(info) = rules::rule(f.rule) else { continue };
+        if !info.in_tests && in_spans(&spans, f.line) {
+            continue;
+        }
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.rule == f.rule && a.valid_reason && a.lo <= f.line && f.line <= a.hi {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(Finding {
+                rule: f.rule.to_string(),
+                file: rel_path.to_string(),
+                line: f.line,
+                message: f.message,
+            });
+        }
+    }
+
+    for a in &allows {
+        if rules::rule(&a.rule).is_none() {
+            out.push(Finding {
+                rule: "bad-allow".to_string(),
+                file: rel_path.to_string(),
+                line: a.at,
+                message: format!("lint:allow names unknown rule `{}`", a.rule),
+            });
+        } else if !a.valid_reason {
+            out.push(Finding {
+                rule: "bad-allow".to_string(),
+                file: rel_path.to_string(),
+                line: a.at,
+                message: format!(
+                    "lint:allow({}) has no reason — write `lint:allow({}): why`",
+                    a.rule, a.rule
+                ),
+            });
+        } else if !a.used {
+            out.push(Finding {
+                rule: "unused-allow".to_string(),
+                file: rel_path.to_string(),
+                line: a.at,
+                message: format!(
+                    "lint:allow({}) suppresses nothing on lines {}–{} — remove it",
+                    a.rule, a.lo, a.hi
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Lints one `Cargo.toml` (the `no-registry-deps` rule).
+pub fn lint_manifest(rel_path: &str, text: &str) -> Vec<Finding> {
+    manifest::scan(text)
+        .into_iter()
+        .map(|v| Finding {
+            rule: "no-registry-deps".to_string(),
+            file: rel_path.to_string(),
+            line: v.line,
+            message: format!(
+                "{} is not a path dependency — the zero-dependency policy (DESIGN.md \u{a7}6) \
+                 forbids registry crates",
+                v.detail
+            ),
+        })
+        .collect()
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort(); // deterministic traversal → deterministic reports
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | ".git" | ".claude") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file and
+/// every `Cargo.toml`, excluding `target/`. Findings are sorted by
+/// (file, line, rule).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(&path)?;
+        if rel.ends_with("Cargo.toml") {
+            findings.extend(lint_manifest(&rel, &text));
+        } else {
+            findings.extend(lint_source(&rel, &text));
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule))
+    });
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/core/src/x.rs";
+
+    #[test]
+    fn cfg_test_spans_cover_the_module_body() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lexed = lex(src);
+        let spans = test_spans(&lexed.tokens);
+        assert_eq!(spans, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn after() { y.unwrap(); }\n";
+        let lexed = lex(src);
+        assert_eq!(test_spans(&lexed.tokens), vec![(1, 2)]);
+        // The unwrap after the span is still flagged.
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-panic-in-lib");
+    }
+
+    #[test]
+    fn findings_inside_cfg_test_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\n";
+        assert!(lint_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses_and_is_used() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(no-panic-in-lib): invariant: x is Some\n";
+        assert!(lint_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_previous_line_suppresses() {
+        let src = "// lint:allow(no-panic-in-lib): invariant: x is Some\nfn f() { x.unwrap(); }\n";
+        assert!(lint_source(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad_and_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(no-panic-in-lib)\n";
+        let f = lint_source(LIB, src);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"no-panic-in-lib"), "unsuppressed: {rules:?}");
+        assert!(rules.contains(&"bad-allow"));
+    }
+
+    #[test]
+    fn allow_naming_unknown_rule_is_bad() {
+        let src = "// lint:allow(no-such-rule): whatever\nfn f() {}\n";
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "bad-allow");
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// lint:allow(no-panic-in-lib): nothing here panics\nfn f() {}\n";
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn allow_scope_does_not_leak_two_lines_down() {
+        let src = "// lint:allow(no-panic-in-lib): only the next line\nfn f() {}\n\
+                   fn g() { x.unwrap(); }\n";
+        let f = lint_source(LIB, src);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"no-panic-in-lib"));
+        assert!(rules.contains(&"unused-allow"));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_allows() {
+        // Marker text quoted in documentation must neither suppress
+        // nor be reported as bad/unused.
+        let src = "/// The escape hatch is `// lint:allow(no-such-rule): reason`.\n\
+                   //! Module docs may show lint:allow(also-not-a-rule) too.\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-panic-in-lib");
+    }
+
+    #[test]
+    fn manifest_rule_produces_findings_with_lines() {
+        let f = lint_manifest("Cargo.toml", "[dependencies]\nrand = \"0.8\"\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-registry-deps");
+        assert_eq!(f[0].line, 2);
+    }
+}

@@ -1,0 +1,559 @@
+//! A minimal Rust lexer — just enough fidelity for token-stream lints.
+//!
+//! The goal is *never* mistaking comment or string content for code:
+//! every rule in [`crate::rules`] matches identifier/punctuation
+//! sequences, so a `HashMap` mentioned in a doc comment or an error
+//! message must not produce a finding. That requires handling the
+//! genuinely tricky parts of Rust's lexical grammar:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */` — Rust block comments nest, unlike C);
+//! * string literals with escapes, raw strings `r#"…"#` with any
+//!   number of hashes, byte/raw-byte/C-string variants;
+//! * the lifetime-vs-char-literal ambiguity (`'a` is a lifetime,
+//!   `'a'` is a char, `'\n'` is a char, `'_` is a lifetime);
+//! * raw identifiers (`r#type`) vs raw strings (`r#"…"#`);
+//! * float literals vs ranges and field access (`1.5` is a float,
+//!   `1..5` is two ints and a range, `tuple.0.1` is field access).
+//!
+//! What it does **not** do: macro expansion, type resolution, or path
+//! normalization. Rules are documented as heuristic token matchers;
+//! `use std::time::Instant as Clock;` would evade `no-wallclock`. The
+//! escape hatch for false positives is `// lint:allow(rule): reason`
+//! (see [`crate::engine`]), not lexer cleverness.
+
+/// Kinds of tokens the lexer emits. Literal *content* is preserved in
+/// [`Tok::text`] but rules only ever match on [`TokKind::Ident`] text
+/// and [`TokKind::Punct`] text, so strings/chars can never produce
+/// findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (also raw identifiers, without `r#`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (text keeps the leading `'`).
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// Any string literal: plain, raw, byte, raw-byte, or C string.
+    StrLit,
+    /// A numeric literal; `float` is true for floating-point shapes
+    /// (`1.5`, `1e3`, `2f64`) and false for integers (`1`, `0xff`).
+    NumLit {
+        /// Whether the literal is a float.
+        float: bool,
+    },
+    /// An operator or delimiter, maximal-munch (`::`, `==`, `..=`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's text (identifier name, operator spelling, …).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+/// One comment (line or block), kept out of the token stream so rules
+/// never match inside it. The engine scans comments for
+/// `lint:allow(...)` markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// 1-based line on which the comment ends (equal to `line` for
+    /// line comments).
+    pub end_line: u32,
+    /// Comment text including its `//` / `/*` delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// first match.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "=>", "->", "<-", "..", "&&",
+    "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+/// Lexes `src`, returning tokens and comments. Never fails: malformed
+/// input (unterminated strings, stray bytes) is consumed permissively —
+/// the compiler, not the linter, owns rejecting invalid Rust.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Lexed::default() };
+    lx.run();
+    lx.out
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text = self.text_from(start);
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    self.bump();
+                    self.plain_string();
+                    self.push(TokKind::StrLit, start, line);
+                }
+                b'\'' => self.lifetime_or_char(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => self.punct(),
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.text_from(start);
+        self.out.comments.push(Comment { line, end_line: line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        let text = self.text_from(start);
+        self.out.comments.push(Comment { line, end_line: self.line, text });
+    }
+
+    /// Consumes a plain `"…"` body (opening quote already consumed).
+    fn plain_string(&mut self) {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump(); // the escaped character (may be ")
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string at `r`/`br`/`cr` (prefix already consumed,
+    /// `self.pos` at the first `#` or `"`).
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; permissive bail-out
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// `'` — a lifetime (`'a`, `'_`, `'static`) or a char literal
+    /// (`'a'`, `'\n'`, `'🦀'`). Disambiguation: after `'` + identifier
+    /// run, a closing `'` makes it a char literal, anything else makes
+    /// it a lifetime.
+    fn lifetime_or_char(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape then to closing '.
+                self.bump();
+                self.bump();
+                while let Some(b) = self.peek(0) {
+                    // covers multi-char escapes like '\u{1F980}'
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::CharLit, start, line);
+            }
+            Some(b) if is_ident_start(b) => {
+                let mut k = 0usize;
+                while self.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'\'') {
+                    for _ in 0..=k {
+                        self.bump();
+                    }
+                    self.push(TokKind::CharLit, start, line);
+                } else {
+                    for _ in 0..k {
+                        self.bump();
+                    }
+                    self.push(TokKind::Lifetime, start, line);
+                }
+            }
+            Some(_) => {
+                // Non-identifier char literal: '1', '+', '∀' (any
+                // bytes up to the closing quote).
+                while let Some(b) = self.bump() {
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::CharLit, start, line);
+            }
+            None => self.push(TokKind::Punct, start, line),
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'))
+        {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                self.bump();
+            }
+            self.push(TokKind::NumLit { float: false }, start, line);
+            return;
+        }
+        while self.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            self.bump();
+        }
+        // A '.' continues the float only when not a range (`1..2`) and
+        // not a field/method access (`1.max(2)`, `x.0.1`).
+        if self.peek(0) == Some(b'.')
+            && self.peek(1) != Some(b'.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            float = true;
+            self.bump();
+            while self.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|b| b.is_ascii_digit())))
+        {
+            float = true;
+            self.bump(); // e
+            self.bump(); // sign or first digit
+            while self.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                self.bump();
+            }
+        }
+        // Type suffix: `1u8`, `1.5f64`, `2f32` (the suffix alone makes
+        // a float of `2f32`).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+        self.push(TokKind::NumLit { float }, start, line);
+    }
+
+    /// An identifier, or one of the literal prefixes `r"…"`, `r#"…"#`,
+    /// `r#ident`, `b"…"`, `b'…'`, `br"…"`, `c"…"`, `cr"…"`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let b0 = self.peek(0);
+        let b1 = self.peek(1);
+        let b2 = self.peek(2);
+        match (b0, b1) {
+            (Some(b'r'), Some(b'"' | b'#')) => {
+                // Raw identifier `r#type` vs raw string `r#"…"#` / `r"…"`.
+                if b1 == Some(b'#') && b2.is_some_and(is_ident_start) {
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.ident_run();
+                    // Strip the r# so rules match the bare name.
+                    let text = self.text_from(start + 2);
+                    self.out.tokens.push(Tok { kind: TokKind::Ident, text, line });
+                } else {
+                    self.bump();
+                    self.raw_string();
+                    self.push(TokKind::StrLit, start, line);
+                }
+            }
+            (Some(b'b'), Some(b'"')) | (Some(b'c'), Some(b'"')) => {
+                self.bump();
+                self.bump();
+                self.plain_string();
+                self.push(TokKind::StrLit, start, line);
+            }
+            (Some(b'b'), Some(b'\'')) => {
+                self.bump();
+                self.bump();
+                if self.peek(0) == Some(b'\\') {
+                    self.bump();
+                }
+                while let Some(b) = self.bump() {
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::CharLit, start, line);
+            }
+            (Some(b'b' | b'c'), Some(b'r')) if matches!(b2, Some(b'"' | b'#')) => {
+                self.bump();
+                self.bump();
+                self.raw_string();
+                self.push(TokKind::StrLit, start, line);
+            }
+            _ => {
+                self.ident_run();
+                self.push(TokKind::Ident, start, line);
+            }
+        }
+    }
+
+    fn ident_run(&mut self) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        for op in MULTI_PUNCT {
+            let bytes = op.as_bytes();
+            if self.src[self.pos..].starts_with(bytes) {
+                for _ in 0..bytes.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, start, line);
+                return;
+            }
+        }
+        self.bump();
+        self.push(TokKind::Punct, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_stay_out_of_the_token_stream() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn block_comment_line_tracking_spans_lines() {
+        let src = "x\n/* two\nlines */\ny";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        let y = &lexed.tokens[1];
+        assert_eq!((y.text.as_str(), y.line), ("y", 4));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_content() {
+        // The quote-hash dance inside must not terminate early, and
+        // the HashMap inside must not become an identifier.
+        let src = r####"let s = r##"a "# HashMap quote "## ; done"####;
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn raw_byte_and_c_strings_are_literals() {
+        assert_eq!(idents(r##"br"HashMap" b"x" c"y" cr#"z"# end"##), ["end"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_bare_idents() {
+        assert_eq!(idents("r#type r#match plain"), ["type", "match", "plain"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let d = '\\n'; let u = '_'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.as_str()).collect();
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(chars, ["'a'", "'\\n'", "'_'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_unicode_char() {
+        let toks = kinds("&'static str; let c = '∀';");
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".into())));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t.contains('∀')));
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_field_access() {
+        let toks = kinds("1.5 + x.0 + 1..2 + 2.0e-3 + 7f64 + 3usize + 0xff");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::NumLit { float: true }))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5", "2.0e-3", "7f64"]);
+        // `1..2` must lex as int, range-op, int.
+        assert!(toks.contains(&(TokKind::NumLit { float: false }, "1".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::NumLit { float: false }, "0xff".into())));
+    }
+
+    #[test]
+    fn trailing_dot_float_and_method_on_literal() {
+        let toks = kinds("let a = (1.) ; let b = 1.max(2);");
+        assert!(toks.contains(&(TokKind::NumLit { float: true }, "1.".into())));
+        // `1.max` is int, dot, ident — not a float.
+        assert!(toks.contains(&(TokKind::NumLit { float: false }, "1".into())));
+        assert!(toks.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn strings_hide_code_like_content() {
+        let src = r#"let m = "HashMap::new() /* not a comment */ // nor this"; next"#;
+        assert_eq!(idents(src), ["let", "m", "next"]);
+        assert!(lex(src).comments.is_empty());
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        assert_eq!(idents(r#"let s = "a\"HashMap\"b"; tail"#), ["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let toks = kinds("a::b == c != d ..= e");
+        let puncts: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(puncts, ["::", "==", "!=", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        lex("/* never closed");
+        lex("\"never closed");
+        lex("r#\"never closed");
+        lex("'x");
+    }
+}

@@ -1,0 +1,36 @@
+//! `tradefl-lint` — in-tree static analysis for the TradeFL workspace.
+//!
+//! The reproduction's core claims — bit-identical Nash equilibria from
+//! CGBD/DBR (Algorithms 1–2) and identical ledger state roots under
+//! the settlement contract — rest on a determinism contract that spot
+//! checks alone cannot defend: nothing used to stop a future change
+//! from iterating a `HashMap` in a solver path, reading the wall
+//! clock, or panicking a ledger node on a malformed peer message.
+//! This crate makes those invariants hold *by construction*: a
+//! zero-dependency lexer + rule engine runs as a tier-1 CI gate
+//! (`scripts/ci.sh`).
+//!
+//! Layers:
+//!
+//! * [`lexer`] — a minimal but correct Rust tokenizer (nested block
+//!   comments, raw strings, lifetime-vs-char disambiguation) so rules
+//!   never fire inside comments or string literals;
+//! * [`rules`] — the rule table (`--explain` text included) and the
+//!   token-pattern matchers with their path scopes;
+//! * [`manifest`] — the `Cargo.toml` dependency scanner behind
+//!   `no-registry-deps` (cross-checked against
+//!   `tests/no_external_deps.rs`);
+//! * [`engine`] — `#[cfg(test)]` scoping, the
+//!   `// lint:allow(rule): reason` escape hatch (reasons required,
+//!   unused allows flagged), file discovery, finding assembly.
+//!
+//! The binary (`cargo run -p tradefl-lint -- --workspace`) exits
+//! non-zero on findings; see DESIGN.md §7 for the rule catalogue and
+//! how to add a rule.
+
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use engine::{lint_manifest, lint_source, lint_workspace, Finding};

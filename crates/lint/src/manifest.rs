@@ -1,0 +1,169 @@
+//! `Cargo.toml` dependency scanning for the `no-registry-deps` rule.
+//!
+//! The workspace's zero-dependency policy (DESIGN.md §6) requires every
+//! `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]` and
+//! `[workspace.dependencies]` entry to be a **path** dependency — the
+//! build environment has no crates.io access, so a single registry
+//! entry breaks every build at step zero.
+//!
+//! This is deliberately the same minimal TOML section scan as
+//! `tests/no_external_deps.rs` (a TOML parser would itself be a
+//! registry crate); that test asserts the two scanners agree so they
+//! cannot drift apart.
+
+/// One `key = value` entry found inside a dependency-declaring TOML
+/// section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEntry {
+    /// The section the entry appeared in (e.g. `dependencies`).
+    pub section: String,
+    /// The entry key (dependency name, or a subtable key).
+    pub key: String,
+    /// The raw value text, or `"<subtable>"` for `[deps.name]` headers.
+    pub value: String,
+    /// 1-based line of the entry.
+    pub line: u32,
+}
+
+/// Extracts every dependency entry from manifest text, handling both
+/// inline `[deps]` tables and `[deps.name]` subtables.
+pub fn dependency_entries(text: &str) -> Vec<DepEntry> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].trim().to_string();
+            // A `[dependencies.foo]` subtable header is itself an
+            // entry; its keys are validated by the subtable pass.
+            let is_dep_subtable = section.starts_with("dependencies.")
+                || section.starts_with("dev-dependencies.")
+                || section.starts_with("build-dependencies.")
+                || section.starts_with("workspace.dependencies.");
+            if is_dep_subtable {
+                let name = section.rsplit('.').next().unwrap_or("").to_string();
+                out.push(DepEntry {
+                    section: section.clone(),
+                    key: name,
+                    value: "<subtable>".to_string(),
+                    line: line_no,
+                });
+            }
+            continue;
+        }
+        let in_dep_table = matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+        );
+        let in_dep_subtable = section.starts_with("dependencies.")
+            || section.starts_with("dev-dependencies.")
+            || section.starts_with("build-dependencies.")
+            || section.starts_with("workspace.dependencies.");
+        if !in_dep_table && !in_dep_subtable {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            out.push(DepEntry {
+                section: section.clone(),
+                key: key.trim().to_string(),
+                value: value.trim().to_string(),
+                line: line_no,
+            });
+        }
+    }
+    out
+}
+
+/// Whether one dependency declaration value is path-only. Accepted
+/// shapes: `name.workspace = true` (key carries the `.workspace`
+/// suffix) and `name = { path = "…", … }` inline tables.
+pub fn is_path_dependency(value: &str) -> bool {
+    if value == "true" {
+        return true;
+    }
+    value.contains("path") && value.contains('{')
+}
+
+/// One registry-dependency violation in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestViolation {
+    /// 1-based line of the offending entry.
+    pub line: u32,
+    /// Human-readable description of the entry.
+    pub detail: String,
+}
+
+/// Scans manifest text and returns every non-path dependency entry.
+pub fn scan(text: &str) -> Vec<ManifestViolation> {
+    let entries = dependency_entries(text);
+    let mut out = Vec::new();
+    for e in &entries {
+        let ok = if e.key.ends_with(".workspace") {
+            // `name.workspace = true`; the root declaration is checked
+            // when the root manifest itself is scanned.
+            e.value == "true"
+        } else if e.value == "<subtable>" {
+            // `[dependencies.name]` — require a `path` key within.
+            entries.iter().any(|o| o.section == e.section && o.key == "path")
+        } else if e.section.ends_with(&format!(".{}", e.key)) || e.key == "path" || e.key == "version"
+        {
+            // Keys inside a subtable; `path` legitimizes the subtable,
+            // other keys are inert details.
+            true
+        } else {
+            is_path_dependency(&e.value)
+        };
+        if !ok {
+            out.push(ManifestViolation {
+                line: e.line,
+                detail: format!("[{}] {} = {}", e.section, e.key, e.value),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_version_string_is_flagged() {
+        let v = scan("[dependencies]\nrand = \"0.8\"\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("rand"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn inline_table_without_path_is_flagged() {
+        let v = scan("[dependencies]\nserde = { version = \"1\", features = [\"derive\"] }\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn path_and_workspace_deps_are_clean() {
+        let text = "[dependencies]\n\
+                    tradefl-core = { path = \"crates/core\" }\n\
+                    tradefl-solver.workspace = true\n";
+        assert!(scan(text).is_empty());
+    }
+
+    #[test]
+    fn subtable_requires_a_path_key() {
+        let bad = "[dependencies.rand]\nversion = \"0.8\"\n";
+        assert_eq!(scan(bad).len(), 1);
+        let good = "[dependencies.core]\npath = \"crates/core\"\n";
+        assert!(scan(good).is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let text = "[package]\nname = \"x\"\nversion = \"1.0\"\n[features]\ndefault = []\n";
+        assert!(scan(text).is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! The lint rules: what they match, where they apply, and why.
+//!
+//! Every rule is a heuristic **token-stream** matcher (see
+//! [`crate::lexer`] for what that buys and what it misses) plus a path
+//! scope. Scopes are workspace-relative path predicates, so moving a
+//! file can change which rules see it — that is intentional: the
+//! determinism contract applies to the solver/core/fl-sim/ledger
+//! crates, the wall-clock exemption to the bench harness, and so on.
+//!
+//! False positives are handled by `// lint:allow(rule-id): reason`
+//! (enforced to carry a reason, and flagged when unused) — see
+//! [`crate::engine`].
+
+use crate::lexer::{Tok, TokKind};
+
+/// Which cargo target a file belongs to, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Library source (`src/` outside `src/bin/`).
+    Lib,
+    /// Binary source (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+/// Static description of one rule, surfaced by `--explain` and the
+/// fixture tests.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule identifier, used in findings and `lint:allow(…)`.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Longer rationale shown by `--explain`.
+    pub rationale: &'static str,
+    /// Whether the rule also fires inside `#[cfg(test)]` items.
+    pub in_tests: bool,
+}
+
+/// All rules, including the two meta rules enforced by the engine.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "no-registry-deps",
+        summary: "every workspace dependency must be a path dependency",
+        rationale: "The build environment has no crates.io access (DESIGN.md \u{a7}6): a single \
+                    registry dependency anywhere in the workspace breaks every build at step \
+                    zero. Extend crates/runtime instead of adding a registry crate. Superset of \
+                    tests/no_external_deps.rs, which cross-checks this rule.",
+        in_tests: true,
+    },
+    RuleInfo {
+        id: "no-hash-iteration",
+        summary: "no HashMap/HashSet in the deterministic crates (solver, core, fl-sim, ledger)",
+        rationale: "Hash iteration order is randomized per process, so iterating a \
+                    HashMap/HashSet in an equilibrium or settlement path silently breaks the \
+                    bit-identity contract (tests/determinism.rs). Use BTreeMap/BTreeSet or sort \
+                    before iterating. The rule flags the *type names* — even lookup-only tables \
+                    are one refactor away from an iteration, so the deterministic crates ban \
+                    them outright; lint:allow a site only with an argument why no iteration \
+                    order can ever escape.",
+        in_tests: false,
+    },
+    RuleInfo {
+        id: "no-wallclock",
+        summary: "no Instant::now/SystemTime::now outside runtime::bench and crates/bench",
+        rationale: "Wall-clock reads make control flow time-dependent, which breaks replayable \
+                    seeds and makes equilibrium comparisons noisy (the exact failure mode \
+                    coopetitive-CFL reproductions warn about). Timing belongs in \
+                    tradefl_runtime::bench and the bench harness crate, which are exempt.",
+        in_tests: true,
+    },
+    RuleInfo {
+        id: "no-raw-threads",
+        summary: "no std::thread::spawn outside runtime::sync",
+        rationale: "Raw threads bypass the work-stealing pool's deterministic merge order and \
+                    panic propagation (DESIGN.md \u{a7}6). Use tradefl_runtime::sync (Pool::scope, \
+                    parallel_map) so worker count can never change results bit-for-bit.",
+        in_tests: true,
+    },
+    RuleInfo {
+        id: "no-panic-in-lib",
+        summary: "no unwrap/expect/panic! in library code",
+        rationale: "A panic in library code aborts the caller's whole computation — a malformed \
+                    peer message must not take down a ledger node, and a degenerate market must \
+                    surface SolveError, not a crash. Propagate the crate's error types instead. \
+                    Test code, benches, examples and binaries are exempt; provable invariants \
+                    may be lint:allow'd with the invariant spelled out.",
+        in_tests: false,
+    },
+    RuleInfo {
+        id: "no-float-eq",
+        summary: "no ==/!= against float literals",
+        rationale: "Exact float comparison is almost always a rounding bug. Where it is \
+                    intentional (exact-zero sentinel guards before division, bit-identity \
+                    checks), say so with lint:allow — the reason is the documentation.",
+        in_tests: false,
+    },
+    RuleInfo {
+        id: "bad-allow",
+        summary: "lint:allow must name a known rule and carry a reason",
+        rationale: "`// lint:allow(rule-id): reason` is the only escape hatch, and the reason \
+                    is load-bearing: it is the documentation a reviewer reads instead of the \
+                    rule firing. An allow without a reason, or naming an unknown rule, is \
+                    itself a finding. Not suppressible.",
+        in_tests: true,
+    },
+    RuleInfo {
+        id: "unused-allow",
+        summary: "lint:allow that suppresses nothing must be removed",
+        rationale: "Stale allows hide future violations: if the offending code was fixed, the \
+                    annotation must go too, or it will silently swallow the next regression on \
+                    that line. Not suppressible.",
+        in_tests: true,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// A finding before allow-filtering (no file path yet).
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// The violated rule's id.
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Classifies a workspace-relative path (`/`-separated) into a target.
+pub fn classify(rel_path: &str) -> Target {
+    if rel_path.starts_with("tests/") || rel_path.contains("/tests/") {
+        Target::Test
+    } else if rel_path.starts_with("benches/") || rel_path.contains("/benches/") {
+        Target::Bench
+    } else if rel_path.starts_with("examples/") || rel_path.contains("/examples/") {
+        Target::Example
+    } else if rel_path.starts_with("src/bin/")
+        || rel_path.contains("/src/bin/")
+        || rel_path.ends_with("src/main.rs")
+    {
+        Target::Bin
+    } else {
+        Target::Lib
+    }
+}
+
+/// The crates bound by the determinism contract.
+fn in_deterministic_crate(rel_path: &str) -> bool {
+    ["crates/solver/src/", "crates/core/src/", "crates/fl-sim/src/", "crates/ledger/src/"]
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+}
+
+/// Paths allowed to read the wall clock.
+fn wallclock_exempt(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/bench/")
+        || rel_path == "crates/runtime/src/bench.rs"
+        || rel_path.starts_with("crates/runtime/src/bench/")
+}
+
+/// Paths allowed to spawn raw threads (the pool implementation).
+fn raw_thread_exempt(rel_path: &str) -> bool {
+    rel_path == "crates/runtime/src/sync.rs" || rel_path.starts_with("crates/runtime/src/sync/")
+}
+
+/// Library code bound by the panic-safety and float-eq rules: lib
+/// targets outside the bench harness crate.
+fn panic_safety_scope(rel_path: &str, target: Target) -> bool {
+    target == Target::Lib && !rel_path.starts_with("crates/bench/")
+}
+
+/// Whether `rule_id` applies to the file at `rel_path` at all.
+pub fn applies(rule_id: &str, rel_path: &str, target: Target) -> bool {
+    match rule_id {
+        "no-hash-iteration" => in_deterministic_crate(rel_path),
+        "no-wallclock" => !wallclock_exempt(rel_path),
+        "no-raw-threads" => !raw_thread_exempt(rel_path),
+        "no-panic-in-lib" | "no-float-eq" => panic_safety_scope(rel_path, target),
+        _ => true,
+    }
+}
+
+fn is_ident(t: &Tok, name: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == name
+}
+
+fn is_punct(t: &Tok, op: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == op
+}
+
+/// Runs every applicable token rule over one file's token stream.
+pub fn run_token_rules(rel_path: &str, target: Target, tokens: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let t = tokens;
+    for i in 0..t.len() {
+        if applies("no-hash-iteration", rel_path, target)
+            && t[i].kind == TokKind::Ident
+            && (t[i].text == "HashMap" || t[i].text == "HashSet")
+        {
+            out.push(RawFinding {
+                rule: "no-hash-iteration",
+                line: t[i].line,
+                message: format!(
+                    "`{}` in a deterministic crate: hash iteration order is nondeterministic \
+                     — use BTreeMap/BTreeSet or sorted iteration",
+                    t[i].text
+                ),
+            });
+        }
+        if applies("no-wallclock", rel_path, target)
+            && i + 2 < t.len()
+            && (is_ident(&t[i], "Instant") || is_ident(&t[i], "SystemTime"))
+            && is_punct(&t[i + 1], "::")
+            && is_ident(&t[i + 2], "now")
+        {
+            out.push(RawFinding {
+                rule: "no-wallclock",
+                line: t[i].line,
+                message: format!(
+                    "`{}::now` outside runtime::bench/crates/bench: wall-clock reads break \
+                     seed replay",
+                    t[i].text
+                ),
+            });
+        }
+        if applies("no-raw-threads", rel_path, target)
+            && i + 2 < t.len()
+            && is_ident(&t[i], "thread")
+            && is_punct(&t[i + 1], "::")
+            && (is_ident(&t[i + 2], "spawn") || is_ident(&t[i + 2], "Builder"))
+        {
+            out.push(RawFinding {
+                rule: "no-raw-threads",
+                line: t[i].line,
+                message: format!(
+                    "`thread::{}` outside runtime::sync: use the work-stealing pool \
+                     (Pool::scope/parallel_map) for deterministic merges",
+                    t[i + 2].text
+                ),
+            });
+        }
+        if applies("no-panic-in-lib", rel_path, target) {
+            if i + 2 < t.len()
+                && is_punct(&t[i], ".")
+                && (is_ident(&t[i + 1], "unwrap") || is_ident(&t[i + 1], "expect"))
+                && is_punct(&t[i + 2], "(")
+            {
+                out.push(RawFinding {
+                    rule: "no-panic-in-lib",
+                    line: t[i + 1].line,
+                    message: format!(
+                        "`.{}(…)` in library code: propagate the crate's error type instead \
+                         of panicking",
+                        t[i + 1].text
+                    ),
+                });
+            }
+            if i + 1 < t.len() && is_ident(&t[i], "panic") && is_punct(&t[i + 1], "!") {
+                out.push(RawFinding {
+                    rule: "no-panic-in-lib",
+                    line: t[i].line,
+                    message: "`panic!` in library code: propagate the crate's error type instead"
+                        .to_string(),
+                });
+            }
+        }
+        if applies("no-float-eq", rel_path, target)
+            && (is_punct(&t[i], "==") || is_punct(&t[i], "!="))
+        {
+            let float_before =
+                i > 0 && matches!(t[i - 1].kind, TokKind::NumLit { float: true });
+            let float_after =
+                i + 1 < t.len() && matches!(t[i + 1].kind, TokKind::NumLit { float: true });
+            if float_before || float_after {
+                out.push(RawFinding {
+                    rule: "no-float-eq",
+                    line: t[i].line,
+                    message: format!(
+                        "`{}` against a float literal: exact float comparison — if the exact \
+                         compare is intentional, say why with lint:allow",
+                        t[i].text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,194 @@
+//! Fixture tests: one offending snippet, one clean snippet, and one
+//! `lint:allow`'d snippet per rule — the seeded-violation evidence
+//! behind the CI gate (if a rule ever stops firing on its fixture,
+//! this suite fails before the workspace silently loses the
+//! invariant).
+
+use tradefl_lint::rules::RULES;
+use tradefl_lint::{lint_manifest, lint_source, Finding};
+
+/// Asserts `src` at `path` yields exactly the rules in `want`
+/// (order-insensitive, duplicates collapsed).
+fn assert_rules(path: &str, src: &str, want: &[&str]) {
+    let findings = lint_source(path, src);
+    let mut got: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    got.sort();
+    got.dedup();
+    let mut want: Vec<&str> = want.to_vec();
+    want.sort();
+    assert_eq!(got, want, "findings for {path}: {findings:?}");
+}
+
+fn offends(path: &str, src: &str, rule: &str) {
+    let findings = lint_source(path, src);
+    assert!(
+        findings.iter().any(|f| f.rule == rule),
+        "expected {rule} to fire on {path}: {findings:?}"
+    );
+}
+
+fn clean(path: &str, src: &str) {
+    assert_rules(path, src, &[]);
+}
+
+const SOLVER: &str = "crates/solver/src/fixture.rs";
+
+// --- no-registry-deps -------------------------------------------------
+
+#[test]
+fn registry_deps_offending_clean_allowed() {
+    let bad = lint_manifest("Cargo.toml", "[dependencies]\nrand = \"0.8\"\n");
+    assert_eq!(bad.len(), 1);
+    assert_eq!(bad[0].rule, "no-registry-deps");
+
+    let good = lint_manifest(
+        "Cargo.toml",
+        "[dependencies]\ntradefl-core = { path = \"crates/core\" }\nrt.workspace = true\n",
+    );
+    assert!(good.is_empty(), "{good:?}");
+    // No allow escape for manifests: a registry dependency is never
+    // legitimate (the build environment cannot fetch it), so the rule
+    // has no annotated fixture — this is by design.
+}
+
+// --- no-hash-iteration ------------------------------------------------
+
+#[test]
+fn hash_iteration_offending_clean_allowed() {
+    offends(SOLVER, "use std::collections::HashMap;\n", "no-hash-iteration");
+    offends(SOLVER, "fn f(s: &HashSet<u32>) {}\n", "no-hash-iteration");
+    clean(SOLVER, "use std::collections::BTreeMap;\nfn f(s: &std::collections::BTreeSet<u32>) {}\n");
+    // Outside the deterministic crates the rule does not apply.
+    clean("crates/runtime/src/x.rs", "use std::collections::HashMap;\n");
+    // Mentions in comments/strings never fire.
+    clean(SOLVER, "// a HashMap here is fine\nconst S: &str = \"HashMap\";\n");
+    clean(
+        SOLVER,
+        "use std::collections::HashMap; // lint:allow(no-hash-iteration): lookup-only table, \
+         never iterated\n",
+    );
+}
+
+// --- no-wallclock -----------------------------------------------------
+
+#[test]
+fn wallclock_offending_clean_allowed() {
+    offends(SOLVER, "fn f() { let t = Instant::now(); }\n", "no-wallclock");
+    offends("tests/x.rs", "fn f() { let t = std::time::SystemTime::now(); }\n", "no-wallclock");
+    clean(SOLVER, "fn f() { let t = tradefl_runtime::bench::Timer::start(); }\n");
+    // The bench harness and runtime::bench are exempt.
+    clean("crates/bench/src/lib.rs", "fn f() { let t = Instant::now(); }\n");
+    clean("crates/runtime/src/bench.rs", "fn f() { let t = Instant::now(); }\n");
+    clean(
+        SOLVER,
+        "// lint:allow(no-wallclock): timeout guard, value never reaches results\n\
+         fn f() { let t = Instant::now(); }\n",
+    );
+}
+
+// --- no-raw-threads ---------------------------------------------------
+
+#[test]
+fn raw_threads_offending_clean_allowed() {
+    offends(SOLVER, "fn f() { std::thread::spawn(|| {}); }\n", "no-raw-threads");
+    offends(SOLVER, "fn f() { thread::Builder::new(); }\n", "no-raw-threads");
+    clean(SOLVER, "fn f() { tradefl_runtime::sync::pool::Pool::global().scope(|s| {}); }\n");
+    // The pool implementation itself is exempt.
+    clean("crates/runtime/src/sync/pool.rs", "fn f() { std::thread::spawn(|| {}); }\n");
+    clean(
+        SOLVER,
+        "fn f() { std::thread::spawn(|| {}); } // lint:allow(no-raw-threads): detached watchdog, \
+         joins before any result is read\n",
+    );
+}
+
+// --- no-panic-in-lib --------------------------------------------------
+
+#[test]
+fn panic_in_lib_offending_clean_allowed() {
+    offends(SOLVER, "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", "no-panic-in-lib");
+    offends(SOLVER, "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }\n", "no-panic-in-lib");
+    offends(SOLVER, "fn f() { panic!(\"boom\"); }\n", "no-panic-in-lib");
+    clean(SOLVER, "fn f(x: Option<u32>) -> Result<u32, E> { x.ok_or(E::Missing) }\n");
+    // unwrap_or and friends are not panics.
+    clean(SOLVER, "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n");
+    // Tests, benches, examples and binaries are exempt.
+    clean("crates/solver/tests/t.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    clean("examples/e.rs", "fn main() { None::<u32>.unwrap(); }\n");
+    clean("src/bin/cli.rs", "fn main() { None::<u32>.unwrap(); }\n");
+    clean(SOLVER, "#[cfg(test)]\nmod tests {\n fn f() { None::<u32>.unwrap(); }\n}\n");
+    clean(
+        SOLVER,
+        "fn f(x: Option<u32>) -> u32 {\n    \
+         // lint:allow(no-panic-in-lib): invariant: caller checked is_some above\n    \
+         x.unwrap()\n}\n",
+    );
+}
+
+// --- no-float-eq ------------------------------------------------------
+
+#[test]
+fn float_eq_offending_clean_allowed() {
+    offends(SOLVER, "fn f(x: f64) -> bool { x == 0.0 }\n", "no-float-eq");
+    offends(SOLVER, "fn f(x: f64) -> bool { 1.5e3 != x }\n", "no-float-eq");
+    clean(SOLVER, "fn f(x: f64) -> bool { (x - 0.5).abs() < 1e-9 }\n");
+    // Integer comparisons and ranges stay silent.
+    clean(SOLVER, "fn f(x: usize) -> bool { x == 0 && (1..2).contains(&x) }\n");
+    clean(
+        SOLVER,
+        "fn f(x: f64) -> bool { x == 0.0 } // lint:allow(no-float-eq): exact-zero sentinel \
+         guard before division\n",
+    );
+}
+
+// --- meta rules -------------------------------------------------------
+
+#[test]
+fn meta_rules_offending_and_clean() {
+    assert_rules(
+        SOLVER,
+        "// lint:allow(no-panic-in-lib)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        &["bad-allow", "no-panic-in-lib"],
+    );
+    assert_rules(SOLVER, "// lint:allow(made-up-rule): reason\n", &["bad-allow"]);
+    assert_rules(
+        SOLVER,
+        "// lint:allow(no-float-eq): nothing here compares floats\nfn f() {}\n",
+        &["unused-allow"],
+    );
+}
+
+// --- engine-wide invariants ------------------------------------------
+
+#[test]
+fn every_rule_has_explain_text_and_fixture_coverage() {
+    for r in RULES {
+        assert!(!r.summary.is_empty() && !r.rationale.is_empty(), "rule {} undocumented", r.id);
+    }
+    let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    for required in [
+        "no-registry-deps",
+        "no-hash-iteration",
+        "no-wallclock",
+        "no-raw-threads",
+        "no-panic-in-lib",
+        "no-float-eq",
+        "bad-allow",
+        "unused-allow",
+    ] {
+        assert!(ids.contains(&required), "missing rule {required}");
+    }
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The gate ci.sh relies on, as a test: linting the real workspace
+    // from the crate's own location must produce zero findings.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = tradefl_lint::lint_workspace(&root).expect("workspace readable");
+    let rendered: Vec<String> = findings
+        .iter()
+        .map(|f: &Finding| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(findings.is_empty(), "workspace has lint findings:\n{}", rendered.join("\n"));
+}

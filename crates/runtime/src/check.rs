@@ -221,6 +221,7 @@ pub fn run_prop(name: &str, cases: u32, prop: impl Fn(&mut Gen) -> CaseResult) {
     if let Some(seed) = env_u64("TRADEFL_PROP_SEED") {
         let size = env_f64("TRADEFL_PROP_SIZE").unwrap_or(1.0);
         if let Err(CaseFail::Fail(msg)) = prop(&mut Gen::new(seed, size)) {
+            // lint:allow(no-panic-in-lib): panicking is how the property harness fails a test
             panic!(
                 "property '{name}' failed on replay \
                  (TRADEFL_PROP_SEED={seed:#x}, size {size}): {msg}"
@@ -250,6 +251,7 @@ pub fn run_prop(name: &str, cases: u32, prop: impl Fn(&mut Gen) -> CaseResult) {
             }
             Err(CaseFail::Fail(msg)) => {
                 let (seed, size, msg) = minimize(&prop, seed, msg);
+                // lint:allow(no-panic-in-lib): panicking is how the property harness fails a test
                 panic!(
                     "property '{name}' failed (case {case}, seed {seed:#x}, \
                      size {size}): {msg}\n\
@@ -310,6 +312,7 @@ fn env_u64(key: &str) -> Option<u64> {
         raw.parse().ok()
     };
     Some(parsed.unwrap_or_else(|| {
+        // lint:allow(no-panic-in-lib): a garbled replay env var in a dev harness should fail loudly
         panic!("{key}={raw:?} is not a u64 (use decimal or 0x-prefixed hex)")
     }))
 }
@@ -317,6 +320,7 @@ fn env_u64(key: &str) -> Option<u64> {
 fn env_f64(key: &str) -> Option<f64> {
     let raw = std::env::var(key).ok()?;
     let raw = raw.trim();
+    // lint:allow(no-panic-in-lib): a garbled replay env var in a dev harness should fail loudly
     Some(raw.parse().unwrap_or_else(|_| panic!("{key}={raw:?} is not a number")))
 }
 

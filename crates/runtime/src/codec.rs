@@ -151,31 +151,37 @@ pub trait Buf {
 
     /// Reads a big-endian `u64`.
     fn get_u64(&mut self) -> u64 {
+        // lint:allow(no-panic-in-lib): take_slice returned exactly the requested length
         u64::from_be_bytes(self.take_slice(8).try_into().expect("8 bytes"))
     }
 
     /// Reads a little-endian `u64`.
     fn get_u64_le(&mut self) -> u64 {
+        // lint:allow(no-panic-in-lib): take_slice returned exactly the requested length
         u64::from_le_bytes(self.take_slice(8).try_into().expect("8 bytes"))
     }
 
     /// Reads a big-endian `u128`.
     fn get_u128(&mut self) -> u128 {
+        // lint:allow(no-panic-in-lib): take_slice returned exactly the requested length
         u128::from_be_bytes(self.take_slice(16).try_into().expect("16 bytes"))
     }
 
     /// Reads a little-endian `u128`.
     fn get_u128_le(&mut self) -> u128 {
+        // lint:allow(no-panic-in-lib): take_slice returned exactly the requested length
         u128::from_le_bytes(self.take_slice(16).try_into().expect("16 bytes"))
     }
 
     /// Reads a big-endian `i128`.
     fn get_i128(&mut self) -> i128 {
+        // lint:allow(no-panic-in-lib): take_slice returned exactly the requested length
         i128::from_be_bytes(self.take_slice(16).try_into().expect("16 bytes"))
     }
 
     /// Reads a little-endian `i128`.
     fn get_i128_le(&mut self) -> i128 {
+        // lint:allow(no-panic-in-lib): take_slice returned exactly the requested length
         i128::from_le_bytes(self.take_slice(16).try_into().expect("16 bytes"))
     }
 }
@@ -288,6 +294,7 @@ macro_rules! impl_codec_int {
         impl ByteDecode for $t {
             fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
                 let raw = need(buf, std::mem::size_of::<$t>())?;
+                // lint:allow(no-panic-in-lib): `need` already guaranteed the exact length
                 Ok(<$t>::from_le_bytes(raw.try_into().expect("sized read")))
             }
         }
@@ -360,6 +367,7 @@ impl<const N: usize> ByteEncode for [u8; N] {
 impl<const N: usize> ByteDecode for [u8; N] {
     fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
         let raw = need(buf, N)?;
+        // lint:allow(no-panic-in-lib): `need` already guaranteed the exact length
         Ok(raw.try_into().expect("sized read"))
     }
 }

@@ -52,6 +52,7 @@ impl SeedableRng for StdRng {
     fn from_seed(seed: [u8; 32]) -> Self {
         let mut s = [0u64; 4];
         for (lane, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            // lint:allow(no-panic-in-lib): chunks_exact(8) only yields 8-byte chunks
             *lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
         }
         // An all-zero state is the one fixed point of xoshiro; reseed it.

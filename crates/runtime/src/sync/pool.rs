@@ -267,6 +267,7 @@ impl Pool {
                 });
             }
         });
+        // lint:allow(no-panic-in-lib): the scope join above guarantees every slot was filled
         slots.into_iter().map(|m| m.into_inner().expect("pool scope ran every job")).collect()
     }
 

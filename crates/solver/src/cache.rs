@@ -6,20 +6,22 @@
 //! payoffs at that profile again, and rejected moves leave the profile
 //! unchanged for the next mover. [`PayoffCache`] memoizes the full
 //! payoff **vector** per (objective, profile) pair so those repeat
-//! evaluations become a hash lookup instead of `n` fresh
+//! evaluations become an ordered-map lookup instead of `n` fresh
 //! `CoopetitionGame` traversals.
 //!
 //! # Determinism contract
 //!
 //! A cached vector is the verbatim result of the first evaluation, so
 //! a hit is **bit-identical** to recomputation — the cache can never
-//! change a solver's output, only its wall-clock. Keys hash the raw
-//! IEEE-754 bits of each `d_i` (`f64::to_bits`), so distinct NaN
+//! change a solver's output, only its wall-clock. Keys order on the
+//! raw IEEE-754 bits of each `d_i` (`f64::to_bits`), so distinct NaN
 //! payloads or `±0.0` map to distinct entries rather than risking a
-//! wrong hit.
+//! wrong hit. The table is a `BTreeMap` (not `HashMap`) so nothing
+//! about it — including any future iteration over entries — can ever
+//! depend on a nondeterministic order (`no-hash-iteration` lint).
 
 use crate::bestresponse::Objective;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
@@ -46,7 +48,7 @@ fn key(objective: Objective, profile: &StrategyProfile) -> Key {
 
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<Key, Arc<[f64]>>,
+    map: BTreeMap<Key, Arc<[f64]>>,
     hits: u64,
     misses: u64,
 }

@@ -18,7 +18,8 @@ use crate::error::{Result, SolveError};
 use crate::gbd::{master_value, solve_master, Cut, MasterSearch};
 use crate::outcome::{Equilibrium, Scheme};
 use crate::primal::PrimalProblem;
-use std::collections::HashSet;
+// Ordered set, not HashSet — see the `no-hash-iteration` lint.
+use std::collections::BTreeSet;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_runtime::sync::pool::Pool;
 use tradefl_core::game::CoopetitionGame;
@@ -140,7 +141,7 @@ impl CgbdSolver {
             None => (0..n).map(|i| market.org(i).compute_level_count() - 1).collect(),
         };
         let mut cuts: Vec<Cut> = Vec::new();
-        let mut visited: HashSet<Vec<usize>> = HashSet::new();
+        let mut visited: BTreeSet<Vec<usize>> = BTreeSet::new();
         let mut ub = f64::INFINITY;
         let mut lb = f64::NEG_INFINITY;
         let mut best: Option<(Vec<f64>, Vec<usize>, f64)> = None; // (d, levels, U)

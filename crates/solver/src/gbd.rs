@@ -11,7 +11,10 @@
 use crate::error::{Result, SolveError};
 use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
 use tradefl_runtime::sync::pool::Pool;
-use std::collections::HashSet;
+// Ordered set, not HashSet: the visited set participates in the
+// bit-identity contract and must never expose a nondeterministic
+// iteration order (`no-hash-iteration` lint).
+use std::collections::BTreeSet;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
@@ -245,7 +248,7 @@ pub fn solve_master<A: AccuracyModel>(
     game: &CoopetitionGame<A>,
     cuts: &[Cut],
     search: MasterSearch,
-    visited: &HashSet<Vec<usize>>,
+    visited: &BTreeSet<Vec<usize>>,
 ) -> Result<MasterSolution> {
     match search {
         MasterSearch::Traversal { cap } => {
@@ -292,7 +295,7 @@ fn ladder_sizes<A: AccuracyModel>(game: &CoopetitionGame<A>) -> Vec<usize> {
 pub fn traverse_reference<A: AccuracyModel>(
     game: &CoopetitionGame<A>,
     cuts: &[Cut],
-    visited: &HashSet<Vec<usize>>,
+    visited: &BTreeSet<Vec<usize>>,
     cap: u128,
 ) -> Result<MasterSolution> {
     let sizes = ladder_sizes(game);
@@ -484,7 +487,7 @@ struct ChunkBest {
 pub fn traverse_pooled<A: AccuracyModel>(
     game: &CoopetitionGame<A>,
     cuts: &[Cut],
-    visited: &HashSet<Vec<usize>>,
+    visited: &BTreeSet<Vec<usize>>,
     cap: u128,
     pool: &Pool,
 ) -> Result<MasterSolution> {
@@ -567,7 +570,7 @@ pub fn traverse_pooled<A: AccuracyModel>(
 fn coordinate_descent<A: AccuracyModel>(
     game: &CoopetitionGame<A>,
     cuts: &[Cut],
-    visited: &HashSet<Vec<usize>>,
+    visited: &BTreeSet<Vec<usize>>,
     restarts: usize,
     max_sweeps: usize,
     seed: u64,
@@ -735,7 +738,7 @@ mod tests {
         let cut = Cut::optimality(&g, vec![0.2, 0.2, 0.2], vec![0.0; 3]);
         let cuts = vec![cut];
         let sol =
-            solve_master(&g, &cuts, MasterSearch::Traversal { cap: 1_000_000 }, &HashSet::new())
+            solve_master(&g, &cuts, MasterSearch::Traversal { cap: 1_000_000 }, &BTreeSet::new())
                 .unwrap();
         // Brute-force verification.
         let sizes: Vec<usize> =
@@ -761,7 +764,7 @@ mod tests {
             &g,
             &[Cut::optimality(&g, vec![0.1; 10], vec![0.0; 10])],
             MasterSearch::Traversal { cap: 1000 },
-            &HashSet::new(),
+            &BTreeSet::new(),
         );
         assert!(matches!(r, Err(SolveError::MasterTooLarge { .. })));
     }
@@ -773,13 +776,13 @@ mod tests {
             Cut::optimality(&g, vec![0.15; 4], vec![0.0; 4]),
             Cut::optimality(&g, vec![0.4; 4], vec![0.1; 4]),
         ];
-        let t = solve_master(&g, &cuts, MasterSearch::Traversal { cap: 1_000_000 }, &HashSet::new())
+        let t = solve_master(&g, &cuts, MasterSearch::Traversal { cap: 1_000_000 }, &BTreeSet::new())
             .unwrap();
         let c = solve_master(
             &g,
             &cuts,
             MasterSearch::CoordinateDescent { restarts: 8, max_sweeps: 20, seed: 3 },
-            &HashSet::new(),
+            &BTreeSet::new(),
         )
         .unwrap();
         assert!(

@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn scheme_labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
+        let labels: std::collections::BTreeSet<_> =
             Scheme::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), Scheme::ALL.len());
         assert_eq!(Scheme::Cgbd.to_string(), "CGBD");

@@ -366,6 +366,7 @@ fn sherman_morrison_solve(
         dinv_r[i] = r[i] / diag[i];
         dinv_s[i] = s[i] / diag[i];
     }
+    // lint:allow(no-float-eq): exact-zero beta short-circuits the rank-one correction
     if beta == 0.0 {
         return dinv_r;
     }

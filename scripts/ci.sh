@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
+echo "==> static analysis: tradefl-lint --workspace (DESIGN.md §7)"
+cargo run -p tradefl-lint --release -- --workspace
+
 echo "==> tier-1: cargo test -q"
 cargo test -q
 

@@ -193,6 +193,7 @@ pub mod pipeline {
                     let test = pool
                         .shard(&[total, self.config.test_samples])
                         .pop()
+                        // lint:allow(no-panic-in-lib): shard() yields one shard per requested size
                         .expect("test shard present");
                     (shards, test)
                 }
@@ -200,6 +201,7 @@ pub mod pipeline {
                     let mut sizes = shard_sizes;
                     sizes.push(self.config.test_samples);
                     let mut shards = pool.shard(&sizes);
+                    // lint:allow(no-panic-in-lib): shard() yields one shard per requested size
                     let test = shards.pop().expect("test shard present");
                     (shards, test)
                 }
@@ -219,7 +221,9 @@ pub mod pipeline {
                         let n = shard.len();
                         let cut = n * 4 / 5;
                         let mut parts = shard.shard(&[cut, n - cut]);
+                        // lint:allow(no-panic-in-lib): shard(&[a, b]) yields exactly two shards
                         let local_test = parts.pop().expect("local test");
+                        // lint:allow(no-panic-in-lib): shard(&[a, b]) yields exactly two shards
                         let local_train = parts.pop().expect("local train");
                         (local_train, local_test)
                     })

@@ -63,6 +63,49 @@ fn ledger_state_roots_are_bit_identical_across_runs() {
 }
 
 #[test]
+fn cgbd_visited_set_and_payoff_cache_are_bit_identical_across_runs() {
+    // Covers the paths rebuilt on ordered collections (the
+    // `no-hash-iteration` fixes): CGBD's visited-assignment set
+    // (solver/src/cgbd.rs) drives the master problem's
+    // prefer-unvisited rule, and `PayoffCache` (solver/src/cache.rs)
+    // memoizes payoff vectors behind DBR sweeps. Both must yield
+    // bit-identical results run-to-run — with a HashSet/HashMap a
+    // future order-dependent read would be nondeterministic per
+    // process.
+    use tradefl::solver::cache::PayoffCache;
+    use tradefl::solver::cgbd::CgbdSolver;
+
+    for seed in [3, 19] {
+        let a = CgbdSolver::new().solve(&game(seed)).unwrap();
+        let b = CgbdSolver::new().solve(&game(seed)).unwrap();
+        assert_eq!(a.gap.to_bits(), b.gap.to_bits(), "CGBD gap differs (seed {seed})");
+        assert_eq!(a.trace.len(), b.trace.len(), "CGBD iteration count differs (seed {seed})");
+        assert_eq!(
+            a.equilibrium.potential.to_bits(),
+            b.equilibrium.potential.to_bits(),
+            "CGBD potential differs (seed {seed})"
+        );
+        for (sa, sb) in a.equilibrium.profile.iter().zip(b.equilibrium.profile.iter()) {
+            assert_eq!(sa.d.to_bits(), sb.d.to_bits(), "CGBD d differs (seed {seed})");
+            assert_eq!(sa.level, sb.level, "CGBD level differs (seed {seed})");
+        }
+    }
+
+    // Cached evaluation must be bit-transparent across two
+    // independently populated caches.
+    let g = game(23);
+    let eq = DbrSolver::new().solve(&g).unwrap();
+    let (ca, cb) = (PayoffCache::new(), PayoffCache::new());
+    use tradefl::solver::bestresponse::Objective;
+    let pa = ca.payoffs(&g, &eq.profile, Objective::Full);
+    let pb = cb.payoffs(&g, &eq.profile, Objective::Full);
+    assert_eq!(pa.len(), pb.len());
+    for (x, y) in pa.iter().zip(pb.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "cached payoff vector differs across caches");
+    }
+}
+
+#[test]
 fn different_seeds_change_the_equilibrium() {
     // Guards against a degenerate "determinism" where the seed is
     // ignored entirely.
@@ -85,7 +128,7 @@ use tradefl_runtime::sync::pool::Pool;
 
 #[test]
 fn pooled_master_traversal_is_bit_identical_for_any_worker_count() {
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     use tradefl::solver::gbd::{traverse_pooled, traverse_reference, Cut};
 
     let g = game(9); // 6 orgs → 4^6 = 4096 candidates
@@ -93,7 +136,7 @@ fn pooled_master_traversal_is_bit_identical_for_any_worker_count() {
         Cut::optimality(&g, vec![0.2; 6], vec![0.0; 6]),
         Cut::optimality(&g, vec![0.5; 6], vec![0.05; 6]),
     ];
-    let visited: HashSet<Vec<usize>> = HashSet::new();
+    let visited: BTreeSet<Vec<usize>> = BTreeSet::new();
     let reference = traverse_reference(&g, &cuts, &visited, 1 << 20).unwrap();
     let runs: Vec<_> = [1usize, 4, 8]
         .iter()

@@ -152,6 +152,47 @@ fn guard_detects_a_registry_dependency() {
 }
 
 #[test]
+fn lint_no_registry_deps_agrees_with_this_guard() {
+    // `tradefl-lint`'s `no-registry-deps` rule re-implements this
+    // scan inside the static-analysis engine (crates/lint/src/
+    // manifest.rs). The two must agree: every workspace manifest this
+    // guard accepts must also be clean under the lint's scanner, and
+    // the lint must flag the same seeded violations this guard's
+    // self-test uses. A divergence means one of the two scanners has
+    // drifted and the zero-dependency policy has a blind spot.
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest).unwrap();
+        let violations = tradefl_lint::manifest::scan(&text);
+        assert!(
+            violations.is_empty(),
+            "{}: tradefl-lint flags entries this guard accepts: {:?}",
+            manifest.display(),
+            violations
+        );
+    }
+    // Seeded violations: both scanners must reject these shapes.
+    for bad in [
+        "[dependencies]\nrand = \"0.8\"\n",
+        "[dependencies]\nserde = { version = \"1\", features = [\"derive\"] }\n",
+        "[dev-dependencies.criterion]\nversion = \"0.5\"\n",
+    ] {
+        let entries = dependency_entries(bad);
+        assert!(
+            entries.iter().any(|(_, k, v)| !k.ends_with(".workspace")
+                && v != "<subtable>"
+                && !is_path_dependency(v))
+                || entries.iter().any(|(s, _, v)| v == "<subtable>"
+                    && !entries.iter().any(|(s2, k2, _)| s2 == s && k2 == "path")),
+            "guard failed to flag: {bad}"
+        );
+        assert!(
+            !tradefl_lint::manifest::scan(bad).is_empty(),
+            "tradefl-lint failed to flag: {bad}"
+        );
+    }
+}
+
+#[test]
 fn workspace_dependency_declarations_are_all_path_deps() {
     // Belt-and-braces on the root: every `[workspace.dependencies]`
     // value must carry an explicit `path`.
