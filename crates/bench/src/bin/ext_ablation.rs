@@ -19,6 +19,7 @@ fn small_game(n: usize) -> CoopetitionGame<SqrtAccuracy> {
 }
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let mut ok = true;
 
     // --- Ablation 1: master search (traversal vs coordinate descent) --

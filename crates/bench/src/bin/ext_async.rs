@@ -16,6 +16,7 @@ use tradefl_fl_sim::model::{Mlp, ModelKind};
 use tradefl_solver::dbr::DbrSolver;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let game = paper_game(SEED);
     let eq = DbrSolver::new().solve(&game).expect("dbr converges");
     let market = game.market();

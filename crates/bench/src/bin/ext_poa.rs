@@ -14,6 +14,7 @@ use tradefl_solver::outcome::Scheme;
 use tradefl_solver::social::{solve_social_optimum, SocialOptions};
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let mu = MarketConfig::table_ii().rho_mean;
     let omega_e = MarketConfig::table_ii().params.omega_e;
     let mut table = Table::new(

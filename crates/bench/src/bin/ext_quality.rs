@@ -37,6 +37,7 @@ fn quality_market(theta_low: f64) -> Market {
 }
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let mut table = Table::new(
         "Extension: heterogeneous data quality (orgs 3-5 at theta_low)",
         &["theta_low", "welfare", "gain P", "d high-q", "d low-q", "R high-q", "R low-q"],

@@ -44,6 +44,7 @@ fn spearman_like(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let mut ok = true;
 
     // --- Homogeneous quality: volume pricing tracks Shapley ---------

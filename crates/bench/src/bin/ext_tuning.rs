@@ -15,6 +15,7 @@ use tradefl_solver::dbr::DbrSolver;
 use tradefl_solver::tuning::{tune_gamma, TuneOptions};
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let mut table = Table::new(
         "Extension: adaptive gamma tuning across competition intensities",
         &["mu", "tuned gamma", "welfare", "evals", "vs fixed gamma*"],

@@ -15,6 +15,7 @@ use tradefl_fl_sim::model::ModelKind;
 use tradefl_fl_sim::probe::{measure_accuracy_curve, SqrtFit};
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let pairs = [
         (ModelKind::Resnet18Like, DatasetKind::Cifar10Like),
         (ModelKind::AlexnetLike, DatasetKind::FmnistLike),

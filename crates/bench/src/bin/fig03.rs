@@ -14,6 +14,7 @@ use tradefl_ledger::types::Wei;
 use tradefl_solver::dbr::DbrSolver;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let market = MarketConfig::table_ii().with_orgs(3).build(SEED).unwrap();
     let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
     let eq = DbrSolver::new().solve(&game).expect("dbr converges");

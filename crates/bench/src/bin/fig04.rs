@@ -9,6 +9,7 @@ use tradefl_solver::baselines::solve_scheme;
 use tradefl_solver::outcome::Scheme;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let game = paper_game(SEED);
     let schemes = [Scheme::Cgbd, Scheme::Dbr, Scheme::Fip, Scheme::Gca];
     let outcomes: Vec<_> = schemes

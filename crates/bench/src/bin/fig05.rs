@@ -7,6 +7,7 @@ use tradefl_bench::{check, finish, paper_game, Table, SEED};
 use tradefl_solver::dbr::{DbrOptions, DbrSolver};
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let game = paper_game(SEED);
     // Damped best responses (κ = 0.45) reproduce the paper's gradual
     // multi-iteration convergence; exact best responses (κ = 1) reach

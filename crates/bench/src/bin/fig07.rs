@@ -11,6 +11,7 @@ use tradefl_core::config::MarketConfig;
 use tradefl_solver::dbr::DbrSolver;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let mu = MarketConfig::table_ii().rho_mean;
     let omega_e = MarketConfig::table_ii().params.omega_e;
     let mut table = Table::new(

@@ -11,6 +11,7 @@ use tradefl_solver::baselines::solve_scheme;
 use tradefl_solver::outcome::Scheme;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let mu = MarketConfig::table_ii().rho_mean;
     let omega_e = MarketConfig::table_ii().params.omega_e;
     let schemes = [Scheme::Dbr, Scheme::Wpr, Scheme::Fip, Scheme::Gca];

@@ -9,6 +9,7 @@ use tradefl_core::config::MarketConfig;
 use tradefl_solver::dbr::DbrSolver;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let omega_e = MarketConfig::table_ii().params.omega_e;
     // Sweep μ from the calibrated default upward. The z_i > 0 rescaling
     // required by Theorem 1 saturates ρ near μ ≈ 0.05 for Table II's

@@ -7,6 +7,7 @@ use tradefl_bench::{check, finish, game_with, Table, GAMMA_STAR, SEED};
 use tradefl_solver::dbr::DbrSolver;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     // μ sweeps upward from the calibrated default (0.03); beyond ≈0.05
     // the Theorem 1 rescaling saturates ρ (see DESIGN.md).
     let mus = [0.03, 0.035, 0.04, 0.045, 0.05];

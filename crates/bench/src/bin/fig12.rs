@@ -15,6 +15,7 @@ use tradefl_solver::baselines::solve_scheme;
 use tradefl_solver::outcome::Scheme;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let gammas = [0.0, 2e-9, GAMMA_STAR, 2e-8, 1e-7];
     let schemes = [Scheme::Dbr, Scheme::Gca, Scheme::Wpr, Scheme::Tos];
     let mu = MarketConfig::table_ii().rho_mean;

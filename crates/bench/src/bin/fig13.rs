@@ -10,5 +10,6 @@ use tradefl_fl_sim::data::DatasetKind;
 use tradefl_fl_sim::model::ModelKind;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     run_loss_figure("Fig. 13", ModelKind::Resnet18Like, DatasetKind::Cifar10Like);
 }

@@ -13,6 +13,7 @@ use tradefl_solver::baselines::solve_scheme;
 use tradefl_solver::outcome::Scheme;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let game = paper_game(SEED);
     let schemes = [Scheme::Dbr, Scheme::Fip, Scheme::Wpr, Scheme::Gca, Scheme::Tos];
     let pairs = [

@@ -12,6 +12,7 @@ use tradefl_ledger::settlement::SettlementSession;
 use tradefl_solver::dbr::DbrSolver;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let market = MarketConfig::table_ii().with_orgs(5).build(SEED).unwrap();
     let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
     let equilibrium = DbrSolver::new().solve(&game).expect("dbr converges");

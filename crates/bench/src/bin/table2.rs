@@ -8,6 +8,7 @@ use tradefl_bench::{check, finish, Table, SEED};
 use tradefl_core::config::MarketConfig;
 
 fn main() {
+    let _trace = tradefl_bench::trace_from_args();
     let config = MarketConfig::table_ii();
     let mut table = Table::new("Table II: experimental parameters", &["parameter", "value"]);
     table.row(vec!["|N|".into(), config.orgs.to_string()]);

@@ -14,6 +14,8 @@ use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
 use tradefl_core::game::CoopetitionGame;
 
+pub mod json;
+
 /// The seed every figure binary uses (reproducibility).
 pub const SEED: u64 = 42;
 
@@ -233,6 +235,35 @@ pub fn finish(all_ok: bool) {
         eprintln!("one or more shape checks FAILED");
         std::process::exit(1);
     }
+}
+
+/// RAII guard for the shared `--trace <path>` flag: armed by
+/// [`trace_from_args`], it writes the observability recording as
+/// `tradefl-trace/v1` JSON Lines when dropped (i.e. when `main`
+/// returns, including the `finish` exit path staying untouched).
+#[derive(Debug)]
+pub struct TraceGuard(Option<std::path::PathBuf>);
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.0.take() {
+            match tradefl_runtime::obs::write_trace(&path) {
+                Ok(()) => eprintln!("trace written to {}", path.display()),
+                Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Arms tracing when `--trace <path>` is on the command line: enables
+/// the recorder and returns a guard that writes the JSONL export on
+/// drop. Call once at the top of `main`:
+///
+/// ```no_run
+/// let _trace = tradefl_bench::trace_from_args();
+/// ```
+pub fn trace_from_args() -> TraceGuard {
+    TraceGuard(tradefl_runtime::obs::trace_path_from_args())
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 
 use crate::data::Dataset;
 use crate::model::Mlp;
+use tradefl_runtime::obs;
 use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 use tradefl_runtime::sync::pool::Pool;
 
@@ -196,6 +197,49 @@ pub fn train_federated_with(
         global.set_params(&params);
         let (loss, accuracy) = global.evaluate(test);
         history.push(RoundMetrics { round, loss, accuracy });
+        // Local training fans out to the pool, but this record runs on
+        // the sequential merge path after the barrier, so the event
+        // stream is identical for any worker count. Per-silo
+        // participation is folded in as fields in fixed silo order.
+        let participating =
+            locals.iter().filter(|p| p.is_some()).count();
+        obs::event(
+            obs::Subsystem::Fed,
+            "round",
+            &[
+                ("round", round.into()),
+                ("loss", f64::from(loss).into()),
+                ("accuracy", f64::from(accuracy).into()),
+                ("silos", locals.len().into()),
+                ("participating", participating.into()),
+            ],
+        );
+        obs::counter_add("fed.rounds", 1);
+        obs::counter_add("fed.local_updates", participating as u64);
+        obs::gauge_set("fed.loss", f64::from(loss));
+        obs::gauge_set("fed.accuracy", f64::from(accuracy));
+        if obs::is_enabled() {
+            // Per-silo test metrics are recorder-only: evaluating each
+            // local model is pure (no training state is touched), so
+            // enabling tracing cannot change the FL trajectory.
+            let mut probe = global.clone();
+            for (org, params) in locals.iter().enumerate() {
+                let Some(params) = params else { continue };
+                probe.set_params(params);
+                let (silo_loss, silo_acc) = probe.evaluate(test);
+                obs::event(
+                    obs::Subsystem::Fed,
+                    "silo",
+                    &[
+                        ("round", round.into()),
+                        ("org", org.into()),
+                        ("weight", (weights[org] / total_weight).into()),
+                        ("loss", f64::from(silo_loss).into()),
+                        ("accuracy", f64::from(silo_acc).into()),
+                    ],
+                );
+            }
+        }
     }
     Ok(FedOutcome { model: global, history })
 }

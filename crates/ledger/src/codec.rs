@@ -14,7 +14,7 @@
 use crate::chain::{Block, BlockHeader, Blockchain};
 use crate::tx::{ExecStatus, Log, Receipt, Transaction, TxPayload, Value};
 use crate::types::{Address, Fixed, Hash256, Wei};
-use tradefl_runtime::codec::{Buf, BytesMut};
+use tradefl_runtime::codec::{Buf, BytesMut, DecodeError};
 use std::fmt;
 
 /// Format version written at the head of every export.
@@ -54,6 +54,19 @@ impl fmt::Display for CodecError {
 }
 
 impl std::error::Error for CodecError {}
+
+impl From<DecodeError> for CodecError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::Truncated => CodecError::Truncated,
+            DecodeError::BadTag(t) => CodecError::BadTag(t),
+            DecodeError::LengthOverflow(n) => {
+                CodecError::LengthOverflow(usize::try_from(n).unwrap_or(usize::MAX))
+            }
+            DecodeError::BadUtf8 => CodecError::BadUtf8,
+        }
+    }
+}
 
 type Result<T> = std::result::Result<T, CodecError>;
 
@@ -97,6 +110,49 @@ pub fn decode_chain(mut input: &[u8]) -> Result<Blockchain> {
         return Err(CodecError::TrailingBytes(buf.len()));
     }
     Ok(chain)
+}
+
+// ---- per-type wire entry points ---------------------------------------
+//
+// Strict (`decode_all`-style) encode/decode pairs for every wire type,
+// so peer-message handling and fuzz tests can exercise each decoder in
+// isolation. Decoders accept arbitrary untrusted bytes and must return
+// `Err` — never panic — on malformed input.
+
+macro_rules! wire_entry_points {
+    ($($(#[$meta:meta])* $enc:ident / $dec:ident => $ty:ty : $enc_inner:ident, $dec_inner:ident;)*) => {$(
+        $(#[$meta])*
+        #[doc = concat!("Encodes one [`", stringify!($ty), "`] as a standalone wire frame.")]
+        pub fn $enc(v: &$ty) -> Vec<u8> {
+            let mut buf = BytesMut::new();
+            $enc_inner(&mut buf, v);
+            buf.into_vec()
+        }
+
+        #[doc = concat!("Decodes one [`", stringify!($ty), "`] from a standalone wire")]
+        #[doc = "frame, rejecting trailing bytes."]
+        #[doc = ""]
+        #[doc = "# Errors"]
+        #[doc = ""]
+        #[doc = "[`CodecError`] on truncated, malformed, or oversized input —"]
+        #[doc = "untrusted peer bytes surface as `Err`, never a panic."]
+        pub fn $dec(mut input: &[u8]) -> Result<$ty> {
+            let buf = &mut input;
+            let v = $dec_inner(buf)?;
+            if !buf.is_empty() {
+                return Err(CodecError::TrailingBytes(buf.len()));
+            }
+            Ok(v)
+        }
+    )*};
+}
+
+wire_entry_points! {
+    encode_tx_bytes / decode_tx_bytes => Transaction : encode_tx, decode_tx;
+    encode_receipt_bytes / decode_receipt_bytes => Receipt : encode_receipt, decode_receipt;
+    encode_header_bytes / decode_header_bytes => BlockHeader : encode_header, decode_header;
+    encode_block_bytes / decode_block_bytes => Block : encode_block, decode_block;
+    encode_value_bytes / decode_value_bytes => Value : encode_value, decode_value;
 }
 
 fn encode_block(buf: &mut BytesMut, block: &Block) {
@@ -301,41 +357,26 @@ fn bounded_len(n: usize) -> Result<usize> {
     }
 }
 
+// All primitive reads go through the runtime's fallible `try_*` Buf
+// API: untrusted peer bytes must never reach the panicking getters.
 fn get_u8(buf: &mut &[u8]) -> Result<u8> {
-    if buf.remaining() < 1 {
-        return Err(CodecError::Truncated);
-    }
-    Ok(buf.get_u8())
+    Ok(buf.try_get_u8()?)
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64> {
-    if buf.remaining() < 8 {
-        return Err(CodecError::Truncated);
-    }
-    Ok(buf.get_u64_le())
+    Ok(buf.try_get_u64_le()?)
 }
 
 fn get_u128(buf: &mut &[u8]) -> Result<u128> {
-    if buf.remaining() < 16 {
-        return Err(CodecError::Truncated);
-    }
-    Ok(buf.get_u128_le())
+    Ok(buf.try_get_u128_le()?)
 }
 
 fn get_i128(buf: &mut &[u8]) -> Result<i128> {
-    if buf.remaining() < 16 {
-        return Err(CodecError::Truncated);
-    }
-    Ok(buf.get_i128_le())
+    Ok(buf.try_get_i128_le()?)
 }
 
 fn get_bytes(buf: &mut &[u8], n: usize) -> Result<Vec<u8>> {
-    if buf.remaining() < n {
-        return Err(CodecError::Truncated);
-    }
-    let out = buf[..n].to_vec();
-    buf.advance(n);
-    Ok(out)
+    Ok(buf.try_take_slice(n)?.to_vec())
 }
 
 fn get_addr(buf: &mut &[u8]) -> Result<Address> {

@@ -10,8 +10,18 @@
 //!
 //! The tree uses domain-separated hashing (`0x00` leaf / `0x01` node
 //! prefixes) to rule out second-preimage tricks between leaves and
-//! internal nodes, and duplicates the last node on odd levels (Bitcoin
-//! style).
+//! internal nodes.
+//!
+//! **Odd levels promote, never duplicate.** Bitcoin-style trees hash
+//! the last node of an odd level with *itself*, which makes two
+//! different leaf sets share a root: `[a, b, c]` and `[a, b, c, c]`
+//! both reduce to `h(h(ab), h(cc))` (the CVE-2012-2459 ambiguity — an
+//! attacker can present a duplicated-tx block under a valid root).
+//! This tree instead promotes the unpaired node unchanged to the next
+//! level (RFC 6962 / Certificate Transparency style), which makes the
+//! leaf set ↦ root mapping injective for distinct well-formed inputs;
+//! [`MerkleTree::SCHEME_VERSION`] names the scheme so any future
+//! format change is detectable.
 
 use crate::sha256::Sha256;
 use crate::types::Hash256;
@@ -75,6 +85,12 @@ pub struct MerkleTree {
 }
 
 impl MerkleTree {
+    /// Hashing-scheme version: 2 = RFC 6962-style odd-node promotion
+    /// with domain-separated leaf/node hashing (version 1 was the
+    /// Bitcoin-style duplicate-last-node scheme, retired for its
+    /// CVE-2012-2459 root ambiguity).
+    pub const SCHEME_VERSION: u8 = 2;
+
     /// Builds the tree. An empty leaf set gets the conventional
     /// all-zero root.
     pub fn build(leaves: &[Hash256]) -> Self {
@@ -88,9 +104,13 @@ impl MerkleTree {
             let prev = levels.last().unwrap();
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
-                let left = pair[0];
-                let right = pair.get(1).copied().unwrap_or(pair[0]);
-                next.push(node_hash(left, right));
+                next.push(match pair {
+                    // An unpaired node is *promoted*, not hashed with a
+                    // copy of itself — duplication would let distinct
+                    // leaf sets collide (see the module docs).
+                    [one] => *one,
+                    _ => node_hash(pair[0], pair[1]),
+                });
             }
             levels.push(next);
         }
@@ -128,12 +148,13 @@ impl MerkleTree {
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
             let sibling_idx = idx ^ 1;
-            let sibling = level
-                .get(sibling_idx)
-                .copied()
-                .unwrap_or(level[idx]); // odd level: duplicated last node
-            let side = if sibling_idx < idx { Side::Left } else { Side::Right };
-            path.push((side, sibling));
+            // A promoted (unpaired) node has no sibling at this level
+            // and contributes no path element: it carries upward
+            // unchanged, so the verifier's fold skips the level too.
+            if let Some(&sibling) = level.get(sibling_idx) {
+                let side = if sibling_idx < idx { Side::Left } else { Side::Right };
+                path.push((side, sibling));
+            }
             idx /= 2;
         }
         Some(MerkleProof { leaf_index: index, path })
@@ -240,5 +261,63 @@ mod tests {
     fn out_of_range_proof_is_none() {
         let tree = MerkleTree::build(&leaves(5));
         assert!(tree.prove(5).is_none());
+    }
+
+    /// The Bitcoin-style scheme this tree used before promotion: an odd
+    /// level's last node is hashed with a copy of itself. Kept here to
+    /// demonstrate the CVE-2012-2459 ambiguity the fix removes.
+    fn duplicate_last_root(leaves: &[Hash256]) -> Hash256 {
+        let mut level: Vec<Hash256> = leaves.iter().map(|&l| leaf_hash(l)).collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|p| node_hash(p[0], p.get(1).copied().unwrap_or(p[0])))
+                .collect();
+        }
+        level[0]
+    }
+
+    #[test]
+    fn duplicate_pair_leaf_sets_no_longer_collide() {
+        // `[a, b, c]` vs `[a, b, c, c]`: under duplicate-last hashing
+        // both reduce to h(h(ab), h(cc)) — the same root for two
+        // different tx sets, which would let a block with a duplicated
+        // final transaction pass the tx_root check.
+        let three = leaves(3);
+        let mut four = three.clone();
+        four.push(three[2]);
+
+        // The ambiguity is real in the old scheme…
+        assert_eq!(
+            duplicate_last_root(&three),
+            duplicate_last_root(&four),
+            "old scheme must collide — otherwise this regression test tests nothing"
+        );
+        // …and gone in the promoting scheme.
+        let t3 = MerkleTree::build(&three);
+        let t4 = MerkleTree::build(&four);
+        assert_ne!(t3.root(), t4.root(), "distinct leaf sets must get distinct roots");
+
+        // Same check at a larger odd size (the ambiguity exists at
+        // every level, not just the leaves): 5 vs 6-with-dup.
+        let five = leaves(5);
+        let mut six = five.clone();
+        six.push(five[4]);
+        assert_eq!(duplicate_last_root(&five), duplicate_last_root(&six));
+        assert_ne!(MerkleTree::build(&five).root(), MerkleTree::build(&six).root());
+    }
+
+    #[test]
+    fn promoted_node_proofs_skip_sibling_less_levels() {
+        // Leaf 2 of a 3-leaf tree is promoted once: its proof has one
+        // fewer element than the paired leaves' proofs, and still
+        // verifies.
+        let ls = leaves(3);
+        let tree = MerkleTree::build(&ls);
+        let p0 = tree.prove(0).unwrap();
+        let p2 = tree.prove(2).unwrap();
+        assert_eq!(p0.path.len(), 2);
+        assert_eq!(p2.path.len(), 1, "promoted leaf skips the level it had no sibling on");
+        assert!(p2.verify(ls[2], tree.root()));
     }
 }

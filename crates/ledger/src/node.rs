@@ -9,6 +9,7 @@ use crate::tx::{ExecStatus, Receipt, Transaction, TxPayload, Value};
 use crate::types::{Address, Hash256, Wei};
 use std::collections::BTreeMap;
 use std::fmt;
+use tradefl_runtime::obs;
 
 /// Errors surfaced when submitting transactions to the node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,6 +197,23 @@ impl Node {
         };
         let block = Block { header, txs, receipts };
         let hash = block.hash();
+        let gas_used: u64 = block.receipts.iter().map(|r| r.gas_used).sum();
+        let reverted =
+            block.receipts.iter().filter(|r| r.status != ExecStatus::Success).count();
+        obs::event(
+            obs::Subsystem::Ledger,
+            "block_mined",
+            &[
+                ("number", block.header.number.into()),
+                ("txs", block.txs.len().into()),
+                ("gas_used", gas_used.into()),
+                ("receipts", block.receipts.len().into()),
+                ("reverted", reverted.into()),
+            ],
+        );
+        obs::counter_add("ledger.blocks_mined", 1);
+        obs::counter_add("ledger.txs_executed", block.txs.len() as u64);
+        obs::counter_add("ledger.gas_used", gas_used);
         // Not a peer-input path: the header was computed from this
         // node's own tip and freshly executed receipts two lines up,
         // so every push check holds by construction.

@@ -117,3 +117,189 @@ props! {
         prop_assert!(decode_chain(&bytes[..cut.min(bytes.len() - 1)]).is_err());
     }
 }
+
+// ---- wire-decoder fuzzing ----------------------------------------------
+//
+// The decoders sit on the untrusted side of the network boundary: a
+// byzantine peer controls every byte they see. Two contracts, fuzzed
+// below on the pinned-seed harness:
+//
+//  1. *No panic*: arbitrary bytes fed to every wire decoder (and to the
+//     `runtime::codec` primitives underneath) return `Err`, never
+//     panic, never read out of bounds.
+//  2. *Round-trip identity*: every well-formed value survives
+//     encode → decode unchanged.
+
+mod wire_gen {
+    use tradefl_ledger::chain::{Block, BlockHeader};
+    use tradefl_ledger::tx::{ExecStatus, Log, Receipt, Transaction, TxPayload, Value};
+    use tradefl_ledger::types::{Address, Fixed, Hash256, Wei};
+    use tradefl_runtime::check::Gen;
+
+    pub fn any_addr(g: &mut Gen) -> Address {
+        let mut a = [0u8; 20];
+        for b in &mut a {
+            *b = g.any_u8();
+        }
+        Address(a)
+    }
+
+    pub fn any_hash(g: &mut Gen) -> Hash256 {
+        let mut h = [0u8; 32];
+        for b in &mut h {
+            *b = g.any_u8();
+        }
+        Hash256(h)
+    }
+
+    pub fn any_string(g: &mut Gen) -> String {
+        // Printable ASCII keeps the generator simple; UTF-8 handling is
+        // covered by the runtime codec's own tests.
+        let bytes = g.vec(0..12usize, |g| b' ' + g.any_u8() % 95);
+        String::from_utf8(bytes).unwrap()
+    }
+
+    pub fn any_i128(g: &mut Gen) -> i128 {
+        ((g.any_u64() as u128) << 64 | g.any_u64() as u128) as i128
+    }
+
+    pub fn any_value(g: &mut Gen) -> Value {
+        match g.usize(0..6) {
+            0 => Value::U64(g.any_u64()),
+            1 => Value::I128(any_i128(g)),
+            2 => Value::Fixed(Fixed(any_i128(g))),
+            3 => Value::Addr(any_addr(g)),
+            4 => Value::Bytes(g.vec(0..20usize, |g| g.any_u8())),
+            _ => Value::Str(any_string(g)),
+        }
+    }
+
+    pub fn any_tx(g: &mut Gen) -> Transaction {
+        let payload = if g.bool(0.5) {
+            TxPayload::Transfer { to: any_addr(g) }
+        } else {
+            TxPayload::Call {
+                contract: any_addr(g),
+                function: any_string(g),
+                args: g.vec(0..4usize, any_value),
+            }
+        };
+        Transaction {
+            from: any_addr(g),
+            nonce: g.any_u64(),
+            value: Wei(g.any_u64() as u128),
+            gas_limit: g.any_u64(),
+            payload,
+        }
+    }
+
+    pub fn any_receipt(g: &mut Gen) -> Receipt {
+        Receipt {
+            tx_hash: any_hash(g),
+            status: if g.bool(0.5) {
+                ExecStatus::Success
+            } else {
+                ExecStatus::Reverted(any_string(g))
+            },
+            gas_used: g.any_u64(),
+            logs: g.vec(0..3usize, |g| Log {
+                contract: any_addr(g),
+                event: any_string(g),
+                fields: g.vec(0..3usize, |g| (any_string(g), any_value(g))),
+            }),
+            return_data: g.vec(0..3usize, any_value),
+        }
+    }
+
+    pub fn any_header(g: &mut Gen) -> BlockHeader {
+        BlockHeader {
+            number: g.any_u64(),
+            parent: any_hash(g),
+            timestamp: g.any_u64(),
+            tx_root: any_hash(g),
+            receipts_root: any_hash(g),
+            state_root: any_hash(g),
+        }
+    }
+
+    pub fn any_block(g: &mut Gen) -> Block {
+        Block {
+            header: any_header(g),
+            txs: g.vec(0..3usize, any_tx),
+            receipts: g.vec(0..3usize, any_receipt),
+        }
+    }
+}
+
+props! {
+    #![cases = 64]
+
+    /// Contract 1: arbitrary bytes into every ledger wire decoder
+    /// return `Err` or a value — never a panic. (Any panic aborts the
+    /// whole test, so simply invoking the decoders is the assertion.)
+    fn wire_decoders_never_panic_on_arbitrary_bytes(g) {
+        use tradefl_ledger::codec::{
+            decode_block_bytes, decode_chain, decode_header_bytes,
+            decode_receipt_bytes, decode_tx_bytes, decode_value_bytes,
+        };
+        let bytes = g.vec(0..600usize, |g| g.any_u8());
+        let _ = decode_value_bytes(&bytes);
+        let _ = decode_tx_bytes(&bytes);
+        let _ = decode_receipt_bytes(&bytes);
+        let _ = decode_header_bytes(&bytes);
+        let _ = decode_block_bytes(&bytes);
+        let _ = decode_chain(&bytes);
+    }
+
+    /// The `runtime::codec` primitives underneath the wire decoders
+    /// uphold the same contract on raw bytes.
+    fn runtime_codec_never_panics_on_arbitrary_bytes(g) {
+        use tradefl_runtime::codec::ByteDecode;
+        let bytes = g.vec(0..200usize, |g| g.any_u8());
+        let _ = u64::decode_all(&bytes);
+        let _ = i128::decode_all(&bytes);
+        let _ = f64::decode_all(&bytes);
+        let _ = bool::decode_all(&bytes);
+        let _ = String::decode_all(&bytes);
+        let _ = <Vec<u64>>::decode_all(&bytes);
+        let _ = <Option<String>>::decode_all(&bytes);
+        let _ = <Vec<Vec<u8>>>::decode_all(&bytes);
+    }
+
+    /// Contract 2: encode → decode is the identity on every wire type.
+    fn wire_roundtrip_is_identity(g) {
+        use tradefl_ledger::codec::{
+            decode_block_bytes, decode_header_bytes, decode_receipt_bytes,
+            decode_tx_bytes, decode_value_bytes, encode_block_bytes,
+            encode_header_bytes, encode_receipt_bytes, encode_tx_bytes,
+            encode_value_bytes,
+        };
+        use wire_gen::*;
+
+        let v = any_value(g);
+        prop_assert_eq!(decode_value_bytes(&encode_value_bytes(&v)).unwrap(), v);
+        let tx = any_tx(g);
+        prop_assert_eq!(decode_tx_bytes(&encode_tx_bytes(&tx)).unwrap(), tx);
+        let r = any_receipt(g);
+        prop_assert_eq!(decode_receipt_bytes(&encode_receipt_bytes(&r)).unwrap(), r);
+        let h = any_header(g);
+        prop_assert_eq!(decode_header_bytes(&encode_header_bytes(&h)).unwrap(), h);
+        let b = any_block(g);
+        prop_assert_eq!(decode_block_bytes(&encode_block_bytes(&b)).unwrap(), b);
+    }
+
+    /// Appending trailing garbage to a valid frame must flip the strict
+    /// decoders to `Err(TrailingBytes)` — a frame is exactly one value.
+    fn wire_decoders_reject_trailing_garbage(g) {
+        use tradefl_ledger::codec::{decode_tx_bytes, encode_tx_bytes, CodecError};
+        use wire_gen::*;
+
+        let mut bytes = encode_tx_bytes(&any_tx(g));
+        let extra = g.usize(1..9);
+        bytes.extend((0..extra).map(|_| g.any_u8()));
+        prop_assert!(matches!(
+            decode_tx_bytes(&bytes),
+            Err(CodecError::TrailingBytes(n)) if n == extra
+        ));
+    }
+}

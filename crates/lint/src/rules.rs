@@ -71,7 +71,12 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "Wall-clock reads make control flow time-dependent, which breaks replayable \
                     seeds and makes equilibrium comparisons noisy (the exact failure mode \
                     coopetitive-CFL reproductions warn about). Timing belongs in \
-                    tradefl_runtime::bench and the bench harness crate, which are exempt.",
+                    tradefl_runtime::bench and the bench harness crate, which are exempt. \
+                    One more sanctioned sink exists: obs::time_scope (DESIGN.md \u{a7}9), a \
+                    doubly opt-in duration histogram whose reading can never reach control \
+                    flow or the deterministic event stream — its single Instant::now call \
+                    carries an in-place lint:allow. Observability events themselves are keyed \
+                    by logical clocks (per-subsystem step counters), never wall time.",
         in_tests: true,
     },
     RuleInfo {

@@ -132,8 +132,12 @@ impl fmt::Debug for BytesMut {
 ///
 /// # Panics
 ///
-/// Like `bytes`, the `get_*` methods panic when fewer bytes remain
-/// than requested; callers bound-check with [`Buf::remaining`] first.
+/// Like `bytes`, the `get_*`/`advance`/`take_slice` methods panic when
+/// fewer bytes remain than requested — they are for *trusted* input
+/// whose length the caller already established. Anything decoding
+/// **untrusted peer bytes** must use the fallible `try_*` family (or
+/// [`ByteDecode`]), which maps shortfall to [`DecodeError::Truncated`]
+/// instead of aborting the process.
 pub trait Buf {
     /// Bytes left to read.
     fn remaining(&self) -> usize;
@@ -143,6 +147,57 @@ pub trait Buf {
 
     /// Reads the next `n` bytes as a slice without copying.
     fn take_slice(&mut self, n: usize) -> &[u8];
+
+    /// Fallible [`Buf::take_slice`]: `Err(Truncated)` instead of a
+    /// panic when fewer than `n` bytes remain (the cursor is left
+    /// unmoved on failure).
+    fn try_take_slice(&mut self, n: usize) -> Result<&[u8], DecodeError>;
+
+    /// Fallible [`Buf::advance`].
+    fn try_advance(&mut self, n: usize) -> Result<(), DecodeError> {
+        self.try_take_slice(n).map(|_| ())
+    }
+
+    /// Fallible [`Buf::get_u8`].
+    fn try_get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.try_take_slice(1)?[0])
+    }
+
+    /// Fallible [`Buf::get_u64`] (big-endian).
+    fn try_get_u64(&mut self) -> Result<u64, DecodeError> {
+        // lint:allow(no-panic-in-lib): try_take_slice returned exactly the requested length
+        Ok(u64::from_be_bytes(self.try_take_slice(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Fallible [`Buf::get_u64_le`] (little-endian).
+    fn try_get_u64_le(&mut self) -> Result<u64, DecodeError> {
+        // lint:allow(no-panic-in-lib): try_take_slice returned exactly the requested length
+        Ok(u64::from_le_bytes(self.try_take_slice(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Fallible [`Buf::get_u128`] (big-endian).
+    fn try_get_u128(&mut self) -> Result<u128, DecodeError> {
+        // lint:allow(no-panic-in-lib): try_take_slice returned exactly the requested length
+        Ok(u128::from_be_bytes(self.try_take_slice(16)?.try_into().expect("16 bytes")))
+    }
+
+    /// Fallible [`Buf::get_u128_le`] (little-endian).
+    fn try_get_u128_le(&mut self) -> Result<u128, DecodeError> {
+        // lint:allow(no-panic-in-lib): try_take_slice returned exactly the requested length
+        Ok(u128::from_le_bytes(self.try_take_slice(16)?.try_into().expect("16 bytes")))
+    }
+
+    /// Fallible [`Buf::get_i128`] (big-endian).
+    fn try_get_i128(&mut self) -> Result<i128, DecodeError> {
+        // lint:allow(no-panic-in-lib): try_take_slice returned exactly the requested length
+        Ok(i128::from_be_bytes(self.try_take_slice(16)?.try_into().expect("16 bytes")))
+    }
+
+    /// Fallible [`Buf::get_i128_le`] (little-endian).
+    fn try_get_i128_le(&mut self) -> Result<i128, DecodeError> {
+        // lint:allow(no-panic-in-lib): try_take_slice returned exactly the requested length
+        Ok(i128::from_le_bytes(self.try_take_slice(16)?.try_into().expect("16 bytes")))
+    }
 
     /// Reads one byte.
     fn get_u8(&mut self) -> u8 {
@@ -201,6 +256,15 @@ impl Buf for &[u8] {
         let (head, tail) = self.split_at(n);
         *self = tail;
         head
+    }
+
+    fn try_take_slice(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+        if n > self.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        Ok(head)
     }
 }
 
@@ -564,6 +628,43 @@ mod tests {
         assert_eq!(Vec::<u32>::decode(&mut cur).unwrap(), vec![1, 2, 3]);
         assert_eq!(Option::<usize>::decode(&mut cur).unwrap(), Some(9));
         assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn try_getters_error_on_shortfall_without_moving_the_cursor() {
+        let bytes = [1u8, 2, 3];
+        let mut cur: &[u8] = &bytes;
+        assert_eq!(cur.try_get_u64(), Err(DecodeError::Truncated));
+        assert_eq!(cur.try_get_u64_le(), Err(DecodeError::Truncated));
+        assert_eq!(cur.try_get_u128(), Err(DecodeError::Truncated));
+        assert_eq!(cur.try_get_i128_le(), Err(DecodeError::Truncated));
+        assert_eq!(cur.try_advance(4), Err(DecodeError::Truncated));
+        assert_eq!(cur.remaining(), 3, "failed reads must not consume bytes");
+        assert_eq!(cur.try_get_u8(), Ok(1));
+        assert_eq!(cur.try_take_slice(2), Ok(&[2u8, 3][..]));
+        assert_eq!(cur.try_get_u8(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn try_getters_match_panicking_getters_on_valid_input() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        buf.put_u64(77);
+        buf.put_u64_le(78);
+        buf.put_u128(1 << 100);
+        buf.put_u128_le(2 << 100);
+        buf.put_i128(-5);
+        buf.put_i128_le(-6);
+        let mut a: &[u8] = &buf;
+        let mut b: &[u8] = &buf;
+        assert_eq!(a.try_get_u8().unwrap(), b.get_u8());
+        assert_eq!(a.try_get_u64().unwrap(), b.get_u64());
+        assert_eq!(a.try_get_u64_le().unwrap(), b.get_u64_le());
+        assert_eq!(a.try_get_u128().unwrap(), b.get_u128());
+        assert_eq!(a.try_get_u128_le().unwrap(), b.get_u128_le());
+        assert_eq!(a.try_get_i128().unwrap(), b.get_i128());
+        assert_eq!(a.try_get_i128_le().unwrap(), b.get_i128_le());
+        assert_eq!(a.remaining(), 0);
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //!   minimization-lite) replacing `proptest`;
 //! * [`bench`] — a wall-clock benchmark runner and the
 //!   [`bench_group!`]/[`bench_main!`] macros replacing `criterion` for
-//!   `harness = false` bench targets.
+//!   `harness = false` bench targets;
+//! * [`obs`] — zero-cost-when-disabled observability: logical-clock
+//!   events, counters/gauges/histograms, and a deterministic JSONL
+//!   exporter (replacing `tracing` + `metrics`), honoring the
+//!   no-wallclock and bit-determinism contracts.
 //!
 //! The workspace-level guard test `tests/no_external_deps.rs` asserts
 //! that no manifest ever reintroduces a registry dependency.
@@ -37,5 +41,6 @@
 pub mod bench;
 pub mod check;
 pub mod codec;
+pub mod obs;
 pub mod rng;
 pub mod sync;

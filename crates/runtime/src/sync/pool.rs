@@ -108,18 +108,19 @@ impl<'t> Shared<'t> {
     }
 
     /// Takes one task: own deque back, then injector front, then steal
-    /// a sibling's front. Returns `None` when every queue is empty.
-    fn grab(&self, me: usize) -> Option<Task<'t>> {
+    /// a sibling's front. Returns `None` when every queue is empty; the
+    /// flag says whether the task was stolen from a sibling's deque.
+    fn grab(&self, me: usize) -> Option<(Task<'t>, bool)> {
         if let Some(t) = self.deques[me].lock().pop_back() {
-            return Some(t);
+            return Some((t, false));
         }
         if let Some(t) = self.injector.lock().pop_front() {
-            return Some(t);
+            return Some((t, false));
         }
         let n = self.deques.len();
         for k in 1..n {
             if let Some(t) = self.deques[(me + k) % n].lock().pop_front() {
-                return Some(t);
+                return Some((t, true));
             }
         }
         None
@@ -141,14 +142,22 @@ impl<'t> Shared<'t> {
     }
 
     fn worker_loop(&self, me: usize) {
+        // Telemetry is tallied in plain locals and flushed when the
+        // worker runs dry (just before parking or exiting), so the
+        // per-task path costs nothing even with the recorder enabled —
+        // and long-lived pools (the global one never exits) still
+        // surface their counts at every idle point.
+        let (mut executed, mut stolen) = (0u64, 0u64);
         loop {
-            if let Some(task) = self.grab(me) {
+            if let Some((task, was_stolen)) = self.grab(me) {
                 let run = {
                     let mut st = self.state.lock();
                     st.queued -= 1;
                     !st.aborted
                 };
                 if run {
+                    executed += 1;
+                    stolen += u64::from(was_stolen);
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
                         self.record_panic(payload);
                     }
@@ -157,6 +166,8 @@ impl<'t> Shared<'t> {
                 }
                 continue;
             }
+            flush_worker_telemetry(me, executed, stolen);
+            (executed, stolen) = (0, 0);
             let st = self.state.lock();
             // Re-check under the lock: a push between `grab` and here
             // bumps `queued`, so we cannot miss a wake-up.
@@ -257,6 +268,9 @@ impl Pool {
         F: FnOnce() -> T + Send,
     {
         if self.workers == 1 || jobs.len() <= 1 {
+            if !jobs.is_empty() {
+                flush_worker_telemetry(0, jobs.len() as u64, 0);
+            }
             return jobs.into_iter().map(|j| j()).collect();
         }
         let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
@@ -281,6 +295,9 @@ impl Pool {
         F: Fn(usize) -> T + Sync,
     {
         if self.workers == 1 || n <= 1 {
+            if n > 0 {
+                flush_worker_telemetry(0, n as u64, 0);
+            }
             return (0..n).map(f).collect();
         }
         let chunk = n.div_ceil(self.workers * CHUNKS_PER_WORKER).max(1);
@@ -302,16 +319,32 @@ impl Pool {
 /// How many stealable chunks [`Pool::map_indexed`] cuts per worker.
 const CHUNKS_PER_WORKER: usize = 4;
 
-/// Parses a `TRADEFL_THREADS` value: a positive integer, clamped to
-/// 256. Unset, empty, or unparsable values return `None` (the caller
-/// falls back to the detected parallelism).
+/// Records one worker's scope totals into [`crate::obs`]. Per-worker
+/// attribution and steal counts are scheduling-dependent by nature, so
+/// they are metrics (counters), never logical-clock events — the
+/// determinism suite compares event streams only (DESIGN.md §9).
+fn flush_worker_telemetry(me: usize, executed: u64, stolen: u64) {
+    if !crate::obs::is_enabled() || executed == 0 {
+        return;
+    }
+    crate::obs::counter_add("pool.tasks_executed", executed);
+    crate::obs::counter_add(&format!("pool.worker{me}.tasks_executed"), executed);
+    if stolen > 0 {
+        crate::obs::counter_add("pool.tasks_stolen", stolen);
+        crate::obs::counter_add(&format!("pool.worker{me}.tasks_stolen"), stolen);
+    }
+}
+
+/// Parses a `TRADEFL_THREADS` value (whitespace tolerated), clamping
+/// the result to `1..=256`: `"0"` means "explicitly serial" and lands
+/// on 1 worker — it must never produce a 0-worker pool *or* silently
+/// fall through to the detected parallelism, which would make
+/// `TRADEFL_THREADS=0` run many-threaded. Unset, empty, or unparsable
+/// values return `None` (the caller falls back to the detected
+/// parallelism).
 pub fn thread_override(raw: Option<&str>) -> Option<usize> {
     let n: usize = raw?.trim().parse().ok()?;
-    if n == 0 {
-        None
-    } else {
-        Some(n.min(256))
-    }
+    Some(n.clamp(1, 256))
 }
 
 #[cfg(test)]
@@ -391,13 +424,38 @@ mod tests {
 
     #[test]
     fn thread_override_parses_and_clamps() {
-        assert_eq!(thread_override(None), None);
-        assert_eq!(thread_override(Some("")), None);
-        assert_eq!(thread_override(Some("0")), None);
-        assert_eq!(thread_override(Some("nope")), None);
-        assert_eq!(thread_override(Some("4")), Some(4));
-        assert_eq!(thread_override(Some(" 12 ")), Some(12));
-        assert_eq!(thread_override(Some("100000")), Some(256));
+        // Table-driven: raw value -> expected resolution. `"0"` must
+        // clamp to 1 (explicitly serial), never 0 workers and never a
+        // silent fall-through to detected parallelism.
+        let table: &[(Option<&str>, Option<usize>)] = &[
+            (None, None),
+            (Some(""), None),
+            (Some("   "), None),
+            (Some("0"), Some(1)),
+            (Some(" 0 "), Some(1)),
+            (Some("1"), Some(1)),
+            (Some("4"), Some(4)),
+            (Some(" 8 "), Some(8)),
+            (Some(" 12 "), Some(12)),
+            (Some("256"), Some(256)),
+            (Some("257"), Some(256)),
+            (Some("100000"), Some(256)),
+            (Some("abc"), None),
+            (Some("nope"), None),
+            (Some("-1"), None),
+            (Some("1.5"), None),
+        ];
+        for &(raw, expected) in table {
+            assert_eq!(thread_override(raw), expected, "raw = {raw:?}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_is_impossible() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert_eq!(Pool::new(usize::MAX).workers(), usize::MAX); // Pool::new clamps low only
+        let jobs: Vec<_> = (0..4).map(|i| move || i * 2).collect();
+        assert_eq!(Pool::new(0).map(jobs), vec![0, 2, 4, 6]);
     }
 
     #[test]

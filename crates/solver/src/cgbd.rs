@@ -21,6 +21,7 @@ use crate::primal::PrimalProblem;
 // Ordered set, not HashSet — see the `no-hash-iteration` lint.
 use std::collections::BTreeSet;
 use tradefl_core::accuracy::AccuracyModel;
+use tradefl_runtime::obs;
 use tradefl_runtime::sync::pool::Pool;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
@@ -182,6 +183,21 @@ impl CgbdSolver {
                 lower_bound: lb,
                 primal_feasible,
             });
+            // This loop is sequential orchestration, so the iteration
+            // event is safe to key on the CGBD logical clock.
+            obs::event(
+                obs::Subsystem::Cgbd,
+                "iteration",
+                &[
+                    ("k", k.into()),
+                    ("upper_bound", ub.into()),
+                    ("lower_bound", lb.into()),
+                    ("gap", (ub - lb).into()),
+                    ("cuts", cuts.len().into()),
+                    ("primal_feasible", primal_feasible.into()),
+                ],
+            );
+            obs::counter_add("cgbd.cuts_added", 1);
             if ub - lb <= self.options.epsilon {
                 converged = true;
                 break;

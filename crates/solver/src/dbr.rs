@@ -10,6 +10,7 @@ use crate::bestresponse::{best_response_with, Objective};
 use crate::cache::PayoffCache;
 use crate::error::{Result, SolveError};
 use crate::outcome::{Equilibrium, Scheme};
+use tradefl_runtime::obs;
 use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 use tradefl_runtime::sync::pool::Pool;
 use tradefl_core::accuracy::AccuracyModel;
@@ -217,9 +218,33 @@ impl DbrSolver {
                     round_gain = round_gain.max(payoff_at - current);
                     profile.set(i, candidate);
                     any_change = true;
+                    // Per-org best-response step size; aggregate only —
+                    // the inner best-response runs on the pool, but this
+                    // record happens on the sequential round loop.
+                    obs::hist_record("dbr.br_delta", moved);
                 }
             }
             potential_trace.push(game.potential(&profile));
+            {
+                let potential = *potential_trace.last().unwrap_or(&f64::NAN);
+                let residual = potential_trace
+                    .iter()
+                    .rev()
+                    .nth(1)
+                    .map(|prev| (potential - prev).abs())
+                    .unwrap_or(f64::NAN);
+                obs::event(
+                    obs::Subsystem::Dbr,
+                    "round",
+                    &[
+                        ("round", rounds.into()),
+                        ("round_gain", round_gain.into()),
+                        ("any_change", any_change.into()),
+                        ("potential", potential.into()),
+                        ("residual", residual.into()),
+                    ],
+                );
+            }
             payoff_traces
                 .push(cache.payoffs(game, &profile, Objective::Full).to_vec());
             // Stop on a fixed point, or when the largest accepted payoff

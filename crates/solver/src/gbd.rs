@@ -9,6 +9,7 @@
 //! clearly flagged as a heuristic.
 
 use crate::error::{Result, SolveError};
+use tradefl_runtime::obs;
 use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
 use tradefl_runtime::sync::pool::Pool;
 // Ordered set, not HashSet: the visited set participates in the
@@ -253,6 +254,12 @@ pub fn solve_master<A: AccuracyModel>(
     match search {
         MasterSearch::Traversal { cap } => {
             let combos = combination_count(game);
+            // The traversal visits every candidate; recorded here at
+            // the sequential entry point, not inside pooled chunks.
+            obs::counter_add(
+                "gbd.master_candidates_scanned",
+                u64::try_from(combos).unwrap_or(u64::MAX),
+            );
             if combos >= POOLED_TRAVERSAL_MIN_COMBOS {
                 traverse_pooled(game, cuts, visited, cap, Pool::global())
             } else {

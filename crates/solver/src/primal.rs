@@ -23,6 +23,7 @@ use crate::error::{Result, SolveError};
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
+use tradefl_runtime::obs;
 
 /// Solution of the primal problem (19) at fixed compute levels.
 #[derive(Debug, Clone, PartialEq)]
@@ -243,6 +244,11 @@ impl<'g, A: AccuracyModel> PrimalProblem<'g, A> {
         if !value.is_finite() {
             return Err(SolveError::Numeric { what: "non-finite objective" });
         }
+        // Order-independent aggregates only: primal solves run inside
+        // pool workers, so logical-clock events are off limits here
+        // (DESIGN.md §9).
+        obs::counter_add("primal.solves", 1);
+        obs::hist_record("primal.newton_iterations", newton_iters as f64);
         Ok(PrimalSolution { d, value, multipliers, iterations: newton_iters })
     }
 
@@ -343,6 +349,10 @@ impl<'g, A: AccuracyModel> PrimalProblem<'g, A> {
                 lambda[i] = 1.0 / winners.len() as f64;
             }
         }
+        obs::counter_add(
+            if zeta > 0.0 { "primal.feasibility_violated" } else { "primal.feasibility_ok" },
+            1,
+        );
         FeasibilityOutcome { zeta, lambda, d }
     }
 }

@@ -4,11 +4,17 @@
 //! mechanism.
 //!
 //! Run with: `cargo run --release --example end_to_end`
+//!
+//! Pass `--trace out.jsonl` to record the run's observability stream
+//! (solver iterations, FL rounds, mined blocks, pool/ledger counters)
+//! as `tradefl-trace/v1` JSON Lines.
 
 use tradefl::pipeline::{Pipeline, PipelineConfig};
 use tradefl::prelude::*;
+use tradefl_runtime::obs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = obs::trace_path_from_args();
     let config = PipelineConfig::paper();
     let report = Pipeline::new(config).run(42)?;
 
@@ -42,5 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wpr.total_fraction, report.equilibrium.total_fraction
     );
     assert!(report.equilibrium.total_fraction > wpr.total_fraction);
+
+    if let Some(path) = &trace {
+        obs::write_trace(path)?;
+        println!("\ntrace written to {}", path.display());
+    }
     Ok(())
 }

@@ -36,4 +36,11 @@ for f in BENCH_*.json; do
   target/release/perf_baseline --check "$f"
 done
 
+echo "==> observability: end_to_end --trace emits a valid tradefl-trace/v1 stream"
+trace_file="$(mktemp -t tradefl-trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file"' EXIT
+cargo build --release --example end_to_end
+target/release/examples/end_to_end --trace "$trace_file" > /dev/null
+cargo run -q --release -p tradefl-bench --bin trace_check -- "$trace_file"
+
 echo "ci.sh: all gates passed"

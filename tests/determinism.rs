@@ -234,3 +234,54 @@ fn training_is_bit_identical_across_runs() {
     );
     assert_eq!(a.settlement.onchain_redistribution, b.settlement.onchain_redistribution);
 }
+
+#[test]
+fn event_streams_are_bit_identical_for_any_worker_count() {
+    // The observability contract (DESIGN.md §9): events are emitted
+    // only from sequential orchestration code, so the exported event
+    // stream — logical-clock sequence numbers included — is the same
+    // byte string no matter how many pool workers run underneath.
+    // Metrics (pool steal counts etc.) are legitimately
+    // scheduling-dependent and excluded via `events_jsonl()`.
+    use tradefl::fl::data::{generate, DatasetKind};
+    use tradefl::fl::fed::train_federated_with;
+    use tradefl::fl::model::{Mlp, ModelKind};
+    use tradefl_runtime::obs;
+
+    let all = generate(DatasetKind::EurosatLike, 3 * 120 + 200, 11);
+    let mut shards = all.shard(&[120, 120, 120, 200]);
+    let test = shards.pop().unwrap();
+    let config = FedConfig { rounds: 2, local_epochs: 1, batch_size: 32, lr: 0.1, seed: 5 };
+    let streams: Vec<String> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| {
+            let (_, snap) = obs::with_local(|| {
+                let g = game(7);
+                DbrSolver::new().solve_with(&g, &Pool::new(w)).unwrap();
+                let global =
+                    Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+                train_federated_with(
+                    global,
+                    &shards,
+                    &test,
+                    &[1.0, 0.5, 0.8],
+                    &config,
+                    &Pool::new(w),
+                )
+                .unwrap();
+            });
+            snap.events_jsonl()
+        })
+        .collect();
+    assert!(
+        streams[0].lines().any(|l| l.contains("\"sub\":\"dbr\"")),
+        "stream must actually contain solver events"
+    );
+    assert!(
+        streams[0].lines().any(|l| l.contains("\"sub\":\"fed\"")),
+        "stream must actually contain FL events"
+    );
+    for (i, s) in streams.iter().enumerate() {
+        assert_eq!(s, &streams[0], "event stream differs for worker count run {i}");
+    }
+}
