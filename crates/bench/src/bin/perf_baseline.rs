@@ -10,16 +10,31 @@
 //! hosts, which is why `host_parallelism` is recorded alongside
 //! `workers`: read speedups against it.
 //!
+//! Rows whose work sits below the pool thresholds (`dbr_solve`,
+//! `best_response`, `fedavg_round` at these sizes) execute the *same*
+//! inline code on both pools, so their true ratio is 1.0 by
+//! construction; they are timed with interleaved sampling
+//! ([`time_interleaved_ms`]) so shared-host drift cannot open a fake
+//! gap between two disjoint measurement windows. The rows that
+//! genuinely engage worker threads stay on separate [`time_ms`]
+//! windows — interleaving a multi-worker workload with a serial one
+//! lets workers spinning down bleed into the serial batches (see
+//! `gemm_baseline`).
+//!
 //! Usage:
-//!   perf_baseline [--fast] [--out FILE]   # run benches, write JSON
-//!   perf_baseline --check FILE            # validate a baseline file
+//!   perf_baseline [--fast] [--out FILE]    # run benches, write JSON
+//!   perf_baseline --check FILE             # validate a baseline file
+//!   perf_baseline --gate CURRENT COMMITTED # regression gate
 //!
 //! `--fast` (or the `TRADEFL_BENCH_FAST` env var) shrinks instance
-//! sizes and repeat counts to smoke-test scale for CI.
+//! sizes and repeat counts to smoke-test scale for CI. `--gate`
+//! compares a fresh measurement against a committed baseline with
+//! [`tradefl_bench::json::gate`]'s generous tolerance and exits
+//! non-zero on an order-of-magnitude regression.
 
 use std::collections::BTreeSet;
 use tradefl_bench::json::Json;
-use std::time::Instant;
+use tradefl_bench::timing::{time_interleaved_ms, time_ms};
 use tradefl_core::accuracy::SqrtAccuracy;
 use tradefl_core::config::MarketConfig;
 use tradefl_core::game::CoopetitionGame;
@@ -41,25 +56,6 @@ const WORKERS: usize = 4;
 fn game(n: usize, seed: u64) -> CoopetitionGame<SqrtAccuracy> {
     let market = MarketConfig::table_ii().with_orgs(n).build(seed).unwrap();
     CoopetitionGame::new(market, SqrtAccuracy::paper_default())
-}
-
-fn median_ms(mut samples: Vec<f64>) -> f64 {
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
-/// Times `work` `repeats` times (after one warmup) and returns the
-/// median in milliseconds.
-fn time_ms(repeats: usize, mut work: impl FnMut()) -> f64 {
-    work();
-    let samples: Vec<f64> = (0..repeats.max(1))
-        .map(|_| {
-            let t0 = Instant::now();
-            work();
-            t0.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    median_ms(samples)
 }
 
 struct BenchRow {
@@ -92,7 +88,7 @@ fn cut_stack(g: &CoopetitionGame<SqrtAccuracy>) -> Vec<Cut> {
 }
 
 fn run_benches(fast: bool) -> Vec<BenchRow> {
-    let repeats = if fast { 3 } else { 7 };
+    let repeats = if fast { 3 } else { 15 };
     let mut rows = Vec::new();
     let serial_pool = Pool::new(1);
     let pooled_pool = Pool::new(WORKERS);
@@ -142,32 +138,28 @@ fn run_benches(fast: bool) -> Vec<BenchRow> {
     // Full DBR solve (Algorithm 2) on the paper-scale market.
     {
         let g = game(if fast { 6 } else { 10 }, 42);
-        rows.push(BenchRow {
-            name: "dbr_solve",
-            serial_ms: time_ms(repeats, || {
-                DbrSolver::new().solve_with(&g, &serial_pool).unwrap();
-            }),
-            pooled_ms: time_ms(repeats, || {
-                DbrSolver::new().solve_with(&g, &pooled_pool).unwrap();
-            }),
-        });
+        let mut serial = || {
+            DbrSolver::new().solve_with(&g, &serial_pool).unwrap();
+        };
+        let mut pooled = || {
+            DbrSolver::new().solve_with(&g, &pooled_pool).unwrap();
+        };
+        let ms = time_interleaved_ms(repeats, &mut [&mut serial, &mut pooled]);
+        rows.push(BenchRow { name: "dbr_solve", serial_ms: ms[0], pooled_ms: ms[1] });
     }
 
     // One organization's best response at the minimal profile.
     {
         let g = game(if fast { 6 } else { 10 }, 42);
         let profile = StrategyProfile::minimal(g.market());
-        rows.push(BenchRow {
-            name: "best_response",
-            serial_ms: time_ms(repeats * 10, || {
-                best_response_with(&g, &profile, 0, Objective::Full, &serial_pool)
-                    .unwrap();
-            }),
-            pooled_ms: time_ms(repeats * 10, || {
-                best_response_with(&g, &profile, 0, Objective::Full, &pooled_pool)
-                    .unwrap();
-            }),
-        });
+        let mut serial = || {
+            best_response_with(&g, &profile, 0, Objective::Full, &serial_pool).unwrap();
+        };
+        let mut pooled = || {
+            best_response_with(&g, &profile, 0, Objective::Full, &pooled_pool).unwrap();
+        };
+        let ms = time_interleaved_ms(repeats * 10, &mut [&mut serial, &mut pooled]);
+        rows.push(BenchRow { name: "best_response", serial_ms: ms[0], pooled_ms: ms[1] });
     }
 
     // FedAvg rounds with per-silo local training.
@@ -187,24 +179,23 @@ fn run_benches(fast: bool) -> Vec<BenchRow> {
             seed: 1,
         };
         let mk = || Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
-        rows.push(BenchRow {
-            name: "fedavg_round",
-            serial_ms: time_ms(repeats, || {
-                train_federated_with(mk(), &shards, &test, &fractions, &config, &serial_pool)
-                    .unwrap();
-            }),
-            pooled_ms: time_ms(repeats, || {
-                train_federated_with(mk(), &shards, &test, &fractions, &config, &pooled_pool)
-                    .unwrap();
-            }),
-        });
+        let mut serial = || {
+            train_federated_with(mk(), &shards, &test, &fractions, &config, &serial_pool)
+                .unwrap();
+        };
+        let mut pooled = || {
+            train_federated_with(mk(), &shards, &test, &fractions, &config, &pooled_pool)
+                .unwrap();
+        };
+        let ms = time_interleaved_ms(repeats, &mut [&mut serial, &mut pooled]);
+        rows.push(BenchRow { name: "fedavg_round", serial_ms: ms[0], pooled_ms: ms[1] });
     }
 
     rows
 }
 
 fn render_json(rows: &[BenchRow], fast: bool, repeats_note: &str) -> String {
-    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let host = tradefl_runtime::sync::pool::host_parallelism();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
@@ -286,6 +277,7 @@ fn main() {
     let mut fast = std::env::var("TRADEFL_BENCH_FAST").is_ok();
     let mut out_path = String::from("BENCH_solvers.json");
     let mut check_path: Option<String> = None;
+    let mut gate_paths: Option<(String, String)> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -296,11 +288,30 @@ fn main() {
             "--check" => {
                 check_path = Some(it.next().expect("--check needs a path").clone());
             }
+            "--gate" => {
+                let cur = it.next().expect("--gate needs CURRENT and COMMITTED").clone();
+                let com = it.next().expect("--gate needs CURRENT and COMMITTED").clone();
+                gate_paths = Some((cur, com));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some((cur, com)) = gate_paths {
+        use tradefl_bench::json::{gate_files, GATE_TOLERANCE};
+        match gate_files(&cur, &com, GATE_TOLERANCE) {
+            Ok(n) => println!(
+                "perf_baseline --gate: {cur} vs {com} OK ({n} medians within {GATE_TOLERANCE}x)"
+            ),
+            Err(e) => {
+                eprintln!("perf_baseline --gate: {cur} vs {com} REGRESSION: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     if let Some(path) = check_path {
@@ -321,7 +332,11 @@ fn main() {
         return;
     }
 
-    let repeats_note = if fast { "median of 3 (fast)" } else { "median of 7" };
+    let repeats_note = if fast {
+        "median of 3, paired rows interleaved (fast)"
+    } else {
+        "median of 15, paired rows interleaved"
+    };
     let rows = run_benches(fast);
     let json = render_json(&rows, fast, repeats_note);
     check_baseline(&json).expect("self-emitted baseline must validate");

@@ -1,7 +1,9 @@
 //! Minimal recursive-descent JSON reader (the workspace has no serde
 //! by policy), shared by the schema validators: `perf_baseline --check`
 //! and `trace_check` both parse with it and then assert their schemas
-//! by hand.
+//! by hand. The bench-regression [`gate`] lives here too, so every
+//! baseline flavor (`BENCH_solvers.json`, `BENCH_gemm.json`) shares
+//! one comparison rule.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -232,6 +234,92 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Default multiplicative tolerance for [`gate`]: a freshly measured
+/// median may be up to this many times the committed one before the
+/// gate fails. Deliberately generous — the CI smoke run shares the
+/// host with the rest of the gate and the fast-mode solver instances
+/// are smaller than the committed full-mode ones, so the gate exists
+/// to catch order-of-magnitude regressions, not percent-level drift.
+pub const GATE_TOLERANCE: f64 = 3.0;
+
+/// Compares a freshly measured baseline (`current`) against a
+/// committed one (`committed`): `benches[]` rows are matched by
+/// `name`, and within matched rows every numeric field whose key ends
+/// in `_ms` and that both rows carry is compared. The gate fails if
+/// any current median exceeds `tolerance ×` the committed median.
+/// Rows or fields present on only one side are skipped (instance
+/// sizes and columns may evolve independently), but an empty
+/// comparison set is an error so the gate can never pass vacuously.
+///
+/// Returns the number of `(row, field)` pairs compared.
+///
+/// # Errors
+///
+/// The first parse/shape failure, or the full list of tolerance
+/// violations.
+pub fn gate(current: &str, committed: &str, tolerance: f64) -> Result<usize, String> {
+    let cur = Json::parse(current).map_err(|e| format!("current baseline: {e}"))?;
+    let com = Json::parse(committed).map_err(|e| format!("committed baseline: {e}"))?;
+    let cur_schema = cur.get("schema").and_then(Json::as_str).unwrap_or_default();
+    let com_schema = com.get("schema").and_then(Json::as_str).unwrap_or_default();
+    if cur_schema != com_schema {
+        return Err(format!("schema mismatch: '{cur_schema}' vs '{com_schema}'"));
+    }
+    let rows = |doc: &Json| match doc.get("benches") {
+        Some(Json::Arr(rows)) => rows.clone(),
+        _ => Vec::new(),
+    };
+    let cur_rows = rows(&cur);
+    let com_rows = rows(&com);
+    let mut compared = 0usize;
+    let mut violations = Vec::new();
+    for com_row in &com_rows {
+        let Some(name) = com_row.get("name").and_then(Json::as_str) else { continue };
+        let Some(cur_row) = cur_rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        let Some(fields) = com_row.as_obj() else { continue };
+        for (key, value) in fields {
+            if !key.ends_with("_ms") {
+                continue;
+            }
+            let (Some(com_ms), Some(cur_ms)) =
+                (value.as_num(), cur_row.get(key).and_then(Json::as_num))
+            else {
+                continue;
+            };
+            compared += 1;
+            if cur_ms > tolerance * com_ms {
+                violations.push(format!(
+                    "{name}.{key}: {cur_ms:.3} ms exceeds {tolerance}x committed {com_ms:.3} ms"
+                ));
+            }
+        }
+    }
+    if !violations.is_empty() {
+        return Err(violations.join("; "));
+    }
+    if compared == 0 {
+        return Err("no comparable (bench, field) pairs — the gate would be vacuous".into());
+    }
+    Ok(compared)
+}
+
+/// [`gate`] over files on disk, with path context on read failures.
+///
+/// # Errors
+///
+/// Unreadable files, plus everything [`gate`] rejects.
+pub fn gate_files(current: &str, committed: &str, tolerance: f64) -> Result<usize, String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    gate(&read(current)?, &read(committed)?, tolerance)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +343,55 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "{} trailing", "\"unterminated"] {
             assert!(Json::parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    fn baseline(rows: &str) -> String {
+        format!("{{\"schema\": \"s/v1\", \"benches\": [{rows}]}}")
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_counts_pairs() {
+        let committed = baseline(
+            "{\"name\": \"a\", \"serial_ms\": 10.0, \"pooled_ms\": 4.0, \"speedup\": 2.5}, \
+             {\"name\": \"b\", \"serial_ms\": 1.0}",
+        );
+        let current = baseline(
+            "{\"name\": \"a\", \"serial_ms\": 25.0, \"pooled_ms\": 2.0, \"speedup\": 12.5}, \
+             {\"name\": \"b\", \"serial_ms\": 2.9}",
+        );
+        // serial_ms/pooled_ms on row a plus serial_ms on row b (3
+        // pairs); the non-`_ms` speedup field is ignored even though
+        // it blew up.
+        assert_eq!(gate(&current, &committed, 3.0), Ok(3));
+    }
+
+    #[test]
+    fn gate_fails_on_a_regression_and_names_the_field() {
+        let committed = baseline("{\"name\": \"a\", \"serial_ms\": 1.0, \"pooled_ms\": 1.0}");
+        let current = baseline("{\"name\": \"a\", \"serial_ms\": 1.5, \"pooled_ms\": 40.0}");
+        let err = gate(&current, &committed, 3.0).unwrap_err();
+        assert!(err.contains("a.pooled_ms"), "{err}");
+        assert!(!err.contains("serial_ms"), "{err}");
+    }
+
+    #[test]
+    fn gate_skips_one_sided_rows_but_rejects_a_vacuous_comparison() {
+        let committed = baseline(
+            "{\"name\": \"kept\", \"serial_ms\": 1.0, \"extra_ms\": 1.0}, \
+             {\"name\": \"retired\", \"serial_ms\": 1.0}",
+        );
+        let current = baseline("{\"name\": \"kept\", \"serial_ms\": 1.0}");
+        assert_eq!(gate(&current, &committed, 3.0), Ok(1));
+        let disjoint = baseline("{\"name\": \"new\", \"serial_ms\": 1.0}");
+        assert!(gate(&disjoint, &committed, 3.0).is_err());
+    }
+
+    #[test]
+    fn gate_rejects_schema_mismatch_and_garbage() {
+        let a = baseline("{\"name\": \"x\", \"serial_ms\": 1.0}");
+        let other = "{\"schema\": \"other/v2\", \"benches\": [{\"name\": \"x\", \"serial_ms\": 1.0}]}";
+        assert!(gate(&a, other, 3.0).is_err());
+        assert!(gate("nope", &a, 3.0).is_err());
+        assert!(gate(&a, "nope", 3.0).is_err());
     }
 }

@@ -15,6 +15,7 @@ use tradefl_core::config::MarketConfig;
 use tradefl_core::game::CoopetitionGame;
 
 pub mod json;
+pub mod timing;
 
 /// The seed every figure binary uses (reproducibility).
 pub const SEED: u64 = 42;

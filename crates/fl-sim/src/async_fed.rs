@@ -9,13 +9,23 @@
 //! on a deterministic event queue, so results are reproducible and the
 //! time axis is *model time*, not host time.
 
-use crate::data::Dataset;
+use crate::data::{Dataset, MiniBatch};
 use crate::fed::{FedConfig, RoundMetrics};
-use crate::linalg::Matrix;
-use crate::model::Mlp;
+use crate::model::{Mlp, Workspace};
 use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Reusable scratch for the (sequential) async event loop: the SGD
+/// workspace and batch staging buffers every dispatched local update
+/// shares. Created once per run, so the per-step path allocates
+/// nothing once warm.
+#[derive(Debug, Default)]
+struct LoopScratch {
+    ws: Workspace,
+    batch: MiniBatch,
+    order: Vec<usize>,
+}
 
 /// Asynchronous-training options.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -217,11 +227,13 @@ pub fn train_async(
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xa57c_f3d1);
     let mut heap: BinaryHeap<Arrival> = BinaryHeap::new();
     let mut version = 0usize;
+    let mut scratch = LoopScratch::default();
+    let mut eval_ws = Workspace::new();
 
     // Everyone starts training against version 0 at t = 0.
     for &org in &active {
         let params =
-            local_update(&global, &contributed[org], config, &mut rng);
+            local_update(&global, &contributed[org], config, &mut rng, &mut scratch);
         heap.push(Arrival {
             time: timings[org].latency(),
             org,
@@ -230,7 +242,7 @@ pub fn train_async(
         });
     }
 
-    let (loss, accuracy) = global.evaluate(test);
+    let (loss, accuracy) = global.evaluate_with(test, &mut eval_ws);
     let mut history = vec![RoundMetrics { round: 0, loss, accuracy }];
     let mut applied = Vec::with_capacity(config.updates.min(4096));
     let mut now = 0.0f64;
@@ -252,12 +264,9 @@ pub fn train_async(
         let weight = config.alpha
             * size_factor
             * (1.0 + staleness as f32).powf(-config.staleness_exponent);
-        // θ ← (1 − w) θ + w θ_local
-        let mut params = global.to_params();
-        for (p, l) in params.iter_mut().zip(&arrival.params) {
-            *p = (1.0 - weight) * *p + weight * l;
-        }
-        global.set_params(&params);
+        // θ ← θ + w (θ_local − θ), in place — no to_params/set_params
+        // round trip per applied update.
+        global.mix_params(&arrival.params, weight);
         version += 1;
         applied.push(AppliedUpdate {
             org: arrival.org,
@@ -268,12 +277,12 @@ pub fn train_async(
             weight,
         });
         if version % config.eval_every.max(1) == 0 || version == config.updates {
-            let (loss, accuracy) = global.evaluate(test);
+            let (loss, accuracy) = global.evaluate_with(test, &mut eval_ws);
             history.push(RoundMetrics { round: version, loss, accuracy });
         }
         // The org immediately starts its next update from the new model.
         let org = arrival.org;
-        let params = local_update(&global, &contributed[org], config, &mut rng);
+        let params = local_update(&global, &contributed[org], config, &mut rng, &mut scratch);
         heap.push(Arrival {
             time: now + timings[org].latency(),
             org,
@@ -282,7 +291,7 @@ pub fn train_async(
         });
     }
     if history.last().map(|m| m.round) != Some(version) {
-        let (loss, accuracy) = global.evaluate(test);
+        let (loss, accuracy) = global.evaluate_with(test, &mut eval_ws);
         history.push(RoundMetrics { round: version, loss, accuracy });
     }
     Ok(AsyncOutcome { model: global, history, updates: applied, elapsed: now })
@@ -293,21 +302,25 @@ fn local_update(
     data: &Dataset,
     config: &AsyncConfig,
     rng: &mut StdRng,
+    scratch: &mut LoopScratch,
 ) -> Vec<f32> {
+    // One model clone and one params flatten per dispatched update is
+    // inherent (the arrival queue owns both); every per-step buffer
+    // comes from `scratch`.
     let mut local = global.clone();
     let n = data.len();
-    let mut order: Vec<usize> = (0..n).collect();
+    scratch.order.clear();
+    scratch.order.extend(0..n);
     for _ in 0..config.local_epochs {
-        order.shuffle(rng);
-        for chunk in order.chunks(config.batch_size.max(1)) {
-            let mut features = Matrix::zeros(chunk.len(), data.dim());
-            let mut labels = Vec::with_capacity(chunk.len());
-            for (r, &idx) in chunk.iter().enumerate() {
-                features.row_mut(r).copy_from_slice(data.features.row(idx));
-                labels.push(data.labels[idx]);
-            }
-            let batch = Dataset { features, labels, classes: data.classes };
-            local.sgd_step(&batch, config.lr);
+        scratch.order.shuffle(rng);
+        for chunk in scratch.order.chunks(config.batch_size.max(1)) {
+            scratch.batch.gather(data, chunk);
+            local.sgd_step_with(
+                &scratch.batch.features,
+                &scratch.batch.labels,
+                config.lr,
+                &mut scratch.ws,
+            );
         }
     }
     local.to_params()

@@ -163,6 +163,41 @@ impl Dataset {
     }
 }
 
+/// A reusable mini-batch staging buffer for the training hot loops.
+///
+/// [`MiniBatch::gather`] copies the selected rows of a dataset into
+/// buffers that are reused across batches (capacity never shrinks), so
+/// the per-step batch assembly in `fed`/`async_fed`/`personalize`
+/// allocates nothing once warm.
+#[derive(Debug, Default, Clone)]
+pub struct MiniBatch {
+    /// Staged feature rows, one gathered sample per row.
+    pub features: Matrix,
+    /// Staged labels, parallel to `features` rows.
+    pub labels: Vec<usize>,
+}
+
+impl MiniBatch {
+    /// An empty staging buffer; grows on first [`MiniBatch::gather`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies rows `idx` of `data` into the staging buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&mut self, data: &Dataset, idx: &[usize]) {
+        self.features.resize(idx.len(), data.dim());
+        for (r, &i) in idx.iter().enumerate() {
+            self.features.row_mut(r).copy_from_slice(data.features.row(i));
+        }
+        self.labels.clear();
+        self.labels.extend(idx.iter().map(|&i| data.labels[i]));
+    }
+}
+
 /// Deterministically generates `n` samples of a dataset analog.
 ///
 /// Class means sit on a seeded random simplex scaled by the analog's
@@ -446,6 +481,21 @@ mod tests {
         let shards = vec![d.clone(), d];
         assert!(label_skew(&shards) < 1e-12);
         assert_eq!(label_skew(&[]), 0.0);
+    }
+
+    #[test]
+    fn minibatch_gather_reuses_buffers() {
+        let d = generate(DatasetKind::FmnistLike, 50, 4);
+        let mut batch = MiniBatch::new();
+        batch.gather(&d, &[5, 0, 49]);
+        assert_eq!(batch.features.rows(), 3);
+        assert_eq!(batch.features.row(0), d.features.row(5));
+        assert_eq!(batch.labels, vec![d.labels[5], d.labels[0], d.labels[49]]);
+        let ptr = batch.features.as_slice().as_ptr();
+        batch.gather(&d, &[1, 2]);
+        assert_eq!(batch.features.rows(), 2);
+        assert_eq!(batch.labels, vec![d.labels[1], d.labels[2]]);
+        assert_eq!(batch.features.as_slice().as_ptr(), ptr, "smaller gather must reuse");
     }
 
     #[test]

@@ -12,11 +12,20 @@
 //! — and client deltas are merged in fixed silo order. Results are
 //! therefore bit-identical for every worker count.
 
-use crate::data::Dataset;
-use crate::model::Mlp;
+use crate::data::{Dataset, MiniBatch};
+use crate::model::{Mlp, Workspace};
 use tradefl_runtime::obs;
 use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 use tradefl_runtime::sync::pool::Pool;
+
+/// Minimum per-round work — contributed samples × local epochs — below
+/// which local training stays serial even on a multi-worker pool.
+/// Mirrors `gbd`'s 512-candidate traversal cutoff: scoped-thread spawn
+/// and merge overhead beats the win on small rounds (the recorded
+/// `fedavg_round` 0.958x regression in the PR-2 baseline). Selection
+/// depends only on the instance, never on the worker count, so pooled
+/// and serial paths remain bit-identical (module docs above).
+const POOLED_FED_MIN_STEPS: usize = 2048;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,35 +176,52 @@ pub fn train_federated_with(
         return Err(FedError::NothingContributed);
     }
 
-    let (loss, accuracy) = global.evaluate(test);
+    // Evaluation scratch and merge buffers live across rounds, so the
+    // steady-state round loop allocates only inside the per-silo jobs
+    // (one workspace each, reused across every epoch/batch within).
+    let mut eval_ws = Workspace::new();
+    let mut aggregate = vec![0.0f64; global.param_count()];
+    let mut params = vec![0.0f32; global.param_count()];
+    // Pool engagement is thresholded on per-round work (an instance
+    // property — see POOLED_FED_MIN_STEPS); small rounds run the same
+    // jobs inline, producing bit-identical results.
+    let round_steps = total_weight as usize * config.local_epochs.max(1);
+    let use_pool = round_steps >= POOLED_FED_MIN_STEPS;
+
+    let (loss, accuracy) = global.evaluate_with(test, &mut eval_ws);
     let mut history = vec![RoundMetrics { round: 0, loss, accuracy }];
     for round in 1..=config.rounds {
         // Fan out: one local-training job per contributing silo, each
         // deterministically seeded by (round, org).
-        let locals: Vec<Option<Vec<f32>>> =
-            pool.map_indexed(contributed.len(), |org| {
-                let data = &contributed[org];
-                if data.is_empty() {
-                    return None;
-                }
-                let mut local = global.clone();
-                let mut rng =
-                    StdRng::seed_from_u64(silo_seed(config.seed, round, org));
-                local_train(&mut local, data, config, &mut rng);
-                Some(local.to_params())
-            });
+        let job = |org: usize| {
+            let data = &contributed[org];
+            if data.is_empty() {
+                return None;
+            }
+            let mut local = global.clone();
+            let mut rng = StdRng::seed_from_u64(silo_seed(config.seed, round, org));
+            local_train(&mut local, data, config, &mut rng);
+            Some(local.to_params())
+        };
+        let locals: Vec<Option<Vec<f32>>> = if use_pool {
+            pool.map_indexed(contributed.len(), job)
+        } else {
+            (0..contributed.len()).map(job).collect()
+        };
         // Merge in fixed silo order (weighted FedAvg, Eq. 3).
-        let mut aggregate = vec![0.0f64; global.param_count()];
-        for (org, params) in locals.iter().enumerate() {
-            let Some(params) = params else { continue };
+        aggregate.fill(0.0);
+        for (org, local) in locals.iter().enumerate() {
+            let Some(local) = local else { continue };
             let w = weights[org] / total_weight;
-            for (acc, &p) in aggregate.iter_mut().zip(params) {
+            for (acc, &p) in aggregate.iter_mut().zip(local) {
                 *acc += w * p as f64;
             }
         }
-        let params: Vec<f32> = aggregate.into_iter().map(|v| v as f32).collect();
+        for (p, &acc) in params.iter_mut().zip(&aggregate) {
+            *p = acc as f32;
+        }
         global.set_params(&params);
-        let (loss, accuracy) = global.evaluate(test);
+        let (loss, accuracy) = global.evaluate_with(test, &mut eval_ws);
         history.push(RoundMetrics { round, loss, accuracy });
         // Local training fans out to the pool, but this record runs on
         // the sequential merge path after the barrier, so the event
@@ -261,22 +287,17 @@ fn silo_seed(base: u64, round: usize, org: usize) -> u64 {
 
 fn local_train(model: &mut Mlp, data: &Dataset, config: &FedConfig, rng: &mut StdRng) {
     let n = data.len();
+    // One warm-up allocation set per silo job; every subsequent epoch,
+    // batch gather and SGD step reuses these buffers (zero allocations
+    // per step — DESIGN.md §10).
     let mut order: Vec<usize> = (0..n).collect();
+    let mut batch = MiniBatch::new();
+    let mut ws = Workspace::new();
     for _ in 0..config.local_epochs {
         order.shuffle(rng);
         for chunk in order.chunks(config.batch_size.max(1)) {
-            let mut batch_features = crate::linalg::Matrix::zeros(chunk.len(), data.dim());
-            let mut batch_labels = Vec::with_capacity(chunk.len());
-            for (r, &idx) in chunk.iter().enumerate() {
-                batch_features.row_mut(r).copy_from_slice(data.features.row(idx));
-                batch_labels.push(data.labels[idx]);
-            }
-            let batch = Dataset {
-                features: batch_features,
-                labels: batch_labels,
-                classes: data.classes,
-            };
-            model.sgd_step(&batch, config.lr);
+            batch.gather(data, chunk);
+            model.sgd_step_with(&batch.features, &batch.labels, config.lr, &mut ws);
         }
     }
 }

@@ -45,8 +45,9 @@ pub mod probe;
 pub use async_fed::{train_async, AsyncConfig, AsyncOutcome, OrgTiming};
 pub use data::{dirichlet_shard, generate, label_skew, Dataset, DatasetKind};
 pub use fed::{train_federated, FedConfig, FedError, FedOutcome, RoundMetrics};
+pub use data::MiniBatch;
 pub use linalg::Matrix;
 pub use metrics::ConfusionMatrix;
-pub use model::{Mlp, ModelKind, SgdMomentum};
+pub use model::{Mlp, ModelKind, SgdMomentum, Workspace};
 pub use personalize::{personalize, personalize_all, PersonalizeConfig, PersonalizedModel};
 pub use probe::{measure_accuracy_curve, ProbePoint, SqrtFit};

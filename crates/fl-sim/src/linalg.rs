@@ -1,11 +1,18 @@
 //! Minimal dense linear algebra for the training substrate.
 //!
 //! Row-major `f32` matrices with exactly the operations an MLP needs —
-//! no external math crates (DESIGN.md §6).
+//! no external math crates (DESIGN.md §6). The three matrix products
+//! are cache-blocked, register-tiled kernels (see [`kernel`] and
+//! DESIGN.md §10); the `*_into` variants write into a caller-owned
+//! output so steady-state training allocates nothing.
 
+pub mod kernel;
 
-/// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq)]
+pub use kernel::Workspace;
+
+/// A dense row-major matrix. The `Default` is the empty `0 × 0`
+/// matrix, the usual seed for `*_into`/workspace buffers.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -19,14 +26,51 @@ impl Matrix {
     }
 
     /// Builds from a closure over `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                data.push(f(r, c));
+    pub fn from_fn(rows: usize, cols: usize, f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        m.write_from_fn(f);
+        m
+    }
+
+    /// Reshapes in place to `rows × cols` and refills from a closure
+    /// over `(row, col)`, reusing the existing buffer capacity.
+    pub fn fill_from_fn(&mut self, rows: usize, cols: usize, f: impl FnMut(usize, usize) -> f32) {
+        self.resize(rows, cols);
+        self.write_from_fn(f);
+    }
+
+    /// Overwrites every element from a closure (flat index-writes, so
+    /// the loop optimizes to a straight fill — no per-element push).
+    fn write_from_fn(&mut self, mut f: impl FnMut(usize, usize) -> f32) {
+        let cols = self.cols;
+        for r in 0..self.rows {
+            let row = &mut self.data[r * cols..(r + 1) * cols];
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = f(r, c);
             }
         }
-        Self { rows, cols, data }
+    }
+
+    /// Reshapes in place to `rows × cols`, reusing the buffer's
+    /// capacity where possible. Element contents are unspecified
+    /// afterwards — callers overwrite them.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src`'s shape and contents into this matrix, reusing
+    /// capacity.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Capacity of the backing buffer in elements (exposed so tests
+    /// can assert the zero-reallocation contract).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Wraps an existing buffer.
@@ -83,36 +127,25 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other` (blocked kernel, fresh output).
     ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j over row slices: the output row is resolved once per
-        // `r` and each `a` comes off the row slice, so the inner loop
-        // is pure slice iteration with no per-element index
-        // arithmetic or bounds checks.
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
-            for (k, &a) in arow.iter().enumerate() {
-                // lint:allow(no-float-eq): ReLU emits exact 0.0, so the sparsity skip is exact
-                if a == 0.0 {
-                    // Skip, don't multiply: ReLU activations are ~half
-                    // zeros, and `0.0 * b` would still have to honor
-                    // inf/NaN in `b`.
-                    continue;
-                }
-                let orow = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        let mut ws = kernel::Workspace::new();
+        kernel::matmul_into(self, other, &mut out, &mut ws);
         out
+    }
+
+    /// `self * other` into a reused output (see [`kernel::matmul_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix, ws: &mut kernel::Workspace) {
+        kernel::matmul_into(self, other, out, ws);
     }
 
     /// `self * otherᵀ` without materializing the transpose.
@@ -121,20 +154,24 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let out_row = &mut out.data[r * other.rows..(r + 1) * other.rows];
-            for (c, o) in out_row.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (a, b) in arow.iter().zip(other.row(c)) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        let mut ws = kernel::Workspace::new();
+        kernel::matmul_transposed_into(self, other, &mut out, &mut ws);
         out
+    }
+
+    /// `self * otherᵀ` into a reused output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transposed_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        ws: &mut kernel::Workspace,
+    ) {
+        kernel::matmul_transposed_into(self, other, out, ws);
     }
 
     /// `selfᵀ * other`.
@@ -143,23 +180,24 @@ impl Matrix {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "inner dimensions must agree");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = other.row(k);
-            for (r, &a) in arow.iter().enumerate() {
-                // lint:allow(no-float-eq): ReLU emits exact 0.0, so the sparsity skip is exact
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(r);
-                for (o, &b) in out_row.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        let mut ws = kernel::Workspace::new();
+        kernel::transposed_matmul_into(self, other, &mut out, &mut ws);
         out
+    }
+
+    /// `selfᵀ * other` into a reused output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn transposed_matmul_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        ws: &mut kernel::Workspace,
+    ) {
+        kernel::transposed_matmul_into(self, other, out, ws);
     }
 
     /// In-place `self += alpha * other`.
@@ -250,6 +288,29 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn resize_and_fill_from_fn_reuse_capacity() {
+        let mut m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let ptr = m.as_slice().as_ptr();
+        let cap = m.capacity();
+        m.fill_from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.as_slice(), &[0., 1., 2., 3., 4., 5.]);
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrinking must reuse the buffer");
+        assert_eq!(m.capacity(), cap);
+        m.resize(4, 2);
+        assert_eq!((m.rows(), m.cols()), (4, 2));
+        assert_eq!(m.as_slice().len(), 8);
+    }
+
+    #[test]
+    fn copy_from_matches_source() {
+        let src = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let mut dst = Matrix::zeros(1, 1);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

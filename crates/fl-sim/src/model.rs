@@ -6,8 +6,52 @@
 //! the originals' parameter counts.
 
 use crate::data::Dataset;
-use crate::linalg::Matrix;
+use crate::linalg::{kernel, Matrix};
 use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
+
+/// Reusable scratch for the training/evaluation hot paths.
+///
+/// Holds every intermediate the forward and backward passes need —
+/// per-layer activations, pre-activations, deltas, gradients and the
+/// GEMM packing buffers — so [`Mlp::forward_with`],
+/// [`Mlp::sgd_step_with`] and [`Mlp::evaluate_with`] perform **zero
+/// heap allocations** once the workspace has seen the model shape
+/// (buffers grow on first use and are then reused within capacity).
+///
+/// Ownership rule (DESIGN.md §10): a workspace belongs to exactly one
+/// sequential training loop. Pooled federated rounds create one per
+/// worker task, never share one across threads.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    gemm: kernel::Workspace,
+    /// Per-layer post-activation outputs (`acts[k]` = layer `k`'s output).
+    acts: Vec<Matrix>,
+    /// Pre-activations of the hidden layers (ReLU masks for backprop).
+    pre: Vec<Matrix>,
+    delta: Matrix,
+    delta_next: Matrix,
+    dw: Matrix,
+    db: Vec<f32>,
+}
+
+impl Workspace {
+    /// An empty workspace; every buffer is allocated lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the per-layer matrix vectors to `depth` entries (a cold
+    /// one-time path: entries are empty matrices that the passes then
+    /// resize in place).
+    fn ensure_depth(&mut self, depth: usize) {
+        while self.acts.len() < depth {
+            self.acts.push(Matrix::zeros(0, 0));
+        }
+        while self.pre.len() + 1 < depth.max(1) {
+            self.pre.push(Matrix::zeros(0, 0));
+        }
+    }
+}
 
 /// The four model-family analogs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,29 +184,52 @@ impl Mlp {
     }
 
     /// Class-probability forward pass (softmax output).
+    ///
+    /// Compatibility wrapper over [`Mlp::forward_with`] with a fresh
+    /// workspace; hot loops hold a [`Workspace`] instead.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
+        let mut ws = Workspace::new();
+        self.forward_with(x, &mut ws).clone()
+    }
+
+    /// Forward pass into workspace-owned scratch; returns the softmax
+    /// output matrix borrowed from `ws`. Allocation-free once `ws` is
+    /// warm.
+    pub fn forward_with<'w>(&self, x: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        ws.ensure_depth(self.layers.len());
         let last = self.layers.len() - 1;
         for (k, layer) in self.layers.iter().enumerate() {
-            let mut z = h.matmul(&layer.w);
+            let (prev, rest) = ws.acts.split_at_mut(k);
+            let z = &mut rest[0];
+            let input = if k == 0 { x } else { &prev[k - 1] };
+            kernel::matmul_into(input, &layer.w, z, &mut ws.gemm);
             z.add_bias(&layer.b);
             if k < last {
-                relu_inplace(&mut z);
+                relu_inplace(z);
             } else {
-                softmax_inplace(&mut z);
+                softmax_inplace(z);
             }
-            h = z;
         }
-        h
+        &ws.acts[last]
     }
 
     /// Mean cross-entropy loss and accuracy on a dataset — the Figs.
     /// 13-15 metrics.
+    ///
+    /// Compatibility wrapper over [`Mlp::evaluate_with`] with a fresh
+    /// workspace.
     pub fn evaluate(&self, data: &Dataset) -> (f32, f32) {
+        let mut ws = Workspace::new();
+        self.evaluate_with(data, &mut ws)
+    }
+
+    /// Loss/accuracy using workspace-owned scratch; allocation-free
+    /// once `ws` is warm.
+    pub fn evaluate_with(&self, data: &Dataset, ws: &mut Workspace) -> (f32, f32) {
         if data.is_empty() {
             return (f32::NAN, f32::NAN);
         }
-        let probs = self.forward(&data.features);
+        let probs = self.forward_with(&data.features, ws);
         let mut loss = 0.0f64;
         let mut correct = 0usize;
         for (r, &label) in data.labels.iter().enumerate() {
@@ -183,70 +250,92 @@ impl Mlp {
     }
 
     /// One SGD step on a mini-batch; returns the batch loss.
+    ///
+    /// Compatibility wrapper over [`Mlp::sgd_step_with`] with a fresh
+    /// workspace.
     pub fn sgd_step(&mut self, batch: &Dataset, lr: f32) -> f32 {
-        let n = batch.len();
+        let mut ws = Workspace::new();
+        self.sgd_step_with(&batch.features, &batch.labels, lr, &mut ws)
+    }
+
+    /// One SGD step on `(features, labels)` using workspace-owned
+    /// scratch; returns the batch loss. Performs zero heap allocations
+    /// once `ws` is warm (the `no-alloc-in-hot-loop` lint enforces
+    /// this at the token level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.rows() != labels.len()`.
+    pub fn sgd_step_with(
+        &mut self,
+        features: &Matrix,
+        labels: &[usize],
+        lr: f32,
+        ws: &mut Workspace,
+    ) -> f32 {
+        assert_eq!(features.rows(), labels.len(), "batch features/labels disagree");
+        let n = labels.len();
         if n == 0 {
             return 0.0;
         }
+        ws.ensure_depth(self.layers.len());
         let last = self.layers.len() - 1;
 
-        // Forward, keeping pre-activations and activations.
-        let mut activations: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
-        let mut pre_activations: Vec<Matrix> = Vec::with_capacity(self.layers.len());
-        activations.push(batch.features.clone());
+        // Forward, keeping activations and the hidden layers'
+        // pre-activations (the ReLU masks backprop needs).
         for (k, layer) in self.layers.iter().enumerate() {
-            // lint:allow(no-panic-in-lib): activations is seeded with the input batch above
-            let mut z = activations.last().unwrap().matmul(&layer.w);
+            let (prev, rest) = ws.acts.split_at_mut(k);
+            let z = &mut rest[0];
+            let input = if k == 0 { features } else { &prev[k - 1] };
+            kernel::matmul_into(input, &layer.w, z, &mut ws.gemm);
             z.add_bias(&layer.b);
-            pre_activations.push(z.clone());
             if k < last {
-                relu_inplace(&mut z);
+                ws.pre[k].copy_from(z);
+                relu_inplace(z);
             } else {
-                softmax_inplace(&mut z);
+                softmax_inplace(z);
             }
-            activations.push(z);
         }
 
         // Loss and output-layer gradient (probs − onehot) / n.
         let mut loss = 0.0f64;
-        // lint:allow(no-panic-in-lib): activations is seeded with the input batch above
-        let mut delta = activations.last().unwrap().clone();
-        for (r, &label) in batch.labels.iter().enumerate() {
-            let row = delta.row_mut(r);
+        ws.delta.copy_from(&ws.acts[last]);
+        for (r, &label) in labels.iter().enumerate() {
+            let row = ws.delta.row_mut(r);
             loss -= (row[label].max(1e-12) as f64).ln();
             row[label] -= 1.0;
         }
-        delta.scale(1.0 / n as f32);
+        ws.delta.scale(1.0 / n as f32);
 
         // Backward pass with immediate updates (delta refers to the
         // pre-update weights of later layers only, which backprop has
         // already consumed).
         for k in (0..self.layers.len()).rev() {
-            let input = &activations[k];
-            let dw = input.transposed_matmul(&delta);
-            let db = col_sums(&delta);
+            let input = if k == 0 { features } else { &ws.acts[k - 1] };
+            kernel::transposed_matmul_into(input, &ws.delta, &mut ws.dw, &mut ws.gemm);
+            col_sums_into(&ws.delta, &mut ws.db);
             if k > 0 {
-                let mut next_delta = delta.matmul_transposed(&self.layers[k].w);
-                for (v, &pre) in next_delta
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(pre_activations[k - 1].as_slice())
+                kernel::matmul_transposed_into(
+                    &ws.delta,
+                    &self.layers[k].w,
+                    &mut ws.delta_next,
+                    &mut ws.gemm,
+                );
+                for (v, &pre) in
+                    ws.delta_next.as_mut_slice().iter_mut().zip(ws.pre[k - 1].as_slice())
                 {
                     if pre <= 0.0 {
                         *v = 0.0;
                     }
                 }
-                // Update layer k after computing the upstream delta.
-                self.layers[k].w.axpy(-lr, &dw);
-                for (b, g) in self.layers[k].b.iter_mut().zip(&db) {
-                    *b -= lr * g;
-                }
-                delta = next_delta;
-            } else {
-                self.layers[k].w.axpy(-lr, &dw);
-                for (b, g) in self.layers[k].b.iter_mut().zip(&db) {
-                    *b -= lr * g;
-                }
+            }
+            // Update layer k after computing the upstream delta.
+            self.layers[k].w.axpy(-lr, &ws.dw);
+            for (b, g) in self.layers[k].b.iter_mut().zip(&ws.db) {
+                *b -= lr * g;
+            }
+            if k > 0 {
+                std::mem::swap(&mut ws.delta, &mut ws.delta_next);
             }
         }
         (loss / n as f64) as f32
@@ -275,6 +364,30 @@ impl Mlp {
             let (b, r) = r.split_at(layer.b.len());
             layer.w.as_mut_slice().copy_from_slice(w);
             layer.b.copy_from_slice(b);
+            rest = r;
+        }
+    }
+
+    /// In-place convex pull toward a flattened parameter vector:
+    /// `θ ← θ + weight · (toward − θ)` in [`Mlp::to_params`] order.
+    /// Replaces the allocating `to_params`/mix/`set_params` round trip
+    /// in the async-FL server and the personalization proximal term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `toward.len()` differs from [`Mlp::param_count`].
+    pub fn mix_params(&mut self, toward: &[f32], weight: f32) {
+        assert_eq!(toward.len(), self.param_count(), "parameter count mismatch");
+        let mut rest = toward;
+        for layer in &mut self.layers {
+            let (w, r) = rest.split_at(layer.w.rows() * layer.w.cols());
+            let (b, r) = r.split_at(layer.b.len());
+            for (p, &t) in layer.w.as_mut_slice().iter_mut().zip(w) {
+                *p += weight * (t - *p);
+            }
+            for (p, &t) in layer.b.iter_mut().zip(b) {
+                *p += weight * (t - *p);
+            }
             rest = r;
         }
     }
@@ -351,14 +464,14 @@ fn softmax_inplace(m: &mut Matrix) {
     }
 }
 
-fn col_sums(m: &Matrix) -> Vec<f32> {
-    let mut out = vec![0.0; m.cols()];
+fn col_sums_into(m: &Matrix, out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(m.cols(), 0.0);
     for r in 0..m.rows() {
         for (o, &v) in out.iter_mut().zip(m.row(r)) {
             *o += v;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -468,6 +581,38 @@ mod tests {
     fn momentum_bounds() {
         let m = Mlp::new(4, 4, 2, 1);
         let _ = SgdMomentum::new(&m, 1.0);
+    }
+
+    #[test]
+    fn workspace_paths_are_bit_identical_to_wrappers() {
+        let d = generate(DatasetKind::EurosatLike, 120, 11);
+        let mut fresh = Mlp::with_layers(d.dim(), &[16, 12], d.classes, 3);
+        let mut warm = fresh.clone();
+        let mut ws = Workspace::new();
+        for _ in 0..4 {
+            let a = fresh.sgd_step(&d, 0.05);
+            let b = warm.sgd_step_with(&d.features, &d.labels, 0.05, &mut ws);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (x, y) in fresh.to_params().iter().zip(&warm.to_params()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (l1, a1) = fresh.evaluate(&d);
+        let (l2, a2) = warm.evaluate_with(&d, &mut ws);
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(a1.to_bits(), a2.to_bits());
+    }
+
+    #[test]
+    fn mix_params_matches_manual_blend() {
+        let mut m = Mlp::with_layers(8, &[6], 4, 1);
+        let base = m.to_params();
+        let toward: Vec<f32> = base.iter().map(|p| p + 1.0).collect();
+        m.mix_params(&toward, 0.25);
+        for (p, b) in m.to_params().iter().zip(&base) {
+            let want = b + 0.25 * ((b + 1.0) - b);
+            assert!((p - want).abs() < 1e-6, "{p} vs {want}");
+        }
     }
 
     #[test]

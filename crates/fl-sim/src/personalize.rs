@@ -10,10 +10,9 @@
 //! organization's *personalized* accuracy is what its profitability
 //! `p_i` ultimately monetizes.
 
-use crate::data::Dataset;
+use crate::data::{Dataset, MiniBatch};
 use crate::fed::FedConfig;
-use crate::linalg::Matrix;
-use crate::model::Mlp;
+use crate::model::{Mlp, Workspace};
 use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// Personalization hyper-parameters.
@@ -91,30 +90,30 @@ pub fn personalize(
     local_test: &Dataset,
     config: &PersonalizeConfig,
 ) -> PersonalizedModel {
-    let (_, global_accuracy) = global.evaluate(local_test);
+    let mut ws = Workspace::new();
+    let (_, global_accuracy) = global.evaluate_with(local_test, &mut ws);
     let mut model = global.clone();
     if !local_train.is_empty() {
         let anchor = global.to_params();
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e72_50aa);
         let n = local_train.len();
         let mut order: Vec<usize> = (0..n).collect();
+        let mut batch = MiniBatch::new();
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let batch = gather(local_train, chunk);
-                model.sgd_step(&batch, config.lr);
+                batch.gather(local_train, chunk);
+                model.sgd_step_with(&batch.features, &batch.labels, config.lr, &mut ws);
                 if config.mu_prox > 0.0 {
-                    // Proximal pull: θ ← θ − lr·μ_prox·(θ − θ_global).
-                    let mut params = model.to_params();
-                    for (p, a) in params.iter_mut().zip(&anchor) {
-                        *p -= config.lr * config.mu_prox * (*p - a);
-                    }
-                    model.set_params(&params);
+                    // Proximal pull θ ← θ − lr·μ_prox·(θ − θ_global),
+                    // in place (bit-identical to the old flatten/mix/
+                    // reload round trip, without the two allocations).
+                    model.mix_params(&anchor, config.lr * config.mu_prox);
                 }
             }
         }
     }
-    let (_, personalized_accuracy) = model.evaluate(local_test);
+    let (_, personalized_accuracy) = model.evaluate_with(local_test, &mut ws);
     PersonalizedModel { model, global_accuracy, personalized_accuracy }
 }
 
@@ -135,22 +134,23 @@ pub fn personalize_all(
         .collect()
 }
 
-fn gather(data: &Dataset, idx: &[usize]) -> Dataset {
-    let mut features = Matrix::zeros(idx.len(), data.dim());
-    let mut labels = Vec::with_capacity(idx.len());
-    for (r, &i) in idx.iter().enumerate() {
-        features.row_mut(r).copy_from_slice(data.features.row(i));
-        labels.push(data.labels[i]);
-    }
-    Dataset { features, labels, classes: data.classes }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::data::{generate, DatasetKind};
     use crate::fed::train_federated;
+    use crate::linalg::Matrix;
     use crate::model::ModelKind;
+
+    fn gather(data: &Dataset, idx: &[usize]) -> Dataset {
+        let mut features = Matrix::zeros(idx.len(), data.dim());
+        let mut labels = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            features.row_mut(r).copy_from_slice(data.features.row(i));
+            labels.push(data.labels[i]);
+        }
+        Dataset { features, labels, classes: data.classes }
+    }
 
     fn skewed_shard(seed: u64, keep_classes: &[usize], n: usize) -> Dataset {
         // A shard biased toward a subset of classes (heterogeneous org).

@@ -5,13 +5,25 @@
 //! seeds; failures print a `TRADEFL_PROP_SEED` replay line.
 
 use tradefl_fl_sim::data::{dirichlet_shard, generate, label_skew, DatasetKind};
-use tradefl_fl_sim::linalg::Matrix;
+use tradefl_fl_sim::linalg::{kernel, Matrix};
 use tradefl_fl_sim::model::Mlp;
 use tradefl_fl_sim::probe::{ProbePoint, SqrtFit};
 use tradefl_runtime::{prop_assert, prop_assert_eq, props};
 
 fn matrix(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
     Matrix::from_fn(rows, cols, |r, c| vals[(r * cols + c) % vals.len()])
+}
+
+/// Error bound for blocked-vs-naive GEMM agreement with entries in
+/// `[-2, 2]`: the blocked kernel reassociates the depth sum (KC
+/// blocking) and contracts each multiply-add into a fused `mul_add`,
+/// so per element it can drift from the naive left-to-right sum by at
+/// most ~`k` rounding steps, each bounded by `ε · |partial sum|` with
+/// `|partial sum| ≤ 4k`. The resulting `4k²ε` envelope is loose by
+/// design — it documents the reassociation freedom the kernel layer
+/// is allowed, nothing tighter.
+fn gemm_tol(k: usize) -> f32 {
+    4.0 * (k * k).max(1) as f32 * f32::EPSILON
 }
 
 props! {
@@ -114,6 +126,98 @@ props! {
         prop_assert!((0.0..=1.0).contains(&skew));
         let single = dirichlet_shard(&data, &[300], beta, seed);
         prop_assert!(label_skew(&single) < 0.05, "one shard ~ pooled distribution");
+    }
+
+    /// The blocked `matmul_into` agrees with the naive reference
+    /// within [`gemm_tol`] on shapes straddling every tile edge
+    /// (MR = 6 rows, NR = 32 columns, KC = 128 depth), and never
+    /// reallocates a right-sized output: the tile loops write through
+    /// the caller's buffer in place.
+    fn blocked_matmul_agrees_and_never_reallocates(g) {
+        let m = g.usize(1..20);
+        let k = g.usize(1..48);
+        let n = g.usize(1..70);
+        let vals = g.vec(1..60usize, |g| g.f32(-2.0..2.0));
+        let a = matrix(m, k, &vals);
+        let b = matrix(k, n, &vals);
+        let mut out = Matrix::zeros(m, n);
+        let ptr = out.as_slice().as_ptr();
+        let cap = out.capacity();
+        let mut ws = kernel::Workspace::new();
+        kernel::matmul_into(&a, &b, &mut out, &mut ws);
+        prop_assert!(std::ptr::eq(out.as_slice().as_ptr(), ptr), "right-sized output moved");
+        prop_assert_eq!(out.capacity(), cap);
+        let want = kernel::matmul_reference(&a, &b);
+        let tol = gemm_tol(k);
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert!(
+                    (out.get(r, c) - want.get(r, c)).abs() <= tol,
+                    "blocked matmul drifted past the documented bound"
+                );
+            }
+        }
+    }
+
+    /// Both transposed blocked products agree with their naive
+    /// references within [`gemm_tol`] — `matmul_transposed_into`
+    /// (A Bᵀ, the forward path) and `transposed_matmul_into` (Aᵀ B,
+    /// the gradient path).
+    fn blocked_transposed_products_agree_with_references(g) {
+        let m = g.usize(1..20);
+        let k = g.usize(1..48);
+        let n = g.usize(1..70);
+        let vals = g.vec(1..60usize, |g| g.f32(-2.0..2.0));
+        let mut ws = kernel::Workspace::new();
+        let tol = gemm_tol(k);
+
+        let a = matrix(m, k, &vals);
+        let bt = matrix(n, k, &vals);
+        let mut out = Matrix::zeros(0, 0);
+        kernel::matmul_transposed_into(&a, &bt, &mut out, &mut ws);
+        let want = kernel::matmul_transposed_reference(&a, &bt);
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert!((out.get(r, c) - want.get(r, c)).abs() <= tol);
+            }
+        }
+
+        let at = matrix(k, m, &vals);
+        let b = matrix(k, n, &vals);
+        let mut out2 = Matrix::zeros(0, 0);
+        kernel::transposed_matmul_into(&at, &b, &mut out2, &mut ws);
+        let want2 = kernel::transposed_matmul_reference(&at, &b);
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert!((out2.get(r, c) - want2.get(r, c)).abs() <= tol);
+            }
+        }
+    }
+
+    /// ReLU-sparse left operands (exact zeros in ~half the entries —
+    /// the case the old naive `a == 0.0` skip exploited) stay within
+    /// the same bound: the reference skips zero terms entirely while
+    /// the blocked kernel multiplies through them, so agreement here
+    /// proves skipping a `0.0 · b` term is a pure reassociation.
+    fn blocked_matmul_agrees_on_relu_sparse_inputs(g) {
+        let m = g.usize(1..20);
+        let k = g.usize(1..48);
+        let n = g.usize(1..70);
+        let vals = g.vec(2..60usize, |g| {
+            if g.usize(0..2) == 0 { 0.0 } else { g.f32(-2.0..2.0) }
+        });
+        let a = matrix(m, k, &vals);
+        let b = matrix(k, n, &vals);
+        let mut out = Matrix::zeros(m, n);
+        let mut ws = kernel::Workspace::new();
+        kernel::matmul_into(&a, &b, &mut out, &mut ws);
+        let want = kernel::matmul_reference(&a, &b);
+        let tol = gemm_tol(k);
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert!((out.get(r, c) - want.get(r, c)).abs() <= tol);
+            }
+        }
     }
 
     /// Dataset generation is seed-deterministic and kind-shaped for any

@@ -106,6 +106,18 @@ pub const RULES: &[RuleInfo] = &[
         in_tests: false,
     },
     RuleInfo {
+        id: "no-alloc-in-hot-loop",
+        summary: "no heap allocation in the GEMM kernel module or model.rs step fns",
+        rationale: "The training loop's steady state performs zero heap allocations per step \
+                    (DESIGN.md \u{a7}10): every buffer is owned by a Workspace or a caller and \
+                    reused via resize-within-capacity. An innocent `vec!` or `.clone()` in \
+                    linalg/kernel.rs or in model.rs's forward_with/sgd_step_with/evaluate_with \
+                    reintroduces a per-step malloc that the benches will only catch as noise. \
+                    Cold paths (constructors, error paths) may lint:allow with the reason \
+                    spelled out.",
+        in_tests: false,
+    },
+    RuleInfo {
         id: "bad-allow",
         summary: "lint:allow must name a known rule and carry a reason",
         rationale: "`// lint:allow(rule-id): reason` is the only escape hatch, and the reason \
@@ -183,6 +195,18 @@ fn panic_safety_scope(rel_path: &str, target: Target) -> bool {
     target == Target::Lib && !rel_path.starts_with("crates/bench/")
 }
 
+/// Files carrying zero-allocation hot paths: the kernel module (whole
+/// file) and the model step path (specific fns, see
+/// [`MODEL_HOT_FNS`]).
+fn hot_loop_scope(rel_path: &str) -> bool {
+    rel_path == "crates/fl-sim/src/linalg/kernel.rs" || rel_path == "crates/fl-sim/src/model.rs"
+}
+
+/// The fns in model.rs whose bodies `no-alloc-in-hot-loop` covers —
+/// the per-step training path. Cold model fns (constructors,
+/// serialization) allocate freely.
+const MODEL_HOT_FNS: &[&str] = &["forward_with", "sgd_step_with", "evaluate_with"];
+
 /// Whether `rule_id` applies to the file at `rel_path` at all.
 pub fn applies(rule_id: &str, rel_path: &str, target: Target) -> bool {
     match rule_id {
@@ -190,8 +214,53 @@ pub fn applies(rule_id: &str, rel_path: &str, target: Target) -> bool {
         "no-wallclock" => !wallclock_exempt(rel_path),
         "no-raw-threads" => !raw_thread_exempt(rel_path),
         "no-panic-in-lib" | "no-float-eq" => panic_safety_scope(rel_path, target),
+        "no-alloc-in-hot-loop" => hot_loop_scope(rel_path),
         _ => true,
     }
+}
+
+/// Inclusive line spans covered by `no-alloc-in-hot-loop` in this
+/// file: everything for the kernel module, the [`MODEL_HOT_FNS`]
+/// bodies for model.rs (located by `fn <name>` and brace matching,
+/// like [`crate::engine::test_spans`]).
+pub fn hot_loop_spans(rel_path: &str, tokens: &[Tok]) -> Vec<(u32, u32)> {
+    if rel_path == "crates/fl-sim/src/linalg/kernel.rs" {
+        return vec![(1, u32::MAX)];
+    }
+    let mut spans = Vec::new();
+    if rel_path != "crates/fl-sim/src/model.rs" {
+        return spans;
+    }
+    for i in 0..tokens.len().saturating_sub(1) {
+        if !(is_ident(&tokens[i], "fn")
+            && tokens[i + 1].kind == TokKind::Ident
+            && MODEL_HOT_FNS.contains(&tokens[i + 1].text.as_str()))
+        {
+            continue;
+        }
+        // Body span: from `fn` to the matching close brace of the
+        // first top-level `{` (signature parens hold no braces).
+        let mut depth = 0i32;
+        let mut end_line = tokens[i].line;
+        for t in &tokens[i + 2..] {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line;
+        }
+        spans.push((tokens[i].line, end_line));
+    }
+    spans
 }
 
 fn is_ident(t: &Tok, name: &str) -> bool {
@@ -206,7 +275,46 @@ fn is_punct(t: &Tok, op: &str) -> bool {
 pub fn run_token_rules(rel_path: &str, target: Target, tokens: &[Tok]) -> Vec<RawFinding> {
     let mut out = Vec::new();
     let t = tokens;
+    let hot_spans = if applies("no-alloc-in-hot-loop", rel_path, target) {
+        hot_loop_spans(rel_path, tokens)
+    } else {
+        Vec::new()
+    };
+    let in_hot_span = |line: u32| hot_spans.iter().any(|&(lo, hi)| lo <= line && line <= hi);
     for i in 0..t.len() {
+        if in_hot_span(t[i].line) {
+            let alloc = if i + 2 < t.len()
+                && is_ident(&t[i], "Vec")
+                && is_punct(&t[i + 1], "::")
+                && is_ident(&t[i + 2], "new")
+            {
+                Some("`Vec::new()`")
+            } else if i + 1 < t.len() && is_ident(&t[i], "vec") && is_punct(&t[i + 1], "!") {
+                Some("`vec![…]`")
+            } else if i + 2 < t.len()
+                && is_punct(&t[i], ".")
+                && (is_ident(&t[i + 1], "clone") || is_ident(&t[i + 1], "to_vec"))
+                && is_punct(&t[i + 2], "(")
+            {
+                if t[i + 1].text == "clone" {
+                    Some("`.clone()`")
+                } else {
+                    Some("`.to_vec()`")
+                }
+            } else {
+                None
+            };
+            if let Some(what) = alloc {
+                out.push(RawFinding {
+                    rule: "no-alloc-in-hot-loop",
+                    line: t[i].line,
+                    message: format!(
+                        "{what} in a zero-allocation hot path: reuse a Workspace/caller buffer \
+                         (resize within capacity) instead of allocating per step"
+                    ),
+                });
+            }
+        }
         if applies("no-hash-iteration", rel_path, target)
             && t[i].kind == TokKind::Ident
             && (t[i].text == "HashMap" || t[i].text == "HashSet")

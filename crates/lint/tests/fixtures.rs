@@ -141,6 +141,51 @@ fn float_eq_offending_clean_allowed() {
     );
 }
 
+// --- no-alloc-in-hot-loop ---------------------------------------------
+
+const KERNEL: &str = "crates/fl-sim/src/linalg/kernel.rs";
+const MODEL: &str = "crates/fl-sim/src/model.rs";
+
+#[test]
+fn alloc_in_hot_loop_offending_clean_allowed() {
+    // The kernel module is hot in its entirety.
+    offends(KERNEL, "fn f() { let v: Vec<f32> = Vec::new(); }\n", "no-alloc-in-hot-loop");
+    offends(KERNEL, "fn f() { let v = vec![0.0f32; 8]; }\n", "no-alloc-in-hot-loop");
+    offends(KERNEL, "fn f(a: &[f32]) { let v = a.to_vec(); }\n", "no-alloc-in-hot-loop");
+    offends(MODEL, "fn sgd_step_with(m: &M) { let w = m.w.clone(); }\n", "no-alloc-in-hot-loop");
+    // In model.rs only the step-path fns are hot; cold fns allocate
+    // freely, and other files are out of scope entirely.
+    clean(MODEL, "fn new() -> Vec<f32> { Vec::new() }\n");
+    clean(MODEL, "fn forward_with(ws: &mut W) { ws.h.resize(8, 0.0); }\n");
+    clean("crates/fl-sim/src/fed.rs", "fn f() { let v: Vec<f32> = Vec::new(); }\n");
+    clean(SOLVER, "fn f() { let v = vec![1]; }\n");
+    // Test modules inside the hot files are exempt (in_tests: false).
+    clean(KERNEL, "#[cfg(test)]\nmod tests {\n fn f() { let v = vec![1]; }\n}\n");
+    clean(
+        KERNEL,
+        "fn new() -> Self {\n    \
+         // lint:allow(no-alloc-in-hot-loop): constructor is the cold path\n    \
+         Self { buf: Vec::new() }\n}\n",
+    );
+}
+
+#[test]
+fn alloc_rule_brace_matching_tracks_fn_bodies() {
+    // A hot fn followed by a cold fn: the span must close at the hot
+    // fn's final brace, not swallow the rest of the file.
+    let src = "fn evaluate_with(ws: &mut W) {\n    \
+               if x { y(); }\n}\n\
+               fn save() -> Vec<u8> { Vec::new() }\n";
+    clean(MODEL, src);
+    // Nested braces (closures) inside the hot body stay covered.
+    offends(
+        MODEL,
+        "fn forward_with(ws: &mut W) {\n    \
+         layers.iter().for_each(|l| { let v = l.w.clone(); });\n}\n",
+        "no-alloc-in-hot-loop",
+    );
+}
+
 // --- meta rules -------------------------------------------------------
 
 #[test]
@@ -173,6 +218,7 @@ fn every_rule_has_explain_text_and_fixture_coverage() {
         "no-raw-threads",
         "no-panic-in-lib",
         "no-float-eq",
+        "no-alloc-in-hot-loop",
         "bad-allow",
         "unused-allow",
     ] {

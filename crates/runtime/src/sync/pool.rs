@@ -211,6 +211,14 @@ impl<'s, 't> PoolScope<'s, 't> {
     }
 }
 
+/// The host's available hardware parallelism — the sanctioned wrapper
+/// around [`std::thread::available_parallelism`] for everything in the
+/// workspace (pool sizing, bench metadata). Falls back to `1` when the
+/// OS cannot answer, so the result is always a usable worker count.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 impl Pool {
     /// A pool handle with exactly `workers` worker threads per scope
     /// (clamped to at least 1).
@@ -219,14 +227,13 @@ impl Pool {
     }
 
     /// The process-wide pool: `TRADEFL_THREADS` if set, else
-    /// [`std::thread::available_parallelism`]. Resolved once.
+    /// [`host_parallelism`]. Resolved once.
     pub fn global() -> &'static Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
             Pool::new(
                 thread_override(std::env::var("TRADEFL_THREADS").ok().as_deref())
-                    .unwrap_or(fallback),
+                    .unwrap_or_else(host_parallelism),
             )
         })
     }
@@ -368,6 +375,11 @@ mod tests {
             let got = Pool::new(workers).map_indexed(1000, |i| (i as u64) * (i as u64) + 1);
             assert_eq!(got, serial, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn host_parallelism_is_a_usable_worker_count() {
+        assert!(host_parallelism() >= 1);
     }
 
     #[test]

@@ -71,6 +71,17 @@ impl Default for DbrOptions {
     }
 }
 
+/// Minimum estimated per-sweep work (`max levels × |N|`, the same
+/// payoff-evaluation proxy as `bestresponse`'s own cutoff) before the
+/// dynamics hand the inner best responses a multi-worker pool. Below
+/// it every `Pool::scope` would cost more than the bisections it
+/// shelters (Table II instances are ~40), so the solver pins a serial
+/// pool up front instead of re-deciding inside every call. Depends
+/// only on the instance, never on the worker count, and the serial and
+/// pooled best responses are bit-identical — so the routing cannot
+/// affect results.
+const POOLED_BR_MIN_WORK: usize = 256;
+
 /// Algorithm 2's driver.
 #[derive(Debug, Clone, Default)]
 pub struct DbrSolver {
@@ -159,6 +170,15 @@ impl DbrSolver {
         start.validate(game.market())?;
         let cache = PayoffCache::new();
         let n = game.market().len();
+        // Route small instances to a serial pool once, up front — see
+        // `POOLED_BR_MIN_WORK`. A `Pool` is only a worker-count handle
+        // (threads are stood up per scope), so this costs nothing.
+        let serial = Pool::new(1);
+        let max_levels = (0..n)
+            .map(|i| game.market().org(i).compute_level_count())
+            .max()
+            .unwrap_or(0);
+        let pool = if max_levels * n >= POOLED_BR_MIN_WORK { pool } else { &serial };
         let mut profile = start;
         let mut potential_trace = vec![game.potential(&profile)];
         let mut payoff_traces =

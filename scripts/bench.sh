@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Records the serial-vs-pooled solver/FL perf baseline.
+# Records the perf baselines: serial-vs-pooled solver/FL timings
+# (BENCH_solvers.json) and naive-vs-blocked GEMM kernel timings
+# (BENCH_gemm.json).
 #
-# Full mode writes BENCH_solvers.json at the repo root (the committed
-# perf trajectory); --fast (or TRADEFL_BENCH_FAST=1) runs smoke-scale
-# instances and writes under target/ so CI never clobbers the recorded
-# baseline. Either way the emitted file is re-validated with
-# `perf_baseline --check`, which fails on malformed JSON.
+# Full mode writes the committed baselines at the repo root; --fast
+# (or TRADEFL_BENCH_FAST=1) runs smoke scale and writes under target/
+# so CI never clobbers the recorded files. The solver smoke shrinks
+# instance sizes; the GEMM smoke keeps the same shapes and only cuts
+# repeats, so its fast output gates like-for-like against the
+# committed file. Either way every emitted file is re-validated with
+# the binary's own --check, which fails on malformed JSON.
 #
 # Usage: scripts/bench.sh [--fast]
 set -euo pipefail
@@ -19,16 +23,22 @@ for arg in "$@"; do
   esac
 done
 
-cargo build --release -q -p tradefl-bench --bin perf_baseline
-BIN=target/release/perf_baseline
+cargo build --release -q -p tradefl-bench --bin perf_baseline --bin gemm_baseline
+SOLVERS=target/release/perf_baseline
+GEMM=target/release/gemm_baseline
 
 if [ -n "$FAST" ]; then
-  OUT=target/BENCH_solvers.fast.json
-  TRADEFL_BENCH_FAST=1 "$BIN" --fast --out "$OUT"
+  SOLVERS_OUT=target/BENCH_solvers.fast.json
+  GEMM_OUT=target/BENCH_gemm.fast.json
+  TRADEFL_BENCH_FAST=1 "$SOLVERS" --fast --out "$SOLVERS_OUT"
+  TRADEFL_BENCH_FAST=1 "$GEMM" --fast --out "$GEMM_OUT"
 else
-  OUT=BENCH_solvers.json
-  "$BIN" --out "$OUT"
+  SOLVERS_OUT=BENCH_solvers.json
+  GEMM_OUT=BENCH_gemm.json
+  "$SOLVERS" --out "$SOLVERS_OUT"
+  "$GEMM" --out "$GEMM_OUT"
 fi
 
-"$BIN" --check "$OUT"
-echo "bench.sh: baseline at $OUT"
+"$SOLVERS" --check "$SOLVERS_OUT"
+"$GEMM" --check "$GEMM_OUT"
+echo "bench.sh: baselines at $SOLVERS_OUT and $GEMM_OUT"

@@ -31,10 +31,23 @@ echo "==> perf smoke: scripts/bench.sh --fast (TRADEFL_BENCH_FAST scale)"
 scripts/bench.sh --fast
 
 echo "==> committed BENCH_*.json baselines are well-formed"
-for f in BENCH_*.json; do
-  [ -e "$f" ] || continue
-  target/release/perf_baseline --check "$f"
-done
+if [ -e BENCH_solvers.json ]; then
+  target/release/perf_baseline --check BENCH_solvers.json
+fi
+if [ -e BENCH_gemm.json ]; then
+  target/release/gemm_baseline --check BENCH_gemm.json
+fi
+
+echo "==> bench-regression gate: smoke medians vs committed baselines (3x tolerance)"
+# The GEMM smoke reuses the committed shapes, so this is like-for-like;
+# the solver smoke runs smaller instances, so only order-of-magnitude
+# regressions can trip its half of the gate.
+if [ -e BENCH_solvers.json ]; then
+  target/release/perf_baseline --gate target/BENCH_solvers.fast.json BENCH_solvers.json
+fi
+if [ -e BENCH_gemm.json ]; then
+  target/release/gemm_baseline --gate target/BENCH_gemm.fast.json BENCH_gemm.json
+fi
 
 echo "==> observability: end_to_end --trace emits a valid tradefl-trace/v1 stream"
 trace_file="$(mktemp -t tradefl-trace.XXXXXX.jsonl)"

@@ -223,6 +223,62 @@ fn pooled_fedavg_is_bit_identical_for_any_worker_count() {
 }
 
 #[test]
+fn blocked_kernel_training_is_bit_identical_above_the_pool_threshold() {
+    // The small fedavg fixture above sits below POOLED_FED_MIN_STEPS
+    // (2048 per-round steps), so it proves the *serial* fallback is
+    // worker-count-invariant. This one pushes the per-round work to
+    // 4 silos × 300 samples × 2 local epochs = 2400 steps, past the
+    // threshold, so the pool genuinely fans local training out — and
+    // every GEMM underneath runs the blocked kernel (fixed
+    // jc→pc→ic→jr→ir traversal, ascending-pc accumulation). Training
+    // must still be bit-identical for 1, 4 and 8 workers. (Explicit
+    // pools rather than TRADEFL_THREADS for the same reason as the
+    // header above: the env var is read once per process.)
+    use tradefl::fl::data::{generate, DatasetKind};
+    use tradefl::fl::fed::train_federated_with;
+    use tradefl::fl::model::{Mlp, ModelKind};
+
+    let all = generate(DatasetKind::EurosatLike, 4 * 300 + 200, 29);
+    let mut shards = all.shard(&[300, 300, 300, 300, 200]);
+    let test = shards.pop().unwrap();
+    let config = FedConfig { rounds: 2, local_epochs: 2, batch_size: 32, lr: 0.1, seed: 13 };
+    let runs: Vec<_> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| {
+            let global =
+                Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 3);
+            train_federated_with(
+                global,
+                &shards,
+                &test,
+                &[1.0, 1.0, 1.0, 1.0],
+                &config,
+                &Pool::new(w),
+            )
+            .unwrap()
+        })
+        .collect();
+    for (i, out) in runs.iter().enumerate() {
+        assert_eq!(out.history.len(), runs[0].history.len());
+        for (m, m0) in out.history.iter().zip(&runs[0].history) {
+            assert_eq!(
+                m.loss.to_bits(),
+                m0.loss.to_bits(),
+                "round {} loss differs at worker count index {i}",
+                m.round
+            );
+            assert_eq!(
+                m.accuracy.to_bits(),
+                m0.accuracy.to_bits(),
+                "round {} accuracy differs at worker count index {i}",
+                m.round
+            );
+        }
+        assert_eq!(out.model, runs[0].model, "global model differs at worker count index {i}");
+    }
+}
+
+#[test]
 fn training_is_bit_identical_across_runs() {
     use tradefl::pipeline::{Pipeline, PipelineConfig};
     let a = Pipeline::new(PipelineConfig::quick()).run(21).unwrap();
