@@ -1,0 +1,365 @@
+//! Records the market-engine perf baseline (`BENCH_engine.json`).
+//!
+//! Each row boots the persistent engine ([`tradefl_engine::Engine`])
+//! on a workload shape — single session, multi-session, multi-session
+//! under a seeded fault schedule — runs it to settlement, and records:
+//!
+//! * `setup_ms` — plan building (equilibrium solves) + network boot,
+//! * `run_ms` — draining the whole event loop to settlement,
+//! * `round_p99_ms` — p99 wall-clock latency of a block-producing
+//!   event-loop step (sync + mine + archive apply + gossip fan-out),
+//! * `settlements_per_sec` — scripted settlement transactions landed
+//!   on-chain per wall-clock second of run time.
+//!
+//! Every run asserts full settlement and survivor convergence before
+//! anything is recorded, so the baseline never times a broken engine.
+//!
+//! Usage:
+//!   engine_baseline [--fast] [--out FILE]    # run benches, write JSON
+//!   engine_baseline --check FILE             # validate a baseline file
+//!   engine_baseline --gate CURRENT COMMITTED # regression gate
+//!
+//! `--fast` keeps the same workloads and only cuts the repeat count,
+//! so the CI gate compares fast-mode medians against the committed
+//! full-mode file like-for-like.
+
+use std::time::Instant;
+use tradefl_bench::json::Json;
+use tradefl_engine::{Engine, EngineConfig, SessionSpec};
+use tradefl_runtime::sim::faults::FaultConfig;
+use tradefl_runtime::sync::pool::host_parallelism;
+
+const SCHEMA: &str = "tradefl-bench-engine/v1";
+const HORIZON: u64 = 1 << 10;
+const SEED: u64 = 42;
+
+struct Spec {
+    name: &'static str,
+    sessions: usize,
+    validators: usize,
+    faulty: bool,
+}
+
+const SPECS: &[Spec] = &[
+    Spec { name: "single_session_3v", sessions: 1, validators: 3, faulty: false },
+    Spec { name: "multi_session_4v", sessions: 3, validators: 4, faulty: false },
+    Spec { name: "multi_session_4v_faulty", sessions: 3, validators: 4, faulty: true },
+];
+
+fn config_for(spec: &Spec) -> EngineConfig {
+    EngineConfig {
+        validators: spec.validators,
+        sessions: (0..spec.sessions)
+            .map(|s| SessionSpec {
+                name: format!("bench-{s}"),
+                orgs: 3 + s % 3,
+                seed: SEED.wrapping_add(s as u64),
+            })
+            .collect(),
+        batch_interval: 8,
+        mean_arrival_gap: 3.0,
+        admission_capacity: 32,
+        horizon: HORIZON,
+        faults: if spec.faulty {
+            FaultConfig::from_seed(SEED, spec.validators, HORIZON)
+        } else {
+            FaultConfig::none()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+struct EngineRow {
+    spec: &'static Spec,
+    blocks: u64,
+    txs: usize,
+    setup_ms: f64,
+    run_ms: f64,
+    round_p99_ms: f64,
+    settlements_per_sec: f64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn p99(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((samples.len() as f64 * 0.99).ceil() as usize).clamp(1, samples.len());
+    samples[idx - 1]
+}
+
+fn run_benches(fast: bool) -> Vec<EngineRow> {
+    let repeats = if fast { 3 } else { 9 };
+    let mut rows = Vec::new();
+    for spec in SPECS {
+        let mut setup_samples = Vec::with_capacity(repeats);
+        let mut run_samples = Vec::with_capacity(repeats);
+        let mut round_samples = Vec::new();
+        let mut blocks = 0u64;
+        let mut txs = 0usize;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let mut engine =
+                Engine::new(config_for(spec), SEED).expect("bench engine boots");
+            setup_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+
+            txs = (0..spec.sessions)
+                .map(|s| 4 * (3 + s % 3) + 2) // the Fig. 3 script length
+                .sum();
+            let t0 = Instant::now();
+            loop {
+                let height_before = engine.height();
+                let ts = Instant::now();
+                let more = engine.step().expect("bench run completes");
+                if engine.height() > height_before {
+                    round_samples.push(ts.elapsed().as_secs_f64() * 1e3);
+                }
+                if !more {
+                    break;
+                }
+            }
+            run_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+            let report = engine.report().expect("bench report");
+            assert!(
+                report.fully_settled(),
+                "{}: bench workload must settle and converge: {report:?}",
+                spec.name
+            );
+            blocks = report.blocks;
+        }
+        let run_ms = median(&mut run_samples);
+        rows.push(EngineRow {
+            spec,
+            blocks,
+            txs,
+            setup_ms: median(&mut setup_samples),
+            run_ms,
+            round_p99_ms: p99(&mut round_samples),
+            settlements_per_sec: txs as f64 / (run_ms / 1e3),
+        });
+    }
+    rows
+}
+
+fn render_json(rows: &[EngineRow], fast: bool, repeats_note: &str) -> String {
+    let host = host_parallelism();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str(&format!("  \"repeats\": \"{repeats_note}\",\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sessions\": {}, \"validators\": {}, \
+             \"blocks\": {}, \"txs\": {}, \"setup_ms\": {:.3}, \"run_ms\": {:.3}, \
+             \"round_p99_ms\": {:.4}, \"settlements_per_sec\": {:.1}}}{}\n",
+            row.spec.name,
+            row.spec.sessions,
+            row.spec.validators,
+            row.blocks,
+            row.txs,
+            row.setup_ms,
+            row.run_ms,
+            row.round_p99_ms,
+            row.settlements_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a `tradefl-bench-engine/v1` file: right schema, non-empty
+/// rows, positive finite timings, and a `settlements_per_sec`
+/// consistent with `txs / run_ms`.
+fn check_baseline(text: &str) -> Result<usize, String> {
+    let root = Json::parse(text)?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema '{schema}' != '{SCHEMA}'"));
+    }
+    let benches = match root.get("benches") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Json::Arr(_)) => return Err("\"benches\" is empty".into()),
+        _ => return Err("missing \"benches\" array".into()),
+    };
+    for (i, row) in benches.iter().enumerate() {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("bench {i}: missing \"name\""))?;
+        for key in ["sessions", "validators", "blocks", "txs"] {
+            let v = row
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("bench '{name}': missing \"{key}\""))?;
+            if v < 1.0 {
+                return Err(format!("bench '{name}': \"{key}\" = {v} < 1"));
+            }
+        }
+        let mut nums = [0.0f64; 4];
+        let keys = ["setup_ms", "run_ms", "round_p99_ms", "settlements_per_sec"];
+        for (slot, key) in nums.iter_mut().zip(keys) {
+            *slot = row
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("bench '{name}': missing \"{key}\""))?;
+            if !slot.is_finite() || *slot <= 0.0 {
+                return Err(format!("bench '{name}': \"{key}\" = {slot} not positive"));
+            }
+        }
+        let txs = row.get("txs").and_then(Json::as_num).unwrap_or(0.0);
+        let implied = txs / (nums[1] / 1e3);
+        if (implied - nums[3]).abs() > 0.05 * implied.abs().max(1.0) {
+            return Err(format!(
+                "bench '{name}': settlements_per_sec {} inconsistent with {implied:.1}",
+                nums[3]
+            ));
+        }
+        if nums[2] > nums[1] {
+            return Err(format!(
+                "bench '{name}': round_p99_ms {} exceeds run_ms {}",
+                nums[2], nums[1]
+            ));
+        }
+    }
+    Ok(benches.len())
+}
+
+fn main() {
+    let _trace = tradefl_bench::trace_from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = std::env::var("TRADEFL_BENCH_FAST").is_ok();
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut check_path: Option<String> = None;
+    let mut gate_paths: Option<(String, String)> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => {
+                out_path = it.next().expect("--out needs a path").clone();
+            }
+            "--check" => {
+                check_path = Some(it.next().expect("--check needs a path").clone());
+            }
+            "--gate" => {
+                let cur = it.next().expect("--gate needs CURRENT and COMMITTED").clone();
+                let com = it.next().expect("--gate needs CURRENT and COMMITTED").clone();
+                gate_paths = Some((cur, com));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some((cur, com)) = gate_paths {
+        use tradefl_bench::json::{gate_files, GATE_TOLERANCE};
+        match gate_files(&cur, &com, GATE_TOLERANCE) {
+            Ok(n) => println!(
+                "engine_baseline --gate: {cur} vs {com} OK ({n} medians within {GATE_TOLERANCE}x)"
+            ),
+            Err(e) => {
+                eprintln!("engine_baseline --gate: {cur} vs {com} REGRESSION: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("engine_baseline --check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_baseline(&text) {
+            Ok(n) => println!("engine_baseline --check: {path} OK ({n} benches)"),
+            Err(e) => {
+                eprintln!("engine_baseline --check: {path} MALFORMED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let repeats_note = if fast { "median of 3 (fast)" } else { "median of 9" };
+    let rows = run_benches(fast);
+    let json = render_json(&rows, fast, repeats_note);
+    check_baseline(&json).expect("self-emitted baseline must validate");
+    std::fs::write(&out_path, &json).expect("baseline file writes");
+    println!("wrote {out_path}");
+    for row in &rows {
+        println!(
+            "  {:<26} setup {:>8.2} ms   run {:>8.2} ms   round p99 {:>7.3} ms   {:>8.1} settlements/s",
+            row.spec.name, row.setup_ms, row.run_ms, row.round_p99_ms, row.settlements_per_sec
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_accepts_emitted_shape() {
+        let rows = vec![
+            EngineRow {
+                spec: &SPECS[0],
+                blocks: 9,
+                txs: 14,
+                setup_ms: 5.0,
+                run_ms: 2.0,
+                round_p99_ms: 0.5,
+                settlements_per_sec: 14.0 / (2.0 / 1e3),
+            },
+            EngineRow {
+                spec: &SPECS[1],
+                blocks: 12,
+                txs: 48,
+                setup_ms: 15.0,
+                run_ms: 6.0,
+                round_p99_ms: 0.9,
+                settlements_per_sec: 48.0 / (6.0 / 1e3),
+            },
+        ];
+        let json = render_json(&rows, true, "median of 3 (fast)");
+        assert_eq!(check_baseline(&json), Ok(2));
+    }
+
+    #[test]
+    fn checker_rejects_bad_schemas_and_inconsistent_rows() {
+        assert!(check_baseline("not json").is_err());
+        assert!(check_baseline("{\"schema\": \"tradefl-bench-gemm/v1\"}").is_err());
+        // settlements_per_sec inconsistent with txs / run_ms.
+        assert!(check_baseline(
+            "{\"schema\": \"tradefl-bench-engine/v1\", \"benches\": [{\
+             \"name\": \"x\", \"sessions\": 1, \"validators\": 3, \"blocks\": 2, \
+             \"txs\": 14, \"setup_ms\": 5.0, \"run_ms\": 2.0, \
+             \"round_p99_ms\": 0.5, \"settlements_per_sec\": 1.0}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn percentile_is_order_insensitive_and_bounded() {
+        let mut a = vec![3.0, 1.0, 2.0];
+        assert_eq!(p99(&mut a), 3.0);
+        let mut b: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        assert_eq!(p99(&mut b), 198.0);
+        let mut c = vec![7.0];
+        assert_eq!(p99(&mut c), 7.0);
+        assert_eq!(median(&mut vec![5.0, 1.0, 9.0]), 5.0);
+    }
+}

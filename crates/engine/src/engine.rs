@@ -1,0 +1,996 @@
+//! The deterministic event-loop executor.
+//!
+//! One [`Engine`] hosts a set of validator replicas (a
+//! [`tradefl_ledger::network::Network`]) plus any number of concurrent
+//! market sessions ([`crate::session`]), and drives everything from a
+//! single totally ordered event queue over simulated time:
+//!
+//! * **Arrival** — a session's next scripted transaction reaches the
+//!   admission queue (bounded: a full queue defers the arrival, which
+//!   retries at the session's next Poisson tick — backpressure).
+//! * **Batch** — on a fixed cadence, the next live proposer syncs to
+//!   the engine's durable ledger, executes the admission queue into a
+//!   block, and the encoded frame is *persisted to the archive first*,
+//!   then gossiped to every peer through seeded fault injection
+//!   (drop/duplicate/delay/truncate/corrupt).
+//! * **Deliver** — a gossiped frame (possibly mutated) hits a replica's
+//!   untrusted byte path
+//!   ([`tradefl_ledger::network::Network::deliver_frame`]). Rejections
+//!   are expected; a replica that fell behind pulls the gap from the
+//!   archive, and a replica whose tip diverged (it accepted a mutated
+//!   but self-consistent block) is healed by a full ledger replay.
+//! * **Crash / Restart** — a node dies (loses all in-memory state) and
+//!   later reboots from genesis, recovering purely by replaying the
+//!   archive — the recovery invariant the DST harness pins.
+//!
+//! ## The archive is the source of truth
+//!
+//! The engine owns a non-validator *archive node*: every mined block is
+//! applied to it (with full re-execution validation) before any gossip
+//! happens. Because proposers sync to the archive before mining, the
+//! chain is linear by construction — no two blocks ever compete for a
+//! height, so any surviving replica can always be brought to the
+//! archive's exact state by replay. [`Engine::checkpoint`] serializes
+//! the archive through the chain export codec
+//! ([`tradefl_ledger::codec::encode_chain`]) together with the
+//! simulation counters; since every stochastic stream (arrivals,
+//! tiebreaks, fault decisions) is a pure function of `(seed, counter)`,
+//! [`Engine::restore`] resumes bit-identically.
+
+use crate::session::{SessionPlan, SessionSpec};
+use std::fmt;
+use tradefl_ledger::codec::{
+    decode_chain, decode_tx_bytes, encode_block_bytes, encode_chain, encode_tx_bytes,
+    CodecError,
+};
+use tradefl_ledger::contract::Contract;
+use tradefl_ledger::network::{FrameError, Network, NetworkError, WireLimits};
+use tradefl_ledger::node::{BlockApplyError, Node};
+use tradefl_ledger::tradefl_contract::TradeFlContract;
+use tradefl_ledger::tx::{ExecStatus, Transaction};
+use tradefl_ledger::types::{Address, Hash256, Wei};
+use tradefl_runtime::codec::{Buf, BytesMut};
+use tradefl_runtime::obs;
+use tradefl_runtime::sim::faults::{FaultConfig, FaultPlan};
+use tradefl_runtime::sim::{substream, Bounded, EventQueue, Poisson, SimTime};
+use tradefl_runtime::sync::pool::Pool;
+
+/// Substream labels (one user-facing seed fans out into decorrelated
+/// streams for each randomness consumer).
+const STREAM_QUEUE: u64 = 0xE0;
+const STREAM_FAULTS: u64 = 0xE1;
+const STREAM_ARRIVALS: u64 = 0xA0;
+
+/// Checkpoint format version.
+const CHECKPOINT_VERSION: u8 = 1;
+
+/// Everything the engine simulates, minus the seed.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of validator replicas (≥ 1).
+    pub validators: usize,
+    /// The market sessions to host concurrently (names must be unique).
+    pub sessions: Vec<SessionSpec>,
+    /// Ticks between block-production attempts.
+    pub batch_interval: SimTime,
+    /// Mean ticks between transaction arrivals per session (Poisson
+    /// open-loop generator).
+    pub mean_arrival_gap: f64,
+    /// Admission queue capacity — arrivals beyond it are deferred
+    /// (backpressure), retrying at the session's next arrival tick.
+    pub admission_capacity: usize,
+    /// Nominal run length in ticks: scales seeded fault schedules and
+    /// the stall guard. The engine runs to completion regardless.
+    pub horizon: SimTime,
+    /// Fault injection applied to every gossiped frame, plus the
+    /// kill-and-restart schedule.
+    pub faults: FaultConfig,
+    /// Wire-path frame size limit for every replica.
+    pub max_frame_bytes: usize,
+    /// Worker threads for the equilibrium solves (bit-identical results
+    /// for any count, per the workspace determinism contract).
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            validators: 3,
+            sessions: vec![SessionSpec { name: "market-0".into(), orgs: 3, seed: 0 }],
+            batch_interval: 8,
+            mean_arrival_gap: 3.0,
+            admission_capacity: 16,
+            horizon: 1 << 10,
+            faults: FaultConfig::none(),
+            max_frame_bytes: WireLimits::DEFAULT_MAX_FRAME_BYTES,
+            workers: 1,
+        }
+    }
+}
+
+/// Errors from engine construction, execution, or restore.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The configuration is unusable as given.
+    Config(String),
+    /// A session plan could not be built.
+    Session {
+        /// The offending session's name.
+        session: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Contract construction or deployment failed.
+    Contract(String),
+    /// A network operation failed.
+    Network(NetworkError),
+    /// Chain or checkpoint bytes failed to decode.
+    Codec(CodecError),
+    /// A checkpoint was malformed or inconsistent with the config.
+    Checkpoint(String),
+    /// The simulation exceeded its stall guard without completing.
+    Stalled {
+        /// Simulated time when the guard tripped.
+        now: SimTime,
+    },
+    /// An internal consistency failure (a bug, not bad input).
+    Internal(&'static str),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(why) => write!(f, "bad engine config: {why}"),
+            EngineError::Session { session, reason } => {
+                write!(f, "session '{session}': {reason}")
+            }
+            EngineError::Contract(why) => write!(f, "contract error: {why}"),
+            EngineError::Network(e) => write!(f, "network error: {e}"),
+            EngineError::Codec(e) => write!(f, "codec error: {e}"),
+            EngineError::Checkpoint(why) => write!(f, "bad checkpoint: {why}"),
+            EngineError::Stalled { now } => {
+                write!(f, "simulation stalled at tick {now} without completing")
+            }
+            EngineError::Internal(what) => write!(f, "internal engine error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<NetworkError> for EngineError {
+    fn from(e: NetworkError) -> Self {
+        EngineError::Network(e)
+    }
+}
+
+impl From<CodecError> for EngineError {
+    fn from(e: CodecError) -> Self {
+        EngineError::Codec(e)
+    }
+}
+
+/// One simulated occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    /// Session `session`'s next scripted transaction arrives.
+    Arrival {
+        /// Session index.
+        session: usize,
+    },
+    /// Block-production tick.
+    Batch,
+    /// A gossiped frame reaches replica `to`.
+    Deliver {
+        /// Receiving validator.
+        to: usize,
+        /// Frame bytes (possibly fault-mutated).
+        frame: Vec<u8>,
+    },
+    /// Validator `node` dies.
+    Crash {
+        /// The node that dies.
+        node: usize,
+    },
+    /// Validator `node` reboots (recovery replays the archive).
+    Restart {
+        /// The node that reboots.
+        node: usize,
+    },
+}
+
+impl Event {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Event::Arrival { session } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*session as u64);
+            }
+            Event::Batch => buf.put_u8(1),
+            Event::Deliver { to, frame } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*to as u64);
+                buf.put_u64_le(frame.len() as u64);
+                buf.put_slice(frame);
+            }
+            Event::Crash { node } => {
+                buf.put_u8(3);
+                buf.put_u64_le(*node as u64);
+            }
+            Event::Restart { node } => {
+                buf.put_u8(4);
+                buf.put_u64_le(*node as u64);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, EngineError> {
+        let short = |_| EngineError::Checkpoint("truncated event".into());
+        match buf.try_get_u8().map_err(short)? {
+            0 => Ok(Event::Arrival { session: buf.try_get_u64_le().map_err(short)? as usize }),
+            1 => Ok(Event::Batch),
+            2 => {
+                let to = buf.try_get_u64_le().map_err(short)? as usize;
+                let len = buf.try_get_u64_le().map_err(short)? as usize;
+                let frame = buf.try_take_slice(len).map_err(short)?.to_vec();
+                Ok(Event::Deliver { to, frame })
+            }
+            3 => Ok(Event::Crash { node: buf.try_get_u64_le().map_err(short)? as usize }),
+            4 => Ok(Event::Restart { node: buf.try_get_u64_le().map_err(short)? as usize }),
+            tag => Err(EngineError::Checkpoint(format!("unknown event tag {tag}"))),
+        }
+    }
+}
+
+/// What a completed run reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Block-production ticks that fired.
+    pub batches: u64,
+    /// Blocks actually mined (batches with transactions).
+    pub blocks: u64,
+    /// Arrivals deferred by a full admission queue.
+    pub backpressure: u64,
+    /// Full ledger replays forced by tip divergence or crash recovery.
+    pub heals: u64,
+    /// Final chain height (archive).
+    pub final_height: usize,
+    /// Final state root (archive; all survivors match when `converged`).
+    pub state_root: Hash256,
+    /// Validators alive at the end of the run.
+    pub survivors: Vec<usize>,
+    /// Whether every survivor holds the archive's exact tip hash and
+    /// state root — the bit-identity claim the DST harness asserts.
+    pub converged: bool,
+    /// Sessions whose every scripted transaction succeeded on-chain.
+    pub sessions_settled: usize,
+    /// Total hosted sessions.
+    pub sessions_total: usize,
+    /// Simulated ticks the run took.
+    pub ticks: SimTime,
+}
+
+impl EngineReport {
+    /// Whether every session settled and the survivors converged.
+    pub fn fully_settled(&self) -> bool {
+        self.converged && self.sessions_settled == self.sessions_total
+    }
+}
+
+/// The persistent market engine. See the module docs for the design.
+#[derive(Debug)]
+pub struct Engine {
+    seed: u64,
+    config: EngineConfig,
+    plans: Vec<SessionPlan>,
+    allocations: Vec<(Address, Wei)>,
+    contracts: Vec<Address>,
+    net: Network,
+    archive: Node,
+    queue: EventQueue<Event>,
+    admission: Bounded<Transaction>,
+    faults: FaultPlan,
+    arrivals: Vec<Poisson>,
+    alive: Vec<bool>,
+    cursors: Vec<usize>,
+    arrival_k: Vec<u64>,
+    next_proposer: usize,
+    batches: u64,
+    blocks: u64,
+    backpressure: u64,
+    heals: u64,
+}
+
+impl Engine {
+    /// Boots the engine: builds every session plan (solving its game to
+    /// equilibrium), boots the validator network and the archive node,
+    /// deploys one contract per session on all of them, and schedules
+    /// the initial arrival/batch/crash events.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Config`] for unusable configurations,
+    /// [`EngineError::Session`] / [`EngineError::Contract`] /
+    /// [`EngineError::Network`] for construction failures.
+    pub fn new(config: EngineConfig, seed: u64) -> Result<Self, EngineError> {
+        if config.validators == 0 {
+            return Err(EngineError::Config("at least one validator".into()));
+        }
+        if config.sessions.is_empty() {
+            return Err(EngineError::Config("at least one session".into()));
+        }
+        for (i, a) in config.sessions.iter().enumerate() {
+            if config.sessions[..i].iter().any(|b| b.name == a.name) {
+                return Err(EngineError::Config(format!(
+                    "duplicate session name '{}'",
+                    a.name
+                )));
+            }
+        }
+
+        let pool = Pool::new(config.workers.max(1));
+        let mut plans = Vec::with_capacity(config.sessions.len());
+        for spec in &config.sessions {
+            plans.push(SessionPlan::build(spec.clone(), &pool)?);
+        }
+
+        let mut allocations: Vec<(Address, Wei)> = Vec::new();
+        for plan in &plans {
+            allocations.extend(plan.allocations.iter().copied());
+        }
+
+        let names: Vec<String> =
+            (0..config.validators).map(|i| format!("validator-{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut net = Network::with_limits(
+            &name_refs,
+            &allocations,
+            WireLimits { max_frame_bytes: config.max_frame_bytes },
+        );
+        let mut archive = Node::new(&allocations);
+
+        let mut contracts = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let proto = TradeFlContract::new(plan.params.clone())
+                .map_err(|e| EngineError::Contract(e.to_string()))?;
+            let archive_proto = proto.snapshot();
+            let addr = net.deploy(Box::new(proto))?;
+            let archive_addr = archive.deploy(archive_proto);
+            if addr != archive_addr {
+                return Err(EngineError::Internal("archive deployment diverged"));
+            }
+            contracts.push(addr);
+        }
+
+        let mut queue = EventQueue::new(substream(seed, STREAM_QUEUE));
+        let faults = FaultPlan::new(substream(seed, STREAM_FAULTS), config.faults.clone());
+        let arrivals: Vec<Poisson> = (0..plans.len())
+            .map(|s| Poisson::new(seed, STREAM_ARRIVALS + s as u64, config.mean_arrival_gap))
+            .collect();
+
+        for (s, p) in arrivals.iter().enumerate() {
+            queue.push(p.gap(0), Event::Arrival { session: s });
+        }
+        queue.push(config.batch_interval.max(1), Event::Batch);
+        for crash in &faults.config().crashes {
+            if crash.node < config.validators {
+                queue.push(crash.at.max(1), Event::Crash { node: crash.node });
+                queue.push(
+                    crash.at.max(1).saturating_add(crash.down_for),
+                    Event::Restart { node: crash.node },
+                );
+            }
+        }
+
+        let n_sessions = plans.len();
+        Ok(Self {
+            seed,
+            alive: vec![true; config.validators],
+            cursors: vec![0; n_sessions],
+            arrival_k: vec![0; n_sessions],
+            admission: Bounded::new(config.admission_capacity),
+            next_proposer: 0,
+            batches: 0,
+            blocks: 0,
+            backpressure: 0,
+            heals: 0,
+            config,
+            plans,
+            allocations,
+            contracts,
+            net,
+            archive,
+            queue,
+            faults,
+            arrivals,
+        })
+    }
+
+    /// The engine's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The archive (source-of-truth) chain height.
+    pub fn height(&self) -> usize {
+        self.archive.chain().height()
+    }
+
+    /// Read access to the archive node (receipts, views, chain).
+    pub fn archive(&self) -> &Node {
+        &self.archive
+    }
+
+    /// Read access to the validator network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The deployed contract address for session `s`.
+    pub fn contract(&self, s: usize) -> Option<Address> {
+        self.contracts.get(s).copied()
+    }
+
+    /// Fresh contract prototypes with their expected addresses — what a
+    /// rebooting validator redeploys before replaying the ledger.
+    fn prototypes(&self) -> Result<Vec<(Address, Box<dyn Contract>)>, EngineError> {
+        let mut out: Vec<(Address, Box<dyn Contract>)> =
+            Vec::with_capacity(self.plans.len());
+        for (plan, &addr) in self.plans.iter().zip(&self.contracts) {
+            let proto = TradeFlContract::new(plan.params.clone())
+                .map_err(|e| EngineError::Contract(e.to_string()))?;
+            out.push((addr, Box::new(proto)));
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds validator `i` from genesis and replays the entire
+    /// archive through its wire path — crash recovery, and the repair
+    /// path for a replica whose tip diverged.
+    fn heal(&mut self, i: usize) -> Result<(), EngineError> {
+        self.heals += 1;
+        let protos = self.prototypes()?;
+        self.net.restart_validator(i, &self.allocations, &protos)?;
+        for block in self.archive.chain().blocks().iter().skip(1) {
+            let frame = encode_block_bytes(block);
+            if self.net.deliver_frame(i, &frame).is_err() {
+                return Err(EngineError::Internal("canonical ledger replay rejected"));
+            }
+        }
+        obs::counter_add("engine.heals", 1);
+        Ok(())
+    }
+
+    /// Brings validator `i` up to the archive: replays missing heights
+    /// through the wire path; if any canonical frame is rejected (or
+    /// the tip still differs at full height), the replica's chain has
+    /// diverged and it is healed by full replay.
+    fn sync_node(&mut self, i: usize) -> Result<(), EngineError> {
+        loop {
+            let h = self.net.validator(i).node.chain().height();
+            let ah = self.archive.chain().height();
+            if h > ah {
+                return self.heal(i);
+            }
+            if h == ah {
+                break;
+            }
+            let Some(block) = self.archive.chain().blocks().get(h) else {
+                return Err(EngineError::Internal("archive height out of range"));
+            };
+            let frame = encode_block_bytes(block);
+            if self.net.deliver_frame(i, &frame).is_err() {
+                return self.heal(i);
+            }
+        }
+        if self.net.validator(i).node.chain().tip_hash() != self.archive.chain().tip_hash() {
+            return self.heal(i);
+        }
+        Ok(())
+    }
+
+    /// Whether any session still has unmined work.
+    fn work_remaining(&self) -> bool {
+        !self.admission.is_empty()
+            || self.cursors.iter().zip(&self.plans).any(|(&c, p)| c < p.len())
+    }
+
+    fn on_arrival(&mut self, s: usize) {
+        if self.cursors[s] >= self.plans[s].len() {
+            return;
+        }
+        let Some(tx) = self.plans[s].tx_at(self.cursors[s], self.contracts[s]) else {
+            return;
+        };
+        match self.admission.push(tx) {
+            Ok(()) => self.cursors[s] += 1,
+            Err(_) => {
+                self.backpressure += 1;
+                obs::counter_add("engine.backpressure", 1);
+            }
+        }
+        self.arrival_k[s] += 1;
+        if self.cursors[s] < self.plans[s].len() {
+            let gap = self.arrivals[s].gap(self.arrival_k[s]);
+            self.queue.push_in(gap, Event::Arrival { session: s });
+        }
+    }
+
+    fn on_batch(&mut self) -> Result<(), EngineError> {
+        self.batches += 1;
+        // Round-robin over live validators.
+        let mut proposer = None;
+        let v = self.config.validators;
+        let mut p = self.next_proposer;
+        for _ in 0..v {
+            if self.alive[p] {
+                proposer = Some(p);
+                break;
+            }
+            p = (p + 1) % v;
+        }
+        if let Some(p) = proposer {
+            self.next_proposer = (p + 1) % v;
+            let mut txs = Vec::new();
+            while let Some(tx) = self.admission.pop() {
+                txs.push(tx);
+            }
+            if !txs.is_empty() {
+                self.sync_node(p)?;
+                let n_txs = txs.len() as u64;
+                let frame = self.net.propose(p, txs)?;
+                // Persist before gossip: the archive is the ledger.
+                let Some(block) = self.net.validator(p).node.chain().blocks().last().cloned()
+                else {
+                    return Err(EngineError::Internal("proposer has no tip"));
+                };
+                if self.archive.apply_block(&block).is_err() {
+                    return Err(EngineError::Internal("archive rejected proposer block"));
+                }
+                self.blocks += 1;
+                obs::event(
+                    obs::Subsystem::Engine,
+                    "batch",
+                    &[
+                        ("height", (self.archive.chain().height() as u64).into()),
+                        ("proposer", (p as u64).into()),
+                        ("txs", n_txs.into()),
+                    ],
+                );
+                for peer in 0..v {
+                    if peer == p {
+                        continue;
+                    }
+                    for d in self.faults.route(&frame) {
+                        self.queue.push_in(d.delay, Event::Deliver { to: peer, frame: d.frame });
+                    }
+                }
+            }
+        }
+        if self.work_remaining() {
+            self.queue.push_in(self.config.batch_interval.max(1), Event::Batch);
+        }
+        Ok(())
+    }
+
+    fn on_deliver(&mut self, to: usize, frame: &[u8]) -> Result<(), EngineError> {
+        if !self.alive[to] {
+            obs::counter_add("engine.frames_to_dead", 1);
+            return Ok(());
+        }
+        match self.net.deliver_frame(to, frame) {
+            Ok(()) => Ok(()),
+            Err(FrameError::Apply(BlockApplyError::WrongHeight { got, expected }))
+                if got > expected =>
+            {
+                // The replica fell behind (dropped/reordered frames):
+                // pull the gap from the ledger.
+                self.sync_node(to)
+            }
+            Err(FrameError::Apply(BlockApplyError::WrongHeight { .. })) => {
+                // Stale duplicate of a height the replica already holds.
+                obs::counter_add("engine.frames_stale", 1);
+                Ok(())
+            }
+            Err(FrameError::Decode(_)) | Err(FrameError::Oversize { .. }) => {
+                // Mutated junk; the content reaches the replica later by
+                // ledger sync.
+                obs::counter_add("engine.frames_rejected", 1);
+                Ok(())
+            }
+            Err(FrameError::Apply(_)) => {
+                // Parent/root mismatch: either a mutated frame or a
+                // diverged tip — syncing repairs both.
+                obs::counter_add("engine.frames_rejected", 1);
+                self.sync_node(to)
+            }
+        }
+    }
+
+    fn on_crash(&mut self, node: usize) {
+        if node < self.alive.len() && self.alive[node] {
+            self.alive[node] = false;
+            obs::event(obs::Subsystem::Engine, "crash", &[("node", (node as u64).into())]);
+        }
+    }
+
+    fn on_restart(&mut self, node: usize) -> Result<(), EngineError> {
+        if node < self.alive.len() && !self.alive[node] {
+            self.alive[node] = true;
+            // Reboot from genesis; recovery is a pure ledger replay.
+            self.heal(node)?;
+            obs::event(
+                obs::Subsystem::Engine,
+                "restart",
+                &[
+                    ("node", (node as u64).into()),
+                    ("height", (self.net.validator(node).node.chain().height() as u64).into()),
+                ],
+            );
+        }
+        Ok(())
+    }
+
+    /// Processes a single event. `Ok(true)` while events remain.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn step(&mut self) -> Result<bool, EngineError> {
+        let Some((_, event)) = self.queue.pop() else {
+            return Ok(false);
+        };
+        let stall_bound = self.config.horizon.max(1 << 10).saturating_mul(256);
+        if self.queue.now() > stall_bound {
+            return Err(EngineError::Stalled { now: self.queue.now() });
+        }
+        match event {
+            Event::Arrival { session } => self.on_arrival(session),
+            Event::Batch => self.on_batch()?,
+            Event::Deliver { to, frame } => self.on_deliver(to, &frame)?,
+            Event::Crash { node } => self.on_crash(node),
+            Event::Restart { node } => self.on_restart(node)?,
+        }
+        Ok(!self.queue.is_empty())
+    }
+
+    /// Runs the simulation to completion: drains the event queue, then
+    /// brings every surviving replica up to the ledger and reports.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Stalled`] if the stall guard trips;
+    /// [`EngineError::Network`] / [`EngineError::Internal`] on
+    /// consistency failures (bugs, not fault injection — injected
+    /// faults surface as rejections and heals, never errors).
+    pub fn run(&mut self) -> Result<EngineReport, EngineError> {
+        while self.step()? {}
+        self.report()
+    }
+
+    /// Final convergence check and summary (also valid mid-run, e.g.
+    /// right after a checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sync failures.
+    pub fn report(&mut self) -> Result<EngineReport, EngineError> {
+        let survivors: Vec<usize> =
+            (0..self.config.validators).filter(|&i| self.alive[i]).collect();
+        for &i in &survivors {
+            self.sync_node(i)?;
+        }
+        let tip = self.archive.chain().tip_hash();
+        let root = self.archive.state().root();
+        let converged = survivors.iter().all(|&i| {
+            let node = &self.net.validator(i).node;
+            node.chain().tip_hash() == tip && node.state().root() == root
+        }) && self.net.converged_among(&survivors);
+
+        let mut sessions_settled = 0;
+        for (s, plan) in self.plans.iter().enumerate() {
+            let all_ok = (0..plan.len()).all(|k| {
+                plan.tx_at(k, self.contracts[s])
+                    .and_then(|tx| self.archive.receipt(tx.hash()).cloned())
+                    .is_some_and(|r| matches!(r.status, ExecStatus::Success))
+            });
+            if all_ok {
+                sessions_settled += 1;
+            }
+        }
+
+        Ok(EngineReport {
+            batches: self.batches,
+            blocks: self.blocks,
+            backpressure: self.backpressure,
+            heals: self.heals,
+            final_height: self.archive.chain().height(),
+            state_root: root,
+            survivors,
+            converged,
+            sessions_settled,
+            sessions_total: self.plans.len(),
+            ticks: self.queue.now(),
+        })
+    }
+
+    /// Serializes the live engine: simulation counters, session
+    /// cursors, admission queue, pending events, and the full ledger
+    /// through the chain export codec. Restoring with
+    /// [`Engine::restore`] resumes bit-identically — every stochastic
+    /// stream is a pure function of `(seed, counter)`, and all counters
+    /// are here.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(4096);
+        buf.put_u8(CHECKPOINT_VERSION);
+        buf.put_u64_le(self.seed);
+        buf.put_u64_le(self.queue.now());
+        buf.put_u64_le(self.queue.next_seq());
+        buf.put_u64_le(self.next_proposer as u64);
+        buf.put_u64_le(self.batches);
+        buf.put_u64_le(self.blocks);
+        buf.put_u64_le(self.backpressure);
+        buf.put_u64_le(self.heals);
+        buf.put_u64_le(self.faults.decisions());
+        buf.put_u64_le(self.alive.len() as u64);
+        for &a in &self.alive {
+            buf.put_u8(a as u8);
+        }
+        buf.put_u64_le(self.cursors.len() as u64);
+        for &c in &self.cursors {
+            buf.put_u64_le(c as u64);
+        }
+        buf.put_u64_le(self.arrival_k.len() as u64);
+        for &k in &self.arrival_k {
+            buf.put_u64_le(k);
+        }
+        buf.put_u64_le(self.admission.len() as u64);
+        for tx in self.admission.iter() {
+            let bytes = encode_tx_bytes(tx);
+            buf.put_u64_le(bytes.len() as u64);
+            buf.put_slice(&bytes);
+        }
+        let pending = self.queue.pending();
+        buf.put_u64_le(pending.len() as u64);
+        for (time, _, seq, event) in pending {
+            buf.put_u64_le(time);
+            buf.put_u64_le(seq);
+            event.encode(&mut buf);
+        }
+        let chain = encode_chain(self.archive.chain());
+        buf.put_u64_le(chain.len() as u64);
+        buf.put_slice(&chain);
+        buf.to_vec()
+    }
+
+    /// Rebuilds a live engine from a checkpoint: boots fresh (same
+    /// config and seed), imports the ledger through the chain codec
+    /// with full re-execution validation, replays every live replica up
+    /// to it, and restores the simulation counters and pending events.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Checkpoint`] / [`EngineError::Codec`] on
+    /// malformed bytes or config mismatch.
+    pub fn restore(
+        config: EngineConfig,
+        seed: u64,
+        checkpoint: &[u8],
+    ) -> Result<Self, EngineError> {
+        let mut engine = Engine::new(config, seed)?;
+        let buf = &mut &checkpoint[..];
+        let short = |_| EngineError::Checkpoint("truncated checkpoint".into());
+
+        let version = buf.try_get_u8().map_err(short)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(EngineError::Checkpoint(format!(
+                "unknown checkpoint version {version}"
+            )));
+        }
+        let ck_seed = buf.try_get_u64_le().map_err(short)?;
+        if ck_seed != seed {
+            return Err(EngineError::Checkpoint(format!(
+                "checkpoint was taken under seed {ck_seed}, not {seed}"
+            )));
+        }
+        let now = buf.try_get_u64_le().map_err(short)?;
+        let next_seq = buf.try_get_u64_le().map_err(short)?;
+        engine.next_proposer = buf.try_get_u64_le().map_err(short)? as usize;
+        engine.batches = buf.try_get_u64_le().map_err(short)?;
+        engine.blocks = buf.try_get_u64_le().map_err(short)?;
+        engine.backpressure = buf.try_get_u64_le().map_err(short)?;
+        engine.heals = buf.try_get_u64_le().map_err(short)?;
+        let decisions = buf.try_get_u64_le().map_err(short)?;
+        engine.faults.restore_decisions(decisions);
+
+        let n_alive = buf.try_get_u64_le().map_err(short)? as usize;
+        if n_alive != engine.alive.len() {
+            return Err(EngineError::Checkpoint("validator count mismatch".into()));
+        }
+        for a in engine.alive.iter_mut() {
+            *a = buf.try_get_u8().map_err(short)? != 0;
+        }
+        let n_cursors = buf.try_get_u64_le().map_err(short)? as usize;
+        if n_cursors != engine.cursors.len() {
+            return Err(EngineError::Checkpoint("session count mismatch".into()));
+        }
+        for c in engine.cursors.iter_mut() {
+            *c = buf.try_get_u64_le().map_err(short)? as usize;
+        }
+        let n_k = buf.try_get_u64_le().map_err(short)? as usize;
+        if n_k != engine.arrival_k.len() {
+            return Err(EngineError::Checkpoint("session count mismatch".into()));
+        }
+        for k in engine.arrival_k.iter_mut() {
+            *k = buf.try_get_u64_le().map_err(short)?;
+        }
+
+        let n_admission = buf.try_get_u64_le().map_err(short)? as usize;
+        engine.admission = Bounded::new(engine.config.admission_capacity);
+        for _ in 0..n_admission {
+            let len = buf.try_get_u64_le().map_err(short)? as usize;
+            let bytes = buf.try_take_slice(len).map_err(short)?;
+            let tx = decode_tx_bytes(bytes)?;
+            if engine.admission.push(tx).is_err() {
+                return Err(EngineError::Checkpoint(
+                    "admission queue exceeds configured capacity".into(),
+                ));
+            }
+        }
+
+        let n_pending = buf.try_get_u64_le().map_err(short)? as usize;
+        let mut entries = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            let time = buf.try_get_u64_le().map_err(short)?;
+            let seq = buf.try_get_u64_le().map_err(short)?;
+            let event = Event::decode(buf)?;
+            entries.push((time, seq, event));
+        }
+        engine.queue =
+            EventQueue::restore(substream(seed, STREAM_QUEUE), now, next_seq, entries);
+
+        let chain_len = buf.try_get_u64_le().map_err(short)? as usize;
+        let chain_bytes = buf.try_take_slice(chain_len).map_err(short)?.to_vec();
+        if !buf.is_empty() {
+            return Err(EngineError::Checkpoint("trailing bytes".into()));
+        }
+        // Import through the chain codec, then replay into the fresh
+        // archive with full re-execution validation — a forged
+        // checkpoint cannot produce a diverging engine.
+        let chain = decode_chain(&chain_bytes)?;
+        let blocks = chain.blocks();
+        let Some(genesis) = blocks.first() else {
+            return Err(EngineError::Checkpoint("empty chain".into()));
+        };
+        if engine.archive.chain().tip_hash() != genesis.hash() {
+            return Err(EngineError::Checkpoint(
+                "checkpoint genesis does not match this config".into(),
+            ));
+        }
+        for block in blocks.iter().skip(1) {
+            if engine.archive.apply_block(block).is_err() {
+                return Err(EngineError::Checkpoint(
+                    "ledger replay failed validation".into(),
+                ));
+            }
+        }
+        // Live replicas resume at the ledger; dead ones stay at genesis
+        // until their Restart event heals them.
+        for i in 0..engine.config.validators {
+            if engine.alive[i] {
+                engine.sync_node(i)?;
+            }
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> EngineConfig {
+        EngineConfig {
+            validators: 3,
+            sessions: vec![SessionSpec { name: "m0".into(), orgs: 3, seed: 1 }],
+            batch_interval: 5,
+            mean_arrival_gap: 2.0,
+            admission_capacity: 8,
+            horizon: 512,
+            faults: FaultConfig::none(),
+            max_frame_bytes: WireLimits::DEFAULT_MAX_FRAME_BYTES,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn fault_free_run_settles_and_converges() {
+        let mut engine = Engine::new(tiny_config(), 42).unwrap();
+        let report = engine.run().unwrap();
+        assert!(report.fully_settled(), "{report:?}");
+        assert_eq!(report.survivors, vec![0, 1, 2]);
+        assert!(report.blocks > 0);
+        assert!(report.final_height > 1);
+    }
+
+    #[test]
+    fn runs_are_bit_deterministic() {
+        let run = |seed| {
+            let mut e = Engine::new(tiny_config(), seed).unwrap();
+            e.run().unwrap()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same everything");
+        let c = run(0xDEAD_BEEF);
+        assert_ne!(
+            (a.ticks, a.batches, a.blocks, a.backpressure),
+            (c.ticks, c.batches, c.blocks, c.backpressure),
+            "different seeds explore different schedules"
+        );
+    }
+
+    #[test]
+    fn two_sessions_share_one_chain() {
+        let mut config = tiny_config();
+        config.sessions.push(SessionSpec { name: "m1".into(), orgs: 2, seed: 9 });
+        let mut engine = Engine::new(config, 3).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.sessions_total, 2);
+        assert!(report.fully_settled(), "{report:?}");
+    }
+
+    #[test]
+    fn tiny_admission_queues_defer_arrivals_but_still_settle() {
+        let mut config = tiny_config();
+        config.admission_capacity = 1;
+        config.batch_interval = 20;
+        let mut engine = Engine::new(config, 4).unwrap();
+        let report = engine.run().unwrap();
+        assert!(report.backpressure > 0, "capacity 1 must defer arrivals");
+        assert!(report.fully_settled(), "{report:?}");
+    }
+
+    #[test]
+    fn duplicate_session_names_are_rejected() {
+        let mut config = tiny_config();
+        config.sessions.push(config.sessions[0].clone());
+        assert!(matches!(Engine::new(config, 0), Err(EngineError::Config(_))));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let seed = 11;
+        let mut uninterrupted = Engine::new(tiny_config(), seed).unwrap();
+        let expected = uninterrupted.run().unwrap();
+
+        let mut engine = Engine::new(tiny_config(), seed).unwrap();
+        for _ in 0..40 {
+            engine.step().unwrap();
+        }
+        let bytes = engine.checkpoint();
+        let mut restored = Engine::restore(tiny_config(), seed, &bytes).unwrap();
+        let resumed = restored.run().unwrap();
+        assert_eq!(resumed.state_root, expected.state_root);
+        assert_eq!(resumed.final_height, expected.final_height);
+        assert_eq!(resumed.blocks, expected.blocks);
+        assert!(resumed.fully_settled());
+    }
+
+    #[test]
+    fn checkpoints_reject_wrong_seed_and_garbage() {
+        let engine = Engine::new(tiny_config(), 5).unwrap();
+        let bytes = engine.checkpoint();
+        assert!(matches!(
+            Engine::restore(tiny_config(), 6, &bytes),
+            Err(EngineError::Checkpoint(_))
+        ));
+        assert!(Engine::restore(tiny_config(), 5, &bytes[..bytes.len() / 2]).is_err());
+        assert!(Engine::restore(tiny_config(), 5, &[0xff; 40]).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! **tradefl-engine** — the persistent market engine.
+//!
+//! The paper's prototype settles one trading session at a time; a real
+//! deployment is a *service*: many concurrent market sessions, open-loop
+//! transaction arrival, block production on a cadence, nodes that crash
+//! and recover. This crate hosts exactly that on top of the existing
+//! substrate, under the workspace determinism contract:
+//!
+//! * [`engine`] — a deterministic event-loop executor over simulated
+//!   time ([`tradefl_runtime::sim`]): transaction admission with
+//!   bounded-queue backpressure, batching into blocks through the
+//!   ledger's untrusted byte path
+//!   ([`tradefl_ledger::network::Network::deliver_frame`]), seeded
+//!   fault injection on every broadcast
+//!   ([`tradefl_runtime::sim::faults`]), kill-and-restart recovery
+//!   replayed from the engine's durable ledger, and
+//!   checkpoint/restore of live sessions through the chain
+//!   export/import codec.
+//! * [`session`] — a market session as a deterministic settlement
+//!   script: equilibrium solved up front (`tradefl-solver`), then the
+//!   Fig. 3 call sequence (register → deposit → contribute → calculate
+//!   → transfer → record) unrolled into an ordered transaction list
+//!   with per-organization nonces.
+//!
+//! Everything is a pure function of `(config, seed)`: the
+//! deterministic-simulation-testing harness (`tests/sim_engine.rs`)
+//! runs hundreds of seeded fault schedules and asserts that all
+//! surviving nodes converge to bit-identical state roots and that
+//! replaying a seed reproduces the identical observability event
+//! stream.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod session;
+
+pub use engine::{Engine, EngineConfig, EngineError, EngineReport};
+pub use session::{SessionPlan, SessionSpec};

@@ -1,0 +1,256 @@
+//! A market session as a deterministic settlement script.
+//!
+//! Off-chain, a session is a coopetition game: the engine solves it to
+//! equilibrium once (Algorithm 2 via `tradefl-solver`) at plan-build
+//! time. On-chain, it is the Fig. 3 procedure — register → deposit →
+//! contribute → calculate → transfer → record. [`SessionPlan::build`]
+//! unrolls that procedure into an ordered transaction list with
+//! correct per-organization nonces, so the *runtime* state of a live
+//! session is a single cursor into the script. That makes sessions
+//! trivially checkpointable: the cursor is the checkpoint.
+//!
+//! Organization addresses are prefixed with the session name
+//! (`"{session}/{org}"`), so any number of sessions coexist on one
+//! chain without account collisions.
+
+use crate::engine::EngineError;
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_ledger::settlement::DEFAULT_WEI_PER_UNIT;
+use tradefl_ledger::tradefl_contract::SessionParams;
+use tradefl_ledger::tx::{Transaction, TxPayload, Value};
+use tradefl_ledger::types::{Address, Fixed, Wei};
+use tradefl_runtime::sync::pool::Pool;
+use tradefl_solver::DbrSolver;
+
+/// Gas limit on every scripted settlement call (mirrors the settlement
+/// driver's).
+const CALL_GAS: u64 = 10_000_000;
+
+/// What to simulate for one market session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Session name — prefixes every participant address, so it must be
+    /// unique within one engine run.
+    pub name: String,
+    /// Number of participating organizations (≥ 2).
+    pub orgs: usize,
+    /// Seed for the session's market draw (Table II parameters).
+    pub seed: u64,
+}
+
+/// A fully resolved session: market, equilibrium, contract parameters,
+/// and the scripted transaction sequence. Everything here is a pure
+/// function of the [`SessionSpec`] (and the solver pool's worker count
+/// never changes results bit-for-bit, per the workspace determinism
+/// contract).
+#[derive(Debug, Clone)]
+pub struct SessionPlan {
+    /// The spec this plan was built from.
+    pub spec: SessionSpec,
+    /// Participant addresses, session-prefixed, in market order.
+    pub addresses: Vec<Address>,
+    /// Genesis funding for the participants (4× the bond each).
+    pub allocations: Vec<(Address, Wei)>,
+    /// Contract constructor parameters (used to deploy, and to rebuild
+    /// prototypes when a crashed validator restarts).
+    pub params: SessionParams,
+    /// The settlement procedure as ordered transactions with correct
+    /// nonces. Submitting these in order, in any batching, settles the
+    /// session.
+    pub txs: Vec<Transaction>,
+}
+
+impl SessionPlan {
+    /// Builds the plan: draws the market, solves the game to
+    /// equilibrium on `pool`, converts parameters to the contract's
+    /// fixed-point units (the same conversion the settlement driver
+    /// uses), and scripts the Fig. 3 transaction sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Session`] when the spec is degenerate (fewer than
+    /// 2 orgs), the market draw fails validation, or the solver cannot
+    /// produce an equilibrium.
+    pub fn build(spec: SessionSpec, pool: &Pool) -> Result<Self, EngineError> {
+        if spec.orgs < 2 {
+            return Err(EngineError::Session {
+                session: spec.name.clone(),
+                reason: "a market needs at least 2 organizations".into(),
+            });
+        }
+        let fail = |reason: String| EngineError::Session { session: spec.name.clone(), reason };
+        let market = MarketConfig::table_ii()
+            .with_orgs(spec.orgs)
+            .build(spec.seed)
+            .map_err(|e| fail(format!("market build: {e}")))?;
+        let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+        let eq = DbrSolver::new()
+            .solve_with(&game, pool)
+            .map_err(|e| fail(format!("equilibrium solve: {e}")))?;
+
+        let market = game.market();
+        let n = market.len();
+        let addresses: Vec<Address> = market
+            .orgs()
+            .iter()
+            .map(|o| Address::from_name(&format!("{}/{}", spec.name, o.name())))
+            .collect();
+
+        // Bond sizing: worst-case |R_i| is bounded by γ' · q_max · x_max
+        // (identical to the settlement driver's formula).
+        let gamma_per_gbit = market.params().gamma * 1e9;
+        let x_max = market
+            .orgs()
+            .iter()
+            .map(|o| o.data_bits() / 1e9 + market.params().lambda * o.max_frequency() / 1e9)
+            .fold(0.0f64, f64::max);
+        let q_max =
+            (0..n).map(|i| market.competition_pressure(i)).fold(0.0f64, f64::max);
+        let bound_units = gamma_per_gbit * q_max * x_max * 1.05 + 1.0;
+        let required_deposit =
+            Wei((bound_units * DEFAULT_WEI_PER_UNIT as f64).ceil() as u128);
+
+        let params = SessionParams {
+            participants: addresses.clone(),
+            gamma_per_gbit: Fixed::from_f64(gamma_per_gbit),
+            lambda: Fixed::from_f64(market.params().lambda),
+            rho: (0..n)
+                .map(|i| (0..n).map(|j| Fixed::from_f64(market.rho(i, j))).collect())
+                .collect(),
+            s_gbits: market
+                .orgs()
+                .iter()
+                .map(|o| Fixed::from_f64(o.data_bits() / 1e9))
+                .collect(),
+            required_deposit,
+            wei_per_payoff_unit: DEFAULT_WEI_PER_UNIT,
+            attestation_key: None,
+        };
+
+        let allocations: Vec<(Address, Wei)> =
+            addresses.iter().map(|&a| (a, Wei(required_deposit.0 * 4))).collect();
+
+        // Script the Fig. 3 sequence. Nonces are per address; the
+        // contract address is unknown until deployment, so a
+        // placeholder is patched in by `txs_for_contract`.
+        let mut nonces = vec![0u64; n];
+        let mut txs = Vec::with_capacity(4 * n + 2);
+        let mut push = |who: usize, function: &str, args: Vec<Value>, value: Wei| {
+            txs.push(Transaction {
+                from: addresses[who],
+                nonce: nonces[who],
+                value,
+                gas_limit: CALL_GAS,
+                payload: TxPayload::Call {
+                    contract: Address([0u8; 20]),
+                    function: function.into(),
+                    args,
+                },
+            });
+            nonces[who] += 1;
+        };
+        for i in 0..n {
+            push(i, "register", vec![], Wei::ZERO);
+        }
+        for i in 0..n {
+            push(i, "depositSubmit", vec![], required_deposit);
+        }
+        for i in 0..n {
+            let org = market.org(i);
+            let d = Fixed::from_f64(eq.profile[i].d);
+            let f_ghz = Fixed::from_f64(org.frequency(eq.profile[i].level) / 1e9);
+            push(
+                i,
+                "contributionSubmit",
+                vec![Value::Fixed(d), Value::Fixed(f_ghz)],
+                Wei::ZERO,
+            );
+        }
+        push(0, "payoffCalculate", vec![], Wei::ZERO);
+        push(0, "payoffTransfer", vec![], Wei::ZERO);
+        for i in 0..n {
+            let addr = addresses[i];
+            push(i, "profileRecord", vec![Value::Addr(addr)], Wei::ZERO);
+        }
+
+        Ok(Self { spec, addresses, allocations, params, txs })
+    }
+
+    /// The scripted transaction at `cursor`, with the deployed contract
+    /// address patched in. `None` once the script is exhausted.
+    pub fn tx_at(&self, cursor: usize, contract: Address) -> Option<Transaction> {
+        let mut tx = self.txs.get(cursor)?.clone();
+        if let TxPayload::Call { contract: c, .. } = &mut tx.payload {
+            *c = contract;
+        }
+        Some(tx)
+    }
+
+    /// Script length (total transactions to settle this session).
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Whether the script is empty (never true for a valid plan).
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, orgs: usize, seed: u64) -> SessionSpec {
+        SessionSpec { name: name.into(), orgs, seed }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_worker_count_invariant() {
+        let p1 = SessionPlan::build(spec("s", 3, 7), &Pool::new(1)).unwrap();
+        let p4 = SessionPlan::build(spec("s", 3, 7), &Pool::new(4)).unwrap();
+        assert_eq!(p1.txs, p4.txs, "worker count must not change the script");
+        assert_eq!(p1.addresses, p4.addresses);
+        assert_eq!(p1.params, p4.params);
+    }
+
+    #[test]
+    fn scripts_carry_contiguous_per_org_nonces() {
+        let p = SessionPlan::build(spec("s", 4, 3), &Pool::new(1)).unwrap();
+        for &addr in &p.addresses {
+            let nonces: Vec<u64> =
+                p.txs.iter().filter(|t| t.from == addr).map(|t| t.nonce).collect();
+            let expected: Vec<u64> = (0..nonces.len() as u64).collect();
+            assert_eq!(nonces, expected, "nonces for {addr} must be 0..k in order");
+        }
+        assert_eq!(p.len(), 4 * 4 + 2);
+    }
+
+    #[test]
+    fn sessions_with_different_names_do_not_share_addresses() {
+        let a = SessionPlan::build(spec("alpha", 3, 7), &Pool::new(1)).unwrap();
+        let b = SessionPlan::build(spec("beta", 3, 7), &Pool::new(1)).unwrap();
+        for addr in &a.addresses {
+            assert!(!b.addresses.contains(addr));
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_error_instead_of_panicking() {
+        assert!(SessionPlan::build(spec("s", 1, 0), &Pool::new(1)).is_err());
+    }
+
+    #[test]
+    fn tx_at_patches_the_contract_address() {
+        let p = SessionPlan::build(spec("s", 2, 1), &Pool::new(1)).unwrap();
+        let c = Address::from_name("somewhere");
+        let tx = p.tx_at(0, c).unwrap();
+        match tx.payload {
+            TxPayload::Call { contract, .. } => assert_eq!(contract, c),
+            TxPayload::Transfer { .. } => panic!("scripted txs are calls"),
+        }
+        assert!(p.tx_at(p.len(), c).is_none());
+    }
+}

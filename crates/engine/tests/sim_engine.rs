@@ -1,0 +1,248 @@
+//! Deterministic simulation testing (DST) for the market engine.
+//!
+//! Each case boots a full stack — solver, sessions, validator network,
+//! archive ledger — inside the simulated event loop and subjects it to
+//! a *seeded* fault schedule: dropped, duplicated, delayed, truncated,
+//! and corrupted frames, plus kill-and-restart of validators mid-run.
+//! The claims under test, for any seed:
+//!
+//! 1. **Convergence** — every surviving validator ends at the archive's
+//!    exact tip hash and state root, bit-identical, and every session
+//!    settles on-chain.
+//! 2. **Replay identity** — running the same seed twice produces the
+//!    identical [`EngineReport`] *and* the identical observability
+//!    event stream, byte for byte.
+//! 3. **Recovery** — a validator killed mid-run (losing all in-memory
+//!    state) recovers purely by replaying the ledger and converges.
+//! 4. **Checkpoint/restore** — a live engine serialized through the
+//!    chain export/import codec and restored (on any worker-pool size)
+//!    finishes in the same final state as the uninterrupted run.
+
+use tradefl_engine::{Engine, EngineConfig, EngineReport, SessionSpec};
+use tradefl_ledger::codec::{decode_chain, encode_chain};
+use tradefl_runtime::obs;
+use tradefl_runtime::sim::faults::{CrashPlan, FaultConfig};
+use tradefl_runtime::{prop_assert, prop_assert_eq, props};
+
+const VALIDATORS: usize = 3;
+const HORIZON: u64 = 512;
+
+/// A small-but-real configuration: one 3-org market session under the
+/// given fault schedule.
+fn dst_config(faults: FaultConfig) -> EngineConfig {
+    EngineConfig {
+        validators: VALIDATORS,
+        sessions: vec![SessionSpec { name: "dst".into(), orgs: 3, seed: 2 }],
+        batch_interval: 6,
+        mean_arrival_gap: 2.0,
+        admission_capacity: 8,
+        horizon: HORIZON,
+        faults,
+        ..EngineConfig::default()
+    }
+}
+
+/// Runs `(config, seed)` to completion under a local observability
+/// recorder and returns the report plus the recorded event stream.
+fn run_traced(config: EngineConfig, seed: u64) -> (EngineReport, String) {
+    let (report, snapshot) = obs::with_local(|| {
+        let mut engine = Engine::new(config, seed).expect("engine boots");
+        engine.run().expect("run completes")
+    });
+    (report, snapshot.events_jsonl())
+}
+
+/// The headline DST sweep: 100 seeds, each deriving its own fault
+/// schedule (frame faults + up to one kill-and-restart per node). Every
+/// run must converge to bit-identical state across survivors, settle
+/// all sessions, and replay to the identical report and event stream.
+#[test]
+fn hundred_seeded_fault_schedules_converge_and_replay_identically() {
+    let mut crashy_seeds = 0u32;
+    let mut healing_seeds = 0u32;
+    for seed in 0..100u64 {
+        let faults = FaultConfig::from_seed(seed, VALIDATORS, HORIZON);
+        if !faults.crashes.is_empty() {
+            crashy_seeds += 1;
+        }
+        let (report, trace) = run_traced(dst_config(faults.clone()), seed);
+        assert!(
+            report.converged,
+            "seed {seed}: survivors diverged from the ledger: {report:?}"
+        );
+        assert!(
+            report.fully_settled(),
+            "seed {seed}: sessions did not settle: {report:?}"
+        );
+        assert_eq!(
+            report.survivors,
+            (0..VALIDATORS).collect::<Vec<_>>(),
+            "seed {seed}: seeded schedules restart every crashed node"
+        );
+        if report.heals > 0 {
+            healing_seeds += 1;
+        }
+
+        let (replay, replay_trace) = run_traced(dst_config(faults), seed);
+        assert_eq!(report, replay, "seed {seed}: replay must be report-identical");
+        assert_eq!(
+            trace, replay_trace,
+            "seed {seed}: replay must be event-stream-identical"
+        );
+    }
+    // The sweep must actually exercise the fault machinery, not idle
+    // through 100 quiet runs.
+    assert!(crashy_seeds >= 20, "only {crashy_seeds}/100 schedules had crashes");
+    assert!(healing_seeds >= 20, "only {healing_seeds}/100 runs healed a node");
+}
+
+// ---------------------------------------------------------------------
+// Kill-and-restart regressions: explicit crash schedules, no frame
+// faults, so each run isolates exactly one recovery scenario.
+// ---------------------------------------------------------------------
+
+fn crash_only(crashes: Vec<CrashPlan>) -> FaultConfig {
+    FaultConfig { crashes, ..FaultConfig::none() }
+}
+
+/// A validator killed mid-run loses all in-memory state; its restart
+/// recovers purely by replaying the archive and it converges.
+#[test]
+fn killed_node_recovers_by_ledger_replay_and_converges() {
+    let faults = crash_only(vec![CrashPlan { node: 1, at: 40, down_for: 120 }]);
+    let (report, _) = run_traced(dst_config(faults), 1);
+    assert!(report.heals >= 1, "the restart must replay the ledger: {report:?}");
+    assert!(report.converged, "{report:?}");
+    assert!(report.fully_settled(), "{report:?}");
+    assert_eq!(report.survivors, vec![0, 1, 2]);
+}
+
+/// Killing the first proposer does not stall block production: the
+/// rotation skips dead nodes, the session settles, and the dead node
+/// catches up after its restart.
+#[test]
+fn killing_the_lead_proposer_does_not_stall_the_market() {
+    let faults = crash_only(vec![CrashPlan { node: 0, at: 10, down_for: 300 }]);
+    let (report, _) = run_traced(dst_config(faults), 2);
+    assert!(report.blocks > 0, "peers must keep proposing: {report:?}");
+    assert!(report.converged, "{report:?}");
+    assert!(report.fully_settled(), "{report:?}");
+}
+
+/// Two validators down at once (overlapping outages) leaves a single
+/// live proposer; both recover and converge.
+#[test]
+fn overlapping_outages_of_two_nodes_still_converge() {
+    let faults = crash_only(vec![
+        CrashPlan { node: 1, at: 30, down_for: 150 },
+        CrashPlan { node: 2, at: 60, down_for: 150 },
+    ]);
+    let (report, _) = run_traced(dst_config(faults), 3);
+    assert!(report.heals >= 2, "both restarts must heal: {report:?}");
+    assert!(report.converged, "{report:?}");
+    assert!(report.fully_settled(), "{report:?}");
+}
+
+/// Kill-and-restart under heavy frame faults at the same time: the
+/// restarted node must recover even while gossip around it is lossy
+/// and corrupting.
+#[test]
+fn restart_under_heavy_frame_faults_still_recovers() {
+    let faults = FaultConfig {
+        drop_p: 0.3,
+        dup_p: 0.2,
+        delay_p: 0.4,
+        max_delay: 40,
+        truncate_p: 0.2,
+        corrupt_p: 0.2,
+        crashes: vec![CrashPlan { node: 2, at: 50, down_for: 100 }],
+    };
+    let (report, _) = run_traced(dst_config(faults), 4);
+    assert!(report.converged, "{report:?}");
+    assert!(report.fully_settled(), "{report:?}");
+    assert_eq!(report.survivors, vec![0, 1, 2]);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore properties (live sessions through the chain
+// export/import codec).
+// ---------------------------------------------------------------------
+
+props! {
+    #![cases = 10]
+
+    /// Interrupting a faulty run at an arbitrary point, checkpointing,
+    /// and restoring — on a worker pool of 1, 4, or 8 — finishes in
+    /// exactly the uninterrupted run's final state.
+    fn checkpoint_restore_matches_uninterrupted_run(g) {
+        let seed = g.u64(0..1_000_000);
+        let steps = g.usize(1..120);
+        let faults = FaultConfig::from_seed(seed, VALIDATORS, HORIZON);
+
+        let mut uninterrupted = Engine::new(dst_config(faults.clone()), seed).unwrap();
+        let expected = uninterrupted.run().unwrap();
+
+        let mut live = Engine::new(dst_config(faults.clone()), seed).unwrap();
+        let mut remaining = steps;
+        while remaining > 0 && live.step().unwrap() {
+            remaining -= 1;
+        }
+        let bytes = live.checkpoint();
+
+        for workers in [1usize, 4, 8] {
+            let mut config = dst_config(faults.clone());
+            config.workers = workers;
+            let mut restored = Engine::restore(config, seed, &bytes).unwrap();
+            let resumed = restored.run().unwrap();
+            prop_assert_eq!(resumed.state_root, expected.state_root);
+            prop_assert_eq!(resumed.final_height, expected.final_height);
+            prop_assert_eq!(resumed.blocks, expected.blocks);
+            prop_assert_eq!(resumed.survivors.clone(), expected.survivors.clone());
+            prop_assert!(resumed.converged);
+        }
+    }
+
+    /// The ledger export codec round-trips: export → import → export is
+    /// byte-identical, and the imported chain carries the same tip.
+    fn chain_export_import_export_is_byte_identical(g) {
+        let seed = g.u64(0..1_000_000);
+        let faults = FaultConfig::from_seed(seed, VALIDATORS, HORIZON);
+        let mut engine = Engine::new(dst_config(faults), seed).unwrap();
+        engine.run().unwrap();
+
+        let exported = encode_chain(engine.archive().chain());
+        let imported = decode_chain(&exported).unwrap();
+        prop_assert_eq!(imported.tip_hash(), engine.archive().chain().tip_hash());
+        prop_assert_eq!(imported.height(), engine.archive().chain().height());
+        let re_exported = encode_chain(&imported);
+        prop_assert_eq!(exported, re_exported);
+    }
+
+    /// A checkpoint taken at one point and restored twice yields two
+    /// engines that finish bit-identically (restore is deterministic,
+    /// not merely correct).
+    fn restore_is_deterministic(g) {
+        let seed = g.u64(0..1_000_000);
+        let steps = g.usize(1..60);
+        let faults = FaultConfig::from_seed(seed, VALIDATORS, HORIZON);
+
+        let mut live = Engine::new(dst_config(faults.clone()), seed).unwrap();
+        let mut remaining = steps;
+        while remaining > 0 && live.step().unwrap() {
+            remaining -= 1;
+        }
+        let bytes = live.checkpoint();
+
+        let run_restored = |config: EngineConfig| {
+            let (report, snapshot) = obs::with_local(|| {
+                let mut e = Engine::restore(config, seed, &bytes).unwrap();
+                e.run().unwrap()
+            });
+            (report, snapshot.events_jsonl())
+        };
+        let (a, ta) = run_restored(dst_config(faults.clone()));
+        let (b, tb) = run_restored(dst_config(faults.clone()));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(ta, tb);
+    }
+}

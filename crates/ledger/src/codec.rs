@@ -94,10 +94,7 @@ pub fn decode_chain(mut input: &[u8]) -> Result<Blockchain> {
     if version != CODEC_VERSION {
         return Err(CodecError::BadVersion(version));
     }
-    let count = get_u64(buf)? as usize;
-    if count > MAX_LEN {
-        return Err(CodecError::LengthOverflow(count));
-    }
+    let count = bounded_count(get_u64(buf)? as usize, buf.remaining(), BLOCK_MIN_BYTES)?;
     let mut chain = Blockchain::new();
     for _ in 0..count {
         let block = decode_block(buf)?;
@@ -169,12 +166,13 @@ fn encode_block(buf: &mut BytesMut, block: &Block) {
 
 fn decode_block(buf: &mut &[u8]) -> Result<Block> {
     let header = decode_header(buf)?;
-    let n_txs = bounded_len(get_u64(buf)? as usize)?;
+    let n_txs = bounded_count(get_u64(buf)? as usize, buf.remaining(), TX_MIN_BYTES)?;
     let mut txs = Vec::with_capacity(n_txs.min(1024));
     for _ in 0..n_txs {
         txs.push(decode_tx(buf)?);
     }
-    let n_receipts = bounded_len(get_u64(buf)? as usize)?;
+    let n_receipts =
+        bounded_count(get_u64(buf)? as usize, buf.remaining(), RECEIPT_MIN_BYTES)?;
     let mut receipts = Vec::with_capacity(n_receipts.min(1024));
     for _ in 0..n_receipts {
         receipts.push(decode_receipt(buf)?);
@@ -234,7 +232,7 @@ fn decode_tx(buf: &mut &[u8]) -> Result<Transaction> {
         1 => {
             let contract = get_addr(buf)?;
             let function = get_str(buf)?;
-            let n = bounded_len(get_u64(buf)? as usize)?;
+            let n = bounded_count(get_u64(buf)? as usize, buf.remaining(), VALUE_MIN_BYTES)?;
             let mut args = Vec::with_capacity(n.min(64));
             for _ in 0..n {
                 args.push(decode_value(buf)?);
@@ -280,12 +278,13 @@ fn decode_receipt(buf: &mut &[u8]) -> Result<Receipt> {
         t => return Err(CodecError::BadTag(t)),
     };
     let gas_used = get_u64(buf)?;
-    let n_logs = bounded_len(get_u64(buf)? as usize)?;
+    let n_logs = bounded_count(get_u64(buf)? as usize, buf.remaining(), LOG_MIN_BYTES)?;
     let mut logs = Vec::with_capacity(n_logs.min(64));
     for _ in 0..n_logs {
         let contract = get_addr(buf)?;
         let event = get_str(buf)?;
-        let n_fields = bounded_len(get_u64(buf)? as usize)?;
+        let n_fields =
+            bounded_count(get_u64(buf)? as usize, buf.remaining(), FIELD_MIN_BYTES)?;
         let mut fields = Vec::with_capacity(n_fields.min(64));
         for _ in 0..n_fields {
             let k = get_str(buf)?;
@@ -294,7 +293,7 @@ fn decode_receipt(buf: &mut &[u8]) -> Result<Receipt> {
         }
         logs.push(Log { contract, event, fields });
     }
-    let n_ret = bounded_len(get_u64(buf)? as usize)?;
+    let n_ret = bounded_count(get_u64(buf)? as usize, buf.remaining(), VALUE_MIN_BYTES)?;
     let mut return_data = Vec::with_capacity(n_ret.min(64));
     for _ in 0..n_ret {
         return_data.push(decode_value(buf)?);
@@ -356,6 +355,34 @@ fn bounded_len(n: usize) -> Result<usize> {
         Ok(n)
     }
 }
+
+/// Sanity-checks a declared element count against the bytes actually
+/// remaining: every element of the collection occupies at least
+/// `min_elem` encoded bytes, so a count claiming more elements than
+/// `remaining / min_elem` is provably a lie — rejected *before* any
+/// allocation or element decode, not discovered element-by-element.
+fn bounded_count(n: usize, remaining: usize, min_elem: usize) -> Result<usize> {
+    let n = bounded_len(n)?;
+    if min_elem > 0 && n > remaining / min_elem {
+        return Err(CodecError::LengthOverflow(n));
+    }
+    Ok(n)
+}
+
+// Conservative lower bounds on encoded element sizes (safe against
+// under-claiming: each is at most the smallest legal encoding).
+/// from(20) + nonce(8) + value(16) + gas(8) + payload tag(1).
+const TX_MIN_BYTES: usize = 53;
+/// tx_hash(32) + status tag(1) + gas_used(8) + 3 length prefixes(24).
+const RECEIPT_MIN_BYTES: usize = 57;
+/// header(144) + two count prefixes(16).
+const BLOCK_MIN_BYTES: usize = 160;
+/// contract(20) + event length prefix(8) + fields count(8).
+const LOG_MIN_BYTES: usize = 36;
+/// key length prefix(8) + value tag(1).
+const FIELD_MIN_BYTES: usize = 9;
+/// A `Value` is at least its tag byte.
+const VALUE_MIN_BYTES: usize = 1;
 
 // All primitive reads go through the runtime's fallible `try_*` Buf
 // API: untrusted peer bytes must never reach the panicking getters.

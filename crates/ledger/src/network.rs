@@ -103,11 +103,21 @@ impl std::error::Error for NetworkError {}
 
 /// Why a wire frame from a peer was refused.
 ///
-/// Frames arrive as raw bytes from an untrusted peer; both stages —
-/// decoding and re-execution — must reject bad input with an error,
-/// never a panic.
+/// Frames arrive as raw bytes from an untrusted peer; all three stages
+/// — the size gate, decoding, and re-execution — must reject bad input
+/// with an error, never a panic.
 #[derive(Debug, PartialEq)]
 pub enum FrameError {
+    /// The frame exceeds the receiver's configured
+    /// [`WireLimits::max_frame_bytes`] — rejected before a single byte
+    /// is decoded, so a byzantine peer cannot make the replica do work
+    /// proportional to an absurd payload.
+    Oversize {
+        /// Bytes the peer sent.
+        len: usize,
+        /// The receiver's limit.
+        max: usize,
+    },
     /// The frame did not decode as a block (truncated, bad tag,
     /// oversized length prefix, trailing bytes, ...).
     Decode(CodecError),
@@ -118,6 +128,9 @@ pub enum FrameError {
 impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame rejected at size gate: {len} bytes > limit {max}")
+            }
             FrameError::Decode(e) => write!(f, "frame rejected at decode: {e}"),
             FrameError::Apply(e) => write!(f, "frame rejected at validation: {e}"),
         }
@@ -125,6 +138,27 @@ impl fmt::Display for FrameError {
 }
 
 impl std::error::Error for FrameError {}
+
+/// Wire-path resource limits applied before any decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Maximum accepted frame size in bytes. Frames longer than this
+    /// are refused by [`Network::deliver_frame`] with
+    /// [`FrameError::Oversize`] before decoding begins.
+    pub max_frame_bytes: usize,
+}
+
+impl WireLimits {
+    /// Default limit: 1 MiB — generous for the settlement workload
+    /// (blocks are a few KiB) while bounding byzantine payloads.
+    pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        Self { max_frame_bytes: Self::DEFAULT_MAX_FRAME_BYTES }
+    }
+}
 
 /// The round-robin PoA network.
 ///
@@ -154,16 +188,31 @@ pub struct Network {
     next_proposer: usize,
     /// Pending transactions awaiting the next block (network mempool).
     mempool: Vec<Transaction>,
+    limits: WireLimits,
 }
 
 impl Network {
     /// Boots `names.len()` replicas with identical genesis allocations.
     pub fn new(names: &[&str], allocations: &[(Address, Wei)]) -> Self {
+        Self::with_limits(names, allocations, WireLimits::default())
+    }
+
+    /// [`Network::new`] with explicit wire-path limits.
+    pub fn with_limits(
+        names: &[&str],
+        allocations: &[(Address, Wei)],
+        limits: WireLimits,
+    ) -> Self {
         let validators = names
             .iter()
             .map(|&name| Validator { name: name.to_string(), node: Node::new(allocations) })
             .collect();
-        Self { validators, next_proposer: 0, mempool: Vec::new() }
+        Self { validators, next_proposer: 0, mempool: Vec::new(), limits }
+    }
+
+    /// The wire-path limits this network enforces.
+    pub fn limits(&self) -> WireLimits {
+        self.limits
     }
 
     /// Number of validators.
@@ -291,6 +340,88 @@ impl Network {
             .map(encode_block_bytes)
     }
 
+    /// Serializes the block at `height` on validator `from`'s chain as
+    /// a wire frame, or `None` if that replica has not reached it.
+    /// This is the pull side of catch-up sync: a replica that fell
+    /// behind (crash, dropped frames) requests each missing height from
+    /// a live peer and feeds the frames through [`deliver_frame`].
+    ///
+    /// [`deliver_frame`]: Network::deliver_frame
+    pub fn frame_at(&self, from: usize, height: u64) -> Option<Vec<u8>> {
+        let block = self.validators.get(from)?.node.chain().blocks().get(height as usize)?;
+        debug_assert_eq!(block.header.number, height);
+        Some(encode_block_bytes(block))
+    }
+
+    /// Proposer-driven block production for an external scheduler (the
+    /// engine's event loop): validator `proposer` executes exactly
+    /// `txs` into a block on its *own* chain and returns the encoded
+    /// frame. Nothing is broadcast — the caller owns delivery, so it
+    /// can route the frame through fault injection, delays, or drops.
+    /// The shared mempool and round-robin schedule are untouched.
+    ///
+    /// Invalid submissions are dropped exactly as in
+    /// [`Network::round_with`]; an empty block is still produced.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Internal`] if `proposer` is out of range or
+    /// mining produced no block.
+    pub fn propose(
+        &mut self,
+        proposer: usize,
+        txs: Vec<Transaction>,
+    ) -> Result<Vec<u8>, NetworkError> {
+        let node = &mut self
+            .validators
+            .get_mut(proposer)
+            .ok_or(NetworkError::Internal("proposer out of range"))?
+            .node;
+        for tx in txs {
+            let _ = node.submit(tx);
+        }
+        node.mine();
+        let mined = node
+            .chain()
+            .blocks()
+            .last()
+            .ok_or(NetworkError::Internal("proposer mined no block"))?;
+        Ok(encode_block_bytes(mined))
+    }
+
+    /// Crash-reboot for validator `i`: the replica loses all in-memory
+    /// state and comes back as a freshly booted node — same genesis
+    /// allocations, same deterministic contract deployments, chain at
+    /// genesis. Recovery happens afterwards by replaying the ledger
+    /// (pull each height via [`Network::frame_at`] through
+    /// [`Network::deliver_frame`]); nothing is restored here.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Internal`] if `i` is out of range;
+    /// [`NetworkError::DeployDiverged`] if redeployment does not land
+    /// on the recorded addresses (determinism broken).
+    pub fn restart_validator(
+        &mut self,
+        i: usize,
+        allocations: &[(Address, Wei)],
+        contracts: &[(Address, Box<dyn Contract>)],
+    ) -> Result<(), NetworkError> {
+        let v = self
+            .validators
+            .get_mut(i)
+            .ok_or(NetworkError::Internal("validator out of range"))?;
+        let mut node = Node::new(allocations);
+        for (expected_addr, prototype) in contracts {
+            let addr = node.deploy(prototype.snapshot());
+            if addr != *expected_addr {
+                return Err(NetworkError::DeployDiverged { expected: *expected_addr, got: addr });
+            }
+        }
+        v.node = node;
+        Ok(())
+    }
+
     /// Delivers a raw wire frame — untrusted peer bytes — to validator
     /// `to`: the frame is decoded as a block and, if well-formed,
     /// validated by full re-execution exactly like [`Node::apply_block`].
@@ -309,16 +440,21 @@ impl Network {
     ///
     /// Panics if `to` is out of range (local misuse, not peer input).
     pub fn deliver_frame(&mut self, to: usize, frame: &[u8]) -> Result<(), FrameError> {
-        let result = match decode_block_bytes(frame) {
-            Err(e) => Err(FrameError::Decode(e)),
-            Ok(block) => self.validators[to]
-                .node
-                .apply_block(&block)
-                .map_err(FrameError::Apply),
+        let result = if frame.len() > self.limits.max_frame_bytes {
+            Err(FrameError::Oversize { len: frame.len(), max: self.limits.max_frame_bytes })
+        } else {
+            match decode_block_bytes(frame) {
+                Err(e) => Err(FrameError::Decode(e)),
+                Ok(block) => self.validators[to]
+                    .node
+                    .apply_block(&block)
+                    .map_err(FrameError::Apply),
+            }
         };
         obs::counter_add(
             match result {
                 Ok(()) => "ledger.frames_accepted",
+                Err(FrameError::Oversize { .. }) => "ledger.frames_oversize",
                 Err(FrameError::Decode(_)) => "ledger.frames_bad_encoding",
                 Err(FrameError::Apply(_)) => "ledger.frames_bad_block",
             },
@@ -329,14 +465,22 @@ impl Network {
 
     /// Whether every replica holds the same tip hash and state root.
     pub fn converged(&self) -> bool {
-        let Some(first) = self.validators.first() else {
+        let all: Vec<usize> = (0..self.validators.len()).collect();
+        self.converged_among(&all)
+    }
+
+    /// [`Network::converged`] restricted to a subset of validators —
+    /// the surviving nodes after fault injection killed some. Out-of-
+    /// range indices are ignored; an empty subset is trivially
+    /// converged.
+    pub fn converged_among(&self, subset: &[usize]) -> bool {
+        let mut members = subset.iter().filter_map(|&i| self.validators.get(i));
+        let Some(first) = members.next() else {
             return true;
         };
         let tip = first.node.chain().tip_hash();
         let root = first.node.state().root();
-        self.validators.iter().all(|v| {
-            v.node.chain().tip_hash() == tip && v.node.state().root() == root
-        })
+        members.all(|v| v.node.chain().tip_hash() == tip && v.node.state().root() == root)
     }
 
     /// Receipt lookup on the first replica (all replicas agree once
@@ -567,6 +711,142 @@ mod tests {
         // there somewhere: at least one position must have tripped the
         // decoder's length guard.
         assert!(decode_errors > 0, "no position exercised the length guard");
+    }
+
+    #[test]
+    fn byzantine_oversize_frames_are_refused_at_the_size_gate() {
+        // A peer declares (and sends) a frame past the configured
+        // limit: the receiver must refuse before decoding a single
+        // byte, and its chain must not move.
+        let names = ["v0"];
+        let allocations = [(Address::from_name("alice"), Wei(1_000_000))];
+        let mut victim =
+            Network::with_limits(&names, &allocations, WireLimits { max_frame_bytes: 64 });
+        let before = victim.validator(0).node.chain().tip_hash();
+        let frame = vec![0u8; 65];
+        match victim.deliver_frame(0, &frame) {
+            Err(FrameError::Oversize { len: 65, max: 64 }) => {}
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+        assert_eq!(victim.validator(0).node.chain().tip_hash(), before);
+    }
+
+    #[test]
+    fn size_gate_rejects_honest_blocks_past_the_limit_but_not_under_it() {
+        // The gate is about *size*, not honesty: a perfectly valid
+        // block bigger than the limit is refused, and the same block
+        // passes once the limit accommodates it.
+        let mut net = boot(1);
+        net.submit(transfer("alice", "bob", 0, 100));
+        net.round().unwrap();
+        let frame = net.tip_frame(0).unwrap();
+
+        let names = ["v0"];
+        let allocations = [
+            (Address::from_name("alice"), Wei(1_000_000)),
+            (Address::from_name("bob"), Wei(500_000)),
+        ];
+        let mut strict = Network::with_limits(
+            &names,
+            &allocations,
+            WireLimits { max_frame_bytes: frame.len() - 1 },
+        );
+        assert!(matches!(
+            strict.deliver_frame(0, &frame),
+            Err(FrameError::Oversize { .. })
+        ));
+        let mut lenient = Network::with_limits(
+            &names,
+            &allocations,
+            WireLimits { max_frame_bytes: frame.len() },
+        );
+        lenient.deliver_frame(0, &frame).expect("within the limit, frame applies");
+    }
+
+    #[test]
+    fn byzantine_declared_lengths_beyond_the_frame_are_refused_before_allocation() {
+        use crate::codec::CodecError;
+
+        // A frame whose tx-count field claims more elements than the
+        // remaining bytes could possibly encode. The codec must reject
+        // the *claim* (LengthOverflow), not run the element decoder
+        // until it trips over the end.
+        let mut net = boot(1);
+        net.submit(transfer("alice", "bob", 0, 100));
+        net.round().unwrap();
+        let mut frame = net.tip_frame(0).unwrap();
+        // Block frame layout: header (144 bytes), then the u64 tx count.
+        let tx_count_at = 144;
+        // Claim a count that passes the absolute MAX_LEN cap but not
+        // the bytes-remaining check: far more txs than the tail of the
+        // frame could hold, yet small enough that only the new guard
+        // can catch it.
+        let absurd: u64 = 10_000;
+        frame[tx_count_at..tx_count_at + 8].copy_from_slice(&absurd.to_le_bytes());
+        let mut victim = boot(1);
+        match victim.deliver_frame(0, &frame) {
+            Err(FrameError::Decode(CodecError::LengthOverflow(n))) => {
+                assert_eq!(n, absurd as usize);
+            }
+            other => panic!("expected LengthOverflow({absurd}), got {other:?}"),
+        }
+        assert_eq!(victim.validator(0).node.chain().height(), 1);
+    }
+
+    #[test]
+    fn propose_and_frame_at_feed_the_wire_path() {
+        // propose() mines on the proposer only; peers converge by
+        // explicit frame delivery — the engine's delivery model.
+        let mut net = boot(3);
+        let frame = net
+            .propose(0, vec![transfer("alice", "bob", 0, 100)])
+            .expect("proposer in range");
+        assert!(!net.converged(), "nothing was broadcast yet");
+        net.deliver_frame(1, &frame).unwrap();
+        net.deliver_frame(2, &frame).unwrap();
+        assert!(net.converged());
+        // frame_at serves historical heights for pull sync.
+        assert_eq!(net.frame_at(0, 1), Some(frame));
+        assert!(net.frame_at(0, 2).is_none(), "height 2 not mined yet");
+        assert!(net.propose(7, vec![]).is_err(), "out-of-range proposer");
+    }
+
+    #[test]
+    fn restarted_validator_recovers_by_ledger_replay() {
+        let mut net = boot(3);
+        for k in 0..4 {
+            net.submit(transfer("alice", "bob", k, 100));
+            assert!(net.round().unwrap().unanimous());
+        }
+        assert!(net.converged());
+        let allocations = [
+            (Address::from_name("alice"), Wei(1_000_000)),
+            (Address::from_name("bob"), Wei(500_000)),
+        ];
+        // Validator 1 crashes and reboots from genesis...
+        net.restart_validator(1, &allocations, &[]).unwrap();
+        assert!(!net.converged(), "the rebooted replica lost everything");
+        assert_eq!(net.validator(1).node.chain().height(), 1);
+        // ...then replays the ledger from a live peer, height by height.
+        let mut h = net.validator(1).node.chain().height() as u64;
+        while let Some(frame) = net.frame_at(0, h) {
+            net.deliver_frame(1, &frame).expect("replayed block must validate");
+            h += 1;
+        }
+        assert!(net.converged(), "replay restores bit-identical state");
+    }
+
+    #[test]
+    fn converged_among_ignores_dead_validators() {
+        let mut net = boot(3);
+        let frame = net.propose(0, vec![transfer("alice", "bob", 0, 50)]).unwrap();
+        // Only validator 2 hears the block; validator 1 is "dead".
+        net.deliver_frame(2, &frame).unwrap();
+        assert!(!net.converged());
+        assert!(net.converged_among(&[0, 2]));
+        assert!(!net.converged_among(&[0, 1, 2]));
+        assert!(net.converged_among(&[]), "empty subset is trivially converged");
+        assert!(net.converged_among(&[0, 99]), "out-of-range indices are ignored");
     }
 
     #[test]

@@ -303,3 +303,199 @@ props! {
         ));
     }
 }
+
+// ---- contract-ABI fuzzing through actual calls -------------------------
+//
+// The wire fuzz above stops at the decoders; the ABI dispatch behind
+// them is its own untrusted boundary — any account can send any
+// function name with any argument vector to a deployed contract. Fuzz
+// that boundary *through real transactions*: deploy the settlement
+// contract on a node, submit adversarial calls, mine, and require that
+// every outcome is a receipt (Success or Reverted) or a mempool
+// rejection — never a panic, and never a chain that fails verification.
+
+mod abi_gen {
+    use tradefl_ledger::node::Node;
+    use tradefl_ledger::tradefl_contract::{SessionParams, TradeFlContract};
+    use tradefl_ledger::types::{Address, Fixed, Wei};
+
+    /// Every function name the contract dispatches, plus `"__missing"`
+    /// to exercise the unknown-selector path.
+    pub const ABI_FUNCTIONS: &[&str] = &[
+        "register",
+        "depositSubmit",
+        "contributionSubmit",
+        "payoffCalculate",
+        "payoffTransfer",
+        "profileRecord",
+        "phase",
+        "redistributionOf",
+        "__missing",
+    ];
+
+    pub const DEPOSIT: u128 = 1_000_000;
+
+    /// A fresh single node with a 3-org settlement contract deployed.
+    pub fn session_node() -> (Node, Address, Vec<Address>) {
+        let orgs: Vec<Address> =
+            (0..3).map(|i| Address::from_name(&format!("org-{i}"))).collect();
+        let allocations: Vec<(Address, Wei)> =
+            orgs.iter().map(|&a| (a, Wei(10_000_000))).collect();
+        let mut node = Node::new(&allocations);
+        let params = SessionParams {
+            participants: orgs.clone(),
+            gamma_per_gbit: Fixed::from_f64(5.12),
+            lambda: Fixed::from_f64(3.0),
+            rho: vec![
+                vec![Fixed::ZERO, Fixed::from_f64(0.1), Fixed::from_f64(0.1)],
+                vec![Fixed::from_f64(0.1), Fixed::ZERO, Fixed::from_f64(0.1)],
+                vec![Fixed::from_f64(0.1), Fixed::from_f64(0.1), Fixed::ZERO],
+            ],
+            s_gbits: vec![Fixed::from_f64(20.0); 3],
+            required_deposit: Wei(DEPOSIT),
+            wei_per_payoff_unit: 1_000,
+            attestation_key: None,
+        };
+        let contract = node.deploy(Box::new(TradeFlContract::new(params).unwrap()));
+        (node, contract, orgs)
+    }
+}
+
+props! {
+    #![cases = 48]
+
+    /// Arbitrary `(function, args, value)` call transactions against a
+    /// deployed contract always terminate in a receipt or a mempool
+    /// rejection — never a panic — and the chain still verifies.
+    fn abi_dispatch_never_panics_on_arbitrary_calls(g) {
+        use abi_gen::*;
+        use tradefl_ledger::tx::{Transaction, TxPayload};
+        use tradefl_ledger::types::Wei;
+        use wire_gen::any_value;
+
+        let (mut node, contract, orgs) = session_node();
+        let mut nonces = vec![0u64; orgs.len()];
+        let calls = g.usize(1..8);
+        for _ in 0..calls {
+            let who = g.usize(0..orgs.len());
+            let function = ABI_FUNCTIONS[g.usize(0..ABI_FUNCTIONS.len())];
+            let args = g.vec(0..5usize, any_value);
+            // Sometimes attach the exact deposit, sometimes junk wei.
+            let value = match g.usize(0..3) {
+                0 => Wei::ZERO,
+                1 => Wei(DEPOSIT),
+                _ => Wei(g.u64(0..2_000_000) as u128),
+            };
+            let tx = Transaction {
+                from: orgs[who],
+                nonce: nonces[who],
+                value,
+                gas_limit: 10_000_000,
+                payload: TxPayload::Call {
+                    contract,
+                    function: function.into(),
+                    args,
+                },
+            };
+            let hash = tx.hash();
+            if node.submit(tx).is_ok() {
+                nonces[who] += 1;
+                node.mine();
+                prop_assert!(node.receipt(hash).is_some(), "mined tx must have a receipt");
+            }
+        }
+        node.chain().verify().unwrap();
+    }
+
+    /// The read-only view path upholds the same contract: any function
+    /// name and argument vector returns a `Result`, never panics, and
+    /// never mutates state.
+    fn abi_views_never_panic_and_never_mutate(g) {
+        use abi_gen::*;
+        use wire_gen::{any_addr, any_value};
+
+        let (node, contract, orgs) = session_node();
+        let root_before = node.state().root();
+        for _ in 0..g.usize(1..10) {
+            let caller = if g.bool(0.7) { orgs[g.usize(0..orgs.len())] } else { any_addr(g) };
+            let function = ABI_FUNCTIONS[g.usize(0..ABI_FUNCTIONS.len())];
+            let args = g.vec(0..5usize, any_value);
+            let _ = node.call_view(contract, caller, function, &args);
+        }
+        prop_assert_eq!(node.state().root(), root_before);
+    }
+
+    /// Every malformed `contributionSubmit` argument vector — wrong
+    /// arity or wrong types — reverts instead of panicking or being
+    /// silently accepted, even when the session is in exactly the phase
+    /// that accepts contributions.
+    fn malformed_contribution_vectors_always_revert(g) {
+        use abi_gen::*;
+        use tradefl_ledger::tx::{ExecStatus, Transaction, TxPayload, Value};
+        use tradefl_ledger::types::Wei;
+        use wire_gen::any_value;
+
+        let (mut node, contract, orgs) = session_node();
+        // Drive the session to the Contribution phase legitimately.
+        let call = |from, nonce, function: &str, args, value| Transaction {
+            from,
+            nonce,
+            value,
+            gas_limit: 10_000_000,
+            payload: TxPayload::Call { contract, function: function.into(), args },
+        };
+        for &o in &orgs {
+            node.submit(call(o, 0, "register", vec![], Wei::ZERO)).unwrap();
+        }
+        node.mine();
+        for &o in &orgs {
+            node.submit(call(o, 1, "depositSubmit", vec![], Wei(DEPOSIT))).unwrap();
+        }
+        node.mine();
+        let phase = node.call_view(contract, orgs[0], "phase", &[]).unwrap();
+        prop_assert_eq!(&phase, &vec![Value::U64(2)]);
+
+        // A malformed vector: either wrong arity, or a well-arity
+        // vector whose first slot is forced to a non-Fixed type.
+        let mut args = g.vec(0..5usize, any_value);
+        let shape_ok = matches!(
+            args.as_slice(),
+            [Value::Fixed(_), Value::Fixed(_)] | [Value::Fixed(_), Value::Fixed(_), Value::Bytes(_)]
+        );
+        if shape_ok || matches!(args.first(), Some(Value::Fixed(_))) {
+            // Guarantee malformation without disturbing the rest.
+            match args.first_mut() {
+                Some(first) => *first = Value::Str("not-a-fixed".into()),
+                None => {}
+            }
+        }
+        let tx = call(orgs[0], 2, "contributionSubmit", args, Wei::ZERO);
+        let hash = tx.hash();
+        node.submit(tx).unwrap();
+        node.mine();
+        let receipt = node.receipt(hash).expect("mined tx has a receipt");
+        prop_assert!(
+            matches!(receipt.status, ExecStatus::Reverted(_)),
+            "malformed vector must revert, got {:?}",
+            receipt.status
+        );
+        // And a well-formed contribution still goes through afterwards.
+        let good = call(
+            orgs[0],
+            3,
+            "contributionSubmit",
+            vec![
+                Value::Fixed(tradefl_ledger::types::Fixed::from_f64(0.4)),
+                Value::Fixed(tradefl_ledger::types::Fixed::from_f64(3.0)),
+            ],
+            Wei::ZERO,
+        );
+        let good_hash = good.hash();
+        node.submit(good).unwrap();
+        node.mine();
+        prop_assert!(matches!(
+            node.receipt(good_hash).unwrap().status,
+            ExecStatus::Success
+        ));
+    }
+}

@@ -4,8 +4,9 @@
 //! [`crate::lexer`] for what that buys and what it misses) plus a path
 //! scope. Scopes are workspace-relative path predicates, so moving a
 //! file can change which rules see it — that is intentional: the
-//! determinism contract applies to the solver/core/fl-sim/ledger
-//! crates, the wall-clock exemption to the bench harness, and so on.
+//! determinism contract applies to the solver/core/fl-sim/ledger/
+//! engine crates, the wall-clock exemption to the bench harness, and
+//! so on.
 //!
 //! False positives are handled by `// lint:allow(rule-id): reason`
 //! (enforced to carry a reason, and flagged when unused) — see
@@ -55,7 +56,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "no-hash-iteration",
-        summary: "no HashMap/HashSet in the deterministic crates (solver, core, fl-sim, ledger)",
+        summary: "no HashMap/HashSet in the deterministic crates (solver, core, fl-sim, ledger, \
+                  engine)",
         rationale: "Hash iteration order is randomized per process, so iterating a \
                     HashMap/HashSet in an equilibrium or settlement path silently breaks the \
                     bit-identity contract (tests/determinism.rs). Use BTreeMap/BTreeSet or sort \
@@ -172,9 +174,15 @@ pub fn classify(rel_path: &str) -> Target {
 
 /// The crates bound by the determinism contract.
 fn in_deterministic_crate(rel_path: &str) -> bool {
-    ["crates/solver/src/", "crates/core/src/", "crates/fl-sim/src/", "crates/ledger/src/"]
-        .iter()
-        .any(|p| rel_path.starts_with(p))
+    [
+        "crates/solver/src/",
+        "crates/core/src/",
+        "crates/fl-sim/src/",
+        "crates/ledger/src/",
+        "crates/engine/src/",
+    ]
+    .iter()
+    .any(|p| rel_path.starts_with(p))
 }
 
 /// Paths allowed to read the wall clock.

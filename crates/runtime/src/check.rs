@@ -30,12 +30,17 @@
 //! `TRADEFL_PROP_SEED=<seed> cargo test <property_name>` (and
 //! optionally `TRADEFL_PROP_SIZE=<f64>`).
 //!
-//! **Minimization-lite.** On failure the harness replays the failing
-//! case at progressively smaller *sizes*. Size scales every generator
-//! — ranges contract toward their lower bound and collections shrink —
-//! so the reported counterexample is drawn from the smallest input
-//! region that still fails. This is coarser than structural shrinking
-//! but needs no generator reflection and keeps replay exact.
+//! **Structural shrinking.** Every draw a case makes is recorded on a
+//! *tape* of raw 64-bit generator outputs. On failure the harness
+//! mutates the tape — truncating it (which shortens generated
+//! vectors), zeroing entries (which zeroes fields), halving and
+//! decrementing entries — and replays the property through the
+//! mutated tape ([`Gen::from_tape`]), keeping every mutation that
+//! still fails. The greedy descent ends at a local minimum: a
+//! counterexample where no single truncation, zeroed field, halved or
+//! decremented draw still exhibits the failure (see [`shrink`]).
+//! Exhausted tapes read as zeros, so shorter tapes are always
+//! well-defined.
 
 use crate::rng::{Rng, SampleRange, SeedableRng, StdRng};
 use std::ops::{Range, RangeInclusive};
@@ -68,23 +73,75 @@ impl CaseFail {
 /// Outcome of one property case.
 pub type CaseResult = Result<(), CaseFail>;
 
+/// Where a [`Gen`]'s raw 64-bit draws come from.
+#[derive(Debug)]
+enum Source {
+    /// Live generation: draws come from the seeded [`StdRng`] and are
+    /// recorded on the tape for shrinking.
+    Record { rng: StdRng, tape: Vec<u64> },
+    /// Shrink replay: draws come off a (mutated) tape; an exhausted
+    /// tape reads as zeros.
+    Replay { tape: Vec<u64>, pos: usize },
+}
+
+impl Source {
+    fn draw(&mut self) -> u64 {
+        match self {
+            Source::Record { rng, tape } => {
+                let v = rng.next_u64();
+                tape.push(v);
+                v
+            }
+            Source::Replay { tape, pos } => {
+                let v = tape.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        }
+    }
+}
+
 /// Generator context handed to each property case.
 ///
-/// All draws go through the deterministic [`StdRng`] and are scaled by
-/// the case's *size* in `(0, 1]`: at size 1 every range is sampled in
-/// full; at smaller sizes ranges contract toward their start and
-/// collections toward their minimum length, which is what lets the
-/// harness search for smaller counterexamples on failure.
+/// All draws go through a deterministic source (a seeded [`StdRng`],
+/// recorded on a shrink tape, or a replayed tape — see [`Source`])
+/// and are scaled by the case's *size* in `(0, 1]`: at size 1 every
+/// range is sampled in full; at smaller sizes ranges contract toward
+/// their start and collections toward their minimum length.
 #[derive(Debug)]
 pub struct Gen {
-    rng: StdRng,
+    source: Source,
     size: f64,
 }
 
+/// Borrowed [`Rng`] view over a [`Gen`]'s draw source: every
+/// `next_u64` goes through the tape machinery, so code that takes a
+/// generic `Rng` still records/replays coherently.
+#[derive(Debug)]
+pub struct GenRng<'a>(&'a mut Source);
+
+impl Rng for GenRng<'_> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.draw()
+    }
+}
+
 impl Gen {
-    /// A generator for one case.
+    /// A live (recording) generator for one case.
     pub fn new(seed: u64, size: f64) -> Self {
-        Gen { rng: StdRng::seed_from_u64(seed), size: size.clamp(0.001, 1.0) }
+        Gen {
+            source: Source::Record { rng: StdRng::seed_from_u64(seed), tape: Vec::new() },
+            size: size.clamp(0.001, 1.0),
+        }
+    }
+
+    /// A generator replaying a shrink tape; draws past the end of the
+    /// tape read as zeros.
+    pub fn from_tape(tape: &[u64], size: f64) -> Self {
+        Gen {
+            source: Source::Replay { tape: tape.to_vec(), pos: 0 },
+            size: size.clamp(0.001, 1.0),
+        }
     }
 
     /// The size factor this case runs at.
@@ -92,15 +149,25 @@ impl Gen {
         self.size
     }
 
-    /// Direct access to the underlying generator (for calling code
-    /// that already takes an `StdRng`).
-    pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
+    /// The raw draws made so far (the shrink tape).
+    pub fn tape(&self) -> &[u64] {
+        match &self.source {
+            Source::Record { tape, .. } => tape,
+            Source::Replay { tape, .. } => tape,
+        }
+    }
+
+    /// Access to the underlying generator as an [`Rng`] (for calling
+    /// code that takes a generic generator). Draws made through it are
+    /// recorded/replayed like any other.
+    pub fn rng(&mut self) -> GenRng<'_> {
+        GenRng(&mut self.source)
     }
 
     /// Uniform `f64` from a range, contracted by size.
     pub fn f64<R: ScaledRange<f64>>(&mut self, range: R) -> f64 {
-        range.scaled(self.size).sample_from(&mut self.rng)
+        let size = self.size;
+        range.scaled(size).sample_from(&mut self.rng())
     }
 
     /// Uniform `f32` from a half-open range, contracted by size.
@@ -112,18 +179,20 @@ impl Gen {
 
     /// Uniform `usize` from a range, contracted by size.
     pub fn usize<R: ScaledRange<usize>>(&mut self, range: R) -> usize {
-        range.scaled(self.size).sample_from(&mut self.rng)
+        let size = self.size;
+        range.scaled(size).sample_from(&mut self.rng())
     }
 
     /// Uniform `u64` from a range, contracted by size.
     pub fn u64<R: ScaledRange<u64>>(&mut self, range: R) -> u64 {
-        range.scaled(self.size).sample_from(&mut self.rng)
+        let size = self.size;
+        range.scaled(size).sample_from(&mut self.rng())
     }
 
     /// Any `u64` (full width at size 1).
     pub fn any_u64(&mut self) -> u64 {
         if self.size >= 1.0 {
-            self.rng.next_u64()
+            self.rng().next_u64()
         } else {
             self.u64(0..=(u64::MAX as f64 * self.size) as u64)
         }
@@ -132,12 +201,12 @@ impl Gen {
     /// Any `u8` (size leaves the 256-value space alone; it is already
     /// minimal).
     pub fn any_u8(&mut self) -> u8 {
-        (self.rng.next_u64() >> 56) as u8
+        (self.rng().next_u64() >> 56) as u8
     }
 
     /// Bernoulli draw.
     pub fn bool(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p)
+        self.rng().gen_bool(p)
     }
 
     /// A vector whose length is drawn from `len`, elements from `f`.
@@ -205,17 +274,105 @@ macro_rules! impl_scaled_int {
 
 impl_scaled_int!(usize, u64);
 
-/// Shrink ladder tried on failure, largest first.
-const SHRINK_SIZES: [f64; 4] = [0.5, 0.25, 0.1, 0.04];
+/// Budget of property evaluations one shrink search may spend.
+const MAX_SHRINK_EVALS: usize = 10_000;
+
+/// A structurally shrunk counterexample (see [`shrink`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shrunk {
+    /// The minimized draw tape; replay it with [`Gen::from_tape`].
+    pub tape: Vec<u64>,
+    /// The failure message the minimized case produces.
+    pub msg: String,
+    /// Property evaluations the search spent.
+    pub evals: usize,
+}
+
+/// Shrinks the failing case at `seed` toward a minimal counterexample.
+///
+/// Records the failing run's draw tape, then greedily applies
+/// failure-preserving mutations — truncate the tape (halving first,
+/// which halves generated vectors), zero an entry (zeroing the field
+/// it feeds), halve an entry, decrement an entry — restarting the
+/// scan after each accepted mutation. Returns `None` when the case
+/// does not fail (nothing to shrink). Deterministic: same property +
+/// seed, same result.
+pub fn shrink(prop: &impl Fn(&mut Gen) -> CaseResult, seed: u64) -> Option<Shrunk> {
+    let mut g = Gen::new(seed, 1.0);
+    let mut msg = match prop(&mut g) {
+        Err(CaseFail::Fail(m)) => m,
+        _ => return None,
+    };
+    let mut tape = g.tape().to_vec();
+    let evals = std::cell::Cell::new(0usize);
+    let fails = |tape: &[u64]| -> Option<String> {
+        evals.set(evals.get() + 1);
+        match prop(&mut Gen::from_tape(tape, 1.0)) {
+            Err(CaseFail::Fail(m)) => Some(m),
+            _ => None,
+        }
+    };
+
+    'outer: while evals.get() < MAX_SHRINK_EVALS {
+        // Pass 1 — truncation ladder (aggressive first): len/2,
+        // 3·len/4, 7·len/8, len−1.
+        let len = tape.len();
+        let mut cuts: Vec<usize> = [2usize, 4, 8]
+            .iter()
+            .map(|d| len - len / d)
+            .chain(std::iter::once(len.saturating_sub(1)))
+            .filter(|&c| c < len)
+            .collect();
+        cuts.dedup();
+        for cut in cuts {
+            if let Some(m) = fails(&tape[..cut]) {
+                tape.truncate(cut);
+                msg = m;
+                continue 'outer;
+            }
+            if evals.get() >= MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+        }
+        // Pass 2 — per-entry reductions: zero, halve, decrement.
+        for i in 0..tape.len() {
+            let orig = tape[i];
+            if orig == 0 {
+                continue;
+            }
+            for cand in [0, orig / 2, orig - 1] {
+                if cand == orig {
+                    continue;
+                }
+                tape[i] = cand;
+                if let Some(m) = fails(&tape) {
+                    msg = m;
+                    continue 'outer;
+                }
+                if evals.get() >= MAX_SHRINK_EVALS {
+                    tape[i] = orig;
+                    break 'outer;
+                }
+            }
+            tape[i] = orig;
+        }
+        break; // Local minimum: no mutation still fails.
+    }
+    // Trailing zeros are indistinguishable from an exhausted tape.
+    while tape.last() == Some(&0) {
+        tape.pop();
+    }
+    Some(Shrunk { tape, msg, evals: evals.get() })
+}
 
 /// Runs `cases` cases of a property, panicking with a replayable
 /// report on the first failure.
 ///
 /// # Panics
 ///
-/// Panics when a case fails (after minimization), or when the
-/// discard budget (`cases * 16`) is exhausted — mirroring proptest's
-/// behavior so over-restrictive `prop_assume!` filters are caught.
+/// Panics when a case fails (after shrinking), or when the discard
+/// budget (`cases * 16`) is exhausted — mirroring proptest's behavior
+/// so over-restrictive `prop_assume!` filters are caught.
 pub fn run_prop(name: &str, cases: u32, prop: impl Fn(&mut Gen) -> CaseResult) {
     // Replay path: one exact case, no search.
     if let Some(seed) = env_u64("TRADEFL_PROP_SEED") {
@@ -250,35 +407,30 @@ pub fn run_prop(name: &str, cases: u32, prop: impl Fn(&mut Gen) -> CaseResult) {
                 );
             }
             Err(CaseFail::Fail(msg)) => {
-                let (seed, size, msg) = minimize(&prop, seed, msg);
+                let shrunk_line = match shrink(&prop, seed) {
+                    Some(s) if s.msg != msg => format!(
+                        "\nshrunk to minimal counterexample \
+                         ({} tape entries, {} evals): {}",
+                        s.tape.len(),
+                        s.evals,
+                        s.msg
+                    ),
+                    Some(s) => format!(
+                        "\nalready minimal ({} tape entries, {} shrink evals)",
+                        s.tape.len(),
+                        s.evals
+                    ),
+                    None => String::new(),
+                };
                 // lint:allow(no-panic-in-lib): panicking is how the property harness fails a test
                 panic!(
-                    "property '{name}' failed (case {case}, seed {seed:#x}, \
-                     size {size}): {msg}\n\
-                     replay: TRADEFL_PROP_SEED={seed:#x} \
-                     TRADEFL_PROP_SIZE={size} cargo test {name}"
+                    "property '{name}' failed (case {case}, seed {seed:#x}): \
+                     {msg}{shrunk_line}\n\
+                     replay: TRADEFL_PROP_SEED={seed:#x} cargo test {name}"
                 );
             }
         }
     }
-}
-
-/// Replays the failing seed at smaller sizes; returns the smallest
-/// still-failing configuration.
-fn minimize(
-    prop: &impl Fn(&mut Gen) -> CaseResult,
-    seed: u64,
-    original_msg: String,
-) -> (u64, f64, String) {
-    let mut best = (seed, 1.0, original_msg);
-    for &size in SHRINK_SIZES.iter().rev() {
-        // Try smallest first; take the first size that fails.
-        if let Err(CaseFail::Fail(msg)) = prop(&mut Gen::new(seed, size)) {
-            best = (seed, size, msg);
-            break;
-        }
-    }
-    best
 }
 
 /// FNV-1a over bytes — stable property-name hashing (std's `Hasher`
@@ -361,7 +513,7 @@ macro_rules! __props_internal {
 }
 
 /// Asserts a condition inside a property, failing the case (not the
-/// process) so the harness can minimize and report a replay seed.
+/// process) so the harness can shrink and report a replay seed.
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr $(,)?) => {
@@ -439,23 +591,6 @@ mod tests {
     }
 
     #[test]
-    fn minimization_reports_smaller_size_when_it_still_fails() {
-        let result = std::panic::catch_unwind(|| {
-            // Fails for any x >= 0, so every size fails and the
-            // harness should settle on the smallest rung.
-            run_prop("fails_at_any_size", 5, |g| {
-                let x = g.f64(0.0..100.0);
-                if x >= 0.0 {
-                    return Err(CaseFail::Fail(format!("x = {x}")));
-                }
-                Ok(())
-            });
-        });
-        let msg = *result.unwrap_err().downcast::<String>().unwrap();
-        assert!(msg.contains("size 0.04"), "smallest rung reported: {msg}");
-    }
-
-    #[test]
     fn discard_budget_is_enforced() {
         let result = std::panic::catch_unwind(|| {
             run_prop("discards_everything", 4, |_| Err(CaseFail::Discard));
@@ -495,6 +630,114 @@ mod tests {
             let v = g.vec(2..6usize, |g| g.any_u8());
             assert!((2..6).contains(&v.len()));
         }
+    }
+
+    // ---- structural shrinking ------------------------------------------
+
+    /// Fails iff `x >= 10 && y >= 1`: the unique minimal counterexample
+    /// is `(10, 1)`.
+    fn scalar_prop(g: &mut Gen) -> CaseResult {
+        let x = g.u64(0..1000);
+        let y = g.u64(0..1000);
+        if x >= 10 && y >= 1 {
+            return Err(CaseFail::fail(format!("x={x} y={y}")));
+        }
+        Ok(())
+    }
+
+    fn failing_seed(prop: impl Fn(&mut Gen) -> CaseResult) -> u64 {
+        (0..10_000u64)
+            .find(|&s| matches!(prop(&mut Gen::new(s, 1.0)), Err(CaseFail::Fail(_))))
+            .expect("some seed fails")
+    }
+
+    #[test]
+    fn shrink_pins_the_minimal_scalar_counterexample() {
+        let seed = failing_seed(scalar_prop);
+        let s = shrink(&scalar_prop, seed).expect("the seed fails, so shrink reports");
+        assert_eq!(s.msg, "x=10 y=1", "greedy descent reaches the unique minimum");
+        assert!(s.evals <= MAX_SHRINK_EVALS);
+        // The shrunk tape replays to the same failure.
+        assert_eq!(
+            scalar_prop(&mut Gen::from_tape(&s.tape, 1.0)),
+            Err(CaseFail::fail("x=10 y=1".into()))
+        );
+    }
+
+    #[test]
+    fn shrink_halves_vectors_toward_minimal_length() {
+        // Fails while the vector has >= 3 elements; minimal failing
+        // length is exactly 3.
+        let prop = |g: &mut Gen| {
+            let v = g.vec(0..40usize, |g| g.u64(0..100));
+            if v.len() >= 3 {
+                return Err(CaseFail::fail(format!("len={}", v.len())));
+            }
+            Ok(())
+        };
+        let seed = failing_seed(prop);
+        let s = shrink(&prop, seed).expect("seed fails");
+        assert_eq!(s.msg, "len=3");
+    }
+
+    #[test]
+    fn shrink_zeroes_irrelevant_fields() {
+        // Only the first draw matters; shrinking must zero the noise
+        // draws so the tape strips down to a single entry.
+        let prop = |g: &mut Gen| {
+            let x = g.u64(0..1000);
+            let _noise = (g.any_u64(), g.any_u64(), g.any_u64());
+            if x >= 1 {
+                return Err(CaseFail::fail(format!("x={x}")));
+            }
+            Ok(())
+        };
+        let seed = failing_seed(prop);
+        let s = shrink(&prop, seed).expect("seed fails");
+        assert_eq!(s.msg, "x=1");
+        assert_eq!(s.tape.len(), 1, "noise draws shrink away: {:?}", s.tape);
+    }
+
+    #[test]
+    fn shrink_returns_none_for_passing_cases() {
+        assert_eq!(shrink(&|_| Ok(()), 1), None);
+        assert_eq!(shrink(&|_| Err(CaseFail::Discard), 1), None);
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let seed = failing_seed(scalar_prop);
+        assert_eq!(shrink(&scalar_prop, seed), shrink(&scalar_prop, seed));
+    }
+
+    #[test]
+    fn failure_report_includes_the_shrunk_counterexample() {
+        let result = std::panic::catch_unwind(|| {
+            run_prop("shrinks_to_minimum", 5, |g| scalar_prop(g));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("x=10 y=1"), "shrunk counterexample in: {msg}");
+        assert!(msg.contains("TRADEFL_PROP_SEED"), "replay hint in: {msg}");
+    }
+
+    #[test]
+    fn tape_replay_reads_zeros_past_the_end() {
+        let mut g = Gen::from_tape(&[], 1.0);
+        assert_eq!(g.u64(0..100), 0);
+        assert_eq!(g.usize(5..50), 5);
+        assert!(g.bool(0.5), "a zero draw maps to gen_f64() == 0.0 < p");
+    }
+
+    #[test]
+    fn recorded_tape_replays_identically() {
+        let draw_all = |g: &mut Gen| (g.u64(0..1000), g.f64(0.0..1.0), g.vec(0..9usize, |g| g.any_u8()));
+        let mut live = Gen::new(42, 1.0);
+        let a = draw_all(&mut live);
+        let mut replay = Gen::from_tape(live.tape(), 1.0);
+        let b = draw_all(&mut replay);
+        assert_eq!(a.0, b.0);
+        assert!((a.1 - b.1).abs() < 1e-12);
+        assert_eq!(a.2, b.2);
     }
 
     props! {

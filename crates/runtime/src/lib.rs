@@ -21,15 +21,20 @@
 //!   derive-free [`impl_codec!`] macro replacing `serde` derives;
 //! * [`check`] — a seeded property-testing harness (the [`props!`]
 //!   macro with generator methods on [`check::Gen`], fixed-seed
-//!   replay via `TRADEFL_PROP_SEED`, and size-shrinking
-//!   minimization-lite) replacing `proptest`;
+//!   replay via `TRADEFL_PROP_SEED`, and structural tape-based
+//!   shrinking toward minimal counterexamples) replacing `proptest`;
 //! * [`bench`] — a wall-clock benchmark runner and the
 //!   [`bench_group!`]/[`bench_main!`] macros replacing `criterion` for
 //!   `harness = false` bench targets;
 //! * [`obs`] — zero-cost-when-disabled observability: logical-clock
 //!   events, counters/gauges/histograms, and a deterministic JSONL
 //!   exporter (replacing `tracing` + `metrics`), honoring the
-//!   no-wallclock and bit-determinism contracts.
+//!   no-wallclock and bit-determinism contracts;
+//! * [`sim`] — deterministic simulation primitives: simulated time, a
+//!   totally ordered seeded event queue, bounded backpressure queues,
+//!   stateless Poisson arrival streams, and seeded fault injection
+//!   ([`sim::faults`]) — the substrate under the `tradefl-engine`
+//!   executor and its DST harness.
 //!
 //! The workspace-level guard test `tests/no_external_deps.rs` asserts
 //! that no manifest ever reintroduces a registry dependency.
@@ -43,4 +48,5 @@ pub mod check;
 pub mod codec;
 pub mod obs;
 pub mod rng;
+pub mod sim;
 pub mod sync;

@@ -79,6 +79,8 @@ pub enum Subsystem {
     Pool,
     /// Ledger block production / application.
     Ledger,
+    /// Market-engine event loop (sessions, batches, recoveries).
+    Engine,
 }
 
 impl Subsystem {
@@ -91,10 +93,11 @@ impl Subsystem {
             Subsystem::Fed => "fed",
             Subsystem::Pool => "pool",
             Subsystem::Ledger => "ledger",
+            Subsystem::Engine => "engine",
         }
     }
 
-    const COUNT: usize = 6;
+    const COUNT: usize = 7;
 
     fn index(self) -> usize {
         match self {
@@ -104,6 +107,7 @@ impl Subsystem {
             Subsystem::Fed => 3,
             Subsystem::Pool => 4,
             Subsystem::Ledger => 5,
+            Subsystem::Engine => 6,
         }
     }
 }

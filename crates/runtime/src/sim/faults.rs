@@ -1,0 +1,280 @@
+//! Seeded fault injection for the wire path of a simulated network.
+//!
+//! A [`FaultPlan`] decides, per broadcast frame and per receiving
+//! peer, whether the frame is dropped, duplicated, delayed (which
+//! reorders it against other in-flight frames), truncated, or
+//! corrupted — plus a schedule of node crashes with restarts. Every
+//! decision is a pure function of `(seed, decision counter)`, so a
+//! checkpoint only records the counter and a resumed run makes the
+//! identical decisions ([`FaultPlan::decisions`] /
+//! [`FaultPlan::restore_decisions`]).
+//!
+//! The plan mutates *bytes*, not structures: injected faults exercise
+//! the same untrusted-decode path
+//! (`tradefl_ledger::network::Network::deliver_frame`) a byzantine
+//! peer would.
+
+use super::{substream, SimTime};
+use crate::rng::{Rng, SeedableRng, StdRng};
+
+/// Probabilities and crash schedule for one simulated run.
+///
+/// All probabilities are clamped to `[0, 1]` when the plan is built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a frame is silently dropped.
+    pub drop_p: f64,
+    /// Probability a delivered frame is delivered twice.
+    pub dup_p: f64,
+    /// Probability a delivery is delayed (reordering it against other
+    /// frames in flight).
+    pub delay_p: f64,
+    /// Maximum extra delay in ticks (uniform in `1..=max_delay`).
+    pub max_delay: SimTime,
+    /// Probability a frame is truncated at a random cut.
+    pub truncate_p: f64,
+    /// Probability one byte of the frame is flipped.
+    pub corrupt_p: f64,
+    /// Kill-and-restart schedule: `(node, crash_at, down_for)`.
+    pub crashes: Vec<CrashPlan>,
+}
+
+/// One scheduled kill-and-restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Index of the node to kill.
+    pub node: usize,
+    /// Tick at which the node dies.
+    pub at: SimTime,
+    /// Ticks until it restarts (recovery replays from the ledger).
+    pub down_for: SimTime,
+}
+
+impl FaultConfig {
+    /// A fault-free configuration (the engine's default).
+    pub fn none() -> Self {
+        Self {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            max_delay: 0,
+            truncate_p: 0.0,
+            corrupt_p: 0.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Derives a randomized fault schedule from a seed: moderate
+    /// drop/dup/delay/truncate/corrupt rates plus up to one
+    /// kill-and-restart per node, all inside `[horizon/8, horizon/2]`
+    /// with the node back up well before `horizon` so end-of-run
+    /// convergence is assertable over every node.
+    pub fn from_seed(seed: u64, nodes: usize, horizon: SimTime) -> Self {
+        let mut rng = StdRng::seed_from_u64(substream(seed, 0xFA01));
+        let horizon = horizon.max(16);
+        let mut crashes = Vec::new();
+        for node in 0..nodes {
+            if rng.gen_bool(0.4) {
+                let at = rng.gen_range(horizon / 8..horizon / 2);
+                let down_for = rng.gen_range(horizon / 16..horizon / 4).max(1);
+                crashes.push(CrashPlan { node, at, down_for });
+            }
+        }
+        Self {
+            drop_p: rng.gen_range(0.0..0.25),
+            dup_p: rng.gen_range(0.0..0.25),
+            delay_p: rng.gen_range(0.0..0.4),
+            max_delay: rng.gen_range(1..horizon / 4),
+            truncate_p: rng.gen_range(0.0..0.2),
+            corrupt_p: rng.gen_range(0.0..0.2),
+            crashes,
+        }
+    }
+}
+
+/// One copy of a frame the plan decided to deliver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Extra delay before the frame arrives.
+    pub delay: SimTime,
+    /// The (possibly mutated) frame bytes.
+    pub frame: Vec<u8>,
+    /// Whether the bytes differ from the original (the receiver is
+    /// expected to reject them at decode or validation).
+    pub mutated: bool,
+}
+
+/// A seeded per-run fault decision stream.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    config: FaultConfig,
+    decisions: u64,
+}
+
+impl FaultPlan {
+    /// A plan over `config`, with decisions derived from `seed`.
+    pub fn new(seed: u64, mut config: FaultConfig) -> Self {
+        for p in [
+            &mut config.drop_p,
+            &mut config.dup_p,
+            &mut config.delay_p,
+            &mut config.truncate_p,
+            &mut config.corrupt_p,
+        ] {
+            *p = p.clamp(0.0, 1.0);
+        }
+        Self { seed, config, decisions: 0 }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Decisions made so far (part of a checkpoint).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Restores the decision counter from a checkpoint.
+    pub fn restore_decisions(&mut self, decisions: u64) {
+        self.decisions = decisions;
+    }
+
+    /// Decides the fate of one frame sent to one peer: zero (dropped),
+    /// one, or two (duplicated) deliveries, each possibly delayed,
+    /// truncated, or corrupted.
+    pub fn route(&mut self, frame: &[u8]) -> Vec<Delivery> {
+        let mut rng =
+            StdRng::seed_from_u64(substream(self.seed, 0xFA02) ^ super::mix(self.decisions));
+        self.decisions += 1;
+        let c = &self.config;
+        if rng.gen_bool(c.drop_p) {
+            return Vec::new();
+        }
+        let copies = if rng.gen_bool(c.dup_p) { 2 } else { 1 };
+        let mut out = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let delay = if c.max_delay > 0 && rng.gen_bool(c.delay_p) {
+                rng.gen_range(1..=c.max_delay)
+            } else {
+                0
+            };
+            let mut bytes = frame.to_vec();
+            let mut mutated = false;
+            if !bytes.is_empty() && rng.gen_bool(c.truncate_p) {
+                bytes.truncate(rng.gen_range(0..bytes.len()));
+                mutated = true;
+            } else if !bytes.is_empty() && rng.gen_bool(c.corrupt_p) {
+                let pos = rng.gen_range(0..bytes.len());
+                if let Some(b) = bytes.get_mut(pos) {
+                    *b ^= 1 << rng.gen_range(0u32..8);
+                }
+                mutated = true;
+            }
+            out.push(Delivery { delay, frame: bytes, mutated });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy() -> FaultConfig {
+        FaultConfig {
+            drop_p: 0.3,
+            dup_p: 0.3,
+            delay_p: 0.5,
+            max_delay: 10,
+            truncate_p: 0.3,
+            corrupt_p: 0.3,
+            crashes: vec![],
+        }
+    }
+
+    #[test]
+    fn decision_streams_are_reproducible() {
+        let frame = vec![7u8; 64];
+        let run = || {
+            let mut plan = FaultPlan::new(5, lossy());
+            (0..100).flat_map(|_| plan.route(&frame)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn restored_counter_resumes_the_same_stream() {
+        let frame = vec![0u8; 32];
+        let mut a = FaultPlan::new(9, lossy());
+        let mut whole = Vec::new();
+        for _ in 0..50 {
+            whole.push(a.route(&frame));
+        }
+        let mut b = FaultPlan::new(9, lossy());
+        for _ in 0..20 {
+            b.route(&frame);
+        }
+        let mut c = FaultPlan::new(9, lossy());
+        c.restore_decisions(b.decisions());
+        for item in whole.iter().skip(20) {
+            assert_eq!(&c.route(&frame), item);
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_passes_frames_through_untouched() {
+        let frame: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let mut plan = FaultPlan::new(1, FaultConfig::none());
+        for _ in 0..50 {
+            let out = plan.route(&frame);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0], Delivery { delay: 0, frame: frame.clone(), mutated: false });
+        }
+    }
+
+    #[test]
+    fn lossy_plan_exercises_every_fault_kind() {
+        let frame = vec![0xAB; 100];
+        let mut plan = FaultPlan::new(77, lossy());
+        let (mut drops, mut dups, mut delays, mut mutations) = (0, 0, 0, 0);
+        for _ in 0..500 {
+            let out = plan.route(&frame);
+            match out.len() {
+                0 => drops += 1,
+                2 => dups += 1,
+                _ => {}
+            }
+            delays += out.iter().filter(|d| d.delay > 0).count();
+            mutations += out.iter().filter(|d| d.mutated).count();
+        }
+        assert!(drops > 0, "no drops in 500 routes");
+        assert!(dups > 0, "no duplicates in 500 routes");
+        assert!(delays > 0, "no delays in 500 routes");
+        assert!(mutations > 0, "no mutations in 500 routes");
+    }
+
+    #[test]
+    fn seeded_schedules_keep_crashed_nodes_recoverable() {
+        for seed in 0..50 {
+            let c = FaultConfig::from_seed(seed, 4, 1000);
+            for crash in &c.crashes {
+                assert!(crash.node < 4);
+                assert!(crash.at + crash.down_for < 1000, "restart lands before the horizon");
+                assert!(crash.down_for >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_frames_route_without_panicking() {
+        let mut plan = FaultPlan::new(3, lossy());
+        for _ in 0..100 {
+            for d in plan.route(&[]) {
+                assert!(d.frame.is_empty());
+            }
+        }
+    }
+}

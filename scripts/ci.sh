@@ -37,6 +37,9 @@ fi
 if [ -e BENCH_gemm.json ]; then
   target/release/gemm_baseline --check BENCH_gemm.json
 fi
+if [ -e BENCH_engine.json ]; then
+  target/release/engine_baseline --check BENCH_engine.json
+fi
 
 echo "==> bench-regression gate: smoke medians vs committed baselines (3x tolerance)"
 # The GEMM smoke reuses the committed shapes, so this is like-for-like;
@@ -48,6 +51,21 @@ fi
 if [ -e BENCH_gemm.json ]; then
   target/release/gemm_baseline --gate target/BENCH_gemm.fast.json BENCH_gemm.json
 fi
+if [ -e BENCH_engine.json ]; then
+  target/release/engine_baseline --gate target/BENCH_engine.fast.json BENCH_engine.json
+fi
+
+echo "==> DST smoke: market_daemon under three seeded fault schedules"
+# Each run injects dropped/duplicated/delayed/corrupted gossip plus
+# kill-and-restart from the seed's schedule, and exits non-zero unless
+# every surviving validator converges to bit-identical state and every
+# session settles (the full 100-seed sweep lives in
+# crates/engine/tests/sim_engine.rs).
+cargo build --release -q --example market_daemon
+for dst_seed in 7 19 83; do
+  target/release/examples/market_daemon --seed "$dst_seed" --faults > /dev/null
+  echo "  seed $dst_seed: converged"
+done
 
 echo "==> observability: end_to_end --trace emits a valid tradefl-trace/v1 stream"
 trace_file="$(mktemp -t tradefl-trace.XXXXXX.jsonl)"
