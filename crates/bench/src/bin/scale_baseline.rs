@@ -1,0 +1,412 @@
+//! Records the thousand-silo scaling baseline (`BENCH_scale.json`).
+//!
+//! Three scaling surfaces, each timed at N = 10 / 100 / 1000 silos
+//! where applicable:
+//!
+//! * `dbr_solve_nN` — one full discrete-best-response equilibrium
+//!   solve on the Table-II market scaled to N organizations. The
+//!   incremental evaluator makes one sweep O(N·log N), so the solve
+//!   time must stay *sub-quadratic* in N: the checker enforces
+//!   `dbr_solve_n1000 ≤ 20 × dbr_solve_n100` (a quadratic sweep
+//!   would put the ratio near 100).
+//! * `fedavg_round_nN` — one hierarchical streaming FedAvg round over
+//!   N silos (16 samples each, EuroSAT-like, MobileNet-analog model).
+//!   The row records `rounds_per_sec` and the aggregation buffer
+//!   footprint `agg_buffer_bytes` = O(model × min(workers, groups)),
+//!   which is independent of N — the point of the streaming reduce.
+//! * `batched_gemm_32x64x96` — the per-silo gradient-shaped products
+//!   of a thousand-silo round, serial loop vs
+//!   [`kernel::matmul_batch_into_pooled`]'s one pooled dispatch with
+//!   per-chunk shared packing buffers.
+//!
+//! Usage:
+//!   scale_baseline [--fast] [--out FILE]    # run benches, write JSON
+//!   scale_baseline --check FILE             # validate a baseline file
+//!   scale_baseline --gate CURRENT COMMITTED # regression gate
+//!
+//! `--fast` drops the N = 1000 rows and shrinks the GEMM batch, so
+//! the CI gate compares only the rows both files carry (the gate
+//! skips rows present on one side — see `tradefl_bench::json::gate`).
+
+use tradefl_bench::json::Json;
+use tradefl_bench::timing::{time_interleaved_ms, time_ms};
+use tradefl_bench::SEED;
+use tradefl_core::accuracy::SqrtAccuracy;
+use tradefl_core::config::MarketConfig;
+use tradefl_core::game::CoopetitionGame;
+use tradefl_fl_sim::data::{generate, DatasetKind};
+use tradefl_fl_sim::fed::{train_federated_grouped, FedConfig, EDGE_GROUP_SIZE};
+use tradefl_fl_sim::linalg::{kernel, Matrix};
+use tradefl_fl_sim::model::{Mlp, ModelKind};
+use tradefl_runtime::rng::{Rng, SeedableRng, StdRng};
+use tradefl_runtime::sync::pool::{host_parallelism, Pool};
+use tradefl_solver::dbr::DbrSolver;
+
+const SCHEMA: &str = "tradefl-bench-scale/v1";
+/// Pooled worker count (mirrors `perf_baseline` / `gemm_baseline`).
+const WORKERS: usize = 4;
+/// Samples per silo in the FedAvg rows: small enough that N = 1000
+/// stays affordable, large enough that the N = 1000 round crosses the
+/// pool-engagement threshold (16 000 steps ≥ `POOLED_FED_MIN_STEPS`).
+const SAMPLES_PER_SILO: usize = 16;
+/// Acceptance bound on `dbr_solve_n1000 / dbr_solve_n100`: the sweep
+/// is O(N·log N) + one O(N²)-but-tiny trace row per round, so 10×
+/// more silos must cost well under the ~100× a quadratic sweep pays.
+const DBR_SCALE_BOUND: f64 = 20.0;
+
+/// One recorded row: a name, numeric `_ms` medians (gated), and
+/// documentation fields (counts, derived rates — never gated).
+struct Row {
+    name: String,
+    /// `(key, value)` pairs; keys ending in `_ms` are gate-compared.
+    nums: Vec<(&'static str, f64)>,
+}
+
+fn game_with_orgs(n: usize) -> CoopetitionGame<SqrtAccuracy> {
+    let market = MarketConfig::table_ii().with_orgs(n).build(SEED).expect("market builds");
+    CoopetitionGame::new(market, SqrtAccuracy::paper_default())
+}
+
+fn bench_dbr(n: usize, repeats: usize) -> Row {
+    let game = game_with_orgs(n);
+    let mut iterations = 0usize;
+    let solve_ms = time_ms(repeats, || {
+        let eq = DbrSolver::new().solve(&game).expect("dbr converges");
+        iterations = eq.iterations;
+    });
+    Row {
+        name: format!("dbr_solve_n{n}"),
+        nums: vec![
+            ("solve_ms", solve_ms),
+            ("orgs", n as f64),
+            ("iterations", iterations as f64),
+        ],
+    }
+}
+
+fn bench_fedavg(n: usize, repeats: usize, pool: &Pool) -> Row {
+    let total = n * SAMPLES_PER_SILO + 256;
+    let corpus = generate(DatasetKind::EurosatLike, total, SEED);
+    let mut sizes = vec![SAMPLES_PER_SILO; n];
+    sizes.push(256);
+    let mut shards = corpus.shard(&sizes);
+    let test = shards.pop().expect("test shard");
+    let fractions = vec![1.0f64; n];
+    let config = FedConfig { rounds: 1, local_epochs: 1, batch_size: 16, ..FedConfig::default() };
+    let template = Mlp::for_kind(ModelKind::MobilenetLike, test.dim(), test.classes, 1);
+    let round_ms = time_ms(repeats, || {
+        let outcome = train_federated_grouped(
+            template.clone(),
+            &shards,
+            &test,
+            &fractions,
+            &config,
+            EDGE_GROUP_SIZE,
+            pool,
+        )
+        .expect("round trains");
+        assert!(outcome.final_accuracy() >= 0.0);
+    });
+    // The streaming reduce's live footprint: one f64 partial per
+    // active group slot plus the global accumulator — a function of
+    // the worker count and the model, never of N.
+    let n_groups = n.div_ceil(EDGE_GROUP_SIZE);
+    let slots = pool.workers().min(n_groups).max(1);
+    let agg_buffer_bytes = (slots + 1) * template.param_count() * 8;
+    Row {
+        name: format!("fedavg_round_n{n}"),
+        nums: vec![
+            ("round_ms", round_ms),
+            ("silos", n as f64),
+            ("rounds_per_sec", 1000.0 / round_ms),
+            ("agg_buffer_bytes", agg_buffer_bytes as f64),
+        ],
+    }
+}
+
+fn bench_batched_gemm(count: usize, repeats: usize, pool: &Pool) -> Row {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x7363_616c);
+    let pairs: Vec<(Matrix, Matrix)> = (0..count)
+        .map(|_| {
+            let a = Matrix::from_fn(32, 64, |_, _| rng.gen_range(-1.0..1.0));
+            let b = Matrix::from_fn(64, 96, |_, _| rng.gen_range(-1.0..1.0));
+            (a, b)
+        })
+        .collect();
+    let ops: Vec<(&Matrix, &Matrix)> = pairs.iter().map(|(a, b)| (a, b)).collect();
+    let mut outs_serial: Vec<Matrix> = (0..count).map(|_| Matrix::zeros(0, 0)).collect();
+    let mut outs_batched: Vec<Matrix> = (0..count).map(|_| Matrix::zeros(0, 0)).collect();
+    let mut ws = kernel::Workspace::new();
+    let mut run_serial = || {
+        for ((a, b), out) in ops.iter().zip(outs_serial.iter_mut()) {
+            kernel::matmul_into(a, b, out, &mut ws);
+        }
+    };
+    let mut run_batched = || {
+        kernel::matmul_batch_into_pooled(&ops, &mut outs_batched, pool);
+    };
+    let ms = time_interleaved_ms(repeats, &mut [&mut run_serial, &mut run_batched]);
+    let (serial_ms, batched_ms) = (ms[0], ms[1]);
+    Row {
+        name: String::from("batched_gemm_32x64x96"),
+        nums: vec![
+            ("serial_ms", serial_ms),
+            ("batched_ms", batched_ms),
+            ("products", count as f64),
+            ("batched_speedup", serial_ms / batched_ms),
+        ],
+    }
+}
+
+fn run_benches(fast: bool) -> Vec<Row> {
+    let pool = Pool::new(WORKERS);
+    let sizes: &[usize] = if fast { &[10, 100] } else { &[10, 100, 1000] };
+    let repeats = if fast { 2 } else { 5 };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        rows.push(bench_dbr(n, repeats));
+    }
+    for &n in sizes {
+        rows.push(bench_fedavg(n, repeats, &pool));
+    }
+    rows.push(bench_batched_gemm(if fast { 200 } else { 1000 }, repeats, &pool));
+    rows
+}
+
+fn render_json(rows: &[Row], fast: bool) -> String {
+    let host = host_parallelism();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if fast { "fast" } else { "full" }));
+    out.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let mut line = format!("    {{\"name\": \"{}\"", row.name);
+        for (key, value) in &row.nums {
+            if value.fract() == 0.0 && value.abs() < 1e15 && !key.ends_with("_ms") {
+                line.push_str(&format!(", \"{key}\": {}", *value as i64));
+            } else {
+                line.push_str(&format!(", \"{key}\": {value:.4}"));
+            }
+        }
+        line.push_str(&format!("}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+        out.push_str(&line);
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a `tradefl-bench-scale/v1` file: right schema, non-empty
+/// rows, every `_ms` field positive and finite, and — when both rows
+/// are present — the sub-quadratic DBR bound
+/// `dbr_solve_n1000 ≤ DBR_SCALE_BOUND × dbr_solve_n100`.
+fn check_baseline(text: &str) -> Result<usize, String> {
+    let root = Json::parse(text)?;
+    let schema = root.get("schema").and_then(Json::as_str).ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema '{schema}' != '{SCHEMA}'"));
+    }
+    for key in ["workers", "host_parallelism"] {
+        let v = root
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric \"{key}\""))?;
+        if v < 1.0 {
+            return Err(format!("\"{key}\" = {v} < 1"));
+        }
+    }
+    let benches = match root.get("benches") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Json::Arr(_)) => return Err("\"benches\" is empty".into()),
+        _ => return Err("missing \"benches\" array".into()),
+    };
+    let mut solve_n100 = None;
+    let mut solve_n1000 = None;
+    for (i, row) in benches.iter().enumerate() {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("bench {i}: missing \"name\""))?;
+        let fields = row.as_obj().ok_or_else(|| format!("bench '{name}': not an object"))?;
+        let mut timed = 0usize;
+        for (key, value) in fields {
+            if !key.ends_with("_ms") {
+                continue;
+            }
+            let ms = value
+                .as_num()
+                .ok_or_else(|| format!("bench '{name}': \"{key}\" not numeric"))?;
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(format!("bench '{name}': \"{key}\" = {ms} not positive"));
+            }
+            timed += 1;
+        }
+        if timed == 0 {
+            return Err(format!("bench '{name}': no \"_ms\" field"));
+        }
+        let solve = row.get("solve_ms").and_then(Json::as_num);
+        match name {
+            "dbr_solve_n100" => solve_n100 = solve,
+            "dbr_solve_n1000" => solve_n1000 = solve,
+            _ => {}
+        }
+    }
+    if let (Some(n100), Some(n1000)) = (solve_n100, solve_n1000) {
+        if n1000 > DBR_SCALE_BOUND * n100 {
+            return Err(format!(
+                "dbr_solve_n1000 ({n1000:.3} ms) exceeds {DBR_SCALE_BOUND}x dbr_solve_n100 \
+                 ({n100:.3} ms): the sweep is no longer sub-quadratic"
+            ));
+        }
+    }
+    Ok(benches.len())
+}
+
+fn main() {
+    let _trace = tradefl_bench::trace_from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = std::env::var("TRADEFL_BENCH_FAST").is_ok();
+    let mut out_path = String::from("BENCH_scale.json");
+    let mut check_path: Option<String> = None;
+    let mut gate_paths: Option<(String, String)> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => {
+                out_path = it.next().expect("--out needs a path").clone();
+            }
+            "--check" => {
+                check_path = Some(it.next().expect("--check needs a path").clone());
+            }
+            "--gate" => {
+                let cur = it.next().expect("--gate needs CURRENT and COMMITTED").clone();
+                let com = it.next().expect("--gate needs CURRENT and COMMITTED").clone();
+                gate_paths = Some((cur, com));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some((cur, com)) = gate_paths {
+        use tradefl_bench::json::{gate_files, GATE_TOLERANCE};
+        match gate_files(&cur, &com, GATE_TOLERANCE) {
+            Ok(n) => println!(
+                "scale_baseline --gate: {cur} vs {com} OK ({n} medians within {GATE_TOLERANCE}x)"
+            ),
+            Err(e) => {
+                eprintln!("scale_baseline --gate: {cur} vs {com} REGRESSION: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("scale_baseline --check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_baseline(&text) {
+            Ok(n) => println!("scale_baseline --check: {path} OK ({n} benches)"),
+            Err(e) => {
+                eprintln!("scale_baseline --check: {path} MALFORMED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let rows = run_benches(fast);
+    let json = render_json(&rows, fast);
+    check_baseline(&json).expect("self-emitted baseline must validate");
+    std::fs::write(&out_path, &json).expect("baseline file writes");
+    println!("wrote {out_path}");
+    for row in &rows {
+        let rendered: Vec<String> =
+            row.nums.iter().map(|(k, v)| format!("{k} {v:.4}")).collect();
+        println!("  {:<24} {}", row.name, rendered.join("   "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_rows() -> Vec<Row> {
+        vec![
+            Row {
+                name: String::from("dbr_solve_n100"),
+                nums: vec![("solve_ms", 2.0), ("orgs", 100.0), ("iterations", 7.0)],
+            },
+            Row {
+                name: String::from("dbr_solve_n1000"),
+                nums: vec![("solve_ms", 30.0), ("orgs", 1000.0), ("iterations", 9.0)],
+            },
+            Row {
+                name: String::from("fedavg_round_n100"),
+                nums: vec![
+                    ("round_ms", 12.0),
+                    ("silos", 100.0),
+                    ("rounds_per_sec", 83.3),
+                    ("agg_buffer_bytes", 65536.0),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn checker_accepts_emitted_shape() {
+        let json = render_json(&fake_rows(), false);
+        assert_eq!(check_baseline(&json), Ok(3));
+    }
+
+    #[test]
+    fn checker_enforces_the_sub_quadratic_dbr_bound() {
+        let mut rows = fake_rows();
+        rows[1].nums[0].1 = 2.0 * DBR_SCALE_BOUND * rows[0].nums[0].1 + 1.0;
+        let json = render_json(&rows, false);
+        let err = check_baseline(&json).unwrap_err();
+        assert!(err.contains("sub-quadratic"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_bad_schemas_and_rows() {
+        assert!(check_baseline("not json").is_err());
+        assert!(check_baseline("{\"schema\": \"tradefl-bench-gemm/v1\"}").is_err());
+        assert!(check_baseline(
+            "{\"schema\": \"tradefl-bench-scale/v1\", \"workers\": 4, \
+             \"host_parallelism\": 1, \"benches\": [{\"name\": \"x\", \
+             \"solve_ms\": -1.0}]}"
+        )
+        .is_err());
+        assert!(check_baseline(
+            "{\"schema\": \"tradefl-bench-scale/v1\", \"workers\": 4, \
+             \"host_parallelism\": 1, \"benches\": [{\"name\": \"x\", \
+             \"orgs\": 10}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fast_mode_rows_are_a_subset_of_full_mode_rows() {
+        // The CI gate compares fast-mode output against the committed
+        // full-mode file; every fast row name must exist there.
+        let fast_names = ["dbr_solve_n10", "dbr_solve_n100", "fedavg_round_n10",
+            "fedavg_round_n100", "batched_gemm_32x64x96"];
+        let full_names = ["dbr_solve_n10", "dbr_solve_n100", "dbr_solve_n1000",
+            "fedavg_round_n10", "fedavg_round_n100", "fedavg_round_n1000",
+            "batched_gemm_32x64x96"];
+        for name in fast_names {
+            assert!(full_names.contains(&name), "{name} missing from full mode");
+        }
+    }
+}

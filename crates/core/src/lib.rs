@@ -38,6 +38,8 @@
 //! * [`strategy`] — strategies `π_i = {d_i, f_i}` and profiles.
 //! * [`game`] — payoffs (Eq. 11), redistribution (Eq. 9-10), damage
 //!   (Eq. 6-7) and the weighted potential (Eq. 15 / Thm. 1).
+//! * [`incremental`] — `O(log N)` incremental payoff evaluation for
+//!   best-response sweeps at thousand-silo scale.
 //! * [`mechanism`] — individual-rationality and budget-balance audits
 //!   (Defs. 3-5, Thm. 2).
 //! * [`contribution`] — exact Shapley values of the accuracy game.
@@ -53,6 +55,7 @@ pub mod config;
 pub mod contribution;
 pub mod error;
 pub mod game;
+pub mod incremental;
 pub mod market;
 pub mod mechanism;
 pub mod org;
@@ -63,6 +66,7 @@ pub use config::MarketConfig;
 pub use contribution::{shapley_accuracy, ShapleyReport};
 pub use error::ModelError;
 pub use game::{CoopetitionGame, PayoffBreakdown};
+pub use incremental::{IncrementalEval, SumTree};
 pub use market::{Market, MechanismParams};
 pub use mechanism::MechanismAudit;
 pub use org::Organization;

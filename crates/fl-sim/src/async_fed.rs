@@ -25,6 +25,10 @@ struct LoopScratch {
     ws: Workspace,
     batch: MiniBatch,
     order: Vec<usize>,
+    /// The reusable local-model buffer: lazily cloned from the global
+    /// model on the first dispatch, then refreshed in place with
+    /// `copy_params_from` — no per-update model clone.
+    local: Option<Mlp>,
 }
 
 /// Asynchronous-training options.
@@ -304,10 +308,12 @@ fn local_update(
     rng: &mut StdRng,
     scratch: &mut LoopScratch,
 ) -> Vec<f32> {
-    // One model clone and one params flatten per dispatched update is
-    // inherent (the arrival queue owns both); every per-step buffer
+    // One params flatten per dispatched update is inherent (the
+    // arrival queue owns the vector); the local model is a reusable
+    // scratch buffer refreshed in place, and every per-step buffer
     // comes from `scratch`.
-    let mut local = global.clone();
+    let local = scratch.local.get_or_insert_with(|| global.clone());
+    local.copy_params_from(global);
     let n = data.len();
     scratch.order.clear();
     scratch.order.extend(0..n);

@@ -136,20 +136,61 @@ pub fn train_federated(
     train_federated_with(global, shards, test, fractions, config, Pool::global())
 }
 
+/// Default silos-per-edge-group for the hierarchical aggregation path
+/// ([`train_federated_grouped`]). A compile-time constant — never a
+/// function of the worker count — so the grouping, and therefore every
+/// floating-point association in the reduce, is identical for every
+/// pool size. 32 silos × one weighted partial keeps a group's work
+/// well above the pool's dispatch cost while bounding live memory at
+/// O(model × workers).
+pub const EDGE_GROUP_SIZE: usize = 32;
+
 /// [`train_federated`] on an explicit pool: silos train concurrently
 /// within a round (each from its own derived seed, see the module
-/// docs) and the server merges their parameters in fixed silo order —
-/// bit-identical for every worker count.
+/// docs) and the server merges their parameters through the two-level
+/// streaming reduce of [`train_federated_grouped`] with
+/// [`EDGE_GROUP_SIZE`]-silo edge groups — bit-identical for every
+/// worker count.
 ///
 /// # Errors
 ///
 /// See [`train_federated`].
 pub fn train_federated_with(
+    global: Mlp,
+    shards: &[Dataset],
+    test: &Dataset,
+    fractions: &[f64],
+    config: &FedConfig,
+    pool: &Pool,
+) -> Result<FedOutcome, FedError> {
+    train_federated_grouped(global, shards, test, fractions, config, EDGE_GROUP_SIZE, pool)
+}
+
+/// FedAvg with hierarchical two-level streaming aggregation: silos are
+/// partitioned into contiguous *edge groups* of `group_size`; each
+/// group trains its silos sequentially on one reusable model buffer
+/// (no per-silo `clone`) and streams their weighted parameters into a
+/// preallocated f64 partial; the server merges group partials in fixed
+/// group order. Live memory per round is O(model × active groups) —
+/// bounded by the worker count, never by the silo count — instead of
+/// the flat path's O(model × silos).
+///
+/// Determinism: groups are a pure function of `(silo index,
+/// group_size)`, every silo trains from a seed derived from `(round,
+/// org)`, within-group accumulation runs in silo order and the global
+/// merge in group order — all independent of scheduling, so results
+/// are bit-identical for every worker count.
+///
+/// # Errors
+///
+/// See [`train_federated`].
+pub fn train_federated_grouped(
     mut global: Mlp,
     shards: &[Dataset],
     test: &Dataset,
     fractions: &[f64],
     config: &FedConfig,
+    group_size: usize,
     pool: &Pool,
 ) -> Result<FedOutcome, FedError> {
     if fractions.len() != shards.len() {
@@ -176,59 +217,62 @@ pub fn train_federated_with(
         return Err(FedError::NothingContributed);
     }
 
-    // Evaluation scratch and merge buffers live across rounds, so the
-    // steady-state round loop allocates only inside the per-silo jobs
-    // (one workspace each, reused across every epoch/batch within).
+    // Evaluation scratch, merge buffers and the per-worker group slots
+    // live across rounds, so the steady-state round loop performs no
+    // allocations at all (machine-checked: `run_round`, `train_group`
+    // and `local_train` are in the `no-alloc-in-hot-loop` lint scope).
+    let group_size = group_size.max(1);
+    let n_silos = contributed.len();
+    let n_groups = n_silos.div_ceil(group_size);
+    // Pool engagement is thresholded on per-round work (an instance
+    // property — see POOLED_FED_MIN_STEPS); small rounds run the same
+    // group jobs inline, producing bit-identical results.
+    let round_steps = total_weight as usize * config.local_epochs.max(1);
+    let use_pool =
+        pool.workers() > 1 && n_groups > 1 && round_steps >= POOLED_FED_MIN_STEPS;
+    // Live aggregation memory: one model + one f64 partial per slot,
+    // O(model × min(workers, groups)) — independent of the silo count.
+    let n_slots = if use_pool { pool.workers().min(n_groups) } else { 1 };
+    let mut slots: Vec<GroupSlot> = (0..n_slots).map(|_| GroupSlot::for_model(&global)).collect();
+    let mut silo_stats: Vec<Option<(f32, f32)>> = vec![None; n_silos];
     let mut eval_ws = Workspace::new();
     let mut aggregate = vec![0.0f64; global.param_count()];
     let mut params = vec![0.0f32; global.param_count()];
-    // Pool engagement is thresholded on per-round work (an instance
-    // property — see POOLED_FED_MIN_STEPS); small rounds run the same
-    // jobs inline, producing bit-identical results.
-    let round_steps = total_weight as usize * config.local_epochs.max(1);
-    let use_pool = round_steps >= POOLED_FED_MIN_STEPS;
+    // Participation is a round-invariant property of the contributed
+    // subsets (a silo with an empty subset never trains).
+    let participating = contributed.iter().filter(|c| !c.is_empty()).count();
 
     let (loss, accuracy) = global.evaluate_with(test, &mut eval_ws);
     let mut history = vec![RoundMetrics { round: 0, loss, accuracy }];
     for round in 1..=config.rounds {
-        // Fan out: one local-training job per contributing silo, each
-        // deterministically seeded by (round, org).
-        let job = |org: usize| {
-            let data = &contributed[org];
-            if data.is_empty() {
-                return None;
-            }
-            let mut local = global.clone();
-            let mut rng = StdRng::seed_from_u64(silo_seed(config.seed, round, org));
-            local_train(&mut local, data, config, &mut rng);
-            Some(local.to_params())
-        };
-        let locals: Vec<Option<Vec<f32>>> = if use_pool {
-            pool.map_indexed(contributed.len(), job)
-        } else {
-            (0..contributed.len()).map(job).collect()
-        };
-        // Merge in fixed silo order (weighted FedAvg, Eq. 3).
-        aggregate.fill(0.0);
-        for (org, local) in locals.iter().enumerate() {
-            let Some(local) = local else { continue };
-            let w = weights[org] / total_weight;
-            for (acc, &p) in aggregate.iter_mut().zip(local) {
-                *acc += w * p as f64;
-            }
-        }
+        // Per-silo test metrics are recorder-only: evaluating each
+        // local model is pure (no training state is touched), so
+        // enabling tracing cannot change the FL trajectory.
+        let probe_test = if obs::is_enabled() { Some(test) } else { None };
+        run_round(
+            round,
+            group_size,
+            &global,
+            &contributed,
+            &weights,
+            total_weight,
+            config,
+            pool,
+            use_pool,
+            &mut slots,
+            &mut silo_stats,
+            &mut aggregate,
+            probe_test,
+        );
         for (p, &acc) in params.iter_mut().zip(&aggregate) {
             *p = acc as f32;
         }
         global.set_params(&params);
         let (loss, accuracy) = global.evaluate_with(test, &mut eval_ws);
         history.push(RoundMetrics { round, loss, accuracy });
-        // Local training fans out to the pool, but this record runs on
+        // Group training fans out to the pool, but this record runs on
         // the sequential merge path after the barrier, so the event
-        // stream is identical for any worker count. Per-silo
-        // participation is folded in as fields in fixed silo order.
-        let participating =
-            locals.iter().filter(|p| p.is_some()).count();
+        // stream is identical for any worker count.
         obs::event(
             obs::Subsystem::Fed,
             "round",
@@ -236,7 +280,7 @@ pub fn train_federated_with(
                 ("round", round.into()),
                 ("loss", f64::from(loss).into()),
                 ("accuracy", f64::from(accuracy).into()),
-                ("silos", locals.len().into()),
+                ("silos", n_silos.into()),
                 ("participating", participating.into()),
             ],
         );
@@ -244,15 +288,12 @@ pub fn train_federated_with(
         obs::counter_add("fed.local_updates", participating as u64);
         obs::gauge_set("fed.loss", f64::from(loss));
         obs::gauge_set("fed.accuracy", f64::from(accuracy));
-        if obs::is_enabled() {
-            // Per-silo test metrics are recorder-only: evaluating each
-            // local model is pure (no training state is touched), so
-            // enabling tracing cannot change the FL trajectory.
-            let mut probe = global.clone();
-            for (org, params) in locals.iter().enumerate() {
-                let Some(params) = params else { continue };
-                probe.set_params(params);
-                let (silo_loss, silo_acc) = probe.evaluate(test);
+        if probe_test.is_some() {
+            // Emitted sequentially in silo order from the per-group
+            // stats the jobs recorded — identical stream for any
+            // worker count.
+            for (org, stat) in silo_stats.iter().enumerate() {
+                let Some((silo_loss, silo_acc)) = *stat else { continue };
                 obs::event(
                     obs::Subsystem::Fed,
                     "silo",
@@ -270,6 +311,144 @@ pub fn train_federated_with(
     Ok(FedOutcome { model: global, history })
 }
 
+/// Reusable per-slot training state: one model buffer, one f64 partial
+/// and one set of SGD scratch buffers, shared by every silo a slot's
+/// group jobs ever train. Allocated once before the round loop.
+#[derive(Debug)]
+struct GroupSlot {
+    model: Mlp,
+    partial: Vec<f64>,
+    scratch: SiloScratch,
+}
+
+/// Per-silo SGD scratch, reused across silos, epochs and rounds.
+#[derive(Debug)]
+struct SiloScratch {
+    order: Vec<usize>,
+    batch: MiniBatch,
+    ws: Workspace,
+}
+
+impl GroupSlot {
+    fn for_model(global: &Mlp) -> Self {
+        Self {
+            model: global.clone(),
+            partial: vec![0.0f64; global.param_count()],
+            scratch: SiloScratch {
+                order: Vec::new(),
+                batch: MiniBatch::new(),
+                ws: Workspace::new(),
+            },
+        }
+    }
+}
+
+/// One federated round over the two-level topology: edge groups are
+/// dispatched in windows of `slots.len()` (pooled or inline — same
+/// jobs either way), and after each window's barrier the group
+/// partials merge into `aggregate` in strict group order. Zero
+/// allocations (lint-enforced hot loop).
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    round: usize,
+    group_size: usize,
+    global: &Mlp,
+    contributed: &[Dataset],
+    weights: &[f64],
+    total_weight: f64,
+    config: &FedConfig,
+    pool: &Pool,
+    use_pool: bool,
+    slots: &mut [GroupSlot],
+    silo_stats: &mut [Option<(f32, f32)>],
+    aggregate: &mut [f64],
+    probe_test: Option<&Dataset>,
+) {
+    let n_groups = contributed.len().div_ceil(group_size);
+    let n_slots = slots.len().max(1);
+    aggregate.fill(0.0);
+    let mut window_base = 0;
+    while window_base < n_groups {
+        let window_len = n_slots.min(n_groups - window_base);
+        let chunks = silo_stats
+            .chunks_mut(group_size)
+            .skip(window_base)
+            .take(window_len);
+        if use_pool && window_len > 1 {
+            pool.scope(|s| {
+                for (w, (slot, stats)) in
+                    slots[..window_len].iter_mut().zip(chunks).enumerate()
+                {
+                    let group = window_base + w;
+                    s.spawn(move || {
+                        train_group(
+                            round, group, group_size, global, contributed, weights,
+                            total_weight, config, slot, stats, probe_test,
+                        );
+                    });
+                }
+            });
+        } else {
+            for (w, (slot, stats)) in
+                slots[..window_len].iter_mut().zip(chunks).enumerate()
+            {
+                let group = window_base + w;
+                train_group(
+                    round, group, group_size, global, contributed, weights,
+                    total_weight, config, slot, stats, probe_test,
+                );
+            }
+        }
+        // Global merge, strict group order (scheduling-independent).
+        for slot in &slots[..window_len] {
+            for (acc, &p) in aggregate.iter_mut().zip(&slot.partial) {
+                *acc += p;
+            }
+        }
+        window_base += window_len;
+    }
+}
+
+/// Trains one edge group: its silos sequentially, in silo order, each
+/// from its own `(round, org)`-derived seed, streaming weighted
+/// parameters into the slot's f64 partial. Pure function of
+/// `(global, shards, round, group)` — independent of which worker runs
+/// it. Zero allocations (lint-enforced hot loop).
+#[allow(clippy::too_many_arguments)]
+fn train_group(
+    round: usize,
+    group: usize,
+    group_size: usize,
+    global: &Mlp,
+    contributed: &[Dataset],
+    weights: &[f64],
+    total_weight: f64,
+    config: &FedConfig,
+    slot: &mut GroupSlot,
+    stats: &mut [Option<(f32, f32)>],
+    probe_test: Option<&Dataset>,
+) {
+    slot.partial.fill(0.0);
+    let start = group * group_size;
+    let end = (start + group_size).min(contributed.len());
+    for org in start..end {
+        let stat = &mut stats[org - start];
+        *stat = None;
+        let data = &contributed[org];
+        if data.is_empty() {
+            continue;
+        }
+        slot.model.copy_params_from(global);
+        let mut rng = StdRng::seed_from_u64(silo_seed(config.seed, round, org));
+        local_train(&mut slot.model, data, config, &mut rng, &mut slot.scratch);
+        slot.model
+            .accumulate_scaled_params(weights[org] / total_weight, &mut slot.partial);
+        if let Some(test) = probe_test {
+            *stat = Some(slot.model.evaluate_with(test, &mut slot.scratch.ws));
+        }
+    }
+}
+
 /// Derives the local-training RNG seed for one `(round, org)` cell:
 /// SplitMix64-style finalization over the base seed and both indices,
 /// so cells are statistically independent and each local run is
@@ -285,19 +464,30 @@ fn silo_seed(base: u64, round: usize, org: usize) -> u64 {
     z
 }
 
-fn local_train(model: &mut Mlp, data: &Dataset, config: &FedConfig, rng: &mut StdRng) {
+/// One silo's local SGD on a reusable scratch set: the index buffer,
+/// mini-batch and GEMM workspace all come from the slot, so steady
+/// state performs zero allocations per step (DESIGN.md §10) *and* zero
+/// per silo. Zero allocations (lint-enforced hot loop).
+fn local_train(
+    model: &mut Mlp,
+    data: &Dataset,
+    config: &FedConfig,
+    rng: &mut StdRng,
+    scratch: &mut SiloScratch,
+) {
     let n = data.len();
-    // One warm-up allocation set per silo job; every subsequent epoch,
-    // batch gather and SGD step reuses these buffers (zero allocations
-    // per step — DESIGN.md §10).
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut batch = MiniBatch::new();
-    let mut ws = Workspace::new();
+    scratch.order.clear();
+    scratch.order.extend(0..n);
     for _ in 0..config.local_epochs {
-        order.shuffle(rng);
-        for chunk in order.chunks(config.batch_size.max(1)) {
-            batch.gather(data, chunk);
-            model.sgd_step_with(&batch.features, &batch.labels, config.lr, &mut ws);
+        scratch.order.shuffle(rng);
+        for chunk in scratch.order.chunks(config.batch_size.max(1)) {
+            scratch.batch.gather(data, chunk);
+            model.sgd_step_with(
+                &scratch.batch.features,
+                &scratch.batch.labels,
+                config.lr,
+                &mut scratch.ws,
+            );
         }
     }
 }

@@ -44,7 +44,10 @@ pub mod probe;
 
 pub use async_fed::{train_async, AsyncConfig, AsyncOutcome, OrgTiming};
 pub use data::{dirichlet_shard, generate, label_skew, Dataset, DatasetKind};
-pub use fed::{train_federated, FedConfig, FedError, FedOutcome, RoundMetrics};
+pub use fed::{
+    train_federated, train_federated_grouped, train_federated_with, FedConfig, FedError,
+    FedOutcome, RoundMetrics, EDGE_GROUP_SIZE,
+};
 pub use data::MiniBatch;
 pub use linalg::Matrix;
 pub use metrics::ConfusionMatrix;

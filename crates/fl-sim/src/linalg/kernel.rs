@@ -97,7 +97,29 @@ pub fn matmul_transposed_into(a: &Matrix, bt: &Matrix, out: &mut Matrix, ws: &mu
     gemm_direct_a(m, n, k, ad, |p, c| bd[c * k + p], out.as_mut_slice(), ws);
 }
 
+/// Flop bound (`m·n·k`) below which [`transposed_matmul_into`]
+/// considers the naive sparsity-skipping loop instead of the blocked
+/// driver. Sub-blocking shapes (the 32–96-class per-silo gradient
+/// products) can't amortize the pack-B pass, and the blocked path
+/// cannot skip work on ReLU-zeroed activation columns — the recorded
+/// `grad_weights_relu_sparse_64x32x96` regression. The bound and the
+/// zero census below depend only on the operand values, never on
+/// worker count, so dispatch is deterministic.
+const SMALL_SPARSE_FLOPS: usize = 1 << 19;
+
+/// Minimum exact-zero fraction of `at` for the sparse loop to win:
+/// below this the blocked kernel's SIMD tiles beat skipping.
+const SMALL_SPARSE_MIN_ZEROS: f32 = 0.25;
+
 /// `out = atᵀ · b` without materializing the transpose.
+///
+/// Small shapes (`m·n·k <` [`SMALL_SPARSE_FLOPS`]) whose `at` operand
+/// is at least [`SMALL_SPARSE_MIN_ZEROS`] exact zeros — ReLU
+/// activations in the backward weight-gradient product — dispatch to
+/// the naive k-outer loop with the sparsity skip (bit-identical to
+/// [`transposed_matmul_reference`]); everything else runs the blocked
+/// driver. The census costs one `O(m·k)` pass, negligible next to the
+/// `O(m·n·k)` product.
 ///
 /// # Panics
 ///
@@ -108,6 +130,29 @@ pub fn transposed_matmul_into(at: &Matrix, b: &Matrix, out: &mut Matrix, ws: &mu
     out.resize(m, n);
     let ad = at.as_slice();
     let bd = b.as_slice();
+    if m * n * k < SMALL_SPARSE_FLOPS && !ad.is_empty() {
+        // lint:allow(no-float-eq): ReLU emits exact 0.0, so the zero census is exact
+        let zeros = ad.iter().filter(|&&v| v == 0.0).count();
+        if zeros as f32 >= SMALL_SPARSE_MIN_ZEROS * ad.len() as f32 {
+            let od = out.as_mut_slice();
+            od.fill(0.0);
+            for p in 0..k {
+                let arow = &ad[p * m..(p + 1) * m];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (r, &av) in arow.iter().enumerate() {
+                    // lint:allow(no-float-eq): ReLU emits exact 0.0, so the sparsity skip is exact
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut od[r * n..(r + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            return;
+        }
+    }
     gemm(m, n, k, |r, p| ad[p * m + r], |p, c| bd[p * n + c], out.as_mut_slice(), ws);
 }
 
@@ -147,6 +192,50 @@ pub fn matmul_into_pooled(a: &Matrix, b: &Matrix, out: &mut Matrix, pool: &Pool)
                 let mut ws = Workspace::new();
                 let a_rows = &ad[r0 * k..(r0 + rows) * k];
                 gemm_direct_a(rows, n, k, a_rows, |p, c| bd[p * n + c], chunk, &mut ws);
+            });
+        }
+    });
+}
+
+/// Batched small-GEMM dispatch: `outs[i] = ops[i].0 · ops[i].1` for a
+/// batch of independent products through one pooled dispatch.
+///
+/// The per-silo products of a thousand-silo round are individually
+/// far below [`matmul_into_pooled`]'s `2·MC` row threshold, so routing
+/// them one-by-one runs serial and pays a `Workspace` pack-buffer
+/// growth per call site. This driver instead splits the *batch* into
+/// contiguous chunks, one per worker, and reuses a single `Workspace`
+/// across every product in a chunk — the packing buffers are sized on
+/// the first product and stay warm for the rest.
+///
+/// Each product is computed by the serial [`matmul_into`], so results
+/// are bit-identical to a serial loop over the batch for any worker
+/// count (chunking only changes *which thread* runs a product, never
+/// the arithmetic inside it).
+///
+/// # Panics
+///
+/// Panics if `ops.len() != outs.len()` or any product's inner
+/// dimensions disagree.
+pub fn matmul_batch_into_pooled(ops: &[(&Matrix, &Matrix)], outs: &mut [Matrix], pool: &Pool) {
+    assert_eq!(ops.len(), outs.len(), "one output per product");
+    let workers = pool.workers();
+    if workers <= 1 || ops.len() <= 1 {
+        let mut ws = Workspace::new();
+        for ((a, b), out) in ops.iter().zip(outs.iter_mut()) {
+            matmul_into(a, b, out, &mut ws);
+        }
+        return;
+    }
+    let per = ops.len().div_ceil(workers);
+    pool.scope(|s| {
+        for (t, chunk) in outs.chunks_mut(per).enumerate() {
+            let ops = &ops[t * per..t * per + chunk.len()];
+            s.spawn(move || {
+                let mut ws = Workspace::new();
+                for ((a, b), out) in ops.iter().zip(chunk.iter_mut()) {
+                    matmul_into(a, b, out, &mut ws);
+                }
             });
         }
     });
@@ -611,6 +700,74 @@ mod tests {
             assert_eq!(serial.as_slice().len(), pooled.as_slice().len());
             for (s, p) in serial.as_slice().iter().zip(pooled.as_slice()) {
                 assert_eq!(s.to_bits(), p.to_bits(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_small_shape_dispatch_is_bit_identical_to_the_reference() {
+        // ReLU-like operand: more than a quarter exact zeros, shape
+        // under the flop bound — must take the naive skip loop, whose
+        // loop order is exactly transposed_matmul_reference's.
+        let (m, n, k) = (64, 96, 32);
+        let at = Matrix::from_fn(k, m, |r, c| {
+            let v = random(1, 1, (r * m + c) as u64).as_slice()[0];
+            if v < 0.0 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let zeros = at.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros as f32 >= 0.25 * at.as_slice().len() as f32, "fixture must be sparse");
+        assert!(m * n * k < SMALL_SPARSE_FLOPS, "fixture must be small");
+        let b = random(k, n, 77);
+        let reference = transposed_matmul_reference(&at, &b);
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(0, 0);
+        transposed_matmul_into(&at, &b, &mut out, &mut ws);
+        assert_eq!((out.rows(), out.cols()), (m, n));
+        for (s, p) in reference.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn dense_small_shapes_still_match_the_reference_through_the_blocked_path() {
+        // A dense operand at the same small shape stays on the blocked
+        // driver (zero fraction ~0) and must agree to tolerance.
+        let (m, n, k) = (64, 96, 32);
+        let at = random(k, m, 5);
+        let b = random(k, n, 6);
+        let reference = transposed_matmul_reference(&at, &b);
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(0, 0);
+        transposed_matmul_into(&at, &b, &mut out, &mut ws);
+        assert_close(&out, &reference, 1e-4 * k as f32);
+    }
+
+    #[test]
+    fn batched_matmul_is_bit_identical_to_a_serial_loop_for_any_worker_count() {
+        // Uneven batch size so the last chunk is ragged.
+        let count = 37;
+        let pairs: Vec<(Matrix, Matrix)> = (0..count)
+            .map(|i| (random(32, 64, i as u64), random(64, 96, 1000 + i as u64)))
+            .collect();
+        let ops: Vec<(&Matrix, &Matrix)> = pairs.iter().map(|(a, b)| (a, b)).collect();
+        let mut ws = Workspace::new();
+        let mut serial: Vec<Matrix> = (0..count).map(|_| Matrix::zeros(0, 0)).collect();
+        for ((a, b), out) in ops.iter().zip(serial.iter_mut()) {
+            matmul_into(a, b, out, &mut ws);
+        }
+        for workers in [1usize, 2, 4, 8] {
+            let pool = Pool::new(workers);
+            let mut batched: Vec<Matrix> = (0..count).map(|_| Matrix::zeros(0, 0)).collect();
+            matmul_batch_into_pooled(&ops, &mut batched, &pool);
+            for (s, p) in serial.iter().zip(&batched) {
+                assert_eq!((s.rows(), s.cols()), (p.rows(), p.cols()));
+                for (x, y) in s.as_slice().iter().zip(p.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "workers={workers}");
+                }
             }
         }
     }

@@ -368,6 +368,47 @@ impl Mlp {
         }
     }
 
+    /// Copies all parameters from a same-shape model, without
+    /// allocating — the streaming-aggregation replacement for cloning
+    /// the global model once per silo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two models disagree on any layer shape.
+    pub fn copy_params_from(&mut self, src: &Mlp) {
+        assert_eq!(self.layers.len(), src.layers.len(), "layer count mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&src.layers) {
+            assert_eq!(dst.w.rows(), src.w.rows(), "weight shape mismatch");
+            assert_eq!(dst.w.cols(), src.w.cols(), "weight shape mismatch");
+            dst.w.as_mut_slice().copy_from_slice(src.w.as_slice());
+            dst.b.copy_from_slice(&src.b);
+        }
+    }
+
+    /// Accumulates `scale ·` this model's parameters into `acc`
+    /// (f64, in [`Mlp::to_params`] order) — one silo's contribution to
+    /// a streaming FedAvg reduce, without materializing the flattened
+    /// parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len()` differs from [`Mlp::param_count`].
+    pub fn accumulate_scaled_params(&self, scale: f64, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.param_count(), "parameter count mismatch");
+        let mut rest = acc;
+        for layer in &self.layers {
+            let (w, r) = rest.split_at_mut(layer.w.rows() * layer.w.cols());
+            let (b, r) = r.split_at_mut(layer.b.len());
+            for (a, &p) in w.iter_mut().zip(layer.w.as_slice()) {
+                *a += scale * p as f64;
+            }
+            for (a, &p) in b.iter_mut().zip(&layer.b) {
+                *a += scale * p as f64;
+            }
+            rest = r;
+        }
+    }
+
     /// In-place convex pull toward a flattened parameter vector:
     /// `θ ← θ + weight · (toward − θ)` in [`Mlp::to_params`] order.
     /// Replaces the allocating `to_params`/mix/`set_params` round trip

@@ -109,11 +109,12 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "no-alloc-in-hot-loop",
-        summary: "no heap allocation in the GEMM kernel module or model.rs step fns",
+        summary: "no heap allocation in the GEMM kernel module or model.rs/fed.rs hot fns",
         rationale: "The training loop's steady state performs zero heap allocations per step \
                     (DESIGN.md \u{a7}10): every buffer is owned by a Workspace or a caller and \
                     reused via resize-within-capacity. An innocent `vec!` or `.clone()` in \
-                    linalg/kernel.rs or in model.rs's forward_with/sgd_step_with/evaluate_with \
+                    linalg/kernel.rs, in model.rs's forward_with/sgd_step_with/evaluate_with, \
+                    or in fed.rs's run_round/train_group/local_train aggregation loop \
                     reintroduces a per-step malloc that the benches will only catch as noise. \
                     Cold paths (constructors, error paths) may lint:allow with the reason \
                     spelled out.",
@@ -204,16 +205,29 @@ fn panic_safety_scope(rel_path: &str, target: Target) -> bool {
 }
 
 /// Files carrying zero-allocation hot paths: the kernel module (whole
-/// file) and the model step path (specific fns, see
-/// [`MODEL_HOT_FNS`]).
+/// file) and the per-file fn lists in [`HOT_FNS`].
 fn hot_loop_scope(rel_path: &str) -> bool {
-    rel_path == "crates/fl-sim/src/linalg/kernel.rs" || rel_path == "crates/fl-sim/src/model.rs"
+    rel_path == "crates/fl-sim/src/linalg/kernel.rs"
+        || HOT_FNS.iter().any(|&(path, _)| path == rel_path)
 }
 
 /// The fns in model.rs whose bodies `no-alloc-in-hot-loop` covers —
 /// the per-step training path. Cold model fns (constructors,
 /// serialization) allocate freely.
 const MODEL_HOT_FNS: &[&str] = &["forward_with", "sgd_step_with", "evaluate_with"];
+
+/// The fns in fed.rs whose bodies the rule covers — the streaming
+/// aggregation round loop: group dispatch + merge, per-group silo
+/// training, and per-silo SGD. Setup (subset materialization, slot
+/// construction) allocates freely.
+const FED_HOT_FNS: &[&str] = &["run_round", "train_group", "local_train"];
+
+/// Per-file hot-fn lists for `no-alloc-in-hot-loop` (kernel.rs is
+/// whole-file and listed separately in [`hot_loop_spans`]).
+const HOT_FNS: &[(&str, &[&str])] = &[
+    ("crates/fl-sim/src/model.rs", MODEL_HOT_FNS),
+    ("crates/fl-sim/src/fed.rs", FED_HOT_FNS),
+];
 
 /// Whether `rule_id` applies to the file at `rel_path` at all.
 pub fn applies(rule_id: &str, rel_path: &str, target: Target) -> bool {
@@ -228,21 +242,21 @@ pub fn applies(rule_id: &str, rel_path: &str, target: Target) -> bool {
 }
 
 /// Inclusive line spans covered by `no-alloc-in-hot-loop` in this
-/// file: everything for the kernel module, the [`MODEL_HOT_FNS`]
-/// bodies for model.rs (located by `fn <name>` and brace matching,
-/// like [`crate::engine::test_spans`]).
+/// file: everything for the kernel module, the [`HOT_FNS`] bodies for
+/// the listed files (located by `fn <name>` and brace matching, like
+/// [`crate::engine::test_spans`]).
 pub fn hot_loop_spans(rel_path: &str, tokens: &[Tok]) -> Vec<(u32, u32)> {
     if rel_path == "crates/fl-sim/src/linalg/kernel.rs" {
         return vec![(1, u32::MAX)];
     }
     let mut spans = Vec::new();
-    if rel_path != "crates/fl-sim/src/model.rs" {
+    let Some(&(_, hot_fns)) = HOT_FNS.iter().find(|&&(path, _)| path == rel_path) else {
         return spans;
-    }
+    };
     for i in 0..tokens.len().saturating_sub(1) {
         if !(is_ident(&tokens[i], "fn")
             && tokens[i + 1].kind == TokKind::Ident
-            && MODEL_HOT_FNS.contains(&tokens[i + 1].text.as_str()))
+            && hot_fns.contains(&tokens[i + 1].text.as_str()))
         {
             continue;
         }

@@ -158,6 +158,24 @@ fn alloc_in_hot_loop_offending_clean_allowed() {
     clean(MODEL, "fn new() -> Vec<f32> { Vec::new() }\n");
     clean(MODEL, "fn forward_with(ws: &mut W) { ws.h.resize(8, 0.0); }\n");
     clean("crates/fl-sim/src/fed.rs", "fn f() { let v: Vec<f32> = Vec::new(); }\n");
+    // The fed.rs streaming-aggregation loop is hot too: the round
+    // dispatch/merge, per-group training and per-silo SGD fns.
+    offends(
+        "crates/fl-sim/src/fed.rs",
+        "fn run_round(g: &Mlp) { let m = g.clone(); }\n",
+        "no-alloc-in-hot-loop",
+    );
+    offends(
+        "crates/fl-sim/src/fed.rs",
+        "fn train_group(p: &[f32]) { let v = p.to_vec(); }\n",
+        "no-alloc-in-hot-loop",
+    );
+    offends(
+        "crates/fl-sim/src/fed.rs",
+        "fn local_train() { let order: Vec<usize> = Vec::new(); }\n",
+        "no-alloc-in-hot-loop",
+    );
+    clean("crates/fl-sim/src/fed.rs", "fn train_federated_grouped() { let v = vec![0.0f64; 8]; }\n");
     clean(SOLVER, "fn f() { let v = vec![1]; }\n");
     // Test modules inside the hot files are exempt (in_tests: false).
     clean(KERNEL, "#[cfg(test)]\nmod tests {\n fn f() { let v = vec![1]; }\n}\n");

@@ -8,6 +8,7 @@
 
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
+use tradefl_core::incremental::IncrementalEval;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
 use tradefl_runtime::sync::pool::Pool;
 
@@ -44,6 +45,39 @@ impl Objective {
             Objective::Full => game.payoff_d_deriv(profile, i),
             Objective::WithoutRedistribution => {
                 game.payoff_without_redistribution_d_deriv(profile, i)
+            }
+        }
+    }
+
+    /// The chosen objective for organization `i` at a candidate,
+    /// evaluated in `O(log N)` through an [`IncrementalEval`] — **up to
+    /// a mover-invariant additive constant** for [`Objective::Full`]
+    /// (see [`IncrementalEval::mover_payoff_at`]). Valid for comparing
+    /// candidates of the *same* organization only.
+    pub fn mover_payoff_incremental<A: AccuracyModel>(
+        &self,
+        eval: &IncrementalEval<'_, A>,
+        i: usize,
+        candidate: Strategy,
+    ) -> f64 {
+        match self {
+            Objective::Full => eval.mover_payoff_at(i, candidate),
+            Objective::WithoutRedistribution => {
+                eval.payoff_without_redistribution_at(i, candidate)
+            }
+        }
+    }
+
+    fn d_deriv_incremental<A: AccuracyModel>(
+        &self,
+        eval: &IncrementalEval<'_, A>,
+        i: usize,
+        candidate: Strategy,
+    ) -> f64 {
+        match self {
+            Objective::Full => eval.payoff_d_deriv_at(i, candidate),
+            Objective::WithoutRedistribution => {
+                eval.payoff_without_redistribution_d_deriv_at(i, candidate)
             }
         }
     }
@@ -119,6 +153,44 @@ pub fn best_response_with<A: AccuracyModel>(
     best
 }
 
+/// [`best_response`] through an [`IncrementalEval`]: every candidate
+/// evaluation is `O(log N)` instead of `O(N)`, so the whole search
+/// costs `O(levels · log N)` — the building block of the sub-quadratic
+/// DBR sweep. Runs serially (the per-candidate work is far below any
+/// pool's dispatch cost at every market size) and merges levels with
+/// the same first-maximum-wins rule as [`best_response_with`].
+///
+/// The returned [`BestResponse::payoff`] is the **mover objective**
+/// ([`Objective::mover_payoff_incremental`]): exact for
+/// [`Objective::WithoutRedistribution`], shifted by the mover-invariant
+/// redistribution cross-term for [`Objective::Full`]. The maximizing
+/// *strategy* agrees with the exact path up to bisection rounding; the
+/// payoff field must only be compared against other mover-objective
+/// values for the same organization.
+pub fn best_response_incremental<A: AccuracyModel>(
+    eval: &IncrementalEval<'_, A>,
+    i: usize,
+    objective: Objective,
+) -> Option<BestResponse> {
+    let market = eval.game().market();
+    let levels = market.org(i).compute_level_count();
+    let mut best: Option<BestResponse> = None;
+    for level in 0..levels {
+        let Some((lo, hi)) = market.feasible_range(i, level) else {
+            continue;
+        };
+        let d = bisect_concave_max(lo, hi, |d| {
+            objective.d_deriv_incremental(eval, i, Strategy::new(d, level))
+        });
+        let candidate = Strategy::new(d, level);
+        let payoff = objective.mover_payoff_incremental(eval, i, candidate);
+        if best.map_or(true, |b| payoff > b.payoff) {
+            best = Some(BestResponse { strategy: candidate, payoff });
+        }
+    }
+    best
+}
+
 /// The best feasible `(d, payoff)` at one fixed ladder level, or
 /// `None` when the level cannot meet the deadline at any `d`.
 fn level_candidate<A: AccuracyModel>(
@@ -146,9 +218,16 @@ fn maximize_concave_1d<A: AccuracyModel>(
     hi: f64,
     objective: Objective,
 ) -> f64 {
-    let deriv_at = |d: f64| -> f64 {
+    bisect_concave_max(lo, hi, |d| {
         objective.d_deriv(game, &profile.with(i, Strategy::new(d, level)), i)
-    };
+    })
+}
+
+/// The shared bisection: maximizes a concave function on `[lo, hi]`
+/// given its (monotonically non-increasing) derivative. Both the exact
+/// and the incremental search funnel through this one routine, so their
+/// candidate sequences are identical given identical derivative values.
+fn bisect_concave_max(lo: f64, hi: f64, deriv_at: impl Fn(f64) -> f64) -> f64 {
     if deriv_at(lo) <= 0.0 {
         return lo;
     }
@@ -231,6 +310,41 @@ mod tests {
                 wpr.strategy.d,
                 full.strategy.d
             );
+        }
+    }
+
+    #[test]
+    fn incremental_best_response_matches_the_exact_path() {
+        let g = game(8, 17);
+        let profile = StrategyProfile::minimal(g.market());
+        let eval = IncrementalEval::new(&g, profile.clone());
+        for i in 0..8 {
+            for objective in [Objective::Full, Objective::WithoutRedistribution] {
+                let exact = best_response(&g, &profile, i, objective).unwrap();
+                let inc = best_response_incremental(&eval, i, objective).unwrap();
+                assert_eq!(
+                    inc.strategy.level, exact.strategy.level,
+                    "i={i} {objective:?}: level mismatch"
+                );
+                assert!(
+                    (inc.strategy.d - exact.strategy.d).abs() < 1e-9,
+                    "i={i} {objective:?}: d {} vs {}",
+                    inc.strategy.d,
+                    exact.strategy.d
+                );
+                // The mover objective must rank the exact winner no
+                // better than its own (and vice versa, via the true
+                // payoff) — i.e. both paths find the same optimum.
+                let true_inc = g.payoff(&profile.with(i, inc.strategy), i);
+                assert!(
+                    (true_inc - exact.payoff).abs()
+                        <= 1e-9 * exact.payoff.abs().max(1.0)
+                        || objective == Objective::WithoutRedistribution,
+                    "i={i}: true payoff {} vs exact {}",
+                    true_inc,
+                    exact.payoff
+                );
+            }
         }
     }
 

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::StrategyProfile;
+use tradefl_runtime::obs;
 use tradefl_runtime::sync::Mutex;
 
 /// Exact profile identity: objective tag plus `(d_i bits, level_i)`
@@ -97,6 +98,27 @@ impl PayoffCache {
         profile: &StrategyProfile,
         objective: Objective,
     ) -> Arc<[f64]> {
+        let n = game.market().len();
+        self.payoffs_with(objective, profile, || {
+            (0..n).map(|i| objective.payoff(game, profile, i)).collect()
+        })
+    }
+
+    /// [`Self::payoffs`] with the evaluation strategy supplied by the
+    /// caller: `compute` produces the full payoff vector at `profile`
+    /// under `objective` and runs only on a miss, outside the lock.
+    /// This lets the DBR sweep memoize vectors produced by the
+    /// `O(log N)`-per-entry incremental evaluator while every other
+    /// caller keeps the exact `CoopetitionGame` path — the cache itself
+    /// stays bit-transparent either way (a hit returns the first
+    /// computation verbatim). Hit/miss totals stream to `runtime::obs`
+    /// as `solver.payoff_cache.hits` / `.misses`.
+    pub fn payoffs_with(
+        &self,
+        objective: Objective,
+        profile: &StrategyProfile,
+        compute: impl FnOnce() -> Vec<f64>,
+    ) -> Arc<[f64]> {
         let k = key(objective, profile);
         if let Some(hit) = {
             let mut inner = self.inner.lock();
@@ -106,11 +128,11 @@ impl PayoffCache {
             }
             hit
         } {
+            obs::counter_add("solver.payoff_cache.hits", 1);
             return hit;
         }
-        let n = game.market().len();
-        let values: Arc<[f64]> =
-            (0..n).map(|i| objective.payoff(game, profile, i)).collect();
+        let values: Arc<[f64]> = compute().into();
+        obs::counter_add("solver.payoff_cache.misses", 1);
         let mut inner = self.inner.lock();
         inner.misses += 1;
         if inner.map.len() >= self.limit {

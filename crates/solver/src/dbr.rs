@@ -6,7 +6,7 @@
 //! improving move strictly increases the potential and the dynamics
 //! reach a Nash equilibrium in finitely many effective updates \[33\].
 
-use crate::bestresponse::{best_response_with, Objective};
+use crate::bestresponse::{best_response_incremental, Objective};
 use crate::cache::PayoffCache;
 use crate::error::{Result, SolveError};
 use crate::outcome::{Equilibrium, Scheme};
@@ -15,7 +15,48 @@ use tradefl_runtime::rng::{SeedableRng, SliceRandom, StdRng};
 use tradefl_runtime::sync::pool::Pool;
 use tradefl_core::accuracy::AccuracyModel;
 use tradefl_core::game::CoopetitionGame;
+use tradefl_core::incremental::IncrementalEval;
 use tradefl_core::strategy::StrategyProfile;
+
+/// Minimum organization count before the per-round payoff trace rows
+/// (the `O(N²)` ρ·res matvec) are split across the pool. Each element
+/// of the row is computed independently and written to its own slot,
+/// so the pooled row is bit-identical to the serial
+/// [`IncrementalEval::payoff_vector`] for any worker count; below this
+/// threshold the dispatch overhead exceeds the matvec itself.
+const POOLED_TRACE_MIN_ORGS: usize = 512;
+
+/// Maximum organization count for which the solver records a payoff
+/// trace row after *every* round. Each row costs one `O(N²)` pass over
+/// the ρ matrix — at figure scale (≤ a few dozen organizations,
+/// Fig. 5) that is negligible and the full per-iteration history is
+/// kept; at N ≥ this bound only the final row is recorded, so the
+/// trace cost stays out of the sweep's `O(N log N)` scaling. The
+/// potential trace is `O(N)` per round and always full.
+const TRACE_EVERY_ROUND_MAX_ORGS: usize = 512;
+
+/// The current profile's payoff vector for a trace row: serial for
+/// small markets, chunked across `pool` for large ones (see
+/// [`POOLED_TRACE_MIN_ORGS`] for the determinism argument).
+fn trace_payoffs<A: AccuracyModel>(eval: &IncrementalEval<'_, A>, pool: &Pool) -> Vec<f64> {
+    let n = eval.profile().len();
+    if pool.workers() <= 1 || n < POOLED_TRACE_MIN_ORGS {
+        return eval.payoff_vector();
+    }
+    let mut out = vec![0.0f64; n];
+    let per = n.div_ceil(pool.workers());
+    pool.scope(|s| {
+        for (t, chunk) in out.chunks_mut(per).enumerate() {
+            s.spawn(move || {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let i = t * per + k;
+                    *slot = eval.payoff_at(i, eval.profile()[i], eval.rho_res(i));
+                }
+            });
+        }
+    });
+    out
+}
 
 /// The order in which organizations update within a round (an ablation
 /// axis; the paper uses a fixed order).
@@ -70,17 +111,6 @@ impl Default for DbrOptions {
         }
     }
 }
-
-/// Minimum estimated per-sweep work (`max levels × |N|`, the same
-/// payoff-evaluation proxy as `bestresponse`'s own cutoff) before the
-/// dynamics hand the inner best responses a multi-worker pool. Below
-/// it every `Pool::scope` would cost more than the bisections it
-/// shelters (Table II instances are ~40), so the solver pins a serial
-/// pool up front instead of re-deciding inside every call. Depends
-/// only on the instance, never on the worker count, and the serial and
-/// pooled best responses are bit-identical — so the routing cannot
-/// affect results.
-const POOLED_BR_MIN_WORK: usize = 256;
 
 /// Algorithm 2's driver.
 #[derive(Debug, Clone, Default)]
@@ -151,12 +181,18 @@ impl DbrSolver {
 
     /// [`DbrSolver::solve_from`] on an explicit pool. The dynamics stay
     /// strictly sequential across organizations (Algorithm 2's
-    /// Gauss-Seidel order is part of the convergence argument); the
-    /// parallelism lives *inside* each best response
-    /// ([`best_response_with`]), and a [`PayoffCache`] memoizes the
-    /// incumbent profile's payoff vector across movers and trace rows.
-    /// Both are bit-transparent, so results are identical for every
-    /// worker count.
+    /// Gauss-Seidel order is part of the convergence argument). Every
+    /// candidate payoff runs through an
+    /// [`IncrementalEval`] — `O(log N)` per evaluation instead of
+    /// `O(N)` — so one sweep is `O(N log N)` and the solve is
+    /// sub-quadratic in the organization count; a [`PayoffCache`]
+    /// still memoizes the per-round trace vectors. The inner best
+    /// responses no longer fan out to the pool (each one is
+    /// microseconds at any market size, far below dispatch cost); the
+    /// pool instead parallelizes the per-round `O(N²)` payoff trace
+    /// matvec on large markets (see [`trace_payoffs`]). Every pooled
+    /// element is computed independently and lands in its own slot,
+    /// so results are bit-identical for every worker count.
     ///
     /// # Errors
     ///
@@ -170,19 +206,20 @@ impl DbrSolver {
         start.validate(game.market())?;
         let cache = PayoffCache::new();
         let n = game.market().len();
-        // Route small instances to a serial pool once, up front — see
-        // `POOLED_BR_MIN_WORK`. A `Pool` is only a worker-count handle
-        // (threads are stood up per scope), so this costs nothing.
-        let serial = Pool::new(1);
-        let max_levels = (0..n)
-            .map(|i| game.market().org(i).compute_level_count())
-            .max()
-            .unwrap_or(0);
-        let pool = if max_levels * n >= POOLED_BR_MIN_WORK { pool } else { &serial };
+        let mut eval = IncrementalEval::new(game, start.clone());
         let mut profile = start;
-        let mut potential_trace = vec![game.potential(&profile)];
-        let mut payoff_traces =
-            vec![cache.payoffs(game, &profile, Objective::Full).to_vec()];
+        let mut potential_trace = vec![eval.potential()];
+        // Payoff rows cost one O(N²) ρ pass each; figure-scale markets
+        // keep the full per-iteration history, large ones record only
+        // the final row (pushed after the loop).
+        let trace_every_round = n < TRACE_EVERY_ROUND_MAX_ORGS;
+        let mut payoff_traces = if trace_every_round {
+            vec![cache
+                .payoffs_with(Objective::Full, &profile, || trace_payoffs(&eval, pool))
+                .to_vec()]
+        } else {
+            Vec::new()
+        };
         let mut rng = match self.options.order {
             UpdateOrder::Shuffled { seed } => Some(StdRng::seed_from_u64(seed)),
             UpdateOrder::RoundRobin => None,
@@ -199,52 +236,69 @@ impl DbrSolver {
             let mut round_gain = 0.0f64;
             let mut payoff_scale = 1.0f64;
             for &i in &order {
-                let current =
-                    cache.payoff(game, &profile, self.options.objective, i);
-                let br =
-                    best_response_with(game, &profile, i, self.options.objective, pool)
-                        .ok_or(SolveError::InfeasibleProblem { org: i })?;
+                // All of this mover's payoffs are "mover objective"
+                // values: exact up to an additive constant that does not
+                // depend on π_i (the redistribution cross-term — see
+                // `IncrementalEval::mover_payoff_at`), so improvement
+                // tests and argmaxes are unaffected and every evaluation
+                // stays O(log N).
+                let current = self
+                    .options
+                    .objective
+                    .mover_payoff_incremental(&eval, i, profile[i]);
+                let br = best_response_incremental(&eval, i, self.options.objective)
+                    .ok_or(SolveError::InfeasibleProblem { org: i })?;
                 // Damped step toward the best response; the candidate is
                 // only accepted if it improves the mover's payoff, which
                 // keeps the potential monotone even across level jumps.
                 let kappa = self.options.damping.clamp(1e-6, 1.0);
-                let stepped = crate::bestresponse::BestResponse {
-                    strategy: tradefl_core::strategy::Strategy::new(
-                        profile[i].d + kappa * (br.strategy.d - profile[i].d),
-                        br.strategy.level,
-                    ),
-                    payoff: 0.0,
-                };
+                let stepped = tradefl_core::strategy::Strategy::new(
+                    profile[i].d + kappa * (br.strategy.d - profile[i].d),
+                    br.strategy.level,
+                );
                 let candidate = if kappa >= 1.0 {
                     br.strategy
                 } else {
-                    let damped_profile = profile.with(i, stepped.strategy);
+                    let damped_profile = profile.with(i, stepped);
                     if damped_profile.validate(game.market()).is_ok()
-                        && self.options.objective.payoff(game, &damped_profile, i)
+                        && self
+                            .options
+                            .objective
+                            .mover_payoff_incremental(&eval, i, stepped)
                             > current
                     {
-                        stepped.strategy
+                        stepped
                     } else {
                         br.strategy
                     }
                 };
-                let payoff_at =
-                    self.options.objective.payoff(game, &profile.with(i, candidate), i);
-                let moved = profile.with(i, candidate).distance(&profile);
+                let payoff_at = self
+                    .options
+                    .objective
+                    .mover_payoff_incremental(&eval, i, candidate);
+                // Single-entry profile distance, computed directly (the
+                // other entries contribute 0 to the max).
+                let moved = {
+                    let dd = (candidate.d - profile[i].d).abs();
+                    if candidate.level != profile[i].level { dd + 1.0 } else { dd }
+                };
                 payoff_scale = payoff_scale.max(current.abs());
                 if payoff_at > current + self.options.min_improvement
                     && moved > self.options.tol
                 {
                     round_gain = round_gain.max(payoff_at - current);
                     profile.set(i, candidate);
+                    eval.commit(i, candidate);
                     any_change = true;
-                    // Per-org best-response step size; aggregate only —
-                    // the inner best-response runs on the pool, but this
-                    // record happens on the sequential round loop.
+                    // Per-org best-response step size, plus the O(log N)
+                    // incremental state update it triggered.
                     obs::hist_record("dbr.br_delta", moved);
+                    obs::counter_add("dbr.incremental_updates", 1);
                 }
             }
-            potential_trace.push(game.potential(&profile));
+            // O(N) via the evaluator's cached constants; the game's own
+            // potential() recomputes two O(N) ρ-row sums per org.
+            potential_trace.push(eval.potential());
             {
                 let potential = *potential_trace.last().unwrap_or(&f64::NAN);
                 let residual = potential_trace
@@ -265,8 +319,13 @@ impl DbrSolver {
                     ],
                 );
             }
-            payoff_traces
-                .push(cache.payoffs(game, &profile, Objective::Full).to_vec());
+            if trace_every_round {
+                payoff_traces.push(
+                    cache
+                        .payoffs_with(Objective::Full, &profile, || trace_payoffs(&eval, pool))
+                        .to_vec(),
+                );
+            }
             // Stop on a fixed point, or when the largest accepted payoff
             // improvement in a full round is below solver precision —
             // in a (weighted) potential game residual micro-moves of
@@ -294,10 +353,23 @@ impl DbrSolver {
             Objective::Full => Scheme::Dbr,
             Objective::WithoutRedistribution => Scheme::Wpr,
         };
-        Ok(Equilibrium::from_profile(
+        // Large markets skip the per-round rows; the trace still ends
+        // with the final profile's payoffs (Fig. 5's right edge).
+        if !trace_every_round {
+            payoff_traces.push(
+                cache
+                    .payoffs_with(Objective::Full, &profile, || trace_payoffs(&eval, pool))
+                    .to_vec(),
+            );
+        }
+        // `profile` and the evaluator's profile are kept identical by
+        // the accept path; the evaluator's cached constants make the
+        // final aggregates O(N) (see `Equilibrium::from_eval`).
+        debug_assert_eq!(profile.len(), eval.profile().len());
+        drop(profile);
+        Ok(Equilibrium::from_eval(
             scheme,
-            game,
-            profile,
+            &eval,
             rounds,
             converged,
             potential_trace,

@@ -64,7 +64,10 @@ pub struct Equilibrium {
     /// initial profile at index 0.
     pub potential_trace: Vec<f64>,
     /// Payoff of each organization after each iteration (Fig. 5):
-    /// `payoff_traces[iter][org]`.
+    /// `payoff_traces[iter][org]`. Each row costs an `O(N²)` pass, so
+    /// solvers may thin the history on very large markets (DBR records
+    /// only the final row beyond a few hundred organizations); the
+    /// last row is always the final profile's payoffs.
     pub payoff_traces: Vec<Vec<f64>>,
     /// Social welfare at the final profile (Figs. 6-8, 10-11).
     pub welfare: f64,
@@ -103,6 +106,39 @@ impl Equilibrium {
             potential,
             total_damage,
             total_fraction,
+        }
+    }
+
+    /// [`Self::from_profile`] with every aggregate taken from an
+    /// [`IncrementalEval`] at the final profile, in `O(N)` instead of
+    /// the game's `O(N²)` recomputation: welfare sums the last payoff
+    /// trace row (the evaluator's own final payoff vector), potential
+    /// and total damage use the evaluator's cached per-org constants.
+    /// Values differ from [`Self::from_profile`]'s only by
+    /// floating-point reassociation.
+    pub fn from_eval<A: AccuracyModel>(
+        scheme: Scheme,
+        eval: &tradefl_core::incremental::IncrementalEval<'_, A>,
+        iterations: usize,
+        converged: bool,
+        potential_trace: Vec<f64>,
+        payoff_traces: Vec<Vec<f64>>,
+    ) -> Self {
+        let welfare = match payoff_traces.last() {
+            Some(row) => row.iter().sum(),
+            None => eval.payoff_vector().iter().sum(),
+        };
+        Self {
+            scheme,
+            profile: eval.profile().clone(),
+            iterations,
+            converged,
+            welfare,
+            potential: eval.potential(),
+            total_damage: eval.total_damage(),
+            total_fraction: eval.profile().total_fraction(),
+            potential_trace,
+            payoff_traces,
         }
     }
 

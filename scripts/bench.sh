@@ -23,28 +23,34 @@ for arg in "$@"; do
   esac
 done
 
-cargo build --release -q -p tradefl-bench --bin perf_baseline --bin gemm_baseline --bin engine_baseline
+cargo build --release -q -p tradefl-bench --bin perf_baseline --bin gemm_baseline --bin engine_baseline --bin scale_baseline
 SOLVERS=target/release/perf_baseline
 GEMM=target/release/gemm_baseline
 ENGINE=target/release/engine_baseline
+SCALE=target/release/scale_baseline
 
 if [ -n "$FAST" ]; then
   SOLVERS_OUT=target/BENCH_solvers.fast.json
   GEMM_OUT=target/BENCH_gemm.fast.json
   ENGINE_OUT=target/BENCH_engine.fast.json
+  SCALE_OUT=target/BENCH_scale.fast.json
   TRADEFL_BENCH_FAST=1 "$SOLVERS" --fast --out "$SOLVERS_OUT"
   TRADEFL_BENCH_FAST=1 "$GEMM" --fast --out "$GEMM_OUT"
   TRADEFL_BENCH_FAST=1 "$ENGINE" --fast --out "$ENGINE_OUT"
+  TRADEFL_BENCH_FAST=1 "$SCALE" --fast --out "$SCALE_OUT"
 else
   SOLVERS_OUT=BENCH_solvers.json
   GEMM_OUT=BENCH_gemm.json
   ENGINE_OUT=BENCH_engine.json
+  SCALE_OUT=BENCH_scale.json
   "$SOLVERS" --out "$SOLVERS_OUT"
   "$GEMM" --out "$GEMM_OUT"
   "$ENGINE" --out "$ENGINE_OUT"
+  "$SCALE" --out "$SCALE_OUT"
 fi
 
 "$SOLVERS" --check "$SOLVERS_OUT"
 "$GEMM" --check "$GEMM_OUT"
 "$ENGINE" --check "$ENGINE_OUT"
-echo "bench.sh: baselines at $SOLVERS_OUT, $GEMM_OUT and $ENGINE_OUT"
+"$SCALE" --check "$SCALE_OUT"
+echo "bench.sh: baselines at $SOLVERS_OUT, $GEMM_OUT, $ENGINE_OUT and $SCALE_OUT"

@@ -40,6 +40,11 @@ fi
 if [ -e BENCH_engine.json ]; then
   target/release/engine_baseline --check BENCH_engine.json
 fi
+if [ -e BENCH_scale.json ]; then
+  # --check also re-enforces the sub-quadratic criterion recorded in the
+  # committed file: dbr_solve_n1000 must stay within 20x dbr_solve_n100.
+  target/release/scale_baseline --check BENCH_scale.json
+fi
 
 echo "==> bench-regression gate: smoke medians vs committed baselines (3x tolerance)"
 # The GEMM smoke reuses the committed shapes, so this is like-for-like;
@@ -53,6 +58,11 @@ if [ -e BENCH_gemm.json ]; then
 fi
 if [ -e BENCH_engine.json ]; then
   target/release/engine_baseline --gate target/BENCH_engine.fast.json BENCH_engine.json
+fi
+if [ -e BENCH_scale.json ]; then
+  # Fast mode skips the N=1000 rows; the gate only compares rows both
+  # sides share (N=10/100 DBR solves, the FedAvg round, batched GEMM).
+  target/release/scale_baseline --gate target/BENCH_scale.fast.json BENCH_scale.json
 fi
 
 echo "==> DST smoke: market_daemon under three seeded fault schedules"
