@@ -40,8 +40,8 @@
 use crate::session::{SessionPlan, SessionSpec};
 use std::fmt;
 use tradefl_ledger::codec::{
-    decode_chain, decode_tx_bytes, encode_block_bytes, encode_chain, encode_tx_bytes,
-    CodecError,
+    bounded_count, decode_chain, decode_tx_bytes, encode_block_bytes, encode_chain,
+    encode_tx_bytes, CodecError,
 };
 use tradefl_ledger::contract::Contract;
 use tradefl_ledger::network::{FrameError, Network, NetworkError, WireLimits};
@@ -63,6 +63,11 @@ const STREAM_ARRIVALS: u64 = 0xA0;
 
 /// Checkpoint format version.
 const CHECKPOINT_VERSION: u8 = 1;
+
+/// Smallest possible encoding of one pending-event queue entry:
+/// time (8) + seq (8) + event tag (1). Bounds the declared entry count
+/// in [`Engine::restore`] against the bytes actually present.
+const PENDING_ENTRY_MIN_BYTES: usize = 17;
 
 /// Everything the engine simulates, minus the seed.
 #[derive(Debug, Clone)]
@@ -843,7 +848,14 @@ impl Engine {
             }
         }
 
-        let n_pending = buf.try_get_u64_le().map_err(short)? as usize;
+        // A forged checkpoint can declare any count; bound it by the
+        // bytes actually present (each entry is ≥ time(8) + seq(8) +
+        // event tag(1)) before the count sizes an allocation.
+        let n_pending = bounded_count(
+            buf.try_get_u64_le().map_err(short)? as usize,
+            buf.remaining(),
+            PENDING_ENTRY_MIN_BYTES,
+        )?;
         let mut entries = Vec::with_capacity(n_pending);
         for _ in 0..n_pending {
             let time = buf.try_get_u64_le().map_err(short)?;
@@ -992,5 +1004,49 @@ mod tests {
         ));
         assert!(Engine::restore(tiny_config(), 5, &bytes[..bytes.len() / 2]).is_err());
         assert!(Engine::restore(tiny_config(), 5, &[0xff; 40]).is_err());
+    }
+
+    /// Byte offset of the pending-event count inside a checkpoint,
+    /// found by walking the same section order [`Engine::checkpoint`]
+    /// writes (fixed counters, then the alive/cursors/arrival_k/
+    /// admission variable sections).
+    fn pending_count_offset(bytes: &[u8]) -> usize {
+        let u64_at = |off: usize| {
+            u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize
+        };
+        let mut off = 1 + 9 * 8; // version + nine fixed u64 counters
+        let alive = u64_at(off);
+        off += 8 + alive; // one u8 per live validator
+        let cursors = u64_at(off);
+        off += 8 + 8 * cursors;
+        let arrival_k = u64_at(off);
+        off += 8 + 8 * arrival_k;
+        let admission = u64_at(off);
+        off += 8;
+        for _ in 0..admission {
+            let len = u64_at(off);
+            off += 8 + len;
+        }
+        off
+    }
+
+    /// Byzantine oversize regression: a checkpoint whose pending-event
+    /// count claims u64::MAX entries (far more than the bytes behind
+    /// it) must be rejected up front by the `bounded_count` validation
+    /// — not trusted into `Vec::with_capacity`, where the forged count
+    /// becomes a forged-size allocation.
+    #[test]
+    fn forged_pending_count_is_rejected_before_allocating() {
+        let mut engine = Engine::new(tiny_config(), 5).unwrap();
+        for _ in 0..40 {
+            engine.step().unwrap();
+        }
+        let mut bytes = engine.checkpoint();
+        let off = pending_count_offset(&bytes);
+        // Sanity: the walk landed on the real count (restore of the
+        // unmodified bytes still works after a round-trip re-read).
+        assert!(Engine::restore(tiny_config(), 5, &bytes).is_ok());
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Engine::restore(tiny_config(), 5, &bytes).is_err());
     }
 }

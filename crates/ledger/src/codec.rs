@@ -361,7 +361,11 @@ fn bounded_len(n: usize) -> Result<usize> {
 /// `min_elem` encoded bytes, so a count claiming more elements than
 /// `remaining / min_elem` is provably a lie — rejected *before* any
 /// allocation or element decode, not discovered element-by-element.
-fn bounded_count(n: usize, remaining: usize, min_elem: usize) -> Result<usize> {
+/// Public because every wire-facing decoder (the engine checkpoint
+/// codec included) must route declared counts through it —
+/// `tradefl-lint`'s `unbounded-wire-alloc` rule recognizes it as the
+/// sanitizer.
+pub fn bounded_count(n: usize, remaining: usize, min_elem: usize) -> Result<usize> {
     let n = bounded_len(n)?;
     if min_elem > 0 && n > remaining / min_elem {
         return Err(CodecError::LengthOverflow(n));

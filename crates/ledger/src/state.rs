@@ -77,7 +77,8 @@ impl WorldState {
     /// Credits `amount` to `addr`, creating the account if needed.
     pub fn credit(&mut self, addr: Address, amount: Wei) {
         let acct = self.accounts.entry(addr).or_default();
-        acct.balance = acct.balance + amount;
+        // lint:allow(no-panic-in-lib): total supply is conserved by debit-before-credit, so overflow is a broken-ledger invariant; abort beats silent wrap
+        acct.balance = acct.balance.checked_add(amount).expect("balance overflow on credit");
     }
 
     /// Debits `amount` from `addr`.
@@ -112,9 +113,13 @@ impl WorldState {
         Ok(())
     }
 
-    /// Increments `addr`'s nonce.
+    /// Increments `addr`'s nonce. Saturating: a u64 nonce cannot
+    /// legitimately reach the cap (10¹⁹ transactions from one account),
+    /// and saturation keeps the replay guard sound — the nonce check
+    /// rejects reuse rather than wrapping back to accept old txs.
     pub fn bump_nonce(&mut self, addr: Address) {
-        self.accounts.entry(addr).or_default().nonce += 1;
+        let acct = self.accounts.entry(addr).or_default();
+        acct.nonce = acct.nonce.saturating_add(1);
     }
 
     /// Number of accounts ever touched.
@@ -173,6 +178,26 @@ mod tests {
         let err = s.debit(addr("a"), Wei(11)).unwrap_err();
         assert!(matches!(err, StateError::InsufficientBalance { .. }));
         assert_eq!(s, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "balance overflow on credit")]
+    fn credit_overflow_aborts_instead_of_wrapping() {
+        let mut s = WorldState::new();
+        s.credit(addr("a"), Wei(u128::MAX));
+        s.credit(addr("a"), Wei(1));
+    }
+
+    #[test]
+    fn nonce_saturates_at_the_cap_keeping_replay_protection() {
+        let mut s = WorldState::new();
+        s.credit(addr("a"), Wei(1));
+        // Force the account to the cap, then bump: the nonce must stay
+        // pinned (rejecting stale txs) rather than wrap to zero (which
+        // would re-accept the account's entire history).
+        s.accounts.get_mut(&addr("a")).unwrap().nonce = u64::MAX;
+        s.bump_nonce(addr("a"));
+        assert_eq!(s.nonce_of(addr("a")), u64::MAX);
     }
 
     #[test]

@@ -346,7 +346,9 @@ impl TradeFlContract {
         for &addr in &self.params.participants {
             let deposit = self.deposits[&addr].0 as i128;
             let delta = (self.redistribution[&addr].0 * unit).div_euclid(Fixed::SCALE);
-            let refund = deposit + delta;
+            let refund = deposit.checked_add(delta).ok_or_else(|| {
+                ContractError::revert(format!("refund overflow for {addr}"))
+            })?;
             if refund < 0 {
                 return Err(ContractError::revert(format!(
                     "deposit of {addr} cannot cover its redistribution debt"

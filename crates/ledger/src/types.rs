@@ -76,6 +76,11 @@ impl Wei {
         Wei(self.0.saturating_add(other.0))
     }
 
+    /// Checked addition.
+    pub fn checked_add(self, other: Wei) -> Option<Wei> {
+        self.0.checked_add(other.0).map(Wei)
+    }
+
     /// Checked subtraction.
     pub fn checked_sub(self, other: Wei) -> Option<Wei> {
         self.0.checked_sub(other.0).map(Wei)
@@ -152,7 +157,8 @@ impl Fixed {
 
     /// Full-precision multiply: `(a * b) / SCALE`.
     pub fn mul(self, other: Fixed) -> Fixed {
-        Fixed(self.0 * other.0 / Self::SCALE)
+        // lint:allow(no-panic-in-lib): payoff magnitudes are ≪ √i128::MAX; overflow is a broken-solver invariant and abort beats silent wrap
+        Fixed(self.0.checked_mul(other.0).expect("fixed-point multiply overflow") / Self::SCALE)
     }
 
     /// Absolute value.
@@ -164,14 +170,16 @@ impl Fixed {
 impl std::ops::Add for Fixed {
     type Output = Fixed;
     fn add(self, rhs: Fixed) -> Fixed {
-        Fixed(self.0 + rhs.0)
+        // lint:allow(no-panic-in-lib): payoff sums are ≪ i128::MAX; overflow is a broken-solver invariant and abort beats silent wrap
+        Fixed(self.0.checked_add(rhs.0).expect("fixed-point add overflow"))
     }
 }
 
 impl std::ops::Sub for Fixed {
     type Output = Fixed;
     fn sub(self, rhs: Fixed) -> Fixed {
-        Fixed(self.0 - rhs.0)
+        // lint:allow(no-panic-in-lib): payoff differences are ≪ i128::MAX; overflow is a broken-solver invariant and abort beats silent wrap
+        Fixed(self.0.checked_sub(rhs.0).expect("fixed-point sub overflow"))
     }
 }
 
@@ -220,6 +228,34 @@ mod tests {
     #[should_panic(expected = "wei underflow")]
     fn wei_underflow_panics() {
         let _ = Wei(1) - Wei(2);
+    }
+
+    #[test]
+    fn wei_checked_add_reports_overflow() {
+        assert_eq!(Wei(3).checked_add(Wei(4)), Some(Wei(7)));
+        assert_eq!(Wei(u128::MAX).checked_add(Wei(1)), None);
+    }
+
+    // Overflow regressions for the checked Fixed ops: every raw
+    // operator flagged by `no-unchecked-money-arith` now aborts loudly
+    // at the i128 boundary instead of silently wrapping settlement
+    // amounts.
+    #[test]
+    #[should_panic(expected = "fixed-point add overflow")]
+    fn fixed_add_overflow_panics() {
+        let _ = Fixed(i128::MAX) + Fixed(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point sub overflow")]
+    fn fixed_sub_overflow_panics() {
+        let _ = Fixed(i128::MIN) - Fixed(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point multiply overflow")]
+    fn fixed_mul_overflow_panics() {
+        let _ = Fixed(i128::MAX).mul(Fixed(2 * Fixed::SCALE));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Changed-line extraction for `--diff <base>`: parses `git diff -U0`
+//! unified output into a per-file set of added/modified line numbers
+//! (new-side), so the CLI can restrict findings to lines the branch
+//! actually touched.
+//!
+//! Only the new side matters: a finding points at a line in the
+//! current tree, so deletions (which have no new-side line) cannot
+//! host one. Hunk headers carry everything we need — with `-U0` the
+//! `+start,len` range is exactly the changed lines — so the body of
+//! each hunk is ignored, which also makes the parser robust to diff
+//! noise like `\ No newline at end of file`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-file changed lines (new side), keyed by `/`-separated
+/// workspace-relative path as git prints it (`b/` prefix stripped).
+pub type ChangedLines = BTreeMap<String, BTreeSet<u32>>;
+
+/// Parses unified diff text (any `-U` context width; `-U0` is what the
+/// CLI requests). Renames and mode changes are handled by keying off
+/// the `+++ b/…` header alone; binary files (`+++ /dev/null` or no
+/// hunks) contribute nothing.
+pub fn changed_lines(diff: &str) -> ChangedLines {
+    let mut out = ChangedLines::new();
+    let mut current: Option<String> = None;
+    for line in diff.lines() {
+        if let Some(path) = line.strip_prefix("+++ ") {
+            let path = path.trim_end();
+            current = if path == "/dev/null" {
+                None // deletion: no new-side lines
+            } else {
+                Some(path.strip_prefix("b/").unwrap_or(path).to_string())
+            };
+        } else if let Some(rest) = line.strip_prefix("@@") {
+            let Some(file) = &current else { continue };
+            // Hunk header: `@@ -a[,b] +c[,d] @@ …` — take the `+` range.
+            let Some((start, len)) = parse_plus_range(rest) else { continue };
+            let lines = out.entry(file.clone()).or_default();
+            for l in start..start.saturating_add(len) {
+                lines.insert(l);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `(start, len)` from the `+c[,d]` field of a hunk header
+/// remainder (everything after the leading `@@`). `len` defaults to 1
+/// when the `,d` part is omitted; a `+c,0` range (pure deletion hunk)
+/// yields no lines.
+fn parse_plus_range(rest: &str) -> Option<(u32, u32)> {
+    let plus = rest.split_whitespace().find(|w| w.starts_with('+'))?;
+    let body = &plus[1..];
+    let (start_s, len_s) = match body.split_once(',') {
+        Some((s, l)) => (s, l),
+        None => (body, "1"),
+    };
+    let start: u32 = start_s.parse().ok()?;
+    let len: u32 = len_s.parse().ok()?;
+    Some((start, len))
+}
+
+/// Whether a finding at `(file, line)` lands on a changed line.
+pub fn touches(changed: &ChangedLines, file: &str, line: u32) -> bool {
+    changed.get(file).is_some_and(|lines| lines.contains(&line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIFF: &str = "\
+diff --git a/crates/core/src/x.rs b/crates/core/src/x.rs
+index 1111111..2222222 100644
+--- a/crates/core/src/x.rs
++++ b/crates/core/src/x.rs
+@@ -10,0 +11,2 @@ fn f() {
++    let a = 1;
++    let b = 2;
+@@ -40 +42 @@ fn g() {
+-    old
++    new
+diff --git a/crates/core/src/gone.rs b/crates/core/src/gone.rs
+deleted file mode 100644
+--- a/crates/core/src/gone.rs
++++ /dev/null
+@@ -1,5 +0,0 @@
+-gone
+";
+
+    #[test]
+    fn plus_ranges_become_line_sets_per_file() {
+        let changed = changed_lines(DIFF);
+        let x = changed.get("crates/core/src/x.rs").unwrap();
+        assert_eq!(x.iter().copied().collect::<Vec<_>>(), vec![11, 12, 42]);
+        // Deleted files contribute nothing on the new side.
+        assert!(!changed.contains_key("crates/core/src/gone.rs"));
+        assert!(!changed.contains_key("/dev/null"));
+    }
+
+    #[test]
+    fn touches_matches_only_changed_lines() {
+        let changed = changed_lines(DIFF);
+        assert!(touches(&changed, "crates/core/src/x.rs", 11));
+        assert!(!touches(&changed, "crates/core/src/x.rs", 13));
+        assert!(!touches(&changed, "crates/core/src/other.rs", 11));
+    }
+
+    #[test]
+    fn omitted_length_defaults_to_one_and_zero_length_yields_nothing() {
+        assert_eq!(parse_plus_range(" -1 +7 @@"), Some((7, 1)));
+        assert_eq!(parse_plus_range(" -3,2 +5,0 @@"), Some((5, 0)));
+        let diff = "+++ b/a.rs\n@@ -3,2 +5,0 @@\n";
+        assert!(changed_lines(diff).get("a.rs").map_or(true, |s| s.is_empty()));
+    }
+}

@@ -7,17 +7,30 @@
 //! // lint:allow(rule-id): reason the rule does not apply here
 //! ```
 //!
-//! An allow suppresses findings of `rule-id` on the comment's own
-//! line(s) and the line immediately after — so it works both as a
-//! trailing comment on the offending line and as a comment on the line
-//! above. Two invariants are enforced by the engine itself:
+//! An allow binds to what it annotates:
+//!
+//! * **trailing** (code precedes it on the same line) — that line;
+//! * **standalone above a parsed item** (`fn`/`impl`/`mod`/… starts on
+//!   the next line) — the whole item span, so one annotation covers a
+//!   fn whose rule fires anywhere in its body;
+//! * **standalone above a statement** — the next line, as before;
+//! * **floating** (next line blank, comment-only, or EOF) — nothing:
+//!   that is an `allow-span-precision` finding; move the annotation
+//!   onto the code it suppresses.
+//!
+//! Three invariants are enforced by the engine itself:
 //!
 //! * every allow must name a known rule **and** carry a non-empty
 //!   reason after a colon (`bad-allow` otherwise);
+//! * every allow must bind to code (`allow-span-precision` otherwise);
 //! * every allow must actually suppress something (`unused-allow`
-//!   otherwise) — fixed code must shed its annotations.
+//!   otherwise) — fixed code must shed its annotations. Suppression
+//!   attribution is **best-match**: a finding marks only the single
+//!   tightest enclosing allow as used (smallest span, then nearest),
+//!   so two allows of the same rule in one file are distinguished and
+//!   the stale one is reported line-accurately.
 //!
-//! Neither meta finding is suppressible.
+//! None of the meta findings is suppressible.
 //!
 //! # `#[cfg(test)]` scoping
 //!
@@ -28,9 +41,13 @@
 //! brace-less items). Only the literal `test` predicate is recognized
 //! — `#[cfg(any(test, …))]` shapes are not used in this workspace.
 
-use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::callgraph::PoolIndex;
+use crate::flow::FlowIndex;
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
 use crate::manifest;
+use crate::parse;
 use crate::rules;
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -110,12 +127,16 @@ fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
 #[derive(Debug, Clone)]
 struct Allow {
     rule: String,
-    /// Lines this allow suppresses (comment lines plus the next line).
+    /// Lines this allow suppresses (comment lines plus what it binds
+    /// to: the trailing line, the next statement line, or the whole
+    /// annotated item).
     lo: u32,
     hi: u32,
     /// Line reported for bad/unused findings about the allow itself.
     at: u32,
     valid_reason: bool,
+    /// The allow binds to no code at all (floating).
+    floating: bool,
     used: bool,
 }
 
@@ -130,7 +151,9 @@ fn is_doc_comment(text: &str) -> bool {
         || text.starts_with("/*!")
 }
 
-/// Extracts every `lint:allow(rule): reason` marker from a comment.
+/// Extracts every `lint:allow(rule): reason` marker from a comment,
+/// unbound: `lo`/`hi`/`floating` are filled in by [`bind_allows`] once
+/// the token lines and item spans of the file are known.
 fn parse_allows(comment: &Comment) -> Vec<Allow> {
     const MARKER: &str = "lint:allow(";
     let mut out = Vec::new();
@@ -157,9 +180,10 @@ fn parse_allows(comment: &Comment) -> Vec<Allow> {
         out.push(Allow {
             rule,
             lo: comment.line,
-            hi: comment.end_line + 1,
+            hi: comment.end_line,
             at: comment.line,
             valid_reason,
+            floating: false,
             used: false,
         });
         from = close + 1;
@@ -167,32 +191,127 @@ fn parse_allows(comment: &Comment) -> Vec<Allow> {
     out
 }
 
-/// Lints one file's source text: token rules, test-span filtering, and
-/// the allow machinery. `rel_path` drives rule scoping, so tests can
-/// pass synthetic paths.
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let target = rules::classify(rel_path);
-    let spans = test_spans(&lexed.tokens);
-    let raw = rules::run_token_rules(rel_path, target, &lexed.tokens);
+/// Collects `(line, end_line)` spans for every item the parser
+/// structured, recursing through modules, impls, and traits so an
+/// allow above an inherent method binds that method's whole body.
+fn item_spans(items: &[parse::Item], out: &mut Vec<(u32, u32)>) {
+    for item in items {
+        out.push((item.line, item.end_line));
+        match &item.kind {
+            parse::ItemKind::Mod(children)
+            | parse::ItemKind::Trait(children)
+            | parse::ItemKind::Impl { items: children, .. } => item_spans(children, out),
+            _ => {}
+        }
+    }
+}
+
+/// Binds each allow to the code it annotates (see the module docs):
+/// trailing allows cover their own line, standalone allows cover the
+/// next code line — widened to the whole item span when that line
+/// starts a parsed item — and allows over blank/comment/EOF lines are
+/// marked floating (an `allow-span-precision` finding, suppressing
+/// nothing).
+fn bind_allows(lexed: &Lexed, parsed: &parse::File) -> Vec<Allow> {
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut spans = Vec::new();
+    item_spans(&parsed.items, &mut spans);
 
     let mut allows: Vec<Allow> = lexed.comments.iter().flat_map(parse_allows).collect();
+    for a in &mut allows {
+        if token_lines.contains(&a.lo) {
+            // Trailing: code shares the comment's first line.
+            a.hi = a.lo;
+            continue;
+        }
+        let target = a.hi + 1; // first line after the comment
+        if !token_lines.contains(&target) {
+            a.floating = true;
+            a.hi = a.lo;
+            continue;
+        }
+        // Smallest parsed item starting exactly on the target line
+        // wins; otherwise the allow covers just that line.
+        let item_end = spans
+            .iter()
+            .filter(|&&(lo, _)| lo == target)
+            .map(|&(_, hi)| hi)
+            .min();
+        a.hi = item_end.unwrap_or(target).max(target);
+    }
+    allows
+}
+
+/// Marks the single best-matching allow for `(rule, line)` used and
+/// reports whether the finding is suppressed. Best match = smallest
+/// span, then nearest marker line — so two allows of the same rule in
+/// one file are distinguished and a stale one stays unused.
+fn suppress(allows: &mut [Allow], rule: &str, line: u32) -> bool {
+    let mut best: Option<usize> = None;
+    for (i, a) in allows.iter().enumerate() {
+        if a.rule != rule || !a.valid_reason || a.floating || line < a.lo || line > a.hi {
+            continue;
+        }
+        let key = (a.hi - a.lo, a.at.abs_diff(line));
+        let better = match best {
+            None => true,
+            Some(j) => {
+                let b = &allows[j];
+                key < (b.hi - b.lo, b.at.abs_diff(line))
+            }
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    match best {
+        Some(i) => {
+            allows[i].used = true;
+            true
+        }
+        None => false,
+    }
+}
+
+/// The per-file core: token rules plus the semantic passes (taint
+/// dataflow for wire allocs, result discipline, money arithmetic, and
+/// the pool-nesting call-graph check), then test-span filtering, allow
+/// suppression, and the three meta rules about allows themselves.
+fn lint_parsed(
+    rel_path: &str,
+    lexed: &Lexed,
+    parsed: &parse::File,
+    flow: &FlowIndex,
+    pool: &PoolIndex,
+) -> Vec<Finding> {
+    let target = rules::classify(rel_path);
+    let spans = test_spans(&lexed.tokens);
+
+    let mut raw = rules::run_token_rules(rel_path, target, &lexed.tokens);
+    if rules::applies("unbounded-wire-alloc", rel_path, target) {
+        raw.extend(crate::flow::check_wire_alloc(parsed, flow));
+    }
+    if rules::applies("unused-result", rel_path, target) {
+        raw.extend(crate::flow::check_unused_result(parsed, flow));
+    }
+    if rules::applies("no-unchecked-money-arith", rel_path, target) {
+        raw.extend(crate::flow::check_money_arith(parsed));
+    }
+    if rules::applies("no-nested-pool-scope", rel_path, target) {
+        raw.extend(pool.check_file(rel_path));
+    }
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
+    let mut allows = bind_allows(lexed, parsed);
     let mut out = Vec::new();
 
     for f in raw {
-        // Token rules only emit ids from the RULES table.
+        // Rule passes only emit ids from the RULES table.
         let Some(info) = rules::rule(f.rule) else { continue };
         if !info.in_tests && in_spans(&spans, f.line) {
             continue;
         }
-        let mut suppressed = false;
-        for a in allows.iter_mut() {
-            if a.rule == f.rule && a.valid_reason && a.lo <= f.line && f.line <= a.hi {
-                a.used = true;
-                suppressed = true;
-            }
-        }
-        if !suppressed {
+        if !suppress(&mut allows, f.rule, f.line) {
             out.push(Finding {
                 rule: f.rule.to_string(),
                 file: rel_path.to_string(),
@@ -202,6 +321,9 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
+    // Meta rules about the allows themselves. None is suppressible: an
+    // allow must name a known rule with a reason, bind to code, and
+    // suppress something.
     for a in &allows {
         if rules::rule(&a.rule).is_none() {
             out.push(Finding {
@@ -220,6 +342,17 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
                     a.rule, a.rule
                 ),
             });
+        } else if a.floating {
+            out.push(Finding {
+                rule: "allow-span-precision".to_string(),
+                file: rel_path.to_string(),
+                line: a.at,
+                message: format!(
+                    "lint:allow({}) binds to no code (next line is blank, a comment, or EOF) — \
+                     move it onto or directly above the line it suppresses",
+                    a.rule
+                ),
+            });
         } else if !a.used {
             out.push(Finding {
                 rule: "unused-allow".to_string(),
@@ -232,7 +365,21 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
             });
         }
     }
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
     out
+}
+
+/// Lints one file's source text in isolation: the flow and pool
+/// indexes are built from this file alone, so call-through resolution
+/// sees only its own fns. `rel_path` drives rule scoping, so tests can
+/// pass synthetic paths. The full workspace lint
+/// ([`lint_workspace`]) shares cross-file indexes instead.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let parsed = parse::parse(&lexed);
+    let flow = FlowIndex::build([&parsed]);
+    let pool = PoolIndex::build([(rel_path, &parsed)]);
+    lint_parsed(rel_path, &lexed, &parsed, &flow, &pool)
 }
 
 /// Lints one `Cargo.toml` (the `no-registry-deps` rule).
@@ -271,12 +418,18 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Lints the whole workspace rooted at `root`: every `.rs` file and
-/// every `Cargo.toml`, excluding `target/`. Findings are sorted by
+/// every `Cargo.toml`, excluding `target/`. Runs in two phases — parse
+/// everything, build the cross-file flow and pool indexes, then lint
+/// each file against the shared indexes so one level of call-through
+/// resolves across crate boundaries. Findings are sorted by
 /// (file, line, rule).
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     walk(root, &mut files)?;
-    let mut findings = Vec::new();
+
+    // Phase 1: read + lex + parse every Rust file once.
+    let mut manifests: Vec<(String, String)> = Vec::new();
+    let mut sources: Vec<(String, Lexed, parse::File)> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -287,10 +440,24 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .join("/");
         let text = fs::read_to_string(&path)?;
         if rel.ends_with("Cargo.toml") {
-            findings.extend(lint_manifest(&rel, &text));
+            manifests.push((rel, text));
         } else {
-            findings.extend(lint_source(&rel, &text));
+            let lexed = lex(&text);
+            let parsed = parse::parse(&lexed);
+            sources.push((rel, lexed, parsed));
         }
+    }
+
+    // Phase 2: cross-file indexes, then per-file linting.
+    let flow = FlowIndex::build(sources.iter().map(|(_, _, p)| p));
+    let pool = PoolIndex::build(sources.iter().map(|(rel, _, p)| (rel.as_str(), p)));
+
+    let mut findings = Vec::new();
+    for (rel, text) in &manifests {
+        findings.extend(lint_manifest(rel, text));
+    }
+    for (rel, lexed, parsed) in &sources {
+        findings.extend(lint_parsed(rel, lexed, parsed, &flow, &pool));
     }
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule))
@@ -367,13 +534,82 @@ mod tests {
     }
 
     #[test]
-    fn allow_scope_does_not_leak_two_lines_down() {
-        let src = "// lint:allow(no-panic-in-lib): only the next line\nfn f() {}\n\
+    fn allow_scope_does_not_leak_to_the_next_item() {
+        let src = "// lint:allow(no-panic-in-lib): only fn f\nfn f() {}\n\
                    fn g() { x.unwrap(); }\n";
         let f = lint_source(LIB, src);
         let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
         assert!(rules.contains(&"no-panic-in-lib"));
         assert!(rules.contains(&"unused-allow"));
+    }
+
+    #[test]
+    fn standalone_allow_above_a_fn_covers_its_whole_body() {
+        // The violation sits three lines into the fn body; the allow
+        // above the fn binds the parsed item span, not just one line.
+        let src = "// lint:allow(no-panic-in-lib): demo covers the item\n\
+                   fn f(x: Option<u32>) -> u32 {\n\
+                   \u{20}   let y = 1;\n\
+                   \u{20}   let z = y + 1;\n\
+                   \u{20}   x.unwrap() + z\n\
+                   }\n";
+        assert!(lint_source(LIB, src).is_empty(), "{:?}", lint_source(LIB, src));
+    }
+
+    #[test]
+    fn floating_allow_is_a_span_precision_finding() {
+        let src = "fn f() {}\n// lint:allow(no-panic-in-lib): nothing follows\n\n\
+                   fn g() { x.unwrap(); }\n";
+        let f = lint_source(LIB, src);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"allow-span-precision"), "{f:?}");
+        assert!(rules.contains(&"no-panic-in-lib"), "{f:?}");
+        assert!(!rules.contains(&"unused-allow"), "{f:?}");
+    }
+
+    #[test]
+    fn allow_at_eof_is_floating() {
+        let src = "fn f() {}\n// lint:allow(no-panic-in-lib): trailing comment at eof\n";
+        let f = lint_source(LIB, src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "allow-span-precision");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn double_allow_reports_only_the_stale_one_line_accurately() {
+        // Two allows of the same rule in one file: the first suppresses
+        // a real violation, the second covers clean code. Best-match
+        // attribution must mark only the first used and report the
+        // second at its own line.
+        let src = "fn f() { x.unwrap(); } // lint:allow(no-panic-in-lib): invariant: x is Some\n\
+                   fn g() { y + 1; } // lint:allow(no-panic-in-lib): stale, g no longer panics\n";
+        let f = lint_source(LIB, src);
+        let unused: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "unused-allow")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(unused, vec![2], "{f:?}");
+        assert!(!f.iter().any(|f| f.rule == "no-panic-in-lib"), "{f:?}");
+    }
+
+    #[test]
+    fn nested_allow_beats_the_item_allow_for_attribution() {
+        // An item-span allow and a trailing allow both cover the same
+        // violation; the trailing one (smaller span) is attributed, so
+        // the outer one is reported stale rather than silently kept.
+        let src = "// lint:allow(no-panic-in-lib): outer, now stale\n\
+                   fn f(x: Option<u32>) -> u32 {\n\
+                   \u{20}   x.unwrap() // lint:allow(no-panic-in-lib): invariant: x is Some\n\
+                   }\n";
+        let f = lint_source(LIB, src);
+        let unused: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "unused-allow")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(unused, vec![1], "{f:?}");
     }
 
     #[test]

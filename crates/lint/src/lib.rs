@@ -15,22 +15,40 @@
 //! * [`lexer`] — a minimal but correct Rust tokenizer (nested block
 //!   comments, raw strings, lifetime-vs-char disambiguation) so rules
 //!   never fire inside comments or string literals;
+//! * [`parse`] — a permissive recursive-descent item parser over the
+//!   lexer (items, fn signatures, statement/expression spines) — the
+//!   structural substrate for the semantic rules;
+//! * [`flow`] — per-fn intra-procedural taint dataflow (wire-derived
+//!   lengths vs `bounded_count`, money-typed arithmetic) with one
+//!   level of call-through via fn summaries;
+//! * [`callgraph`] — the workspace call graph and pool-entry
+//!   reachability behind `no-nested-pool-scope`;
 //! * [`rules`] — the rule table (`--explain` text included) and the
-//!   token-pattern matchers with their path scopes;
+//!   token-pattern + semantic matchers with their path scopes;
 //! * [`manifest`] — the `Cargo.toml` dependency scanner behind
 //!   `no-registry-deps` (cross-checked against
 //!   `tests/no_external_deps.rs`);
 //! * [`engine`] — `#[cfg(test)]` scoping, the
 //!   `// lint:allow(rule): reason` escape hatch (reasons required,
-//!   unused allows flagged), file discovery, finding assembly.
+//!   item-precise binding, unused allows flagged), file discovery,
+//!   finding assembly;
+//! * [`json`] — the versioned `tradefl-lint/v2` report format and the
+//!   in-tree schema checker CI validates it with;
+//! * [`diff`] — changed-line extraction from `git diff` output for
+//!   `--diff <base>` incremental linting.
 //!
 //! The binary (`cargo run -p tradefl-lint -- --workspace`) exits
 //! non-zero on findings; see DESIGN.md §7 for the rule catalogue and
 //! how to add a rule.
 
+pub mod callgraph;
+pub mod diff;
 pub mod engine;
+pub mod flow;
+pub mod json;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod rules;
 
 pub use engine::{lint_manifest, lint_source, lint_workspace, Finding};

@@ -1,11 +1,21 @@
 //! The `tradefl-lint` binary.
 //!
 //! ```text
-//! tradefl-lint --workspace [--root DIR] [--json]
+//! tradefl-lint --workspace [--root DIR] [--json] [--diff BASE]
 //! tradefl-lint [--json] FILE…
+//! tradefl-lint --check-json FILE
 //! tradefl-lint --explain RULE-ID
 //! tradefl-lint --list
 //! ```
+//!
+//! `--json` emits the versioned `tradefl-lint/v2` report (see
+//! [`tradefl_lint::json`]); `--check-json` validates a saved report
+//! against that schema, which is how `scripts/ci.sh` guards the
+//! contract. `--diff BASE` (workspace mode only) restricts findings to
+//! lines changed since the git ref `BASE` — allow-meta findings
+//! (`bad-allow`, `unused-allow`, `allow-span-precision`) are kept
+//! regardless, since a diff that deletes a violation is exactly when a
+//! stale allow appears without its own line changing.
 //!
 //! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O
 //! error — so `scripts/ci.sh` can gate on it directly.
@@ -13,12 +23,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tradefl_lint::rules::RULES;
-use tradefl_lint::{engine, Finding};
+use tradefl_lint::{diff, engine, json, Finding};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tradefl-lint --workspace [--root DIR] [--json]\n\
+        "usage: tradefl-lint --workspace [--root DIR] [--json] [--diff BASE]\n\
          \x20      tradefl-lint [--json] FILE...\n\
+         \x20      tradefl-lint --check-json FILE\n\
          \x20      tradefl-lint --explain RULE-ID\n\
          \x20      tradefl-lint --list"
     );
@@ -30,38 +41,9 @@ fn default_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn report(findings: &[Finding], json: bool) -> ExitCode {
     if json {
-        let mut out = String::from("{\"findings\":[");
-        for (i, f) in findings.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-                json_escape(&f.rule),
-                json_escape(&f.file),
-                f.line,
-                json_escape(&f.message)
-            ));
-        }
-        out.push_str(&format!("],\"count\":{}}}", findings.len()));
-        println!("{out}");
+        println!("{}", json::render_v2(findings));
     } else {
         for f in findings {
             println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
@@ -98,11 +80,61 @@ fn explain(id: &str) -> ExitCode {
     }
 }
 
+fn check_json(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tradefl-lint: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match json::check_v2(&text) {
+        Ok(n) => {
+            eprintln!("tradefl-lint: {path}: valid tradefl-lint/v2 report, {n} finding(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tradefl-lint: {path}: schema violation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The allow-meta rules stay in a `--diff` report even off changed
+/// lines: deleting a violation elsewhere is exactly how an allow goes
+/// stale without its own line appearing in the diff.
+fn is_allow_meta(rule: &str) -> bool {
+    matches!(rule, "bad-allow" | "unused-allow" | "allow-span-precision")
+}
+
+/// Runs `git diff BASE -U0` in `root` and keeps only findings on
+/// changed lines (plus allow-meta findings).
+fn filter_to_diff(findings: Vec<Finding>, root: &Path, base: &str) -> Result<Vec<Finding>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--no-color", "-U0", base])
+        .output()
+        .map_err(|e| format!("failed to run git diff: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff {base} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    let changed = diff::changed_lines(&String::from_utf8_lossy(&out.stdout));
+    Ok(findings
+        .into_iter()
+        .filter(|f| is_allow_meta(&f.rule) || diff::touches(&changed, &f.file, f.line))
+        .collect())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut workspace = false;
     let mut root = default_root();
+    let mut diff_base: Option<String> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -113,6 +145,16 @@ fn main() -> ExitCode {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage(),
             },
+            "--diff" => match it.next() {
+                Some(base) => diff_base = Some(base.clone()),
+                None => return usage(),
+            },
+            "--check-json" => {
+                return match it.next() {
+                    Some(path) => check_json(path),
+                    None => usage(),
+                };
+            }
             "--explain" => {
                 return match it.next() {
                     Some(id) => explain(id),
@@ -121,7 +163,7 @@ fn main() -> ExitCode {
             }
             "--list" => {
                 for r in RULES {
-                    println!("{:18} {}", r.id, r.summary);
+                    println!("{:24} {}", r.id, r.summary);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -132,13 +174,28 @@ fn main() -> ExitCode {
     }
 
     if workspace {
-        return match engine::lint_workspace(&root) {
-            Ok(findings) => report(&findings, json),
+        let findings = match engine::lint_workspace(&root) {
+            Ok(f) => f,
             Err(e) => {
                 eprintln!("tradefl-lint: {}: {e}", root.display());
-                ExitCode::from(2)
+                return ExitCode::from(2);
             }
         };
+        let findings = match diff_base {
+            Some(base) => match filter_to_diff(findings, &root, &base) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("tradefl-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => findings,
+        };
+        return report(&findings, json);
+    }
+    if diff_base.is_some() {
+        eprintln!("tradefl-lint: --diff requires --workspace");
+        return usage();
     }
     if files.is_empty() {
         return usage();

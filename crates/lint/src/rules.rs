@@ -121,6 +121,64 @@ pub const RULES: &[RuleInfo] = &[
         in_tests: false,
     },
     RuleInfo {
+        id: "unbounded-wire-alloc",
+        summary: "no wire-derived length may reach an allocation without bounded_count/.min",
+        rationale: "The ledger settles payments from untrusted frames: a decoder that passes a \
+                    declared count (`try_get_*`/`decode_*`) straight into `with_capacity`, \
+                    `.reserve`, or `vec![_; n]` lets one 9-byte frame demand a multi-gigabyte \
+                    allocation — the classic byzantine OOM. The dataflow pass tracks the taint \
+                    through bindings, `?`, casts, match arms, and one level of calls; flowing \
+                    through `bounded_count(…)` (crates/ledger/src/codec.rs) or a `.min(…)` cap \
+                    sanitizes. Validate before allocating, or lint:allow with the bound \
+                    argument.",
+        in_tests: false,
+    },
+    RuleInfo {
+        id: "no-unchecked-money-arith",
+        summary: "no raw +/-/* on Wei/balance/nonce values in crates/ledger",
+        rationale: "Money math that silently wraps corrupts settlement: a balance overflow mints \
+                    or burns funds, a nonce wrap re-opens replay. In crates/ledger, arithmetic \
+                    whose operand is money-typed (`Wei`/`Fixed` by declared type, a \
+                    balance/nonce/amount/fee/deposit/refund/stake field or binding, or the \
+                    wrapped `.0` inside `impl Wei`/`impl Fixed`) must use \
+                    checked_*/saturating_* — or carry a lint:allow spelling out why overflow is \
+                    impossible or intended.",
+        in_tests: false,
+    },
+    RuleInfo {
+        id: "no-nested-pool-scope",
+        summary: "no Pool::scope/map reachable from inside a pooled closure",
+        rationale: "A closure already running on the work-stealing pool that re-enters \
+                    `Pool::scope`/`map`/`map_indexed` (or `parallel_map`) can park every worker \
+                    inside the outer scope waiting for inner jobs nobody is free to run — a \
+                    real deadlock, and almost never lexical: the inner entry hides behind \
+                    calls. The call graph flags calls inside pooled closures whose callee \
+                    reaches a pool entry. Runtime-guarded dispatch (`pool.workers() > 1` \
+                    fan-out-or-serial shapes) documents its guard in the lint:allow reason.",
+        in_tests: false,
+    },
+    RuleInfo {
+        id: "unused-result",
+        summary: "no statement-position call that discards a Result",
+        rationale: "A dropped `Result` is an error path that vanishes: the settlement failed, \
+                    the frame was rejected, and the caller carried on. A statement-position \
+                    call whose callee — resolved against the workspace signature index, only \
+                    when every same-named definition returns `Result` — must propagate with \
+                    `?`, bind, or match. (The std blocklist keeps `Vec::push`-style name \
+                    collisions out.)",
+        in_tests: false,
+    },
+    RuleInfo {
+        id: "allow-span-precision",
+        summary: "lint:allow must annotate the line or item it suppresses",
+        rationale: "Allows bind to what they annotate: trailing comments to their own line, \
+                    standalone comments to the next line — or, when that line opens an item \
+                    (fn/impl/mod/…), to the whole parsed item span. A floating allow bound to \
+                    nothing (blank line or EOF next) is dead precision: move it onto the code \
+                    it suppresses or delete it. Not suppressible.",
+        in_tests: true,
+    },
+    RuleInfo {
         id: "bad-allow",
         summary: "lint:allow must name a known rule and carry a reason",
         rationale: "`// lint:allow(rule-id): reason` is the only escape hatch, and the reason \
@@ -237,6 +295,16 @@ pub fn applies(rule_id: &str, rel_path: &str, target: Target) -> bool {
         "no-raw-threads" => !raw_thread_exempt(rel_path),
         "no-panic-in-lib" | "no-float-eq" => panic_safety_scope(rel_path, target),
         "no-alloc-in-hot-loop" => hot_loop_scope(rel_path),
+        // The semantic rules cover library code everywhere (the
+        // deadlock/OOM/lost-error hazards are library hazards; tests
+        // and binaries fail loudly on their own)…
+        "unbounded-wire-alloc" | "unused-result" => target == Target::Lib,
+        // …except pool nesting, which additionally exempts the pool
+        // implementation itself (runtime::sync hosts the entry points
+        // the rule models as opaque).
+        "no-nested-pool-scope" => target == Target::Lib && !raw_thread_exempt(rel_path),
+        // Money arithmetic is a ledger-crate contract.
+        "no-unchecked-money-arith" => rel_path.starts_with("crates/ledger/src/"),
         _ => true,
     }
 }

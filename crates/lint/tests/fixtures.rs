@@ -204,6 +204,274 @@ fn alloc_rule_brace_matching_tracks_fn_bodies() {
     );
 }
 
+// --- unbounded-wire-alloc --------------------------------------------
+
+const LEDGER: &str = "crates/ledger/src/fixture.rs";
+
+#[test]
+fn wire_alloc_offending_clean_allowed() {
+    // The seeded regression: a wire-declared length straight into
+    // `with_capacity`.
+    offends(
+        SOLVER,
+        "fn f(buf: &mut &[u8]) -> Result<Vec<u8>, E> {\n    \
+         let n = buf.try_get_u64_le().map_err(short)? as usize;\n    \
+         let v = Vec::with_capacity(n);\n    Ok(v)\n}\n",
+        "unbounded-wire-alloc",
+    );
+    // The other sink forms: `.reserve` and `vec![x; n]`.
+    offends(
+        SOLVER,
+        "fn f(buf: &mut &[u8], out: &mut Vec<u8>) {\n    \
+         let n = decode_len(buf) as usize;\n    out.reserve(n);\n}\n",
+        "unbounded-wire-alloc",
+    );
+    offends(
+        SOLVER,
+        "fn f(buf: &mut &[u8]) -> Vec<u8> {\n    \
+         let n = buf.try_get_u32_le().map_or(0, |v| v as usize);\n    vec![0u8; n]\n}\n",
+        "unbounded-wire-alloc",
+    );
+    // Taint survives one call level: the length is produced behind a
+    // helper whose summary says "returns wire-tainted".
+    offends(
+        SOLVER,
+        "fn read_count(buf: &mut &[u8]) -> usize {\n    \
+         buf.try_get_u64_le().map_or(0, |v| v as usize)\n}\n\
+         fn g(buf: &mut &[u8]) -> Vec<u8> {\n    \
+         let n = read_count(buf);\n    Vec::with_capacity(n)\n}\n",
+        "unbounded-wire-alloc",
+    );
+    // Sanitized flows are clean: bounded_count, a .min cap, and the
+    // length of already-materialized data.
+    clean(
+        SOLVER,
+        "fn f(buf: &mut &[u8]) -> Result<Vec<u8>, E> {\n    \
+         let n = bounded_count(buf.try_get_u64_le().map_err(short)? as usize, \
+         buf.remaining(), 8)?;\n    Ok(Vec::with_capacity(n))\n}\n",
+    );
+    clean(
+        SOLVER,
+        "fn f(buf: &mut &[u8]) -> Result<Vec<u8>, E> {\n    \
+         let n = (buf.try_get_u64_le().map_err(short)? as usize).min(64);\n    \
+         Ok(Vec::with_capacity(n))\n}\n",
+    );
+    clean(
+        SOLVER,
+        "fn f(payload: Vec<u8>) -> Vec<u8> {\n    \
+         let decoded = decode_items(payload);\n    \
+         Vec::with_capacity(decoded.len())\n}\n",
+    );
+    // Out of scope: tests allocate from whatever lengths they like.
+    clean(
+        "crates/solver/tests/t.rs",
+        "fn f(buf: &mut &[u8]) -> Vec<u8> {\n    \
+         let n = buf.try_get_u64_le().map_or(0, |v| v as usize);\n    \
+         Vec::with_capacity(n)\n}\n",
+    );
+    clean(
+        SOLVER,
+        "fn f(buf: &mut &[u8]) -> Vec<u8> {\n    \
+         let n = buf.try_get_u64_le().map_or(0, |v| v as usize);\n    \
+         // lint:allow(unbounded-wire-alloc): n is pre-validated by the framing layer cap\n    \
+         Vec::with_capacity(n)\n}\n",
+    );
+}
+
+// --- no-unchecked-money-arith ----------------------------------------
+
+#[test]
+fn money_arith_offending_clean_allowed() {
+    // Money by declared type, by name, and by wrapped field in a money
+    // impl.
+    offends(LEDGER, "fn f(a: Wei, b: Wei) -> Wei { a + b }\n", "no-unchecked-money-arith");
+    offends(
+        LEDGER,
+        "fn f(balance: u128, fee: u128) -> u128 { balance - fee }\n",
+        "no-unchecked-money-arith",
+    );
+    offends(
+        LEDGER,
+        "fn bump(acct: &mut Account) { acct.nonce += 1; }\n",
+        "no-unchecked-money-arith",
+    );
+    offends(
+        LEDGER,
+        "impl Fixed {\n    fn double(self) -> Fixed { Fixed(self.0 * 2) }\n}\n",
+        "no-unchecked-money-arith",
+    );
+    // Checked/saturating forms and non-money arithmetic are clean.
+    clean(
+        LEDGER,
+        "fn f(a: Wei, b: Wei) -> Wei { a.checked_add(b).unwrap_or(Wei::ZERO) }\n",
+    );
+    clean(LEDGER, "fn f(count: u64, step: u64) -> u64 { count + step }\n");
+    // The rule is a ledger-crate contract: identical code elsewhere is
+    // out of scope.
+    clean(SOLVER, "fn f(a: Wei, b: Wei) -> Wei { a + b }\n");
+    clean(
+        LEDGER,
+        "fn f(a: Wei, b: Wei) -> Wei {\n    \
+         // lint:allow(no-unchecked-money-arith): Wei::Add is checked internally; abort beats wrap\n    \
+         a + b\n}\n",
+    );
+}
+
+// --- no-nested-pool-scope --------------------------------------------
+
+#[test]
+fn nested_pool_scope_offending_clean_allowed() {
+    // Direct lexical nesting.
+    offends(
+        SOLVER,
+        "fn f(pool: &Pool, jobs: Vec<J>) {\n    \
+         pool.scope(|s| {\n        pool.map(jobs);\n    });\n}\n",
+        "no-nested-pool-scope",
+    );
+    // The seeded regression: the nested entry hides behind one call.
+    offends(
+        SOLVER,
+        "fn inner(pool: &Pool, jobs: Vec<J>) {\n    pool.map(jobs);\n}\n\
+         fn outer(pool: &Pool, jobs: Vec<J>) {\n    \
+         pool.scope(|s| {\n        inner(pool, jobs);\n    });\n}\n",
+        "no-nested-pool-scope",
+    );
+    // Serial helpers and iterator `.map` inside pooled closures are
+    // clean — and the pool implementation itself is exempt.
+    clean(
+        SOLVER,
+        "fn payoff(i: usize) -> i64 { 0 }\n\
+         fn f(pool: &Pool, xs: Vec<usize>) {\n    \
+         pool.scope(|s| {\n        let v = payoff(3);\n    });\n}\n",
+    );
+    clean(
+        SOLVER,
+        "fn f(items: Vec<u32>) -> Vec<u32> { items.iter().map(|x| x + 1).collect() }\n\
+         fn g(pool: &Pool) {\n    pool.scope(|s| { f(Vec::new()); });\n}\n",
+    );
+    clean(
+        "crates/runtime/src/sync/pool.rs",
+        "fn f(pool: &Pool, jobs: Vec<J>) {\n    \
+         pool.scope(|s| {\n        pool.map(jobs);\n    });\n}\n",
+    );
+    clean(
+        SOLVER,
+        "fn f(pool: &Pool, jobs: Vec<J>) {\n    \
+         pool.scope(|s| {\n        \
+         // lint:allow(no-nested-pool-scope): inner dispatch checks workers() and falls back to serial\n        \
+         pool.map(jobs);\n    });\n}\n",
+    );
+}
+
+// --- unused-result ----------------------------------------------------
+
+#[test]
+fn unused_result_offending_clean_allowed() {
+    // A statement-position call to a fn every definition of which
+    // returns Result, with nothing consuming it.
+    offends(
+        SOLVER,
+        "fn save() -> Result<(), E> { Ok(()) }\n\
+         fn f() {\n    save();\n}\n",
+        "unused-result",
+    );
+    offends(
+        SOLVER,
+        "impl S {\n    fn commit(&mut self) -> Result<(), E> { Ok(()) }\n}\n\
+         fn f(s: &mut S) {\n    s.commit();\n}\n",
+        "unused-result",
+    );
+    // Propagated, bound, or matched results are consumed.
+    clean(
+        SOLVER,
+        "fn save() -> Result<(), E> { Ok(()) }\n\
+         fn f() -> Result<(), E> {\n    save()?;\n    Ok(())\n}\n",
+    );
+    clean(
+        SOLVER,
+        "fn save() -> Result<(), E> { Ok(()) }\n\
+         fn f() {\n    let _ = save();\n}\n",
+    );
+    clean(
+        SOLVER,
+        "fn save() -> Result<(), E> { Ok(()) }\n\
+         fn g() -> bool { save().is_ok() }\n",
+    );
+    // Fns that do not (always) return Result never match.
+    clean(SOLVER, "fn ping() {}\nfn f() {\n    ping();\n}\n");
+    // Tests discard results freely.
+    clean(
+        "crates/solver/tests/t.rs",
+        "fn save() -> Result<(), E> { Ok(()) }\n\
+         fn f() {\n    save();\n}\n",
+    );
+    clean(
+        SOLVER,
+        "fn save() -> Result<(), E> { Ok(()) }\n\
+         fn f() {\n    \
+         // lint:allow(unused-result): best-effort flush on the shutdown path\n    \
+         save();\n}\n",
+    );
+}
+
+// --- allow-span-precision ---------------------------------------------
+
+#[test]
+fn allow_span_precision_offending_and_clean() {
+    // Floating: the next line is blank, so the allow binds to nothing.
+    assert_rules(
+        SOLVER,
+        "fn f() {}\n// lint:allow(no-panic-in-lib): floats over nothing\n\nfn g() {}\n",
+        &["allow-span-precision"],
+    );
+    // Floating at EOF.
+    assert_rules(
+        SOLVER,
+        "fn f() {}\n// lint:allow(no-float-eq): trailing remark\n",
+        &["allow-span-precision"],
+    );
+    // Bound allows (trailing, above a statement, above an item) do not
+    // trip it.
+    clean(
+        SOLVER,
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() } \
+         // lint:allow(no-panic-in-lib): invariant: x is Some\n",
+    );
+    clean(
+        SOLVER,
+        "// lint:allow(no-panic-in-lib): demo: covers the whole item\n\
+         fn f(x: Option<u32>) -> u32 {\n    let y = 1;\n    x.unwrap() + y\n}\n",
+    );
+    // Meta rules are not suppressible: an allow cannot excuse a
+    // floating allow.
+    offends(
+        SOLVER,
+        "fn f() {}\n\
+         // lint:allow(allow-span-precision): no\n\
+         // lint:allow(no-float-eq): floats over nothing\n\n",
+        "allow-span-precision",
+    );
+}
+
+#[test]
+fn double_allow_distinguishes_the_stale_marker() {
+    // Two allows of the same rule in one file: best-match attribution
+    // must keep the load-bearing one and report the stale one at its
+    // own line.
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } \
+               // lint:allow(no-panic-in-lib): invariant: x is Some\n\
+               fn g(y: u32) -> u32 { y + 1 } \
+               // lint:allow(no-panic-in-lib): stale: g no longer unwraps\n";
+    let findings = lint_source(SOLVER, src);
+    let unused: Vec<u32> =
+        findings.iter().filter(|f| f.rule == "unused-allow").map(|f| f.line).collect();
+    assert_eq!(unused, vec![2], "{findings:?}");
+    assert!(
+        !findings.iter().any(|f| f.rule == "no-panic-in-lib"),
+        "the live allow must keep suppressing: {findings:?}"
+    );
+}
+
 // --- meta rules -------------------------------------------------------
 
 #[test]
@@ -239,6 +507,11 @@ fn every_rule_has_explain_text_and_fixture_coverage() {
         "no-alloc-in-hot-loop",
         "bad-allow",
         "unused-allow",
+        "unbounded-wire-alloc",
+        "no-unchecked-money-arith",
+        "no-nested-pool-scope",
+        "unused-result",
+        "allow-span-precision",
     ] {
         assert!(ids.contains(&required), "missing rule {required}");
     }

@@ -12,8 +12,23 @@ cd "$(dirname "$0")/.."
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> static analysis: tradefl-lint --workspace (DESIGN.md §7)"
-cargo run -p tradefl-lint --release -- --workspace
+echo "==> static analysis: tradefl-lint --workspace --json (DESIGN.md §7)"
+cargo build -p tradefl-lint --release -q
+lint_json="$(mktemp -t tradefl-lint.XXXXXX.json)"
+# The runtime budget times the analysis itself (the binary is already
+# built above), keeping the gate cheap enough to run on every push.
+lint_start_ms=$(($(date +%s%N) / 1000000))
+target/release/tradefl-lint --workspace --json > "$lint_json"
+lint_elapsed_ms=$((($(date +%s%N) / 1000000) - lint_start_ms))
+echo "  lint runtime: ${lint_elapsed_ms}ms (budget 5000ms, release)"
+if [ "$lint_elapsed_ms" -ge 5000 ]; then
+  echo "ci.sh: lint runtime budget exceeded (${lint_elapsed_ms}ms >= 5000ms)" >&2
+  exit 1
+fi
+# The emitted report must satisfy the tradefl-lint/v2 schema contract
+# (in-tree checker, no external tooling).
+target/release/tradefl-lint --check-json "$lint_json"
+rm -f "$lint_json"
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
