@@ -1,0 +1,220 @@
+//! Engine-level DST scenarios and structural shrinking.
+//!
+//! A [`Scenario`] is a complete fault + crash + Byzantine schedule
+//! drawn from a [`tradefl_runtime::check::Gen`], which means a failing
+//! schedule is a failing *draw tape* — exactly what
+//! [`tradefl_runtime::check::shrink`] knows how to minimize. On a
+//! failing DST seed, [`shrink_repair_schedule`] replays the shrinker's
+//! failure-preserving mutations (truncate, zero, halve, decrement)
+//! over the tape and hands back the minimal schedule that still
+//! triggers the failure, ready to print.
+//!
+//! The same drawing path powers the randomized sweeps in
+//! `tests/sim_engine.rs`, so a sweep counterexample and a shrunk
+//! counterexample are the same kind of object.
+
+use crate::engine::{Engine, EngineConfig, EngineReport};
+use crate::session::SessionSpec;
+use std::fmt;
+use tradefl_runtime::check::{shrink, CaseFail, CaseResult, Gen};
+use tradefl_runtime::sim::faults::{ByzantineConfig, CrashPlan, FaultConfig};
+
+/// One complete engine DST case: everything stochastic about a run,
+/// drawn from a single shrinkable tape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The engine seed (drives arrivals, gossip faults, elections, and
+    /// Byzantine decisions).
+    pub seed: u64,
+    /// Validator count.
+    pub validators: usize,
+    /// Wire faults plus the kill/restart schedule.
+    pub faults: FaultConfig,
+    /// Byzantine-proposer schedule.
+    pub byzantine: ByzantineConfig,
+}
+
+impl Scenario {
+    /// Draws a scenario. Every field goes through the generator so the
+    /// shrinker can zero it: a minimal counterexample has as few
+    /// crashes, as little wire noise, and as low a tamper rate as the
+    /// failure allows. The Byzantine rate is drawn *early* so the
+    /// shrinker's truncation ladder (an exhausted tape reads as zeros,
+    /// which quiets every later field) can cut the schedule down to
+    /// `[seed, validators, tamper]` when tampering alone reproduces
+    /// the failure.
+    pub fn draw(g: &mut Gen) -> Self {
+        let seed = g.any_u64();
+        let validators = g.usize(2..=4);
+        let byzantine = ByzantineConfig { tamper_p: g.f64(0.0..0.4) };
+        let faults = FaultConfig {
+            drop_p: g.f64(0.0..0.3),
+            dup_p: g.f64(0.0..0.2),
+            delay_p: g.f64(0.0..0.4),
+            max_delay: g.u64(0..24),
+            truncate_p: g.f64(0.0..0.15),
+            corrupt_p: g.f64(0.0..0.15),
+            crashes: g.vec(0..=3usize, |g| {
+                let node = g.usize(0..4);
+                let at = g.u64(1..256);
+                let down_for =
+                    if g.bool(0.25) { CrashPlan::NEVER_RESTARTS } else { g.u64(8..128) };
+                CrashPlan { node, at, down_for }
+            }),
+        };
+        Self { seed, validators, faults, byzantine }
+    }
+
+    /// The engine configuration this scenario runs under: one small
+    /// session, a short horizon — cheap enough that the shrinker can
+    /// afford hundreds of evaluations.
+    pub fn config(&self) -> EngineConfig {
+        EngineConfig {
+            validators: self.validators,
+            sessions: vec![SessionSpec { name: "dst-0".into(), orgs: 3, seed: 1 }],
+            horizon: 512,
+            faults: self.faults.clone(),
+            byzantine: self.byzantine.clone(),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Runs the scenario to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::engine::EngineError`] — under fault
+    /// injection these are engine bugs, not expected outcomes.
+    pub fn run(&self) -> Result<EngineReport, crate::engine::EngineError> {
+        Engine::new(self.config(), self.seed)?.run()
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fc = &self.faults;
+        write!(
+            f,
+            "seed={} validators={} drop={:.3} dup={:.3} delay={:.3}/{} trunc={:.3} \
+             corrupt={:.3} tamper={:.3} crashes=[",
+            self.seed,
+            self.validators,
+            fc.drop_p,
+            fc.dup_p,
+            fc.delay_p,
+            fc.max_delay,
+            fc.truncate_p,
+            fc.corrupt_p,
+            self.byzantine.tamper_p,
+        )?;
+        for (i, c) in fc.crashes.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            if c.restarts() {
+                write!(f, "{sep}n{}@{}+{}", c.node, c.at, c.down_for)?;
+            } else {
+                write!(f, "{sep}n{}@{}+never", c.node, c.at)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// The property the shrinker smoke minimizes: a scenario "fails" the
+/// moment its schedule forces any repair at all — a heal (crash
+/// recovery or divergence) or a Byzantine round. That makes almost
+/// every noisy schedule a counterexample, and the minimal one is the
+/// cheapest schedule that still exercises the repair path.
+pub fn repair_triggering_prop(g: &mut Gen) -> CaseResult {
+    let scenario = Scenario::draw(g);
+    let report = scenario.run().map_err(|e| CaseFail::fail(e.to_string()))?;
+    if report.heals > 0 || report.byzantine_rounds > 0 {
+        return Err(CaseFail::fail(format!(
+            "schedule forces repair (heals={} byzantine_rounds={}): {scenario}",
+            report.heals, report.byzantine_rounds
+        )));
+    }
+    Ok(())
+}
+
+/// Outcome of one shrinker-smoke run (see [`shrink_repair_schedule`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkOutcome {
+    /// Draws on the original failing tape.
+    pub initial_draws: usize,
+    /// Draws on the minimized tape (strictly smaller whenever any
+    /// truncation preserved the failure).
+    pub minimized_draws: usize,
+    /// Property evaluations the search spent.
+    pub evals: usize,
+    /// The minimal scenario, re-drawn from the minimized tape.
+    pub scenario: Scenario,
+    /// The failure message the minimal scenario produces.
+    pub msg: String,
+}
+
+/// Shrinks the repair-triggering schedule at `seed` to a minimal one.
+/// Returns `None` when the seed's schedule never triggers a repair
+/// (nothing to shrink).
+pub fn shrink_repair_schedule(seed: u64) -> Option<ShrinkOutcome> {
+    let mut g = Gen::new(seed, 1.0);
+    if repair_triggering_prop(&mut g).is_ok() {
+        return None;
+    }
+    let initial_draws = g.tape().len();
+    let shrunk = shrink(&repair_triggering_prop, seed)?;
+    let scenario = Scenario::draw(&mut Gen::from_tape(&shrunk.tape, 1.0));
+    Some(ShrinkOutcome {
+        initial_draws,
+        minimized_draws: shrunk.tape.len(),
+        evals: shrunk.evals,
+        scenario,
+        msg: shrunk.msg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_draw_deterministically() {
+        let a = Scenario::draw(&mut Gen::new(9, 1.0));
+        let b = Scenario::draw(&mut Gen::new(9, 1.0));
+        assert_eq!(a, b);
+        assert!((2..=4).contains(&a.validators));
+        assert!(a.faults.crashes.len() <= 3);
+    }
+
+    #[test]
+    fn scenario_display_prints_the_whole_schedule() {
+        let s = Scenario {
+            seed: 7,
+            validators: 3,
+            faults: FaultConfig {
+                crashes: vec![
+                    CrashPlan { node: 1, at: 40, down_for: 20 },
+                    CrashPlan { node: 2, at: 60, down_for: CrashPlan::NEVER_RESTARTS },
+                ],
+                ..FaultConfig::none()
+            },
+            byzantine: ByzantineConfig { tamper_p: 0.25 },
+        };
+        let text = s.to_string();
+        assert!(text.contains("seed=7"), "{text}");
+        assert!(text.contains("tamper=0.250"), "{text}");
+        assert!(text.contains("n1@40+20"), "{text}");
+        assert!(text.contains("n2@60+never"), "{text}");
+    }
+
+    #[test]
+    fn quiet_schedules_have_nothing_to_shrink() {
+        // A zeroed tape draws the quietest possible scenario: no wire
+        // noise, no crashes, no lies — the prop passes, shrink is None.
+        let quiet = Scenario::draw(&mut Gen::from_tape(&[], 1.0));
+        assert!(quiet.faults.crashes.is_empty());
+        let report = quiet.run().unwrap();
+        assert_eq!(report.heals, 0);
+        assert_eq!(report.byzantine_rounds, 0);
+    }
+}
+

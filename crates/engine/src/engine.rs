@@ -8,37 +8,54 @@
 //! * **Arrival** — a session's next scripted transaction reaches the
 //!   admission queue (bounded: a full queue defers the arrival, which
 //!   retries at the session's next Poisson tick — backpressure).
-//! * **Batch** — on a fixed cadence, the next live proposer syncs to
-//!   the engine's durable ledger, executes the admission queue into a
-//!   block, and the encoded frame is *persisted to the archive first*,
-//!   then gossiped to every peer through seeded fault injection
-//!   (drop/duplicate/delay/truncate/corrupt).
+//! * **Batch** — on a fixed cadence, a proposer is *elected* over the
+//!   live validators (`live[term % live.len()]`, a pure function of
+//!   the election term and the live set), catches up to its freshest
+//!   peer by pull, executes the admission queue into a block, and the
+//!   encoded frame is gossiped to every peer through seeded fault
+//!   injection (drop/duplicate/delay/truncate/corrupt). A seeded
+//!   [`ByzantinePlan`] may schedule the proposer to *lie*: the gossiped
+//!   frame encodes a mutated block, honest replicas refuse it on
+//!   re-execution, the liar (which forked itself) is rebuilt from its
+//!   peers, and the election passes to the next term's proposer — the
+//!   round's transactions are retained and re-mined honestly.
 //! * **Deliver** — a gossiped frame (possibly mutated) hits a replica's
 //!   untrusted byte path
 //!   ([`tradefl_ledger::network::Network::deliver_frame`]). Rejections
-//!   are expected; a replica that fell behind pulls the gap from the
-//!   archive, and a replica whose tip diverged (it accepted a mutated
-//!   but self-consistent block) is healed by a full ledger replay.
+//!   are expected; a replica that fell behind or diverged repairs
+//!   itself by peer-to-peer catch-up (below).
 //! * **Crash / Restart** — a node dies (loses all in-memory state) and
-//!   later reboots from genesis, recovering purely by replaying the
-//!   archive — the recovery invariant the DST harness pins.
+//!   later reboots from genesis, recovering purely by pulling the
+//!   ledger from its live peers — the recovery invariant the DST
+//!   harness pins. Transactions that were mined only on a replica that
+//!   then crashed are detected at the next batch tick (no surviving
+//!   replica holds their receipts) and re-queued, each exactly once.
 //!
-//! ## The archive is the source of truth
+//! ## Gossip-only catch-up: peers are the source of truth
 //!
-//! The engine owns a non-validator *archive node*: every mined block is
-//! applied to it (with full re-execution validation) before any gossip
-//! happens. Because proposers sync to the archive before mining, the
-//! chain is linear by construction — no two blocks ever compete for a
-//! height, so any surviving replica can always be brought to the
-//! archive's exact state by replay. [`Engine::checkpoint`] serializes
-//! the archive through the chain export codec
-//! ([`tradefl_ledger::codec::encode_chain`]) together with the
-//! simulation counters; since every stochastic stream (arrivals,
-//! tiebreaks, fault decisions) is a pure function of `(seed, counter)`,
+//! There is no trusted node. A replica that fell behind pulls each
+//! missing height from the *freshest live peer*
+//! ([`tradefl_ledger::network::Network::frame_at`]); every pulled frame
+//! is routed through the same seeded fault plan as gossip and
+//! re-validated by full re-execution on delivery, so a corrupt or
+//! lying response is refused and the puller falls back to the next
+//! peer. A replica whose tip diverged from the canonical chain (the
+//! freshest live replica's, lowest index on ties) is healed: rebuilt
+//! from genesis and re-pulled from its peers.
+//!
+//! The engine still owns a non-validator *archive node*, but it is a
+//! passive observer demoted to two jobs: [`Engine::checkpoint`] /
+//! [`Engine::restore`] (the canonical chain is serialized through
+//! [`tradefl_ledger::codec::encode_chain`] and re-validated block by
+//! block on restore) and final reporting when no validator survived.
+//! During a run it stays at genesis — the DST suite asserts that.
+//! Since every stochastic stream (arrivals, tiebreaks, fault and
+//! Byzantine decisions) is a pure function of `(seed, counter)`,
 //! [`Engine::restore`] resumes bit-identically.
 
 use crate::session::{SessionPlan, SessionSpec};
 use std::fmt;
+use tradefl_ledger::chain::Block;
 use tradefl_ledger::codec::{
     bounded_count, decode_chain, decode_tx_bytes, encode_block_bytes, encode_chain,
     encode_tx_bytes, CodecError,
@@ -51,7 +68,9 @@ use tradefl_ledger::tx::{ExecStatus, Transaction};
 use tradefl_ledger::types::{Address, Hash256, Wei};
 use tradefl_runtime::codec::{Buf, BytesMut};
 use tradefl_runtime::obs;
-use tradefl_runtime::sim::faults::{FaultConfig, FaultPlan};
+use tradefl_runtime::sim::faults::{
+    ByzantineConfig, ByzantinePlan, FaultConfig, FaultPlan, Tamper, TamperKind,
+};
 use tradefl_runtime::sim::{substream, Bounded, EventQueue, Poisson, SimTime};
 use tradefl_runtime::sync::pool::Pool;
 
@@ -59,10 +78,16 @@ use tradefl_runtime::sync::pool::Pool;
 /// streams for each randomness consumer).
 const STREAM_QUEUE: u64 = 0xE0;
 const STREAM_FAULTS: u64 = 0xE1;
+const STREAM_BYZANTINE: u64 = 0xE2;
 const STREAM_ARRIVALS: u64 = 0xA0;
 
-/// Checkpoint format version.
-const CHECKPOINT_VERSION: u8 = 1;
+/// Checkpoint format version. v2 replaced the archive-centric v1
+/// layout: the round-robin cursor became the election term, the
+/// Byzantine decision counter and the requeue/in-flight transaction
+/// sections were added, and per-replica heights let restore rebuild
+/// each replica at its exact checkpointed position instead of snapping
+/// everyone to the archive tip.
+const CHECKPOINT_VERSION: u8 = 2;
 
 /// Smallest possible encoding of one pending-event queue entry:
 /// time (8) + seq (8) + event tag (1). Bounds the declared entry count
@@ -90,6 +115,9 @@ pub struct EngineConfig {
     /// Fault injection applied to every gossiped frame, plus the
     /// kill-and-restart schedule.
     pub faults: FaultConfig,
+    /// Byzantine-proposer schedule: with what probability an elected
+    /// proposer gossips a tampered block instead of its honest one.
+    pub byzantine: ByzantineConfig,
     /// Wire-path frame size limit for every replica.
     pub max_frame_bytes: usize,
     /// Worker threads for the equilibrium solves (bit-identical results
@@ -107,6 +135,7 @@ impl Default for EngineConfig {
             admission_capacity: 16,
             horizon: 1 << 10,
             faults: FaultConfig::none(),
+            byzantine: ByzantineConfig::none(),
             max_frame_bytes: WireLimits::DEFAULT_MAX_FRAME_BYTES,
             workers: 1,
         }
@@ -197,7 +226,8 @@ enum Event {
         /// The node that dies.
         node: usize,
     },
-    /// Validator `node` reboots (recovery replays the archive).
+    /// Validator `node` reboots (recovery pulls the ledger from live
+    /// peers through the fault plan).
     Restart {
         /// The node that reboots.
         node: usize,
@@ -256,16 +286,31 @@ pub struct EngineReport {
     pub blocks: u64,
     /// Arrivals deferred by a full admission queue.
     pub backpressure: u64,
-    /// Full ledger replays forced by tip divergence or crash recovery.
+    /// Genesis rebuilds forced by tip divergence, crash recovery, or a
+    /// proposer that lied (and forked itself doing so).
     pub heals: u64,
-    /// Final chain height (archive).
+    /// Rounds where the elected proposer gossiped a tampered block.
+    pub byzantine_rounds: u64,
+    /// Transactions re-queued because no surviving replica held their
+    /// receipt after the round that mined them (crashed or lying
+    /// proposer) — each re-mined without duplication.
+    pub requeues: u64,
+    /// Final chain height (canonical: the freshest surviving replica;
+    /// the archive's stale observer view if nobody survived).
     pub final_height: usize,
-    /// Final state root (archive; all survivors match when `converged`).
+    /// Final state root (canonical; all survivors match when
+    /// `converged`).
     pub state_root: Hash256,
     /// Validators alive at the end of the run.
     pub survivors: Vec<usize>,
-    /// Whether every survivor holds the archive's exact tip hash and
-    /// state root — the bit-identity claim the DST harness asserts.
+    /// Every validator died and no restart is pending: there is no
+    /// state left to converge, so `converged` is explicitly false
+    /// rather than vacuously true.
+    pub no_survivors: bool,
+    /// Whether every survivor holds the canonical tip hash and state
+    /// root — the bit-identity claim the DST harness asserts. Requires
+    /// at least one survivor: zero-survivor convergence is vacuous and
+    /// reports false (see `no_survivors`).
     pub converged: bool,
     /// Sessions whose every scripted transaction succeeded on-chain.
     pub sessions_settled: usize,
@@ -295,15 +340,39 @@ pub struct Engine {
     queue: EventQueue<Event>,
     admission: Bounded<Transaction>,
     faults: FaultPlan,
+    byzantine: ByzantinePlan,
     arrivals: Vec<Poisson>,
     alive: Vec<bool>,
     cursors: Vec<usize>,
     arrival_k: Vec<u64>,
-    next_proposer: usize,
+    /// Election term: the next proposer is `live[term % live.len()]`
+    /// over the ascending live validator set — a pure function of
+    /// `(term, alive)`, so restarts can neither skip nor double-count
+    /// anyone and checkpoint/restore replays elections exactly.
+    term: u64,
+    /// Transactions awaiting re-mining: a batch tick found them missing
+    /// from the canonical chain (their round was lost with a crashed or
+    /// lying proposer).
+    requeue: Vec<Transaction>,
+    /// Every transaction ever handed to an honest proposer, retained
+    /// (they are the sessions' finite scripts) so that any round lost
+    /// with its holder — even one committed many rounds ago whose sole
+    /// replica crashed — can be detected by receipt absence on the
+    /// canonical chain and re-mined.
+    mined: Vec<Transaction>,
+    /// Restart events still pending in the queue — lets the engine
+    /// detect a doomed network (everyone dead, nobody coming back).
+    pending_restarts: usize,
+    /// Whether a Batch event is in the queue — a crash that orphans
+    /// mined transactions must be able to restart the batch cadence
+    /// without double-scheduling it.
+    batch_pending: bool,
     batches: u64,
     blocks: u64,
     backpressure: u64,
     heals: u64,
+    byzantine_rounds: u64,
+    requeues: u64,
 }
 
 impl Engine {
@@ -369,6 +438,8 @@ impl Engine {
 
         let mut queue = EventQueue::new(substream(seed, STREAM_QUEUE));
         let faults = FaultPlan::new(substream(seed, STREAM_FAULTS), config.faults.clone());
+        let byzantine =
+            ByzantinePlan::new(substream(seed, STREAM_BYZANTINE), config.byzantine.clone());
         let arrivals: Vec<Poisson> = (0..plans.len())
             .map(|s| Poisson::new(seed, STREAM_ARRIVALS + s as u64, config.mean_arrival_gap))
             .collect();
@@ -377,13 +448,17 @@ impl Engine {
             queue.push(p.gap(0), Event::Arrival { session: s });
         }
         queue.push(config.batch_interval.max(1), Event::Batch);
+        let mut pending_restarts = 0;
         for crash in &faults.config().crashes {
             if crash.node < config.validators {
                 queue.push(crash.at.max(1), Event::Crash { node: crash.node });
-                queue.push(
-                    crash.at.max(1).saturating_add(crash.down_for),
-                    Event::Restart { node: crash.node },
-                );
+                if crash.restarts() {
+                    queue.push(
+                        crash.at.max(1).saturating_add(crash.down_for),
+                        Event::Restart { node: crash.node },
+                    );
+                    pending_restarts += 1;
+                }
             }
         }
 
@@ -394,11 +469,17 @@ impl Engine {
             cursors: vec![0; n_sessions],
             arrival_k: vec![0; n_sessions],
             admission: Bounded::new(config.admission_capacity),
-            next_proposer: 0,
+            term: 0,
+            requeue: Vec::new(),
+            mined: Vec::new(),
+            pending_restarts,
+            batch_pending: true,
             batches: 0,
             blocks: 0,
             backpressure: 0,
             heals: 0,
+            byzantine_rounds: 0,
+            requeues: 0,
             config,
             plans,
             allocations,
@@ -407,6 +488,7 @@ impl Engine {
             archive,
             queue,
             faults,
+            byzantine,
             arrivals,
         })
     }
@@ -421,12 +503,18 @@ impl Engine {
         self.queue.now()
     }
 
-    /// The archive (source-of-truth) chain height.
+    /// The canonical chain height: the freshest live replica's, or the
+    /// archive's stale observer view when nobody is alive.
     pub fn height(&self) -> usize {
-        self.archive.chain().height()
+        match self.canonical() {
+            Some(c) => self.height_of(c),
+            None => self.archive.chain().height(),
+        }
     }
 
-    /// Read access to the archive node (receipts, views, chain).
+    /// Read access to the archive node — a passive observer used only
+    /// for checkpoint/restore and as the reporting fallback when no
+    /// validator survived. During a run it stays at genesis.
     pub fn archive(&self) -> &Node {
         &self.archive
     }
@@ -439,6 +527,19 @@ impl Engine {
     /// The deployed contract address for session `s`.
     pub fn contract(&self, s: usize) -> Option<Address> {
         self.contracts.get(s).copied()
+    }
+
+    /// The election term: how many proposal attempts have been made.
+    /// Checkpoint/restore must carry it exactly — the DST harness
+    /// asserts a resumed run ends on the uninterrupted run's term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// The resolved plan for session `s` (the DST harness audits its
+    /// scripted transactions against the canonical chain).
+    pub fn session_plan(&self, s: usize) -> Option<&SessionPlan> {
+        self.plans.get(s)
     }
 
     /// Fresh contract prototypes with their expected addresses — what a
@@ -454,55 +555,135 @@ impl Engine {
         Ok(out)
     }
 
-    /// Rebuilds validator `i` from genesis and replays the entire
-    /// archive through its wire path — crash recovery, and the repair
-    /// path for a replica whose tip diverged.
-    fn heal(&mut self, i: usize) -> Result<(), EngineError> {
+    /// Chain height of replica `i`.
+    fn height_of(&self, i: usize) -> usize {
+        self.net.validator(i).node.chain().height()
+    }
+
+    /// The canonical replica: the freshest live validator, lowest
+    /// index on ties. `None` when every validator is dead.
+    fn canonical(&self) -> Option<usize> {
+        (0..self.config.validators).filter(|&i| self.alive[i]).fold(None, |best, i| {
+            match best {
+                Some(b) if self.height_of(i) <= self.height_of(b) => Some(b),
+                _ => Some(i),
+            }
+        })
+    }
+
+    /// Live peers of `i`, freshest first (stable sort: index order
+    /// breaks ties deterministically).
+    fn peers_by_freshness(&self, i: usize) -> Vec<usize> {
+        let mut peers: Vec<usize> = (0..self.config.validators)
+            .filter(|&j| j != i && self.alive[j])
+            .collect();
+        peers.sort_by_key(|&j| std::cmp::Reverse(self.height_of(j)));
+        peers
+    }
+
+    /// Gossip-only catch-up: pulls each height replica `i` is missing
+    /// from its live peers, freshest first. Mid-run (`through_faults`)
+    /// every pulled frame is routed through the same seeded fault plan
+    /// as gossip — a dropped response means the peer is unresponsive
+    /// and the puller falls back to the next one, and a corrupt or
+    /// lying response is refused by full re-execution on delivery (the
+    /// pull never trusts the peer). A height nobody can serve right
+    /// now is left for a later repair pass — partial progress is fine.
+    fn pull_from_peers(&mut self, i: usize, through_faults: bool) -> Result<(), EngineError> {
+        loop {
+            let h = self.height_of(i);
+            let peers = self.peers_by_freshness(i);
+            let target = peers.first().map(|&p| self.height_of(p)).unwrap_or(0);
+            if h >= target {
+                return Ok(());
+            }
+            let mut applied = false;
+            for &peer in &peers {
+                let Some(frame) = self.net.frame_at(peer, h as u64) else { continue };
+                let frame = if through_faults {
+                    // Pulls are synchronous request/response: the first
+                    // routed delivery is the reply (its delay does not
+                    // reorder anything), none at all is a dropped reply.
+                    match self.faults.route(&frame).into_iter().next() {
+                        Some(d) => d.frame,
+                        None => continue,
+                    }
+                } else {
+                    frame
+                };
+                if self.net.deliver_frame(i, &frame).is_ok() {
+                    applied = true;
+                    break;
+                }
+                obs::counter_add("engine.pull_rejected", 1);
+            }
+            if !applied {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Whether replica `i`'s tip is off the canonical chain `c` — it
+    /// accepted a block the network later abandoned, so pulls stall
+    /// against it and only a genesis rebuild repairs it.
+    fn diverged_from(&self, i: usize, c: usize) -> bool {
+        let h = self.height_of(i);
+        match self.net.validator(c).node.chain().blocks().get(h.saturating_sub(1)) {
+            Some(b) => b.hash() != self.net.validator(i).node.chain().tip_hash(),
+            None => false,
+        }
+    }
+
+    /// Rebuilds validator `i` from genesis and re-pulls the ledger from
+    /// its live peers — crash recovery, the repair path for a diverged
+    /// tip, and the immediate cleanup for a proposer that lied (its
+    /// honest block forked off the chain the network kept).
+    fn heal(&mut self, i: usize, through_faults: bool) -> Result<(), EngineError> {
         self.heals += 1;
         let protos = self.prototypes()?;
         self.net.restart_validator(i, &self.allocations, &protos)?;
-        for block in self.archive.chain().blocks().iter().skip(1) {
-            let frame = encode_block_bytes(block);
-            if self.net.deliver_frame(i, &frame).is_err() {
-                return Err(EngineError::Internal("canonical ledger replay rejected"));
-            }
-        }
         obs::counter_add("engine.heals", 1);
-        Ok(())
+        self.pull_from_peers(i, through_faults)
     }
 
-    /// Brings validator `i` up to the archive: replays missing heights
-    /// through the wire path; if any canonical frame is rejected (or
-    /// the tip still differs at full height), the replica's chain has
-    /// diverged and it is healed by full replay.
-    fn sync_node(&mut self, i: usize) -> Result<(), EngineError> {
-        loop {
-            let h = self.net.validator(i).node.chain().height();
-            let ah = self.archive.chain().height();
-            if h > ah {
-                return self.heal(i);
-            }
-            if h == ah {
-                break;
-            }
-            let Some(block) = self.archive.chain().blocks().get(h) else {
-                return Err(EngineError::Internal("archive height out of range"));
-            };
-            let frame = encode_block_bytes(block);
-            if self.net.deliver_frame(i, &frame).is_err() {
-                return self.heal(i);
-            }
-        }
-        if self.net.validator(i).node.chain().tip_hash() != self.archive.chain().tip_hash() {
-            return self.heal(i);
+    /// Repairs replica `i` against its peers: pulls missing heights,
+    /// then heals if the tip diverged from the canonical chain.
+    fn sync_from_peers(&mut self, i: usize, through_faults: bool) -> Result<(), EngineError> {
+        self.pull_from_peers(i, through_faults)?;
+        let Some(c) = self.canonical() else { return Ok(()) };
+        if c != i && self.diverged_from(i, c) {
+            return self.heal(i, through_faults);
         }
         Ok(())
     }
 
-    /// Whether any session still has unmined work.
+    /// Every validator is dead and no restart is coming: remaining
+    /// work can never be mined, so the run winds down instead of
+    /// ticking forever into the stall guard.
+    fn network_doomed(&self) -> bool {
+        self.pending_restarts == 0 && self.alive.iter().all(|&a| !a)
+    }
+
+    /// Whether any mined transaction is absent from the canonical
+    /// chain — its round was lost with its holder, and the next batch
+    /// tick will re-queue it.
+    fn tx_missing_from_canonical(&self) -> bool {
+        match self.canonical() {
+            Some(c) => {
+                let node = &self.net.validator(c).node;
+                self.mined.iter().any(|tx| node.receipt(tx.hash()).is_none())
+            }
+            None => !self.mined.is_empty(),
+        }
+    }
+
+    /// Whether any session still has unmined (or lost-and-unrecovered)
+    /// work.
     fn work_remaining(&self) -> bool {
         !self.admission.is_empty()
+            || !self.requeue.is_empty()
             || self.cursors.iter().zip(&self.plans).any(|(&c, p)| c < p.len())
+            || self.tx_missing_from_canonical()
     }
 
     fn on_arrival(&mut self, s: usize) {
@@ -520,65 +701,141 @@ impl Engine {
             }
         }
         self.arrival_k[s] += 1;
-        if self.cursors[s] < self.plans[s].len() {
+        // A doomed network (everyone dead, nobody coming back) can
+        // never mine: stop generating arrivals so the run winds down.
+        if self.cursors[s] < self.plans[s].len() && !self.network_doomed() {
             let gap = self.arrivals[s].gap(self.arrival_k[s]);
             self.queue.push_in(gap, Event::Arrival { session: s });
         }
     }
 
+    /// The elected proposer for the current term: `live[term % len]`
+    /// over the ascending live set. Unlike a blind round-robin cursor,
+    /// crashed validators are never elected (no wasted rounds) and the
+    /// rule replays exactly from `(term, alive)` after a restore.
+    fn elect(&self) -> Option<usize> {
+        let live: Vec<usize> =
+            (0..self.config.validators).filter(|&i| self.alive[i]).collect();
+        if live.is_empty() {
+            return None;
+        }
+        Some(live[(self.term % live.len() as u64) as usize])
+    }
+
+    /// Re-queues every mined transaction the canonical chain no longer
+    /// holds a receipt for: its round was lost with its proposer (a
+    /// crash or a lie after mining). The receipt check is what makes
+    /// re-mining exactly-once — a tx present on the canonical chain is
+    /// never resubmitted, and a lost one is re-mined onto a chain that
+    /// never had it.
+    fn resolve_lost_txs(&mut self) {
+        let Some(c) = self.canonical() else { return };
+        for k in 0..self.mined.len() {
+            let tx = &self.mined[k];
+            if self.net.validator(c).node.receipt(tx.hash()).is_some() {
+                continue;
+            }
+            // Skip txs already awaiting re-mining (a tick where every
+            // proposer lied leaves the requeue populated).
+            if self.requeue.iter().any(|r| r.hash() == tx.hash()) {
+                continue;
+            }
+            self.requeues += 1;
+            obs::counter_add("engine.requeued", 1);
+            self.requeue.push(self.mined[k].clone());
+        }
+    }
+
+    /// Fans a frame out to every peer of `from` through fault routing.
+    fn gossip(&mut self, from: usize, frame: &[u8]) {
+        for peer in 0..self.config.validators {
+            if peer == from {
+                continue;
+            }
+            for d in self.faults.route(frame) {
+                self.queue.push_in(d.delay, Event::Deliver { to: peer, frame: d.frame });
+            }
+        }
+    }
+
     fn on_batch(&mut self) -> Result<(), EngineError> {
         self.batches += 1;
-        // Round-robin over live validators.
-        let mut proposer = None;
-        let v = self.config.validators;
-        let mut p = self.next_proposer;
-        for _ in 0..v {
-            if self.alive[p] {
-                proposer = Some(p);
-                break;
-            }
-            p = (p + 1) % v;
+        self.batch_pending = false;
+        self.resolve_lost_txs();
+        let mut txs: Vec<Transaction> = std::mem::take(&mut self.requeue);
+        while let Some(tx) = self.admission.pop() {
+            txs.push(tx);
         }
-        if let Some(p) = proposer {
-            self.next_proposer = (p + 1) % v;
-            let mut txs = Vec::new();
-            while let Some(tx) = self.admission.pop() {
-                txs.push(tx);
+        if !txs.is_empty() {
+            // One election per attempt, at most one attempt per live
+            // validator this tick: every lying proposer burns its term
+            // and the next elected validator retries the same round.
+            let live = self.alive.iter().filter(|&&a| a).count();
+            for _ in 0..live {
+                let Some(p) = self.elect() else { break };
+                self.term += 1;
+                self.sync_from_peers(p, true)?;
+                if self.height_of(p) < self.canonical().map_or(0, |c| self.height_of(c)) {
+                    // Catch-up stalled (every pull dropped): mining now
+                    // would fork onto a stale parent. Pass the term on.
+                    continue;
+                }
+                match self.byzantine.decide() {
+                    Some(tamper) => {
+                        // A scheduled lie: the proposer mines honestly
+                        // but gossips a mutated frame. Honest replicas
+                        // refuse it on re-execution; the liar forked
+                        // itself and is rebuilt from its peers before
+                        // it can serve anyone its bad chain.
+                        let frame = self.net.propose_with(
+                            p,
+                            txs.clone(),
+                            Some(&|b: &mut Block| apply_tamper(b, tamper)),
+                        )?;
+                        self.byzantine_rounds += 1;
+                        obs::event(
+                            obs::Subsystem::Engine,
+                            "byzantine",
+                            &[
+                                ("proposer", (p as u64).into()),
+                                ("term", self.term.into()),
+                            ],
+                        );
+                        obs::counter_add("engine.byzantine_rounds", 1);
+                        self.gossip(p, &frame);
+                        self.heal(p, true)?;
+                    }
+                    None => {
+                        let frame = self.net.propose(p, txs.clone())?;
+                        self.blocks += 1;
+                        obs::event(
+                            obs::Subsystem::Engine,
+                            "batch",
+                            &[
+                                ("height", (self.height_of(p) as u64).into()),
+                                ("proposer", (p as u64).into()),
+                                ("txs", (txs.len() as u64).into()),
+                            ],
+                        );
+                        self.gossip(p, &frame);
+                        for tx in txs.drain(..) {
+                            if !self.mined.iter().any(|m| m.hash() == tx.hash()) {
+                                self.mined.push(tx);
+                            }
+                        }
+                        break;
+                    }
+                }
             }
             if !txs.is_empty() {
-                self.sync_node(p)?;
-                let n_txs = txs.len() as u64;
-                let frame = self.net.propose(p, txs)?;
-                // Persist before gossip: the archive is the ledger.
-                let Some(block) = self.net.validator(p).node.chain().blocks().last().cloned()
-                else {
-                    return Err(EngineError::Internal("proposer has no tip"));
-                };
-                if self.archive.apply_block(&block).is_err() {
-                    return Err(EngineError::Internal("archive rejected proposer block"));
-                }
-                self.blocks += 1;
-                obs::event(
-                    obs::Subsystem::Engine,
-                    "batch",
-                    &[
-                        ("height", (self.archive.chain().height() as u64).into()),
-                        ("proposer", (p as u64).into()),
-                        ("txs", n_txs.into()),
-                    ],
-                );
-                for peer in 0..v {
-                    if peer == p {
-                        continue;
-                    }
-                    for d in self.faults.route(&frame) {
-                        self.queue.push_in(d.delay, Event::Deliver { to: peer, frame: d.frame });
-                    }
-                }
+                // No honest eligible proposer this tick (all lied or
+                // stalled, or nobody is alive): hold for the next one.
+                self.requeue = txs;
             }
         }
-        if self.work_remaining() {
+        if self.work_remaining() && !self.network_doomed() {
             self.queue.push_in(self.config.batch_interval.max(1), Event::Batch);
+            self.batch_pending = true;
         }
         Ok(())
     }
@@ -594,8 +851,8 @@ impl Engine {
                 if got > expected =>
             {
                 // The replica fell behind (dropped/reordered frames):
-                // pull the gap from the ledger.
-                self.sync_node(to)
+                // pull the gap from its live peers.
+                self.sync_from_peers(to, true)
             }
             Err(FrameError::Apply(BlockApplyError::WrongHeight { .. })) => {
                 // Stale duplicate of a height the replica already holds.
@@ -604,15 +861,16 @@ impl Engine {
             }
             Err(FrameError::Decode(_)) | Err(FrameError::Oversize { .. }) => {
                 // Mutated junk; the content reaches the replica later by
-                // ledger sync.
+                // peer catch-up.
                 obs::counter_add("engine.frames_rejected", 1);
                 Ok(())
             }
             Err(FrameError::Apply(_)) => {
-                // Parent/root mismatch: either a mutated frame or a
-                // diverged tip — syncing repairs both.
+                // Parent/root mismatch: a mutated frame, a lying
+                // proposer's block, or a diverged tip — peer catch-up
+                // repairs all three.
                 obs::counter_add("engine.frames_rejected", 1);
-                self.sync_node(to)
+                self.sync_from_peers(to, true)
             }
         }
     }
@@ -621,14 +879,24 @@ impl Engine {
         if node < self.alive.len() && self.alive[node] {
             self.alive[node] = false;
             obs::event(obs::Subsystem::Engine, "crash", &[("node", (node as u64).into())]);
+            // A crash at the tail of the run can orphan transactions
+            // whose only copy died with this node, after the batch
+            // cadence already wound down — restart it so the next tick
+            // re-queues and re-mines them.
+            if !self.batch_pending && self.work_remaining() && !self.network_doomed() {
+                self.queue.push_in(self.config.batch_interval.max(1), Event::Batch);
+                self.batch_pending = true;
+            }
         }
     }
 
     fn on_restart(&mut self, node: usize) -> Result<(), EngineError> {
+        self.pending_restarts = self.pending_restarts.saturating_sub(1);
         if node < self.alive.len() && !self.alive[node] {
             self.alive[node] = true;
-            // Reboot from genesis; recovery is a pure ledger replay.
-            self.heal(node)?;
+            // Reboot from genesis; recovery pulls from live peers
+            // through the fault plan, like any other catch-up.
+            self.heal(node, true)?;
             obs::event(
                 obs::Subsystem::Engine,
                 "restart",
@@ -687,21 +955,43 @@ impl Engine {
     pub fn report(&mut self) -> Result<EngineReport, EngineError> {
         let survivors: Vec<usize> =
             (0..self.config.validators).filter(|&i| self.alive[i]).collect();
+        // Final catch-up is part of reporting, not the network: the
+        // run is over, so pulls are direct (still re-validated) rather
+        // than routed through the fault plan.
         for &i in &survivors {
-            self.sync_node(i)?;
+            self.sync_from_peers(i, false)?;
         }
-        let tip = self.archive.chain().tip_hash();
-        let root = self.archive.state().root();
-        let converged = survivors.iter().all(|&i| {
-            let node = &self.net.validator(i).node;
-            node.chain().tip_hash() == tip && node.state().root() == root
-        }) && self.net.converged_among(&survivors);
+        let no_survivors = survivors.is_empty();
+        let (tip, root, final_height) = match self.canonical() {
+            Some(c) => {
+                let node = &self.net.validator(c).node;
+                (node.chain().tip_hash(), node.state().root(), node.chain().height())
+            }
+            // Nobody survived: all the engine can report is the
+            // archive's stale observer view (genesis unless restored
+            // from a checkpoint).
+            None => (
+                self.archive.chain().tip_hash(),
+                self.archive.state().root(),
+                self.archive.chain().height(),
+            ),
+        };
+        let converged = !no_survivors
+            && survivors.iter().all(|&i| {
+                let node = &self.net.validator(i).node;
+                node.chain().tip_hash() == tip && node.state().root() == root
+            })
+            && self.net.converged_among(&survivors);
 
+        let receipt_ok = |tx: &Transaction| match self.canonical() {
+            Some(c) => self.net.validator(c).node.receipt(tx.hash()).cloned(),
+            None => self.archive.receipt(tx.hash()).cloned(),
+        };
         let mut sessions_settled = 0;
         for (s, plan) in self.plans.iter().enumerate() {
             let all_ok = (0..plan.len()).all(|k| {
                 plan.tx_at(k, self.contracts[s])
-                    .and_then(|tx| self.archive.receipt(tx.hash()).cloned())
+                    .and_then(|tx| receipt_ok(&tx))
                     .is_some_and(|r| matches!(r.status, ExecStatus::Success))
             });
             if all_ok {
@@ -714,9 +1004,12 @@ impl Engine {
             blocks: self.blocks,
             backpressure: self.backpressure,
             heals: self.heals,
-            final_height: self.archive.chain().height(),
+            byzantine_rounds: self.byzantine_rounds,
+            requeues: self.requeues,
+            final_height,
             state_root: root,
             survivors,
+            no_survivors,
             converged,
             sessions_settled,
             sessions_total: self.plans.len(),
@@ -725,26 +1018,36 @@ impl Engine {
     }
 
     /// Serializes the live engine: simulation counters, session
-    /// cursors, admission queue, pending events, and the full ledger
-    /// through the chain export codec. Restoring with
-    /// [`Engine::restore`] resumes bit-identically — every stochastic
-    /// stream is a pure function of `(seed, counter)`, and all counters
-    /// are here.
+    /// cursors, admission/requeue/in-flight transactions, per-replica
+    /// heights, pending events, and the canonical chain (the freshest
+    /// live replica's — the archive's only if nobody is alive) through
+    /// the chain export codec. Restoring with [`Engine::restore`]
+    /// resumes bit-identically — every stochastic stream is a pure
+    /// function of `(seed, counter)`, and all counters are here.
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(4096);
         buf.put_u8(CHECKPOINT_VERSION);
         buf.put_u64_le(self.seed);
         buf.put_u64_le(self.queue.now());
         buf.put_u64_le(self.queue.next_seq());
-        buf.put_u64_le(self.next_proposer as u64);
+        buf.put_u64_le(self.term);
         buf.put_u64_le(self.batches);
         buf.put_u64_le(self.blocks);
         buf.put_u64_le(self.backpressure);
         buf.put_u64_le(self.heals);
+        buf.put_u64_le(self.byzantine_rounds);
+        buf.put_u64_le(self.requeues);
         buf.put_u64_le(self.faults.decisions());
+        buf.put_u64_le(self.byzantine.decisions());
         buf.put_u64_le(self.alive.len() as u64);
         for &a in &self.alive {
             buf.put_u8(a as u8);
+        }
+        // Per-replica chain heights: restore rebuilds each replica at
+        // its exact position by replaying the canonical prefix.
+        buf.put_u64_le(self.config.validators as u64);
+        for i in 0..self.config.validators {
+            buf.put_u64_le(self.height_of(i) as u64);
         }
         buf.put_u64_le(self.cursors.len() as u64);
         for &c in &self.cursors {
@@ -760,6 +1063,14 @@ impl Engine {
             buf.put_u64_le(bytes.len() as u64);
             buf.put_slice(&bytes);
         }
+        for txs in [&self.requeue, &self.mined] {
+            buf.put_u64_le(txs.len() as u64);
+            for tx in txs {
+                let bytes = encode_tx_bytes(tx);
+                buf.put_u64_le(bytes.len() as u64);
+                buf.put_slice(&bytes);
+            }
+        }
         let pending = self.queue.pending();
         buf.put_u64_le(pending.len() as u64);
         for (time, _, seq, event) in pending {
@@ -767,7 +1078,10 @@ impl Engine {
             buf.put_u64_le(seq);
             event.encode(&mut buf);
         }
-        let chain = encode_chain(self.archive.chain());
+        let chain = match self.canonical() {
+            Some(c) => encode_chain(self.net.validator(c).node.chain()),
+            None => encode_chain(self.archive.chain()),
+        };
         buf.put_u64_le(chain.len() as u64);
         buf.put_slice(&chain);
         buf.to_vec()
@@ -805,13 +1119,17 @@ impl Engine {
         }
         let now = buf.try_get_u64_le().map_err(short)?;
         let next_seq = buf.try_get_u64_le().map_err(short)?;
-        engine.next_proposer = buf.try_get_u64_le().map_err(short)? as usize;
+        engine.term = buf.try_get_u64_le().map_err(short)?;
         engine.batches = buf.try_get_u64_le().map_err(short)?;
         engine.blocks = buf.try_get_u64_le().map_err(short)?;
         engine.backpressure = buf.try_get_u64_le().map_err(short)?;
         engine.heals = buf.try_get_u64_le().map_err(short)?;
+        engine.byzantine_rounds = buf.try_get_u64_le().map_err(short)?;
+        engine.requeues = buf.try_get_u64_le().map_err(short)?;
         let decisions = buf.try_get_u64_le().map_err(short)?;
         engine.faults.restore_decisions(decisions);
+        let byz_decisions = buf.try_get_u64_le().map_err(short)?;
+        engine.byzantine.restore_decisions(byz_decisions);
 
         let n_alive = buf.try_get_u64_le().map_err(short)? as usize;
         if n_alive != engine.alive.len() {
@@ -819,6 +1137,14 @@ impl Engine {
         }
         for a in engine.alive.iter_mut() {
             *a = buf.try_get_u8().map_err(short)? != 0;
+        }
+        let n_heights = buf.try_get_u64_le().map_err(short)? as usize;
+        if n_heights != engine.config.validators {
+            return Err(EngineError::Checkpoint("validator count mismatch".into()));
+        }
+        let mut heights = Vec::with_capacity(engine.config.validators);
+        for _ in 0..n_heights {
+            heights.push(buf.try_get_u64_le().map_err(short)? as usize);
         }
         let n_cursors = buf.try_get_u64_le().map_err(short)? as usize;
         if n_cursors != engine.cursors.len() {
@@ -847,6 +1173,19 @@ impl Engine {
                 ));
             }
         }
+        for section in [&mut engine.requeue, &mut engine.mined] {
+            let n = bounded_count(
+                buf.try_get_u64_le().map_err(short)? as usize,
+                buf.remaining(),
+                8, // each entry is at least a u64 length prefix
+            )?;
+            section.clear();
+            for _ in 0..n {
+                let len = buf.try_get_u64_le().map_err(short)? as usize;
+                let bytes = buf.try_take_slice(len).map_err(short)?;
+                section.push(decode_tx_bytes(bytes)?);
+            }
+        }
 
         // A forged checkpoint can declare any count; bound it by the
         // bytes actually present (each entry is ≥ time(8) + seq(8) +
@@ -863,6 +1202,13 @@ impl Engine {
             let event = Event::decode(buf)?;
             entries.push((time, seq, event));
         }
+        // Recompute rather than trust: the doomed-network and
+        // batch-cadence checks must agree with the events actually in
+        // the queue.
+        engine.pending_restarts =
+            entries.iter().filter(|(_, _, e)| matches!(e, Event::Restart { .. })).count();
+        engine.batch_pending =
+            entries.iter().any(|(_, _, e)| matches!(e, Event::Batch));
         engine.queue =
             EventQueue::restore(substream(seed, STREAM_QUEUE), now, next_seq, entries);
 
@@ -873,7 +1219,8 @@ impl Engine {
         }
         // Import through the chain codec, then replay into the fresh
         // archive with full re-execution validation — a forged
-        // checkpoint cannot produce a diverging engine.
+        // checkpoint cannot produce a diverging engine. (This is the
+        // archive's checkpoint-vessel role; it plays no part mid-run.)
         let chain = decode_chain(&chain_bytes)?;
         let blocks = chain.blocks();
         let Some(genesis) = blocks.first() else {
@@ -891,20 +1238,48 @@ impl Engine {
                 ));
             }
         }
-        // Live replicas resume at the ledger; dead ones stay at genesis
-        // until their Restart event heals them.
-        for i in 0..engine.config.validators {
-            if engine.alive[i] {
-                engine.sync_node(i)?;
+        // Rebuild every replica at its checkpointed height by replaying
+        // the canonical prefix through its wire path. A dead replica's
+        // height is capped by the canonical chain (its in-memory state
+        // is wiped at restart anyway and it never serves pulls).
+        for (i, &h) in heights.iter().enumerate() {
+            let target = h.min(blocks.len());
+            for block in &blocks[1..target.max(1)] {
+                let frame = encode_block_bytes(block);
+                if engine.net.deliver_frame(i, &frame).is_err() {
+                    return Err(EngineError::Checkpoint(
+                        "replica prefix replay failed validation".into(),
+                    ));
+                }
             }
         }
         Ok(engine)
     }
 }
 
+/// Applies a scheduled lie to a block the proposer is about to gossip.
+/// Every kind breaks a commitment the honest re-execution path checks
+/// (state root, receipts root, or a receipt the receipts root commits
+/// to), so honest replicas always refuse the frame.
+fn apply_tamper(block: &mut Block, t: Tamper) {
+    let pos = (t.salt % 32) as usize;
+    let bite = ((t.salt >> 8) as u8) | 1;
+    match t.kind {
+        TamperKind::StateRoot => block.header.state_root.0[pos] ^= bite,
+        TamperKind::ReceiptsRoot => block.header.receipts_root.0[pos] ^= bite,
+        TamperKind::ReceiptGas => match block.receipts.first_mut() {
+            Some(r) => r.gas_used ^= (t.salt & 0xFFFF) | 1,
+            // An empty block carries no receipts to lie about; lie
+            // about the post-state instead.
+            None => block.header.state_root.0[pos] ^= bite,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tradefl_runtime::sim::faults::CrashPlan;
 
     fn tiny_config() -> EngineConfig {
         EngineConfig {
@@ -915,6 +1290,7 @@ mod tests {
             admission_capacity: 8,
             horizon: 512,
             faults: FaultConfig::none(),
+            byzantine: ByzantineConfig::none(),
             max_frame_bytes: WireLimits::DEFAULT_MAX_FRAME_BYTES,
             workers: 1,
         }
@@ -1014,18 +1390,24 @@ mod tests {
         let u64_at = |off: usize| {
             u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize
         };
-        let mut off = 1 + 9 * 8; // version + nine fixed u64 counters
+        let mut off = 1 + 12 * 8; // version + twelve fixed u64 counters
         let alive = u64_at(off);
         off += 8 + alive; // one u8 per live validator
+        let heights = u64_at(off);
+        off += 8 + 8 * heights;
         let cursors = u64_at(off);
         off += 8 + 8 * cursors;
         let arrival_k = u64_at(off);
         off += 8 + 8 * arrival_k;
-        let admission = u64_at(off);
-        off += 8;
-        for _ in 0..admission {
-            let len = u64_at(off);
-            off += 8 + len;
+        // Admission, requeue, and last-round transaction sections share
+        // one length-prefixed layout.
+        for _ in 0..3 {
+            let txs = u64_at(off);
+            off += 8;
+            for _ in 0..txs {
+                let len = u64_at(off);
+                off += 8 + len;
+            }
         }
         off
     }
@@ -1048,5 +1430,58 @@ mod tests {
         assert!(Engine::restore(tiny_config(), 5, &bytes).is_ok());
         bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(Engine::restore(tiny_config(), 5, &bytes).is_err());
+    }
+
+    /// The tentpole's observable invariant: mid-run the archive is a
+    /// passive observer, never written — all catch-up is peer-to-peer.
+    #[test]
+    fn archive_stays_at_genesis_during_a_run() {
+        let mut engine = Engine::new(tiny_config(), 42).unwrap();
+        let report = engine.run().unwrap();
+        assert!(report.fully_settled(), "{report:?}");
+        assert!(report.final_height > 1);
+        assert_eq!(engine.archive().chain().height(), 1, "archive was written mid-run");
+    }
+
+    #[test]
+    fn byzantine_proposers_are_outvoted_and_sessions_still_settle() {
+        let mut config = tiny_config();
+        config.byzantine = ByzantineConfig { tamper_p: 0.5 };
+        let mut engine = Engine::new(config, 42).unwrap();
+        let report = engine.run().unwrap();
+        assert!(report.byzantine_rounds > 0, "tamper_p=0.5 must schedule lies: {report:?}");
+        assert!(report.heals >= report.byzantine_rounds, "every liar gets rebuilt");
+        assert!(report.fully_settled(), "{report:?}");
+    }
+
+    #[test]
+    fn elections_skip_dead_validators_without_wasting_rounds() {
+        let mut config = tiny_config();
+        // Node 0 dies early and never comes back: the election must
+        // route every term to the remaining two validators.
+        config.faults.crashes =
+            vec![CrashPlan { node: 0, at: 2, down_for: CrashPlan::NEVER_RESTARTS }];
+        let mut engine = Engine::new(config, 42).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.survivors, vec![1, 2]);
+        assert!(!report.no_survivors);
+        assert!(report.fully_settled(), "{report:?}");
+    }
+
+    /// Satellite regression: every validator dies permanently. The run
+    /// must wind down (no stall-guard trip), report `no_survivors`, and
+    /// refuse to call the empty survivor set converged.
+    #[test]
+    fn killing_every_validator_reports_no_survivors_not_converged() {
+        let mut config = tiny_config();
+        config.faults.crashes = (0..3)
+            .map(|node| CrashPlan { node, at: 6, down_for: CrashPlan::NEVER_RESTARTS })
+            .collect();
+        let mut engine = Engine::new(config, 42).unwrap();
+        let report = engine.run().unwrap();
+        assert!(report.no_survivors, "{report:?}");
+        assert!(report.survivors.is_empty());
+        assert!(!report.converged, "zero-survivor convergence must be vacuous-false");
+        assert!(!report.fully_settled());
     }
 }

@@ -8,12 +8,14 @@
 //!
 //! * [`engine`] — a deterministic event-loop executor over simulated
 //!   time ([`tradefl_runtime::sim`]): transaction admission with
-//!   bounded-queue backpressure, batching into blocks through the
-//!   ledger's untrusted byte path
+//!   bounded-queue backpressure, proposer election over the live
+//!   validator set, batching into blocks through the ledger's
+//!   untrusted byte path
 //!   ([`tradefl_ledger::network::Network::deliver_frame`]), seeded
-//!   fault injection on every broadcast
-//!   ([`tradefl_runtime::sim::faults`]), kill-and-restart recovery
-//!   replayed from the engine's durable ledger, and
+//!   fault injection on every broadcast and a seeded
+//!   Byzantine-proposer schedule ([`tradefl_runtime::sim::faults`]),
+//!   gossip-only catch-up (crashed, lagging, or diverged replicas pull
+//!   the ledger from their live peers — no trusted node), and
 //!   checkpoint/restore of live sessions through the chain
 //!   export/import codec.
 //! * [`session`] — a market session as a deterministic settlement
@@ -21,6 +23,9 @@
 //!   Fig. 3 call sequence (register → deposit → contribute → calculate
 //!   → transfer → record) unrolled into an ordered transaction list
 //!   with per-organization nonces.
+//! * [`dst`] — DST scenarios (fault + crash + Byzantine schedules)
+//!   drawn from a shrinkable tape, so a failing schedule is minimized
+//!   by [`tradefl_runtime::check::shrink`] and printed.
 //!
 //! Everything is a pure function of `(config, seed)`: the
 //! deterministic-simulation-testing harness (`tests/sim_engine.rs`)
@@ -33,8 +38,10 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod dst;
 pub mod engine;
 pub mod session;
 
+pub use dst::{shrink_repair_schedule, Scenario, ShrinkOutcome};
 pub use engine::{Engine, EngineConfig, EngineError, EngineReport};
 pub use session::{SessionPlan, SessionSpec};

@@ -188,6 +188,15 @@ impl SessionPlan {
         Some(tx)
     }
 
+    /// The full scripted sequence with the deployed contract address
+    /// patched in — what the DST harness audits receipts against (each
+    /// scripted transaction must land on the canonical chain exactly
+    /// once, even when its first round was lost to a crashed or lying
+    /// proposer).
+    pub fn scripted_txs(&self, contract: Address) -> impl Iterator<Item = Transaction> + '_ {
+        (0..self.len()).filter_map(move |k| self.tx_at(k, contract))
+    }
+
     /// Script length (total transactions to settle this session).
     pub fn len(&self) -> usize {
         self.txs.len()

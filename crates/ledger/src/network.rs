@@ -372,6 +372,26 @@ impl Network {
         proposer: usize,
         txs: Vec<Transaction>,
     ) -> Result<Vec<u8>, NetworkError> {
+        self.propose_with(proposer, txs, None)
+    }
+
+    /// [`Network::propose`] with an optional Byzantine mutation: after
+    /// the proposer mines honestly on its own chain, `tamper` mutates a
+    /// *copy* of the block and the returned frame encodes the lie. The
+    /// proposer keeps the honest block — exactly the fork
+    /// [`Network::round_with`] models: a lying proposer forks itself
+    /// off, and honest replicas refuse the frame on re-execution. The
+    /// caller is responsible for healing (or abandoning) the liar.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::propose`].
+    pub fn propose_with(
+        &mut self,
+        proposer: usize,
+        txs: Vec<Transaction>,
+        tamper: Option<&dyn Fn(&mut Block)>,
+    ) -> Result<Vec<u8>, NetworkError> {
         let node = &mut self
             .validators
             .get_mut(proposer)
@@ -386,7 +406,14 @@ impl Network {
             .blocks()
             .last()
             .ok_or(NetworkError::Internal("proposer mined no block"))?;
-        Ok(encode_block_bytes(mined))
+        match tamper {
+            None => Ok(encode_block_bytes(mined)),
+            Some(t) => {
+                let mut lie = mined.clone();
+                t(&mut lie);
+                Ok(encode_block_bytes(&lie))
+            }
+        }
     }
 
     /// Crash-reboot for validator `i`: the replica loses all in-memory
@@ -471,12 +498,18 @@ impl Network {
 
     /// [`Network::converged`] restricted to a subset of validators —
     /// the surviving nodes after fault injection killed some. Out-of-
-    /// range indices are ignored; an empty subset is trivially
-    /// converged.
+    /// range indices are ignored.
+    ///
+    /// An empty subset (or one that is all out-of-range) returns
+    /// `false`: convergence is a claim about at least one surviving
+    /// replica holding the agreed state, and with zero survivors there
+    /// is nobody left to hold it. Reporting a run where every validator
+    /// died as "converged" was a real bug — vacuous truth is not
+    /// consensus.
     pub fn converged_among(&self, subset: &[usize]) -> bool {
         let mut members = subset.iter().filter_map(|&i| self.validators.get(i));
         let Some(first) = members.next() else {
-            return true;
+            return false;
         };
         let tip = first.node.chain().tip_hash();
         let root = first.node.state().root();
@@ -812,6 +845,34 @@ mod tests {
     }
 
     #[test]
+    fn propose_with_tamper_forks_the_liar_and_honest_replicas_refuse() {
+        let mut net = boot(3);
+        let frame = net
+            .propose_with(
+                0,
+                vec![transfer("alice", "bob", 0, 100)],
+                Some(&|block: &mut Block| {
+                    block.header.state_root = Hash256([0xAA; 32]);
+                }),
+            )
+            .unwrap();
+        // The frame encodes the lie; honest replicas reject it on
+        // re-execution and their chains do not move.
+        for i in [1, 2] {
+            assert!(matches!(
+                net.deliver_frame(i, &frame),
+                Err(FrameError::Apply(
+                    BlockApplyError::StateRootMismatch | BlockApplyError::ReceiptMismatch
+                ))
+            ));
+            assert_eq!(net.validator(i).node.chain().height(), 1);
+        }
+        // The proposer kept its honest block: it forked itself off.
+        assert_eq!(net.validator(0).node.chain().height(), 2);
+        assert!(!net.converged());
+    }
+
+    #[test]
     fn restarted_validator_recovers_by_ledger_replay() {
         let mut net = boot(3);
         for k in 0..4 {
@@ -845,8 +906,19 @@ mod tests {
         assert!(!net.converged());
         assert!(net.converged_among(&[0, 2]));
         assert!(!net.converged_among(&[0, 1, 2]));
-        assert!(net.converged_among(&[]), "empty subset is trivially converged");
         assert!(net.converged_among(&[0, 99]), "out-of-range indices are ignored");
+        assert!(net.converged_among(&[2, 99]), "a lone survivor agrees with itself");
+    }
+
+    /// Zero survivors must not read as consensus: `converged_among`
+    /// with an empty subset (or only out-of-range indices) used to
+    /// return `true`, so an engine run where every validator died
+    /// reported `converged: true`.
+    #[test]
+    fn zero_survivors_are_not_converged() {
+        let net = boot(3);
+        assert!(!net.converged_among(&[]), "nobody left to hold the agreed state");
+        assert!(!net.converged_among(&[99, 100]), "all-out-of-range is the same as empty");
     }
 
     #[test]

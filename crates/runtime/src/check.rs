@@ -334,13 +334,25 @@ pub fn shrink(prop: &impl Fn(&mut Gen) -> CaseResult, seed: u64) -> Option<Shrun
                 break 'outer;
             }
         }
-        // Pass 2 — per-entry reductions: zero, halve, decrement.
+        // Pass 2 — per-entry reductions: zero, halve, geometric step
+        // (−1/8 — keeps descent O(log value) when halving overshoots
+        // but smaller steps still fail), and, for already-small
+        // entries, decrement. Decrement is what pins exact integer
+        // minima, but on a large raw entry it is O(value): a 2^60
+        // entry whose −1 neighbor still fails (e.g. a probability
+        // that barely moves) would eat the whole eval budget one
+        // accept at a time, so it only applies below a cap that the
+        // geometric ladder reaches quickly.
+        const DECREMENT_CAP: u64 = 1 << 16;
         for i in 0..tape.len() {
             let orig = tape[i];
             if orig == 0 {
                 continue;
             }
-            for cand in [0, orig / 2, orig - 1] {
+            let decrement = if orig <= DECREMENT_CAP { Some(orig - 1) } else { None };
+            for cand in
+                [Some(0), Some(orig / 2), Some(orig - orig / 8), decrement].into_iter().flatten()
+            {
                 if cand == orig {
                     continue;
                 }

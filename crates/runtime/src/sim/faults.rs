@@ -47,7 +47,20 @@ pub struct CrashPlan {
     /// Tick at which the node dies.
     pub at: SimTime,
     /// Ticks until it restarts (recovery replays from the ledger).
+    /// [`CrashPlan::NEVER_RESTARTS`] means the node stays dead for the
+    /// rest of the run.
     pub down_for: SimTime,
+}
+
+impl CrashPlan {
+    /// Sentinel `down_for`: the crash is permanent — no restart event
+    /// is ever scheduled for this node.
+    pub const NEVER_RESTARTS: SimTime = SimTime::MAX;
+
+    /// Whether this crash schedules a restart at all.
+    pub fn restarts(&self) -> bool {
+        self.down_for != Self::NEVER_RESTARTS
+    }
 }
 
 impl FaultConfig {
@@ -179,6 +192,115 @@ impl FaultPlan {
     }
 }
 
+/// Probability that a scheduled proposer lies about its block.
+///
+/// Unlike [`FaultConfig`], which mutates *bytes on the wire*, a
+/// Byzantine proposer mutates the *block itself* before it leaves the
+/// node: the lie is internally consistent bytes that only full
+/// re-execution can refute. The driver (the engine's batch loop) asks
+/// [`ByzantinePlan::decide`] once per block-production attempt and, on
+/// `Some`, applies the returned [`Tamper`] to the proposed block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByzantineConfig {
+    /// Probability a given block-production attempt is tampered.
+    pub tamper_p: f64,
+}
+
+impl ByzantineConfig {
+    /// No Byzantine proposers (the engine's default).
+    pub fn none() -> Self {
+        Self { tamper_p: 0.0 }
+    }
+
+    /// Derives a moderate tamper rate from a seed — low enough that an
+    /// honest proposer is always found within a few election terms,
+    /// high enough that multi-block runs see at least one lie.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(substream(seed, 0xFA04));
+        Self { tamper_p: rng.gen_range(0.05..0.35) }
+    }
+}
+
+/// Which part of the block a Byzantine proposer lies about.
+///
+/// The variants mirror the distinct rejection paths in block
+/// validation: a forged post-state commitment, a forged receipts
+/// commitment in the header, and forged receipt contents (which the
+/// header then honestly commits to — caught only by re-execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperKind {
+    /// Flip bits of `header.state_root` (claims a different post-state).
+    StateRoot,
+    /// Flip bits of `header.receipts_root` (header lies about receipts).
+    ReceiptsRoot,
+    /// Inflate a receipt's `gas_used` (receipts lie; header commits to
+    /// the lie, so only re-execution catches it).
+    ReceiptGas,
+}
+
+/// One scheduled lie: what to mutate and a nonzero salt deciding which
+/// bits to flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tamper {
+    /// The field family to mutate.
+    pub kind: TamperKind,
+    /// Nonzero mutation salt (position / xor material).
+    pub salt: u64,
+}
+
+/// A seeded per-run Byzantine-proposer decision stream.
+///
+/// Every decision is a pure function of `(seed, decision counter)` —
+/// the same checkpoint contract as [`FaultPlan`]: serialize
+/// [`ByzantinePlan::decisions`], restore it with
+/// [`ByzantinePlan::restore_decisions`], and a resumed run schedules
+/// the identical lies.
+#[derive(Debug, Clone)]
+pub struct ByzantinePlan {
+    seed: u64,
+    config: ByzantineConfig,
+    decisions: u64,
+}
+
+impl ByzantinePlan {
+    /// A plan over `config`, with decisions derived from `seed`.
+    pub fn new(seed: u64, mut config: ByzantineConfig) -> Self {
+        config.tamper_p = config.tamper_p.clamp(0.0, 1.0);
+        Self { seed, config, decisions: 0 }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ByzantineConfig {
+        &self.config
+    }
+
+    /// Decisions made so far (part of a checkpoint).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Restores the decision counter from a checkpoint.
+    pub fn restore_decisions(&mut self, decisions: u64) {
+        self.decisions = decisions;
+    }
+
+    /// Decides whether the next block-production attempt lies, and how.
+    pub fn decide(&mut self) -> Option<Tamper> {
+        let mut rng =
+            StdRng::seed_from_u64(substream(self.seed, 0xFA03) ^ super::mix(self.decisions));
+        self.decisions += 1;
+        if !rng.gen_bool(self.config.tamper_p) {
+            return None;
+        }
+        let kind = match rng.gen_range(0u32..3) {
+            0 => TamperKind::StateRoot,
+            1 => TamperKind::ReceiptsRoot,
+            _ => TamperKind::ReceiptGas,
+        };
+        Some(Tamper { kind, salt: rng.next_u64() | 1 })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +398,60 @@ mod tests {
                 assert!(d.frame.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn byzantine_decisions_are_reproducible_and_resume_from_a_counter() {
+        let run = || {
+            let mut plan = ByzantinePlan::new(11, ByzantineConfig { tamper_p: 0.5 });
+            (0..100).map(|_| plan.decide()).collect::<Vec<_>>()
+        };
+        let whole = run();
+        assert_eq!(whole, run());
+        let mut resumed = ByzantinePlan::new(11, ByzantineConfig { tamper_p: 0.5 });
+        resumed.restore_decisions(40);
+        for item in whole.iter().skip(40) {
+            assert_eq!(&resumed.decide(), item);
+        }
+    }
+
+    #[test]
+    fn byzantine_plans_cover_every_tamper_kind_with_nonzero_salts() {
+        let mut plan = ByzantinePlan::new(3, ByzantineConfig { tamper_p: 0.9 });
+        let (mut roots, mut receipts_roots, mut gas, mut honest) = (0, 0, 0, 0);
+        for _ in 0..500 {
+            match plan.decide() {
+                Some(t) => {
+                    assert_ne!(t.salt, 0, "salts must be nonzero to guarantee a mutation");
+                    match t.kind {
+                        TamperKind::StateRoot => roots += 1,
+                        TamperKind::ReceiptsRoot => receipts_roots += 1,
+                        TamperKind::ReceiptGas => gas += 1,
+                    }
+                }
+                None => honest += 1,
+            }
+        }
+        assert!(roots > 0 && receipts_roots > 0 && gas > 0, "{roots}/{receipts_roots}/{gas}");
+        assert!(honest > 0, "p = 0.9 still leaves honest rounds");
+    }
+
+    #[test]
+    fn byzantine_none_never_tampers_and_seeded_rates_stay_moderate() {
+        let mut plan = ByzantinePlan::new(9, ByzantineConfig::none());
+        assert!((0..200).all(|_| plan.decide().is_none()));
+        for seed in 0..50 {
+            let c = ByzantineConfig::from_seed(seed);
+            assert!((0.05..0.35).contains(&c.tamper_p), "seed {seed}: {}", c.tamper_p);
+        }
+    }
+
+    #[test]
+    fn permanent_crashes_are_distinguishable() {
+        let permanent =
+            CrashPlan { node: 0, at: 10, down_for: CrashPlan::NEVER_RESTARTS };
+        let transient = CrashPlan { node: 0, at: 10, down_for: 50 };
+        assert!(!permanent.restarts());
+        assert!(transient.restarts());
     }
 }

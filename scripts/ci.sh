@@ -82,15 +82,26 @@ fi
 
 echo "==> DST smoke: market_daemon under three seeded fault schedules"
 # Each run injects dropped/duplicated/delayed/corrupted gossip plus
-# kill-and-restart from the seed's schedule, and exits non-zero unless
-# every surviving validator converges to bit-identical state and every
-# session settles (the full 100-seed sweep lives in
+# kill-and-restart from the seed's schedule — and, with --byzantine,
+# proposers that tamper with their own blocks in flight. Exits non-zero
+# unless every surviving validator converges to bit-identical state and
+# every session settles (the full 100-seed adversarial sweep lives in
 # crates/engine/tests/sim_engine.rs).
 cargo build --release -q --example market_daemon
 for dst_seed in 7 19 83; do
   target/release/examples/market_daemon --seed "$dst_seed" --faults > /dev/null
   echo "  seed $dst_seed: converged"
 done
+for dst_seed in 7 19 83; do
+  target/release/examples/market_daemon --seed "$dst_seed" --faults --byzantine > /dev/null
+  echo "  seed $dst_seed (byzantine): converged"
+done
+
+echo "==> DST shrinker smoke: a known-bad schedule minimizes strictly"
+# Seed 7's drawn schedule forces ledger repairs; the structural
+# shrinker must cut the failing draw tape strictly smaller and print
+# the minimal fault + crash + Byzantine schedule (exit 1 otherwise).
+target/release/examples/market_daemon --shrink-demo 7 | sed 's/^/  /'
 
 echo "==> observability: end_to_end --trace emits a valid tradefl-trace/v1 stream"
 trace_file="$(mktemp -t tradefl-trace.XXXXXX.jsonl)"
