@@ -8,7 +8,15 @@
 //!   incremental evaluator makes one sweep O(N·log N), so the solve
 //!   time must stay *sub-quadratic* in N: the checker enforces
 //!   `dbr_solve_n1000 ≤ 20 × dbr_solve_n100` (a quadratic sweep
-//!   would put the ratio near 100).
+//!   would put the ratio near 100). The `dbr_solve_n10000` row runs a
+//!   ten-thousand-org market on a ~1%-dense CSR ρ: the checker bounds
+//!   its resident ρ bytes at 100 MB (the dense matrix alone is 800 MB)
+//!   and its solve time at 25 × `dbr_solve_n1000`.
+//! * `dbr_sparse_agreement_n1000` — the same N = 1000 market solved on
+//!   its dense ρ and on a CSR twin holding the identical entries; the
+//!   `bit_identical` field (gated to 1) pins the zero-skip argument:
+//!   sparse iteration changes where time goes, never a single bit of
+//!   the equilibrium.
 //! * `fedavg_round_nN` — one hierarchical streaming FedAvg round over
 //!   N silos (16 samples each, EuroSAT-like, MobileNet-analog model).
 //!   The row records `rounds_per_sec` and the aggregation buffer
@@ -53,6 +61,16 @@ const SAMPLES_PER_SILO: usize = 16;
 /// is O(N·log N) + one O(N²)-but-tiny trace row per round, so 10×
 /// more silos must cost well under the ~100× a quadratic sweep pays.
 const DBR_SCALE_BOUND: f64 = 20.0;
+/// ρ density of the ten-thousand-org row: ~1% of the off-diagonal
+/// entries per row, the cross-silo-competition sparsity the tentpole
+/// targets.
+const SPARSE_DENSITY: f64 = 0.01;
+/// Acceptance bound on `dbr_solve_n10000 / dbr_solve_n1000`: 10× the
+/// orgs at ~2× the stored entries must stay well under quadratic.
+const DBR_10K_SCALE_BOUND: f64 = 25.0;
+/// Acceptance bound on the ten-thousand-org market's resident ρ bytes
+/// (100 MB). The dense matrix alone would be 800 MB.
+const RHO_RESIDENT_MAX_BYTES: f64 = (100 * 1024 * 1024) as f64;
 
 /// One recorded row: a name, numeric `_ms` medians (gated), and
 /// documentation fields (counts, derived rates — never gated).
@@ -80,6 +98,75 @@ fn bench_dbr(n: usize, repeats: usize) -> Row {
             ("solve_ms", solve_ms),
             ("orgs", n as f64),
             ("iterations", iterations as f64),
+        ],
+    }
+}
+
+fn bench_dbr_sparse_10k(repeats: usize) -> Row {
+    let n = 10_000;
+    let market = MarketConfig::table_ii()
+        .with_orgs(n)
+        .build_sparse(SEED, SPARSE_DENSITY)
+        .expect("sparse market builds");
+    let nnz = market.rho_nnz();
+    let resident = market.rho_resident_bytes();
+    let game = CoopetitionGame::new(market, SqrtAccuracy::paper_default());
+    let mut iterations = 0usize;
+    let solve_ms = time_ms(repeats, || {
+        let eq = DbrSolver::new().solve(&game).expect("dbr converges");
+        iterations = eq.iterations;
+    });
+    Row {
+        name: String::from("dbr_solve_n10000"),
+        nums: vec![
+            ("solve_ms", solve_ms),
+            ("orgs", n as f64),
+            ("iterations", iterations as f64),
+            ("rho_nnz", nnz as f64),
+            ("rho_resident_bytes", resident as f64),
+        ],
+    }
+}
+
+fn bench_sparse_dense_agreement(n: usize, repeats: usize) -> Row {
+    use tradefl_core::market::{Market, RhoMatrix};
+    let dense = MarketConfig::table_ii().with_orgs(n).build(SEED).expect("market builds");
+    let RhoMatrix::Dense(rows) = dense.rho_matrix() else {
+        panic!("table_ii builds a dense rho");
+    };
+    let sparse_rho = RhoMatrix::from_dense_thresholded(rows, 0.0);
+    let sparse_resident = sparse_rho.resident_bytes();
+    let dense_resident = dense.rho_resident_bytes();
+    let sparse = Market::with_rho(dense.orgs().to_vec(), sparse_rho, dense.params().clone())
+        .expect("sparse twin builds");
+    let game_dense = CoopetitionGame::new(dense, SqrtAccuracy::paper_default());
+    let game_sparse = CoopetitionGame::new(sparse, SqrtAccuracy::paper_default());
+    let mut run_dense = || {
+        DbrSolver::new().solve(&game_dense).expect("dense dbr converges");
+    };
+    let mut run_sparse = || {
+        DbrSolver::new().solve(&game_sparse).expect("sparse dbr converges");
+    };
+    let ms = time_interleaved_ms(repeats, &mut [&mut run_dense, &mut run_sparse]);
+    let (dense_ms, sparse_ms) = (ms[0], ms[1]);
+    let eq_d = DbrSolver::new().solve(&game_dense).expect("dense dbr converges");
+    let eq_s = DbrSolver::new().solve(&game_sparse).expect("sparse dbr converges");
+    let identical = eq_d.welfare.to_bits() == eq_s.welfare.to_bits()
+        && eq_d.potential.to_bits() == eq_s.potential.to_bits()
+        && eq_d.iterations == eq_s.iterations
+        && eq_d
+            .profile
+            .iter()
+            .zip(eq_s.profile.iter())
+            .all(|(a, b)| a.d.to_bits() == b.d.to_bits() && a.level == b.level);
+    Row {
+        name: format!("dbr_sparse_agreement_n{n}"),
+        nums: vec![
+            ("dense_ms", dense_ms),
+            ("sparse_ms", sparse_ms),
+            ("bit_identical", if identical { 1.0 } else { 0.0 }),
+            ("dense_rho_bytes", dense_resident as f64),
+            ("sparse_rho_bytes", sparse_resident as f64),
         ],
     }
 }
@@ -166,6 +253,10 @@ fn run_benches(fast: bool) -> Vec<Row> {
     for &n in sizes {
         rows.push(bench_dbr(n, repeats));
     }
+    if !fast {
+        rows.push(bench_dbr_sparse_10k(3));
+        rows.push(bench_sparse_dense_agreement(1000, 3));
+    }
     for &n in sizes {
         rows.push(bench_fedavg(n, repeats, &pool));
     }
@@ -224,6 +315,9 @@ fn check_baseline(text: &str) -> Result<usize, String> {
     };
     let mut solve_n100 = None;
     let mut solve_n1000 = None;
+    let mut solve_n10000 = None;
+    let mut resident_10k = None;
+    let mut agreement = None;
     for (i, row) in benches.iter().enumerate() {
         let name = row
             .get("name")
@@ -250,6 +344,21 @@ fn check_baseline(text: &str) -> Result<usize, String> {
         match name {
             "dbr_solve_n100" => solve_n100 = solve,
             "dbr_solve_n1000" => solve_n1000 = solve,
+            "dbr_solve_n10000" => {
+                solve_n10000 = solve;
+                resident_10k = Some(
+                    row.get("rho_resident_bytes")
+                        .and_then(Json::as_num)
+                        .ok_or("dbr_solve_n10000: missing \"rho_resident_bytes\"")?,
+                );
+            }
+            "dbr_sparse_agreement_n1000" => {
+                agreement = Some(
+                    row.get("bit_identical")
+                        .and_then(Json::as_num)
+                        .ok_or("dbr_sparse_agreement_n1000: missing \"bit_identical\"")?,
+                );
+            }
             _ => {}
         }
     }
@@ -259,6 +368,33 @@ fn check_baseline(text: &str) -> Result<usize, String> {
                 "dbr_solve_n1000 ({n1000:.3} ms) exceeds {DBR_SCALE_BOUND}x dbr_solve_n100 \
                  ({n100:.3} ms): the sweep is no longer sub-quadratic"
             ));
+        }
+    }
+    if let (Some(n1000), Some(n10000)) = (solve_n1000, solve_n10000) {
+        if n10000 > DBR_10K_SCALE_BOUND * n1000 {
+            return Err(format!(
+                "dbr_solve_n10000 ({n10000:.3} ms) exceeds {DBR_10K_SCALE_BOUND}x \
+                 dbr_solve_n1000 ({n1000:.3} ms): the sparse sweep is no longer \
+                 scaling in stored entries"
+            ));
+        }
+    }
+    if let Some(bytes) = resident_10k {
+        if bytes > RHO_RESIDENT_MAX_BYTES {
+            return Err(format!(
+                "dbr_solve_n10000 holds {bytes:.0} resident rho bytes, over the \
+                 {RHO_RESIDENT_MAX_BYTES:.0}-byte cap — the sparse representation \
+                 has regressed toward dense"
+            ));
+        }
+    }
+    if let Some(flag) = agreement {
+        if flag != 1.0 {
+            return Err(
+                "dbr_sparse_agreement_n1000: sparse and dense equilibria are no longer \
+                 bit-identical"
+                    .into(),
+            );
         }
     }
     Ok(benches.len())
@@ -378,6 +514,65 @@ mod tests {
         assert!(err.contains("sub-quadratic"), "{err}");
     }
 
+    fn ten_k_rows() -> Vec<Row> {
+        let mut rows = fake_rows();
+        rows.push(Row {
+            name: String::from("dbr_solve_n10000"),
+            nums: vec![
+                ("solve_ms", 200.0),
+                ("orgs", 10000.0),
+                ("iterations", 9.0),
+                ("rho_nnz", 2_000_000.0),
+                ("rho_resident_bytes", 33_000_000.0),
+            ],
+        });
+        rows.push(Row {
+            name: String::from("dbr_sparse_agreement_n1000"),
+            nums: vec![
+                ("dense_ms", 3.0),
+                ("sparse_ms", 2.5),
+                ("bit_identical", 1.0),
+                ("dense_rho_bytes", 8_000_000.0),
+                ("sparse_rho_bytes", 6_000_000.0),
+            ],
+        });
+        rows
+    }
+
+    #[test]
+    fn checker_accepts_the_ten_k_rows() {
+        let json = render_json(&ten_k_rows(), false);
+        assert_eq!(check_baseline(&json), Ok(5));
+    }
+
+    #[test]
+    fn checker_enforces_the_ten_k_scale_bound() {
+        let mut rows = ten_k_rows();
+        rows[3].nums[0].1 = 2.0 * DBR_10K_SCALE_BOUND * rows[1].nums[0].1 + 1.0;
+        let err = check_baseline(&render_json(&rows, false)).unwrap_err();
+        assert!(err.contains("dbr_solve_n10000"), "{err}");
+    }
+
+    #[test]
+    fn checker_enforces_the_resident_rho_cap() {
+        let mut rows = ten_k_rows();
+        rows[3].nums[4].1 = RHO_RESIDENT_MAX_BYTES + 1.0;
+        let err = check_baseline(&render_json(&rows, false)).unwrap_err();
+        assert!(err.contains("resident rho bytes"), "{err}");
+    }
+
+    #[test]
+    fn checker_enforces_sparse_dense_bit_identity() {
+        let mut rows = ten_k_rows();
+        rows[4].nums[2].1 = 0.0;
+        let err = check_baseline(&render_json(&rows, false)).unwrap_err();
+        assert!(err.contains("bit-identical"), "{err}");
+        // The field itself is mandatory on the agreement row.
+        rows[4].nums.remove(2);
+        let err = check_baseline(&render_json(&rows, false)).unwrap_err();
+        assert!(err.contains("bit_identical"), "{err}");
+    }
+
     #[test]
     fn checker_rejects_bad_schemas_and_rows() {
         assert!(check_baseline("not json").is_err());
@@ -403,6 +598,7 @@ mod tests {
         let fast_names = ["dbr_solve_n10", "dbr_solve_n100", "fedavg_round_n10",
             "fedavg_round_n100", "batched_gemm_32x64x96"];
         let full_names = ["dbr_solve_n10", "dbr_solve_n100", "dbr_solve_n1000",
+            "dbr_solve_n10000", "dbr_sparse_agreement_n1000",
             "fedavg_round_n10", "fedavg_round_n100", "fedavg_round_n1000",
             "batched_gemm_32x64x96"];
         for name in fast_names {

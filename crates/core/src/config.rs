@@ -102,6 +102,45 @@ impl MarketConfig {
     /// organizations, empty ladder, inverted ranges) or produces an
     /// invalid market.
     pub fn build(&self, seed: u64) -> Result<Market> {
+        self.validate_ranges()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let orgs = self.sample_orgs(&mut rng)?;
+        let rho = self.sample_rho(&mut rng, &orgs);
+        Market::new(orgs, rho, self.params.clone())
+    }
+
+    /// Deterministically samples a market with a **sparse** competition
+    /// matrix: each organization draws `⌈density · (|N|−1)⌉` competitor
+    /// pairs (deduplicated), so `ρ` stores O(density · N²) entries
+    /// instead of N². This is the constructor for ten-thousand-org
+    /// markets, where the dense matrix alone would be ~800 MB.
+    ///
+    /// The RNG stream differs from [`MarketConfig::build`] only in the
+    /// ρ-sampling phase; organizations are drawn identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on a degenerate configuration, a
+    /// `density` outside `(0, 1]`, or an invalid sampled market.
+    pub fn build_sparse(&self, seed: u64, density: f64) -> Result<Market> {
+        use crate::market::RhoMatrix;
+        if !(density > 0.0 && density <= 1.0) {
+            return Err(ModelError::OutOfRange {
+                name: "density",
+                value: density,
+                min: f64::MIN_POSITIVE,
+                max: 1.0,
+            });
+        }
+        self.validate_ranges()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let orgs = self.sample_orgs(&mut rng)?;
+        let triplets = self.sample_rho_sparse(&mut rng, &orgs, density);
+        let rho = RhoMatrix::from_triplets(orgs.len(), &triplets)?;
+        Market::with_rho(orgs, rho, self.params.clone())
+    }
+
+    fn validate_ranges(&self) -> Result<()> {
         if self.orgs == 0 {
             return Err(ModelError::NonPositive { name: "orgs", value: 0.0 });
         }
@@ -131,10 +170,13 @@ impl MarketConfig {
                 max: self.samples.1 as f64,
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(())
+    }
+
+    fn sample_orgs(&self, rng: &mut StdRng) -> Result<Vec<Organization>> {
         let mut orgs = Vec::with_capacity(self.orgs);
         for i in 0..self.orgs {
-            let f_max = sample(&mut rng, self.f_max);
+            let f_max = sample(rng, self.f_max);
             // Evenly spaced ladder from 40% of F^(m) up to F^(m).
             let levels: Vec<f64> = (0..self.levels)
                 .map(|k| {
@@ -147,20 +189,19 @@ impl MarketConfig {
                 .collect();
             orgs.push(
                 Organization::builder(format!("org-{i}"))
-                    .profitability(sample(&mut rng, self.profitability))
-                    .data_bits(sample(&mut rng, self.data_bits))
+                    .profitability(sample(rng, self.profitability))
+                    .data_bits(sample(rng, self.data_bits))
                     .samples(rng.gen_range(self.samples.0..=self.samples.1))
-                    .eta(sample(&mut rng, self.eta))
+                    .eta(sample(rng, self.eta))
                     .compute_levels(levels)
-                    .t_download(sample(&mut rng, self.comm_time))
-                    .t_upload(sample(&mut rng, self.comm_time))
-                    .power_download(sample(&mut rng, self.comm_power))
-                    .power_upload(sample(&mut rng, self.comm_power))
+                    .t_download(sample(rng, self.comm_time))
+                    .t_upload(sample(rng, self.comm_time))
+                    .power_download(sample(rng, self.comm_power))
+                    .power_upload(sample(rng, self.comm_power))
                     .build()?,
             );
         }
-        let rho = self.sample_rho(&mut rng, &orgs);
-        Market::new(orgs, rho, self.params.clone())
+        Ok(orgs)
     }
 
     /// Draws the symmetric competition matrix and rescales it until every
@@ -198,6 +239,58 @@ impl MarketConfig {
             }
         }
         rho
+    }
+
+    /// Draws a sparse symmetric competition structure as upper-triangle
+    /// triplets and rescales the values so every `z_i` stays positive,
+    /// without ever materializing the dense matrix (O(nnz) work and
+    /// memory).
+    fn sample_rho_sparse(
+        &self,
+        rng: &mut StdRng,
+        orgs: &[Organization],
+        density: f64,
+    ) -> Vec<(usize, usize, f64)> {
+        let n = orgs.len();
+        let mu = self.rho_mean.max(0.0);
+        let sigma = mu / 5.0;
+        if n < 2 {
+            return Vec::new();
+        }
+        let per_row = ((density * (n - 1) as f64).ceil() as usize).clamp(1, n - 1);
+        // Ordered set: deterministic iteration, duplicates merged, and
+        // each unordered pair drawn at most once.
+        let mut pairs = std::collections::BTreeSet::new();
+        for i in 0..n {
+            for _ in 0..per_row {
+                let j = rng.gen_range(0..n - 1);
+                let j = if j >= i { j + 1 } else { j };
+                pairs.insert((i.min(j), i.max(j)));
+            }
+        }
+        let mut triplets: Vec<(usize, usize, f64)> = pairs
+            .into_iter()
+            .map(|(i, j)| (i, j, normal(rng, mu, sigma).clamp(0.0, 1.0)))
+            .collect();
+        // Same z_i > 0 rescale as the dense path, computed from the
+        // stored entries only (each triplet pressures both endpoints).
+        let mut pressure = vec![0.0f64; n];
+        for &(i, j, v) in &triplets {
+            pressure[i] += v * orgs[j].profitability();
+            pressure[j] += v * orgs[i].profitability();
+        }
+        let mut scale: f64 = 1.0;
+        for (i, oi) in orgs.iter().enumerate() {
+            if pressure[i] > 0.0 {
+                scale = scale.min(0.95 * oi.profitability() / pressure[i]);
+            }
+        }
+        if scale < 1.0 {
+            for t in &mut triplets {
+                t.2 *= scale;
+            }
+        }
+        triplets
     }
 }
 
@@ -291,6 +384,33 @@ mod tests {
         let mut c = MarketConfig::table_ii();
         c.samples = (0, 10);
         assert!(c.build(1).is_err());
+    }
+
+    #[test]
+    fn build_sparse_is_deterministic_and_sparse() {
+        let cfg = MarketConfig::table_ii().with_orgs(200);
+        let a = cfg.build_sparse(7, 0.05).unwrap();
+        let b = cfg.build_sparse(7, 0.05).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        // ~5% density: far fewer stored entries than the dense N².
+        assert!(a.rho_nnz() < 200 * 200 / 4, "nnz = {}", a.rho_nnz());
+        assert!(a.rho_nnz() > 0);
+        for i in 0..a.len() {
+            assert!(a.weight(i) > 0.0, "org {i}");
+        }
+        // Orgs are drawn from the same stream as the dense builder.
+        let dense = cfg.build(7).unwrap();
+        assert_eq!(dense.orgs(), a.orgs());
+    }
+
+    #[test]
+    fn build_sparse_rejects_bad_density() {
+        let cfg = MarketConfig::table_ii();
+        assert!(cfg.build_sparse(1, 0.0).is_err());
+        assert!(cfg.build_sparse(1, 1.5).is_err());
+        assert!(cfg.build_sparse(1, f64::NAN).is_err());
+        assert!(cfg.build_sparse(1, 1.0).is_ok());
     }
 
     #[test]

@@ -94,6 +94,13 @@ pub enum ModelError {
         /// Index of the offending organization.
         org: usize,
     },
+    /// A sparse competition matrix was given the same entry twice.
+    DuplicateCompetitionEntry {
+        /// Row index of the duplicated entry.
+        i: usize,
+        /// Column index of the duplicated entry.
+        j: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -134,6 +141,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::Infeasible { org } => {
                 write!(f, "organization {org} cannot meet the deadline even at D_min and the fastest compute level")
+            }
+            ModelError::DuplicateCompetitionEntry { i, j } => {
+                write!(f, "sparse competition matrix lists entry ({i}, {j}) more than once")
             }
         }
     }

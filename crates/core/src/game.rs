@@ -149,8 +149,12 @@ impl<A: AccuracyModel> CoopetitionGame<A> {
         let omega_without_i =
             omega - profile[i].d * self.market.org(i).effective_bits();
         let marginal = self.accuracy.gain(omega) - self.accuracy.gain(omega_without_i.max(0.0));
-        let weighted_p: f64 = (0..self.market.len())
-            .map(|j| self.market.rho(i, j) * self.market.org(j).profitability())
+        // Stored-entry iteration: ascending-j like the dense indexed
+        // loop (bit-identical), O(deg) on a sparse market.
+        let weighted_p: f64 = self
+            .market
+            .rho_row(i)
+            .map(|(j, rho)| rho * self.market.org(j).profitability())
             .sum();
         weighted_p * marginal
     }
@@ -176,8 +180,14 @@ impl<A: AccuracyModel> CoopetitionGame<A> {
 
     /// Total redistribution `R_i = Σ_j r_{i,j}` (Eq. 10).
     pub fn redistribution(&self, profile: &StrategyProfile, i: usize) -> f64 {
-        (0..self.market.len())
-            .map(|j| self.redistribution_pair(profile, i, j))
+        // Same arithmetic as summing `redistribution_pair` over all j
+        // (ρ_ii = 0 and skipped zero entries contribute ±0.0, which is
+        // an accumulator no-op), but O(deg) on a sparse market.
+        let gamma = self.market.params().gamma;
+        let res_i = self.resource_index(profile, i);
+        self.market
+            .rho_row(i)
+            .map(|(j, rho)| gamma * rho * (res_i - self.resource_index(profile, j)))
             .sum()
     }
 

@@ -67,7 +67,7 @@ pub use contribution::{shapley_accuracy, ShapleyReport};
 pub use error::ModelError;
 pub use game::{CoopetitionGame, PayoffBreakdown};
 pub use incremental::{IncrementalEval, SumTree};
-pub use market::{Market, MechanismParams};
+pub use market::{Market, MechanismParams, RhoMatrix};
 pub use mechanism::MechanismAudit;
 pub use org::Organization;
 pub use strategy::{Strategy, StrategyProfile};

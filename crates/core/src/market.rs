@@ -90,6 +90,330 @@ impl Default for MechanismParams {
     }
 }
 
+/// The competition-intensity matrix `ρ` in one of two layouts.
+///
+/// * [`RhoMatrix::Dense`] — the seed's `Vec<Vec<f64>>` rows; iteration
+///   visits every column including explicit zeros. This is the layout
+///   every existing constructor produces, and its accumulation order is
+///   the bit-for-bit reference for all mechanism sums.
+/// * [`RhoMatrix::Sparse`] — a symmetric CSR layout storing only
+///   non-zero entries as `(column, value)` pairs per row, columns
+///   strictly ascending. Row iteration skips the zeros a dense row
+///   would visit; because every consumer accumulates with `+` starting
+///   from `+0.0`, and adding `±0.0` to a non-`-0.0` accumulator is a
+///   bitwise no-op, sparse sums are **bit-identical** to dense sums
+///   over the same values (pinned by `tests/determinism.rs`).
+///
+/// At N=10,000 a ~1%-dense market stores ~2M entries (~32 MB) instead
+/// of the 800 MB dense matrix, and every row sweep costs O(deg) rather
+/// than O(N).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RhoMatrix {
+    /// Full row-major matrix, `rows[i][j] = ρ_ij`.
+    Dense(Vec<Vec<f64>>),
+    /// Symmetric CSR: row `i` holds `cols[row_ptr[i]..row_ptr[i+1]]`
+    /// (strictly ascending) with matching `vals`.
+    Sparse {
+        /// Matrix dimension `|N|`.
+        n: usize,
+        /// Row start offsets, `n + 1` entries.
+        row_ptr: Vec<usize>,
+        /// Column indices, ascending within each row.
+        cols: Vec<usize>,
+        /// Entry values aligned with `cols`.
+        vals: Vec<f64>,
+    },
+}
+
+impl RhoMatrix {
+    /// Wraps dense rows without copying.
+    pub fn dense(rows: Vec<Vec<f64>>) -> Self {
+        RhoMatrix::Dense(rows)
+    }
+
+    /// Builds a sparse symmetric matrix from upper- (or mixed-)
+    /// triangle triplets `(i, j, v)`. Each triplet is mirrored to both
+    /// `(i, j)` and `(j, i)`; exact zeros are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on an out-of-range index, a diagonal
+    /// entry, or the same unordered pair listed twice.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+        let mut entries = Vec::with_capacity(triplets.len() * 2);
+        for &(i, j, v) in triplets {
+            if i >= n || j >= n {
+                return Err(ModelError::DimensionMismatch { expected: n, found: i.max(j) });
+            }
+            if i == j {
+                return Err(ModelError::SelfCompetition { i });
+            }
+            // lint:allow(no-float-eq): dropping exact zeros is the sparsity contract
+            if v == 0.0 {
+                continue;
+            }
+            entries.push((i, j, v));
+            entries.push((j, i, v));
+        }
+        entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        for w in entries.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
+                let (i, j) = (w[0].0.min(w[0].1), w[0].0.max(w[0].1));
+                return Err(ModelError::DuplicateCompetitionEntry { i, j });
+            }
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(i, _, _) in &entries {
+            row_ptr[i + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let cols = entries.iter().map(|e| e.1).collect();
+        let vals = entries.iter().map(|e| e.2).collect();
+        Ok(RhoMatrix::Sparse { n, row_ptr, cols, vals })
+    }
+
+    /// Builds a sparse matrix from dense rows, keeping only entries
+    /// with `|v| > threshold`. `threshold = 0.0` drops exact zeros
+    /// only, which preserves every mechanism sum bit-for-bit.
+    pub fn from_dense_thresholded(rows: &[Vec<f64>], threshold: f64) -> Self {
+        let n = rows.len();
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v.abs() > threshold {
+                    cols.push(j);
+                    vals.push(v);
+                }
+            }
+            row_ptr[i + 1] = cols.len();
+        }
+        RhoMatrix::Sparse { n, row_ptr, cols, vals }
+    }
+
+    /// Matrix dimension (number of rows).
+    pub fn n(&self) -> usize {
+        match self {
+            RhoMatrix::Dense(rows) => rows.len(),
+            RhoMatrix::Sparse { n, .. } => *n,
+        }
+    }
+
+    /// Number of stored entries (dense: all N², sparse: non-zeros).
+    pub fn nnz(&self) -> usize {
+        match self {
+            RhoMatrix::Dense(rows) => rows.iter().map(Vec::len).sum(),
+            RhoMatrix::Sparse { cols, .. } => cols.len(),
+        }
+    }
+
+    /// Resident heap bytes of the matrix storage.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            RhoMatrix::Dense(rows) => {
+                rows.capacity() * std::mem::size_of::<Vec<f64>>()
+                    + rows.iter().map(|r| r.capacity() * 8).sum::<usize>()
+            }
+            RhoMatrix::Sparse { row_ptr, cols, vals, .. } => {
+                (row_ptr.capacity() + cols.capacity()) * std::mem::size_of::<usize>()
+                    + vals.capacity() * 8
+            }
+        }
+    }
+
+    /// Entry `ρ_ij`; zero for an unstored sparse pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            RhoMatrix::Dense(rows) => rows[i][j],
+            RhoMatrix::Sparse { n, row_ptr, cols, vals } => {
+                assert!(i < *n && j < *n, "rho index out of range");
+                let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+                match cols[lo..hi].binary_search(&j) {
+                    Ok(k) => vals[lo + k],
+                    Err(_) => 0.0,
+                }
+            }
+        }
+    }
+
+    /// Iterates row `i` as `(j, ρ_ij)` pairs in ascending `j`. Dense
+    /// rows yield every column (zeros included, matching the seed's
+    /// accumulation order exactly); sparse rows yield stored entries
+    /// only.
+    pub fn row_iter(&self, i: usize) -> RhoRowIter<'_> {
+        match self {
+            RhoMatrix::Dense(rows) => RhoRowIter::Dense(rows[i].iter().enumerate()),
+            RhoMatrix::Sparse { row_ptr, cols, vals, .. } => {
+                let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+                RhoRowIter::Sparse(cols[lo..hi].iter().zip(vals[lo..hi].iter()))
+            }
+        }
+    }
+
+    /// Row sum `Σ_j ρ_ij` in ascending-`j` accumulation order.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        self.row_iter(i).map(|(_, v)| v).sum()
+    }
+
+    /// Restricts the matrix to the given (duplicate-free, in-range)
+    /// index subset, preserving the representation. Row order follows
+    /// `indices`; sparse rows are re-sorted by new column index so the
+    /// CSR invariant holds for any index order.
+    pub fn restrict(&self, indices: &[usize]) -> RhoMatrix {
+        match self {
+            RhoMatrix::Dense(rows) => RhoMatrix::Dense(
+                indices
+                    .iter()
+                    .map(|&i| indices.iter().map(|&j| rows[i][j]).collect())
+                    .collect(),
+            ),
+            RhoMatrix::Sparse { n, row_ptr, cols, vals } => {
+                let mut new_index = vec![usize::MAX; *n];
+                for (new_j, &old_j) in indices.iter().enumerate() {
+                    new_index[old_j] = new_j;
+                }
+                let mut out_ptr = vec![0usize; indices.len() + 1];
+                let mut out_cols = Vec::new();
+                let mut out_vals = Vec::new();
+                let mut row = Vec::new();
+                for (new_i, &old_i) in indices.iter().enumerate() {
+                    row.clear();
+                    for k in row_ptr[old_i]..row_ptr[old_i + 1] {
+                        let nj = new_index[cols[k]];
+                        if nj != usize::MAX {
+                            row.push((nj, vals[k]));
+                        }
+                    }
+                    row.sort_by_key(|e| e.0);
+                    for &(j, v) in &row {
+                        out_cols.push(j);
+                        out_vals.push(v);
+                    }
+                    out_ptr[new_i + 1] = out_cols.len();
+                }
+                RhoMatrix::Sparse {
+                    n: indices.len(),
+                    row_ptr: out_ptr,
+                    cols: out_cols,
+                    vals: out_vals,
+                }
+            }
+        }
+    }
+
+    /// Validates shape, entry range, zero diagonal, and symmetry for
+    /// `n` organizations. Dense checks mirror the seed's loop exactly
+    /// (same error order); sparse checks every stored entry against
+    /// its transpose in O(nnz log deg).
+    fn validate(&self, n: usize) -> Result<()> {
+        match self {
+            RhoMatrix::Dense(rows) => {
+                if rows.len() != n {
+                    return Err(ModelError::DimensionMismatch { expected: n, found: rows.len() });
+                }
+                for (i, row) in rows.iter().enumerate() {
+                    if row.len() != n {
+                        return Err(ModelError::DimensionMismatch {
+                            expected: n,
+                            found: row.len(),
+                        });
+                    }
+                    for (j, &v) in row.iter().enumerate() {
+                        ensure_in_range("rho_ij", v, 0.0, 1.0)?;
+                        // lint:allow(no-float-eq): rho_ii must be exactly zero by construction
+                        if i == j && v != 0.0 {
+                            return Err(ModelError::SelfCompetition { i });
+                        }
+                        if (v - rows[j][i]).abs() > 1e-12 {
+                            return Err(ModelError::AsymmetricCompetition { i, j });
+                        }
+                    }
+                }
+            }
+            RhoMatrix::Sparse { n: dim, row_ptr, cols, vals } => {
+                if *dim != n || row_ptr.len() != n + 1 || cols.len() != vals.len() {
+                    return Err(ModelError::DimensionMismatch { expected: n, found: *dim });
+                }
+                for i in 0..n {
+                    let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+                    if lo > hi || hi > cols.len() {
+                        return Err(ModelError::DimensionMismatch { expected: n, found: hi });
+                    }
+                    let mut prev: Option<usize> = None;
+                    for k in lo..hi {
+                        let (j, v) = (cols[k], vals[k]);
+                        if j >= n {
+                            return Err(ModelError::DimensionMismatch { expected: n, found: j });
+                        }
+                        if prev.is_some_and(|p| p >= j) {
+                            return Err(ModelError::DuplicateCompetitionEntry { i, j });
+                        }
+                        prev = Some(j);
+                        ensure_in_range("rho_ij", v, 0.0, 1.0)?;
+                        // lint:allow(no-float-eq): rho_ii must be exactly zero by construction
+                        if i == j && v != 0.0 {
+                            return Err(ModelError::SelfCompetition { i });
+                        }
+                        if (v - self.get(j, i)).abs() > 1e-12 {
+                            return Err(ModelError::AsymmetricCompetition { i, j });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over one row of a [`RhoMatrix`] as `(column, value)`.
+#[derive(Debug, Clone)]
+pub enum RhoRowIter<'a> {
+    /// Dense row: every column, zeros included.
+    Dense(std::iter::Enumerate<std::slice::Iter<'a, f64>>),
+    /// Sparse row: stored entries only.
+    Sparse(std::iter::Zip<std::slice::Iter<'a, usize>, std::slice::Iter<'a, f64>>),
+}
+
+impl Iterator for RhoRowIter<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            RhoRowIter::Dense(it) => it.next().map(|(j, &v)| (j, v)),
+            RhoRowIter::Sparse(it) => it.next().map(|(&j, &v)| (j, v)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RhoRowIter::Dense(it) => it.size_hint(),
+            RhoRowIter::Sparse(it) => it.size_hint(),
+        }
+    }
+
+    // Row iteration sits inside every O(nnz) mechanism sum; routing
+    // the whole loop through one variant match (instead of one per
+    // element) lets the inner slice iteration vectorize exactly like
+    // the pre-enum direct indexing did. `sum`, `map(..).sum()`, and
+    // `for_each` all lower to `fold`.
+    fn fold<B, F>(self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, (usize, f64)) -> B,
+    {
+        match self {
+            RhoRowIter::Dense(it) => it.fold(init, |acc, (j, &v)| f(acc, (j, v))),
+            RhoRowIter::Sparse(it) => it.fold(init, |acc, (&j, &v)| f(acc, (j, v))),
+        }
+    }
+}
+
 /// The set of organizations `𝒪`, the competition-intensity matrix `ρ`,
 /// and the mechanism parameters — everything §III needs that is not the
 /// data-accuracy function.
@@ -104,12 +428,12 @@ impl Default for MechanismParams {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Market {
     orgs: Vec<Organization>,
-    rho: Vec<Vec<f64>>,
+    rho: RhoMatrix,
     params: MechanismParams,
 }
 
 impl Market {
-    /// Builds and validates a market.
+    /// Builds and validates a market from dense `ρ` rows.
     ///
     /// # Errors
     ///
@@ -120,29 +444,27 @@ impl Market {
         rho: Vec<Vec<f64>>,
         params: MechanismParams,
     ) -> Result<Self> {
+        Self::with_rho(orgs, RhoMatrix::dense(rho), params)
+    }
+
+    /// Builds and validates a market from either `ρ` representation;
+    /// sparse markets validate and solve in O(nnz) rather than O(N²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on any violated invariant; see the type
+    /// docs for the list.
+    pub fn with_rho(
+        orgs: Vec<Organization>,
+        rho: RhoMatrix,
+        params: MechanismParams,
+    ) -> Result<Self> {
         params.validate()?;
         let n = orgs.len();
         if n == 0 {
             return Err(ModelError::NonPositive { name: "|N|", value: 0.0 });
         }
-        if rho.len() != n {
-            return Err(ModelError::DimensionMismatch { expected: n, found: rho.len() });
-        }
-        for (i, row) in rho.iter().enumerate() {
-            if row.len() != n {
-                return Err(ModelError::DimensionMismatch { expected: n, found: row.len() });
-            }
-            for (j, &v) in row.iter().enumerate() {
-                ensure_in_range("rho_ij", v, 0.0, 1.0)?;
-                // lint:allow(no-float-eq): rho_ii must be exactly zero by construction
-                if i == j && v != 0.0 {
-                    return Err(ModelError::SelfCompetition { i });
-                }
-                if (v - rho[j][i]).abs() > 1e-12 {
-                    return Err(ModelError::AsymmetricCompetition { i, j });
-                }
-            }
-        }
+        rho.validate(n)?;
         let market = Self { orgs, rho, params };
         for i in 0..n {
             let z = market.weight(i);
@@ -191,12 +513,28 @@ impl Market {
     ///
     /// Panics if either index is out of range.
     pub fn rho(&self, i: usize, j: usize) -> f64 {
-        self.rho[i][j]
+        self.rho.get(i, j)
     }
 
     /// The full competition matrix.
-    pub fn rho_matrix(&self) -> &[Vec<f64>] {
+    pub fn rho_matrix(&self) -> &RhoMatrix {
         &self.rho
+    }
+
+    /// Iterates row `i` of `ρ` as `(j, ρ_ij)` pairs in ascending `j`;
+    /// sparse markets yield stored entries only (O(deg), not O(N)).
+    pub fn rho_row(&self, i: usize) -> RhoRowIter<'_> {
+        self.rho.row_iter(i)
+    }
+
+    /// Stored `ρ` entry count (dense: N², sparse: non-zeros).
+    pub fn rho_nnz(&self) -> usize {
+        self.rho.nnz()
+    }
+
+    /// Resident heap bytes of the `ρ` storage.
+    pub fn rho_resident_bytes(&self) -> usize {
+        self.rho.resident_bytes()
     }
 
     /// Mechanism parameters.
@@ -211,7 +549,7 @@ impl Market {
     /// Returns [`ModelError`] if the new parameters are invalid or make
     /// some organization unable to participate within the deadline.
     pub fn with_params(&self, params: MechanismParams) -> Result<Self> {
-        Self::new(self.orgs.clone(), self.rho.clone(), params)
+        Self::with_rho(self.orgs.clone(), self.rho.clone(), params)
     }
 
     /// Restricts the market to an organization subset (coalition
@@ -246,16 +584,12 @@ impl Market {
         }
         let orgs: Vec<Organization> =
             indices.iter().map(|&i| self.orgs[i].clone()).collect();
-        let rho: Vec<Vec<f64>> = indices
-            .iter()
-            .map(|&i| indices.iter().map(|&j| self.rho[i][j]).collect())
-            .collect();
-        Market::new(orgs, rho, self.params.clone())
+        Market::with_rho(orgs, self.rho.restrict(indices), self.params.clone())
     }
 
     /// Total competition pressure on `i`: `q_i = Σ_j ρ_{i,j}`.
     pub fn competition_pressure(&self, i: usize) -> f64 {
-        self.rho[i].iter().sum()
+        self.rho.row_sum(i)
     }
 
     /// The weighted-potential-game weight
@@ -264,10 +598,9 @@ impl Market {
     pub fn weight(&self, i: usize) -> f64 {
         let own = self.orgs[i].profitability();
         let pressure: f64 = self
-            .rho[i]
-            .iter()
-            .zip(&self.orgs)
-            .map(|(&rho_ij, o)| rho_ij * o.profitability())
+            .rho
+            .row_iter(i)
+            .map(|(j, rho_ij)| rho_ij * self.orgs[j].profitability())
             .sum();
         own - pressure
     }
@@ -452,6 +785,104 @@ mod tests {
         assert!(m.subset(&[]).is_err());
         assert!(m.subset(&[5]).is_err());
         assert!(m.subset(&[1, 1]).is_err());
+    }
+
+    fn dense_rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.00, 0.01, 0.00],
+            vec![0.01, 0.00, 0.03],
+            vec![0.00, 0.03, 0.00],
+        ]
+    }
+
+    #[test]
+    fn sparse_from_triplets_mirrors_and_sorts() {
+        let m = RhoMatrix::from_triplets(3, &[(1, 2, 0.03), (0, 1, 0.01), (0, 2, 0.0)]).unwrap();
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.nnz(), 4); // two pairs, mirrored; the zero dropped
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j).to_bits(), dense_rows()[i][j].to_bits());
+            }
+        }
+        let row: Vec<(usize, f64)> = m.row_iter(1).collect();
+        assert_eq!(row, vec![(0, 0.01), (2, 0.03)]);
+    }
+
+    #[test]
+    fn sparse_triplet_errors() {
+        assert!(matches!(
+            RhoMatrix::from_triplets(3, &[(0, 3, 0.1)]),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            RhoMatrix::from_triplets(3, &[(1, 1, 0.1)]),
+            Err(ModelError::SelfCompetition { i: 1 })
+        ));
+        assert!(matches!(
+            RhoMatrix::from_triplets(3, &[(0, 1, 0.1), (1, 0, 0.1)]),
+            Err(ModelError::DuplicateCompetitionEntry { i: 0, j: 1 })
+        ));
+    }
+
+    #[test]
+    fn thresholded_matches_dense_bitwise() {
+        let rows = dense_rows();
+        let sp = RhoMatrix::from_dense_thresholded(&rows, 0.0);
+        assert_eq!(sp.nnz(), 4);
+        for i in 0..3 {
+            assert_eq!(sp.row_sum(i).to_bits(), RhoMatrix::dense(rows.clone()).row_sum(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_market_matches_dense_market() {
+        let orgs = vec![org(1000.0), org(1500.0), org(2000.0)];
+        let params = MechanismParams::paper_default();
+        let dense = Market::new(orgs.clone(), dense_rows(), params.clone()).unwrap();
+        let sparse = Market::with_rho(
+            orgs,
+            RhoMatrix::from_dense_thresholded(&dense_rows(), 0.0),
+            params,
+        )
+        .unwrap();
+        for i in 0..3 {
+            assert_eq!(dense.weight(i).to_bits(), sparse.weight(i).to_bits());
+            assert_eq!(
+                dense.competition_pressure(i).to_bits(),
+                sparse.competition_pressure(i).to_bits()
+            );
+        }
+        assert!(sparse.rho_resident_bytes() < dense.rho_resident_bytes());
+        // Subset preserves the sparse representation and agrees too.
+        let (ds, ss) = (dense.subset(&[2, 0]).unwrap(), sparse.subset(&[2, 0]).unwrap());
+        assert_eq!(ds.rho(0, 1).to_bits(), ss.rho(0, 1).to_bits());
+        assert_eq!(ds.weight(0).to_bits(), ss.weight(0).to_bits());
+    }
+
+    #[test]
+    fn sparse_validation_rejects_asymmetry_and_diagonal() {
+        let orgs = vec![org(1000.0), org(1000.0)];
+        let asym = RhoMatrix::Sparse {
+            n: 2,
+            row_ptr: vec![0, 1, 1],
+            cols: vec![1],
+            vals: vec![0.1],
+        };
+        assert!(matches!(
+            Market::with_rho(orgs.clone(), asym, MechanismParams::default()),
+            Err(ModelError::AsymmetricCompetition { .. })
+        ));
+        let diag = RhoMatrix::Sparse {
+            n: 2,
+            row_ptr: vec![0, 1, 1],
+            cols: vec![0],
+            vals: vec![0.1],
+        };
+        assert!(matches!(
+            Market::with_rho(orgs, diag, MechanismParams::default()),
+            Err(ModelError::SelfCompetition { i: 0 })
+        ));
     }
 
     #[test]

@@ -86,13 +86,21 @@ const STREAM_ARRIVALS: u64 = 0xA0;
 /// Byzantine decision counter and the requeue/in-flight transaction
 /// sections were added, and per-replica heights let restore rebuild
 /// each replica at its exact checkpointed position instead of snapping
-/// everyone to the archive tip.
-const CHECKPOINT_VERSION: u8 = 2;
+/// everyone to the archive tip. v3 switched every counter and length
+/// prefix from fixed `u64_le` to LEB128 varints (the embedded chain
+/// rides the ledger codec, itself varint since its v2).
+const CHECKPOINT_VERSION: u8 = 3;
 
 /// Smallest possible encoding of one pending-event queue entry:
-/// time (8) + seq (8) + event tag (1). Bounds the declared entry count
-/// in [`Engine::restore`] against the bytes actually present.
-const PENDING_ENTRY_MIN_BYTES: usize = 17;
+/// time varint (1) + seq varint (1) + event tag (1). Bounds the
+/// declared entry count in [`Engine::restore`] against the bytes
+/// actually present.
+const PENDING_ENTRY_MIN_BYTES: usize = 3;
+
+/// Smallest possible encoding of one length-prefixed transaction in
+/// the requeue/mined checkpoint sections: length varint (1) + at least
+/// one transaction byte.
+const TX_ENTRY_MIN_BYTES: usize = 2;
 
 /// Everything the engine simulates, minus the seed.
 #[derive(Debug, Clone)]
@@ -239,22 +247,21 @@ impl Event {
         match self {
             Event::Arrival { session } => {
                 buf.put_u8(0);
-                buf.put_u64_le(*session as u64);
+                buf.put_uvarint(*session as u64);
             }
             Event::Batch => buf.put_u8(1),
             Event::Deliver { to, frame } => {
                 buf.put_u8(2);
-                buf.put_u64_le(*to as u64);
-                buf.put_u64_le(frame.len() as u64);
-                buf.put_slice(frame);
+                buf.put_uvarint(*to as u64);
+                buf.put_varint_slice(frame);
             }
             Event::Crash { node } => {
                 buf.put_u8(3);
-                buf.put_u64_le(*node as u64);
+                buf.put_uvarint(*node as u64);
             }
             Event::Restart { node } => {
                 buf.put_u8(4);
-                buf.put_u64_le(*node as u64);
+                buf.put_uvarint(*node as u64);
             }
         }
     }
@@ -262,16 +269,20 @@ impl Event {
     fn decode(buf: &mut &[u8]) -> Result<Self, EngineError> {
         let short = |_| EngineError::Checkpoint("truncated event".into());
         match buf.try_get_u8().map_err(short)? {
-            0 => Ok(Event::Arrival { session: buf.try_get_u64_le().map_err(short)? as usize }),
+            0 => Ok(Event::Arrival { session: buf.try_get_uvarint().map_err(short)? as usize }),
             1 => Ok(Event::Batch),
             2 => {
-                let to = buf.try_get_u64_le().map_err(short)? as usize;
-                let len = buf.try_get_u64_le().map_err(short)? as usize;
-                let frame = buf.try_take_slice(len).map_err(short)?.to_vec();
+                let to = buf.try_get_uvarint().map_err(short)? as usize;
+                // The declared frame length is checked against the
+                // bytes actually remaining before the zero-copy slice.
+                let frame = buf
+                    .try_get_varint_slice(buf.remaining() as u64)
+                    .map_err(short)?
+                    .to_vec();
                 Ok(Event::Deliver { to, frame })
             }
-            3 => Ok(Event::Crash { node: buf.try_get_u64_le().map_err(short)? as usize }),
-            4 => Ok(Event::Restart { node: buf.try_get_u64_le().map_err(short)? as usize }),
+            3 => Ok(Event::Crash { node: buf.try_get_uvarint().map_err(short)? as usize }),
+            4 => Ok(Event::Restart { node: buf.try_get_uvarint().map_err(short)? as usize }),
             tag => Err(EngineError::Checkpoint(format!("unknown event tag {tag}"))),
         }
     }
@@ -1027,63 +1038,58 @@ impl Engine {
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(4096);
         buf.put_u8(CHECKPOINT_VERSION);
-        buf.put_u64_le(self.seed);
-        buf.put_u64_le(self.queue.now());
-        buf.put_u64_le(self.queue.next_seq());
-        buf.put_u64_le(self.term);
-        buf.put_u64_le(self.batches);
-        buf.put_u64_le(self.blocks);
-        buf.put_u64_le(self.backpressure);
-        buf.put_u64_le(self.heals);
-        buf.put_u64_le(self.byzantine_rounds);
-        buf.put_u64_le(self.requeues);
-        buf.put_u64_le(self.faults.decisions());
-        buf.put_u64_le(self.byzantine.decisions());
-        buf.put_u64_le(self.alive.len() as u64);
+        buf.put_uvarint(self.seed);
+        buf.put_uvarint(self.queue.now());
+        buf.put_uvarint(self.queue.next_seq());
+        buf.put_uvarint(self.term);
+        buf.put_uvarint(self.batches);
+        buf.put_uvarint(self.blocks);
+        buf.put_uvarint(self.backpressure);
+        buf.put_uvarint(self.heals);
+        buf.put_uvarint(self.byzantine_rounds);
+        buf.put_uvarint(self.requeues);
+        buf.put_uvarint(self.faults.decisions());
+        buf.put_uvarint(self.byzantine.decisions());
+        buf.put_uvarint(self.alive.len() as u64);
         for &a in &self.alive {
             buf.put_u8(a as u8);
         }
         // Per-replica chain heights: restore rebuilds each replica at
         // its exact position by replaying the canonical prefix.
-        buf.put_u64_le(self.config.validators as u64);
+        buf.put_uvarint(self.config.validators as u64);
         for i in 0..self.config.validators {
-            buf.put_u64_le(self.height_of(i) as u64);
+            buf.put_uvarint(self.height_of(i) as u64);
         }
-        buf.put_u64_le(self.cursors.len() as u64);
+        buf.put_uvarint(self.cursors.len() as u64);
         for &c in &self.cursors {
-            buf.put_u64_le(c as u64);
+            buf.put_uvarint(c as u64);
         }
-        buf.put_u64_le(self.arrival_k.len() as u64);
+        buf.put_uvarint(self.arrival_k.len() as u64);
         for &k in &self.arrival_k {
-            buf.put_u64_le(k);
+            buf.put_uvarint(k);
         }
-        buf.put_u64_le(self.admission.len() as u64);
+        buf.put_uvarint(self.admission.len() as u64);
         for tx in self.admission.iter() {
-            let bytes = encode_tx_bytes(tx);
-            buf.put_u64_le(bytes.len() as u64);
-            buf.put_slice(&bytes);
+            buf.put_varint_slice(&encode_tx_bytes(tx));
         }
         for txs in [&self.requeue, &self.mined] {
-            buf.put_u64_le(txs.len() as u64);
+            buf.put_uvarint(txs.len() as u64);
             for tx in txs {
-                let bytes = encode_tx_bytes(tx);
-                buf.put_u64_le(bytes.len() as u64);
-                buf.put_slice(&bytes);
+                buf.put_varint_slice(&encode_tx_bytes(tx));
             }
         }
         let pending = self.queue.pending();
-        buf.put_u64_le(pending.len() as u64);
+        buf.put_uvarint(pending.len() as u64);
         for (time, _, seq, event) in pending {
-            buf.put_u64_le(time);
-            buf.put_u64_le(seq);
+            buf.put_uvarint(time);
+            buf.put_uvarint(seq);
             event.encode(&mut buf);
         }
         let chain = match self.canonical() {
             Some(c) => encode_chain(self.net.validator(c).node.chain()),
             None => encode_chain(self.archive.chain()),
         };
-        buf.put_u64_le(chain.len() as u64);
-        buf.put_slice(&chain);
+        buf.put_varint_slice(&chain);
         buf.to_vec()
     }
 
@@ -1111,61 +1117,61 @@ impl Engine {
                 "unknown checkpoint version {version}"
             )));
         }
-        let ck_seed = buf.try_get_u64_le().map_err(short)?;
+        let ck_seed = buf.try_get_uvarint().map_err(short)?;
         if ck_seed != seed {
             return Err(EngineError::Checkpoint(format!(
                 "checkpoint was taken under seed {ck_seed}, not {seed}"
             )));
         }
-        let now = buf.try_get_u64_le().map_err(short)?;
-        let next_seq = buf.try_get_u64_le().map_err(short)?;
-        engine.term = buf.try_get_u64_le().map_err(short)?;
-        engine.batches = buf.try_get_u64_le().map_err(short)?;
-        engine.blocks = buf.try_get_u64_le().map_err(short)?;
-        engine.backpressure = buf.try_get_u64_le().map_err(short)?;
-        engine.heals = buf.try_get_u64_le().map_err(short)?;
-        engine.byzantine_rounds = buf.try_get_u64_le().map_err(short)?;
-        engine.requeues = buf.try_get_u64_le().map_err(short)?;
-        let decisions = buf.try_get_u64_le().map_err(short)?;
+        let now = buf.try_get_uvarint().map_err(short)?;
+        let next_seq = buf.try_get_uvarint().map_err(short)?;
+        engine.term = buf.try_get_uvarint().map_err(short)?;
+        engine.batches = buf.try_get_uvarint().map_err(short)?;
+        engine.blocks = buf.try_get_uvarint().map_err(short)?;
+        engine.backpressure = buf.try_get_uvarint().map_err(short)?;
+        engine.heals = buf.try_get_uvarint().map_err(short)?;
+        engine.byzantine_rounds = buf.try_get_uvarint().map_err(short)?;
+        engine.requeues = buf.try_get_uvarint().map_err(short)?;
+        let decisions = buf.try_get_uvarint().map_err(short)?;
         engine.faults.restore_decisions(decisions);
-        let byz_decisions = buf.try_get_u64_le().map_err(short)?;
+        let byz_decisions = buf.try_get_uvarint().map_err(short)?;
         engine.byzantine.restore_decisions(byz_decisions);
 
-        let n_alive = buf.try_get_u64_le().map_err(short)? as usize;
+        let n_alive = buf.try_get_uvarint().map_err(short)? as usize;
         if n_alive != engine.alive.len() {
             return Err(EngineError::Checkpoint("validator count mismatch".into()));
         }
         for a in engine.alive.iter_mut() {
             *a = buf.try_get_u8().map_err(short)? != 0;
         }
-        let n_heights = buf.try_get_u64_le().map_err(short)? as usize;
+        let n_heights = buf.try_get_uvarint().map_err(short)? as usize;
         if n_heights != engine.config.validators {
             return Err(EngineError::Checkpoint("validator count mismatch".into()));
         }
         let mut heights = Vec::with_capacity(engine.config.validators);
         for _ in 0..n_heights {
-            heights.push(buf.try_get_u64_le().map_err(short)? as usize);
+            heights.push(buf.try_get_uvarint().map_err(short)? as usize);
         }
-        let n_cursors = buf.try_get_u64_le().map_err(short)? as usize;
+        let n_cursors = buf.try_get_uvarint().map_err(short)? as usize;
         if n_cursors != engine.cursors.len() {
             return Err(EngineError::Checkpoint("session count mismatch".into()));
         }
         for c in engine.cursors.iter_mut() {
-            *c = buf.try_get_u64_le().map_err(short)? as usize;
+            *c = buf.try_get_uvarint().map_err(short)? as usize;
         }
-        let n_k = buf.try_get_u64_le().map_err(short)? as usize;
+        let n_k = buf.try_get_uvarint().map_err(short)? as usize;
         if n_k != engine.arrival_k.len() {
             return Err(EngineError::Checkpoint("session count mismatch".into()));
         }
         for k in engine.arrival_k.iter_mut() {
-            *k = buf.try_get_u64_le().map_err(short)?;
+            *k = buf.try_get_uvarint().map_err(short)?;
         }
 
-        let n_admission = buf.try_get_u64_le().map_err(short)? as usize;
+        let n_admission = buf.try_get_uvarint().map_err(short)? as usize;
         engine.admission = Bounded::new(engine.config.admission_capacity);
         for _ in 0..n_admission {
-            let len = buf.try_get_u64_le().map_err(short)? as usize;
-            let bytes = buf.try_take_slice(len).map_err(short)?;
+            let bytes =
+                buf.try_get_varint_slice(buf.remaining() as u64).map_err(short)?;
             let tx = decode_tx_bytes(bytes)?;
             if engine.admission.push(tx).is_err() {
                 return Err(EngineError::Checkpoint(
@@ -1175,30 +1181,31 @@ impl Engine {
         }
         for section in [&mut engine.requeue, &mut engine.mined] {
             let n = bounded_count(
-                buf.try_get_u64_le().map_err(short)? as usize,
+                buf.try_get_uvarint().map_err(short)? as usize,
                 buf.remaining(),
-                8, // each entry is at least a u64 length prefix
+                TX_ENTRY_MIN_BYTES,
             )?;
             section.clear();
             for _ in 0..n {
-                let len = buf.try_get_u64_le().map_err(short)? as usize;
-                let bytes = buf.try_take_slice(len).map_err(short)?;
+                let bytes =
+                    buf.try_get_varint_slice(buf.remaining() as u64).map_err(short)?;
                 section.push(decode_tx_bytes(bytes)?);
             }
         }
 
         // A forged checkpoint can declare any count; bound it by the
-        // bytes actually present (each entry is ≥ time(8) + seq(8) +
-        // event tag(1)) before the count sizes an allocation.
+        // bytes actually present (each entry is ≥ time varint(1) + seq
+        // varint(1) + event tag(1)) before the count sizes an
+        // allocation.
         let n_pending = bounded_count(
-            buf.try_get_u64_le().map_err(short)? as usize,
+            buf.try_get_uvarint().map_err(short)? as usize,
             buf.remaining(),
             PENDING_ENTRY_MIN_BYTES,
         )?;
         let mut entries = Vec::with_capacity(n_pending);
         for _ in 0..n_pending {
-            let time = buf.try_get_u64_le().map_err(short)?;
-            let seq = buf.try_get_u64_le().map_err(short)?;
+            let time = buf.try_get_uvarint().map_err(short)?;
+            let seq = buf.try_get_uvarint().map_err(short)?;
             let event = Event::decode(buf)?;
             entries.push((time, seq, event));
         }
@@ -1212,8 +1219,8 @@ impl Engine {
         engine.queue =
             EventQueue::restore(substream(seed, STREAM_QUEUE), now, next_seq, entries);
 
-        let chain_len = buf.try_get_u64_le().map_err(short)? as usize;
-        let chain_bytes = buf.try_take_slice(chain_len).map_err(short)?.to_vec();
+        let chain_bytes =
+            buf.try_get_varint_slice(buf.remaining() as u64).map_err(short)?.to_vec();
         if !buf.is_empty() {
             return Err(EngineError::Checkpoint("trailing bytes".into()));
         }
@@ -1382,34 +1389,71 @@ mod tests {
         assert!(Engine::restore(tiny_config(), 5, &[0xff; 40]).is_err());
     }
 
+    /// Varint-era truncation regression: every sampled strict prefix
+    /// of a checkpoint must fail restore — a continuation bit on the
+    /// final available byte maps to Truncated, never a read past the
+    /// end or a silent partial restore.
+    #[test]
+    fn checkpoint_truncations_are_rejected_at_every_sampled_prefix() {
+        let mut engine = Engine::new(tiny_config(), 5).unwrap();
+        for _ in 0..40 {
+            engine.step().unwrap();
+        }
+        let bytes = engine.checkpoint();
+        assert!(Engine::restore(tiny_config(), 5, &bytes).is_ok());
+        for cut in (1..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            assert!(
+                Engine::restore(tiny_config(), 5, &bytes[..cut]).is_err(),
+                "prefix of {cut} bytes restored successfully"
+            );
+        }
+    }
+
+    /// Varint-era overflow regression: an unterminated varint (eleven
+    /// continuation bytes) spliced over the pending-event count must be
+    /// refused as malformed, not spun on or misread as a huge value.
+    #[test]
+    fn unterminated_varint_in_checkpoint_is_rejected() {
+        let mut engine = Engine::new(tiny_config(), 5).unwrap();
+        for _ in 0..40 {
+            engine.step().unwrap();
+        }
+        let mut bytes = engine.checkpoint();
+        let off = pending_count_offset(&bytes);
+        bytes.splice(off..off, [0xFFu8; 11]);
+        assert!(Engine::restore(tiny_config(), 5, &bytes).is_err());
+    }
+
     /// Byte offset of the pending-event count inside a checkpoint,
     /// found by walking the same section order [`Engine::checkpoint`]
     /// writes (fixed counters, then the alive/cursors/arrival_k/
     /// admission variable sections).
     fn pending_count_offset(bytes: &[u8]) -> usize {
-        let u64_at = |off: usize| {
-            u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize
-        };
-        let mut off = 1 + 12 * 8; // version + twelve fixed u64 counters
-        let alive = u64_at(off);
-        off += 8 + alive; // one u8 per live validator
-        let heights = u64_at(off);
-        off += 8 + 8 * heights;
-        let cursors = u64_at(off);
-        off += 8 + 8 * cursors;
-        let arrival_k = u64_at(off);
-        off += 8 + 8 * arrival_k;
-        // Admission, requeue, and last-round transaction sections share
-        // one length-prefixed layout.
+        let mut cur: &[u8] = bytes;
+        cur.advance(1); // version byte
+        for _ in 0..12 {
+            cur.try_get_uvarint().unwrap(); // seed + eleven counters
+        }
+        let alive = cur.try_get_uvarint().unwrap() as usize;
+        cur.advance(alive); // one u8 per live validator
+        // Heights, cursors, and arrival_k are varint-count-prefixed
+        // runs of varints.
         for _ in 0..3 {
-            let txs = u64_at(off);
-            off += 8;
-            for _ in 0..txs {
-                let len = u64_at(off);
-                off += 8 + len;
+            let n = cur.try_get_uvarint().unwrap();
+            for _ in 0..n {
+                cur.try_get_uvarint().unwrap();
             }
         }
-        off
+        // Admission, requeue, and last-round transaction sections share
+        // one varint-length-prefixed layout.
+        for _ in 0..3 {
+            let txs = cur.try_get_uvarint().unwrap();
+            for _ in 0..txs {
+                let len = cur.try_get_uvarint().unwrap() as usize;
+                cur.advance(len);
+            }
+        }
+        bytes.len() - cur.remaining()
     }
 
     /// Byzantine oversize regression: a checkpoint whose pending-event
@@ -1428,7 +1472,17 @@ mod tests {
         // Sanity: the walk landed on the real count (restore of the
         // unmodified bytes still works after a round-trip re-read).
         assert!(Engine::restore(tiny_config(), 5, &bytes).is_ok());
-        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        // Splice out the honest count varint and forge u64::MAX in its
+        // place (nine continuation bytes + terminator).
+        let honest_len = {
+            let mut cur: &[u8] = &bytes[off..];
+            let before = cur.remaining();
+            cur.try_get_uvarint().unwrap();
+            before - cur.remaining()
+        };
+        let mut forged = [0xFFu8; 10];
+        forged[9] = 0x01;
+        bytes.splice(off..off + honest_len, forged);
         assert!(Engine::restore(tiny_config(), 5, &bytes).is_err());
     }
 

@@ -32,7 +32,7 @@
 //! so padding can never contaminate a valid output element.
 
 use super::Matrix;
-use tradefl_runtime::sync::pool::Pool;
+use tradefl_runtime::sync::pool::{host_parallelism, Pool};
 
 /// Microkernel tile height (rows of C held in registers).
 pub const MR: usize = 6;
@@ -111,6 +111,23 @@ const SMALL_SPARSE_FLOPS: usize = 1 << 19;
 /// below this the blocked kernel's SIMD tiles beat skipping.
 const SMALL_SPARSE_MIN_ZEROS: f32 = 0.25;
 
+/// Smallest batch worth a pooled dispatch: below this, the cross-thread
+/// wakeup and join overhead (microseconds per worker) is on the order
+/// of the products themselves, measured on the per-silo matrices the
+/// batched path exists for. Smaller batches run the serial loop —
+/// bit-identical either way, since each product is computed by the
+/// serial kernel regardless of which thread runs it.
+const BATCH_DISPATCH_MIN: usize = 8;
+
+/// Worker count a pooled dispatch can actually profit from: capped by
+/// the hardware threads the host exposes. On a single-core host a pool
+/// of N workers time-slices one core and the dispatch overhead is pure
+/// loss (measured 1.004x — noise — on the recorded baseline), so the
+/// effective count drops to 1 and the serial path runs instead.
+fn effective_workers(pool: &Pool) -> usize {
+    pool.workers().min(host_parallelism())
+}
+
 /// `out = atᵀ · b` without materializing the transpose.
 ///
 /// Small shapes (`m·n·k <` [`SMALL_SPARSE_FLOPS`]) whose `at` operand
@@ -170,7 +187,7 @@ pub fn matmul_into_pooled(a: &Matrix, b: &Matrix, out: &mut Matrix, pool: &Pool)
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let (m, n, k) = (a.rows(), b.cols(), a.cols());
     out.resize(m, n);
-    let workers = pool.workers();
+    let workers = effective_workers(pool);
     if workers <= 1 || m < 2 * MC || n == 0 {
         let mut ws = Workspace::new();
         return matmul_into(a, b, out, &mut ws);
@@ -213,14 +230,19 @@ pub fn matmul_into_pooled(a: &Matrix, b: &Matrix, out: &mut Matrix, pool: &Pool)
 /// count (chunking only changes *which thread* runs a product, never
 /// the arithmetic inside it).
 ///
+/// Falls back to the serial loop outright when the batch is below
+/// [`BATCH_DISPATCH_MIN`] or the host exposes a single hardware thread
+/// ([`effective_workers`]) — situations where the pooled dispatch is
+/// measured overhead with no parallelism to buy.
+///
 /// # Panics
 ///
 /// Panics if `ops.len() != outs.len()` or any product's inner
 /// dimensions disagree.
 pub fn matmul_batch_into_pooled(ops: &[(&Matrix, &Matrix)], outs: &mut [Matrix], pool: &Pool) {
     assert_eq!(ops.len(), outs.len(), "one output per product");
-    let workers = pool.workers();
-    if workers <= 1 || ops.len() <= 1 {
+    let workers = effective_workers(pool);
+    if workers <= 1 || ops.len() < BATCH_DISPATCH_MIN {
         let mut ws = Workspace::new();
         for ((a, b), out) in ops.iter().zip(outs.iter_mut()) {
             matmul_into(a, b, out, &mut ws);

@@ -7,9 +7,12 @@
 //! [`crate::node::Node::apply_block`], so a corrupted or forged export
 //! cannot produce a diverging replica.
 //!
-//! Format: little-endian fixed-width integers, length-prefixed
-//! variable fields, one version byte up front. No self-description —
-//! both ends run this code.
+//! Format (v2): LEB128 varints for counts, lengths, and ordinary
+//! integer fields (nonces, gas, timestamps — values that are small in
+//! practice shrink to one or two bytes on the wire); fixed-width
+//! little-endian for 128-bit money/fixed-point values; raw 20/32-byte
+//! arrays for addresses and hashes; one version byte up front. No
+//! self-description — both ends run this code.
 
 use crate::chain::{Block, BlockHeader, Blockchain};
 use crate::tx::{ExecStatus, Log, Receipt, Transaction, TxPayload, Value};
@@ -17,8 +20,11 @@ use crate::types::{Address, Fixed, Hash256, Wei};
 use tradefl_runtime::codec::{Buf, BytesMut, DecodeError};
 use std::fmt;
 
-/// Format version written at the head of every export.
-pub const CODEC_VERSION: u8 = 1;
+/// Format version written at the head of every export. Version 2
+/// switched counts, lengths, and ordinary integer fields from fixed
+/// `u64_le` to LEB128 varints; version-1 exports are rejected rather
+/// than silently misparsed.
+pub const CODEC_VERSION: u8 = 2;
 
 /// Hard cap on any length prefix (sanity bound against corrupt input).
 const MAX_LEN: usize = 1 << 24;
@@ -74,7 +80,7 @@ type Result<T> = std::result::Result<T, CodecError>;
 pub fn encode_chain(chain: &Blockchain) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_u8(CODEC_VERSION);
-    buf.put_u64_le(chain.height() as u64);
+    buf.put_uvarint(chain.height() as u64);
     for block in chain.blocks() {
         encode_block(&mut buf, block);
     }
@@ -94,7 +100,7 @@ pub fn decode_chain(mut input: &[u8]) -> Result<Blockchain> {
     if version != CODEC_VERSION {
         return Err(CodecError::BadVersion(version));
     }
-    let count = bounded_count(get_u64(buf)? as usize, buf.remaining(), BLOCK_MIN_BYTES)?;
+    let count = bounded_count(get_varint(buf)? as usize, buf.remaining(), BLOCK_MIN_BYTES)?;
     let mut chain = Blockchain::new();
     for _ in 0..count {
         let block = decode_block(buf)?;
@@ -154,11 +160,11 @@ wire_entry_points! {
 
 fn encode_block(buf: &mut BytesMut, block: &Block) {
     encode_header(buf, &block.header);
-    buf.put_u64_le(block.txs.len() as u64);
+    buf.put_uvarint(block.txs.len() as u64);
     for tx in &block.txs {
         encode_tx(buf, tx);
     }
-    buf.put_u64_le(block.receipts.len() as u64);
+    buf.put_uvarint(block.receipts.len() as u64);
     for r in &block.receipts {
         encode_receipt(buf, r);
     }
@@ -166,13 +172,13 @@ fn encode_block(buf: &mut BytesMut, block: &Block) {
 
 fn decode_block(buf: &mut &[u8]) -> Result<Block> {
     let header = decode_header(buf)?;
-    let n_txs = bounded_count(get_u64(buf)? as usize, buf.remaining(), TX_MIN_BYTES)?;
+    let n_txs = bounded_count(get_varint(buf)? as usize, buf.remaining(), TX_MIN_BYTES)?;
     let mut txs = Vec::with_capacity(n_txs.min(1024));
     for _ in 0..n_txs {
         txs.push(decode_tx(buf)?);
     }
     let n_receipts =
-        bounded_count(get_u64(buf)? as usize, buf.remaining(), RECEIPT_MIN_BYTES)?;
+        bounded_count(get_varint(buf)? as usize, buf.remaining(), RECEIPT_MIN_BYTES)?;
     let mut receipts = Vec::with_capacity(n_receipts.min(1024));
     for _ in 0..n_receipts {
         receipts.push(decode_receipt(buf)?);
@@ -181,9 +187,9 @@ fn decode_block(buf: &mut &[u8]) -> Result<Block> {
 }
 
 fn encode_header(buf: &mut BytesMut, h: &BlockHeader) {
-    buf.put_u64_le(h.number);
+    buf.put_uvarint(h.number);
     buf.put_slice(&h.parent.0);
-    buf.put_u64_le(h.timestamp);
+    buf.put_uvarint(h.timestamp);
     buf.put_slice(&h.tx_root.0);
     buf.put_slice(&h.receipts_root.0);
     buf.put_slice(&h.state_root.0);
@@ -191,9 +197,9 @@ fn encode_header(buf: &mut BytesMut, h: &BlockHeader) {
 
 fn decode_header(buf: &mut &[u8]) -> Result<BlockHeader> {
     Ok(BlockHeader {
-        number: get_u64(buf)?,
+        number: get_varint(buf)?,
         parent: get_hash(buf)?,
-        timestamp: get_u64(buf)?,
+        timestamp: get_varint(buf)?,
         tx_root: get_hash(buf)?,
         receipts_root: get_hash(buf)?,
         state_root: get_hash(buf)?,
@@ -202,9 +208,9 @@ fn decode_header(buf: &mut &[u8]) -> Result<BlockHeader> {
 
 fn encode_tx(buf: &mut BytesMut, tx: &Transaction) {
     buf.put_slice(&tx.from.0);
-    buf.put_u64_le(tx.nonce);
+    buf.put_uvarint(tx.nonce);
     buf.put_u128_le(tx.value.0);
-    buf.put_u64_le(tx.gas_limit);
+    buf.put_uvarint(tx.gas_limit);
     match &tx.payload {
         TxPayload::Transfer { to } => {
             buf.put_u8(0);
@@ -214,7 +220,7 @@ fn encode_tx(buf: &mut BytesMut, tx: &Transaction) {
             buf.put_u8(1);
             buf.put_slice(&contract.0);
             put_str(buf, function);
-            buf.put_u64_le(args.len() as u64);
+            buf.put_uvarint(args.len() as u64);
             for a in args {
                 encode_value(buf, a);
             }
@@ -224,15 +230,15 @@ fn encode_tx(buf: &mut BytesMut, tx: &Transaction) {
 
 fn decode_tx(buf: &mut &[u8]) -> Result<Transaction> {
     let from = get_addr(buf)?;
-    let nonce = get_u64(buf)?;
+    let nonce = get_varint(buf)?;
     let value = Wei(get_u128(buf)?);
-    let gas_limit = get_u64(buf)?;
+    let gas_limit = get_varint(buf)?;
     let payload = match get_u8(buf)? {
         0 => TxPayload::Transfer { to: get_addr(buf)? },
         1 => {
             let contract = get_addr(buf)?;
             let function = get_str(buf)?;
-            let n = bounded_count(get_u64(buf)? as usize, buf.remaining(), VALUE_MIN_BYTES)?;
+            let n = bounded_count(get_varint(buf)? as usize, buf.remaining(), VALUE_MIN_BYTES)?;
             let mut args = Vec::with_capacity(n.min(64));
             for _ in 0..n {
                 args.push(decode_value(buf)?);
@@ -253,18 +259,18 @@ fn encode_receipt(buf: &mut BytesMut, r: &Receipt) {
             put_str(buf, reason);
         }
     }
-    buf.put_u64_le(r.gas_used);
-    buf.put_u64_le(r.logs.len() as u64);
+    buf.put_uvarint(r.gas_used);
+    buf.put_uvarint(r.logs.len() as u64);
     for log in &r.logs {
         buf.put_slice(&log.contract.0);
         put_str(buf, &log.event);
-        buf.put_u64_le(log.fields.len() as u64);
+        buf.put_uvarint(log.fields.len() as u64);
         for (k, v) in &log.fields {
             put_str(buf, k);
             encode_value(buf, v);
         }
     }
-    buf.put_u64_le(r.return_data.len() as u64);
+    buf.put_uvarint(r.return_data.len() as u64);
     for v in &r.return_data {
         encode_value(buf, v);
     }
@@ -277,14 +283,14 @@ fn decode_receipt(buf: &mut &[u8]) -> Result<Receipt> {
         1 => ExecStatus::Reverted(get_str(buf)?),
         t => return Err(CodecError::BadTag(t)),
     };
-    let gas_used = get_u64(buf)?;
-    let n_logs = bounded_count(get_u64(buf)? as usize, buf.remaining(), LOG_MIN_BYTES)?;
+    let gas_used = get_varint(buf)?;
+    let n_logs = bounded_count(get_varint(buf)? as usize, buf.remaining(), LOG_MIN_BYTES)?;
     let mut logs = Vec::with_capacity(n_logs.min(64));
     for _ in 0..n_logs {
         let contract = get_addr(buf)?;
         let event = get_str(buf)?;
         let n_fields =
-            bounded_count(get_u64(buf)? as usize, buf.remaining(), FIELD_MIN_BYTES)?;
+            bounded_count(get_varint(buf)? as usize, buf.remaining(), FIELD_MIN_BYTES)?;
         let mut fields = Vec::with_capacity(n_fields.min(64));
         for _ in 0..n_fields {
             let k = get_str(buf)?;
@@ -293,7 +299,7 @@ fn decode_receipt(buf: &mut &[u8]) -> Result<Receipt> {
         }
         logs.push(Log { contract, event, fields });
     }
-    let n_ret = bounded_count(get_u64(buf)? as usize, buf.remaining(), VALUE_MIN_BYTES)?;
+    let n_ret = bounded_count(get_varint(buf)? as usize, buf.remaining(), VALUE_MIN_BYTES)?;
     let mut return_data = Vec::with_capacity(n_ret.min(64));
     for _ in 0..n_ret {
         return_data.push(decode_value(buf)?);
@@ -305,7 +311,7 @@ fn encode_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::U64(x) => {
             buf.put_u8(0);
-            buf.put_u64_le(*x);
+            buf.put_uvarint(*x);
         }
         Value::I128(x) => {
             buf.put_u8(1);
@@ -321,8 +327,7 @@ fn encode_value(buf: &mut BytesMut, v: &Value) {
         }
         Value::Bytes(b) => {
             buf.put_u8(4);
-            buf.put_u64_le(b.len() as u64);
-            buf.put_slice(b);
+            buf.put_varint_slice(b);
         }
         Value::Str(s) => {
             buf.put_u8(5);
@@ -333,13 +338,14 @@ fn encode_value(buf: &mut BytesMut, v: &Value) {
 
 fn decode_value(buf: &mut &[u8]) -> Result<Value> {
     Ok(match get_u8(buf)? {
-        0 => Value::U64(get_u64(buf)?),
+        0 => Value::U64(get_varint(buf)?),
         1 => Value::I128(get_i128(buf)?),
         2 => Value::Fixed(Fixed(get_i128(buf)?)),
         3 => Value::Addr(get_addr(buf)?),
         4 => {
-            let n = bounded_len(get_u64(buf)? as usize)?;
-            Value::Bytes(get_bytes(buf, n)?)
+            // Zero-copy: the length-checked slice is borrowed straight
+            // from the input and copied once into the owned value.
+            Value::Bytes(buf.try_get_varint_slice(MAX_LEN as u64)?.to_vec())
         }
         5 => Value::Str(get_str(buf)?),
         t => return Err(CodecError::BadTag(t)),
@@ -374,17 +380,19 @@ pub fn bounded_count(n: usize, remaining: usize, min_elem: usize) -> Result<usiz
 }
 
 // Conservative lower bounds on encoded element sizes (safe against
-// under-claiming: each is at most the smallest legal encoding).
-/// from(20) + nonce(8) + value(16) + gas(8) + payload tag(1).
-const TX_MIN_BYTES: usize = 53;
-/// tx_hash(32) + status tag(1) + gas_used(8) + 3 length prefixes(24).
-const RECEIPT_MIN_BYTES: usize = 57;
-/// header(144) + two count prefixes(16).
-const BLOCK_MIN_BYTES: usize = 160;
-/// contract(20) + event length prefix(8) + fields count(8).
-const LOG_MIN_BYTES: usize = 36;
-/// key length prefix(8) + value tag(1).
-const FIELD_MIN_BYTES: usize = 9;
+// under-claiming: each is at most the smallest legal encoding — a
+// varint field counts as one byte).
+/// from(20) + nonce varint(1) + value(16) + gas varint(1) + tag(1).
+const TX_MIN_BYTES: usize = 39;
+/// tx_hash(32) + status tag(1) + gas_used(1) + 3 count varints(3).
+const RECEIPT_MIN_BYTES: usize = 37;
+/// header(4 hashes = 128, number + timestamp varints = 2) + two count
+/// varints(2).
+const BLOCK_MIN_BYTES: usize = 132;
+/// contract(20) + event length varint(1) + fields count varint(1).
+const LOG_MIN_BYTES: usize = 22;
+/// key length varint(1) + value tag(1).
+const FIELD_MIN_BYTES: usize = 2;
 /// A `Value` is at least its tag byte.
 const VALUE_MIN_BYTES: usize = 1;
 
@@ -394,8 +402,11 @@ fn get_u8(buf: &mut &[u8]) -> Result<u8> {
     Ok(buf.try_get_u8()?)
 }
 
-fn get_u64(buf: &mut &[u8]) -> Result<u64> {
-    Ok(buf.try_get_u64_le()?)
+/// Reads one LEB128 varint — the v2 wire form of every count, length,
+/// and ordinary integer field. Truncation and overflow map to errors
+/// via the runtime codec.
+fn get_varint(buf: &mut &[u8]) -> Result<u64> {
+    Ok(buf.try_get_uvarint()?)
 }
 
 fn get_u128(buf: &mut &[u8]) -> Result<u128> {
@@ -425,14 +436,14 @@ fn get_hash(buf: &mut &[u8]) -> Result<Hash256> {
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u64_le(s.len() as u64);
-    buf.put_slice(s.as_bytes());
+    buf.put_varint_slice(s.as_bytes());
 }
 
 fn get_str(buf: &mut &[u8]) -> Result<String> {
-    let n = bounded_len(get_u64(buf)? as usize)?;
-    let b = get_bytes(buf, n)?;
-    String::from_utf8(b).map_err(|_| CodecError::BadUtf8)
+    // Zero-copy length-checked borrow; UTF-8 is validated on the slice
+    // before the single copy into the owned `String`.
+    let raw = buf.try_get_varint_slice(MAX_LEN as u64)?;
+    std::str::from_utf8(raw).map(str::to_owned).map_err(|_| CodecError::BadUtf8)
 }
 
 #[cfg(test)]

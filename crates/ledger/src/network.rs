@@ -747,6 +747,28 @@ mod tests {
     }
 
     #[test]
+    fn byzantine_unterminated_varints_error_instead_of_panicking() {
+        // An unterminated varint — continuation bit set on ten-plus
+        // consecutive bytes — spliced over the tx count must be
+        // refused as malformed (LengthOverflow), never spun on,
+        // misread, or allowed past the decoder.
+        let mut net = boot(1);
+        net.submit(transfer("alice", "bob", 0, 100));
+        net.round().unwrap();
+        let good = net.tip_frame(0).unwrap();
+        let block = decode_block_bytes(&good).unwrap();
+        let header_len = crate::codec::encode_header_bytes(&block.header).len();
+        let mut bad = good.clone();
+        bad.splice(header_len..header_len, [0xFFu8; 11]);
+        let mut victim = boot(1);
+        match victim.deliver_frame(0, &bad) {
+            Err(FrameError::Decode(_)) => {}
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+        assert_eq!(victim.validator(0).node.chain().height(), 1);
+    }
+
+    #[test]
     fn byzantine_oversize_frames_are_refused_at_the_size_gate() {
         // A peer declares (and sends) a frame past the configured
         // limit: the receiver must refuse before decoding a single
@@ -799,6 +821,7 @@ mod tests {
     #[test]
     fn byzantine_declared_lengths_beyond_the_frame_are_refused_before_allocation() {
         use crate::codec::CodecError;
+        use tradefl_runtime::codec::{Buf, BytesMut};
 
         // A frame whose tx-count field claims more elements than the
         // remaining bytes could possibly encode. The codec must reject
@@ -807,15 +830,23 @@ mod tests {
         let mut net = boot(1);
         net.submit(transfer("alice", "bob", 0, 100));
         net.round().unwrap();
-        let mut frame = net.tip_frame(0).unwrap();
-        // Block frame layout: header (144 bytes), then the u64 tx count.
-        let tx_count_at = 144;
+        let good = net.tip_frame(0).unwrap();
+        // Re-splice the frame with a forged tx-count varint: header
+        // bytes, the absurd count, then the original tx/receipt tail.
+        let block = decode_block_bytes(&good).unwrap();
+        let header_len = crate::codec::encode_header_bytes(&block.header).len();
+        let mut tail: &[u8] = &good[header_len..];
+        tail.try_get_uvarint().unwrap(); // skip the honest count
         // Claim a count that passes the absolute MAX_LEN cap but not
         // the bytes-remaining check: far more txs than the tail of the
         // frame could hold, yet small enough that only the new guard
         // can catch it.
         let absurd: u64 = 10_000;
-        frame[tx_count_at..tx_count_at + 8].copy_from_slice(&absurd.to_le_bytes());
+        let mut forged = BytesMut::with_capacity(good.len() + 2);
+        forged.put_slice(&good[..header_len]);
+        forged.put_uvarint(absurd);
+        forged.put_slice(tail);
+        let frame = forged.into_vec();
         let mut victim = boot(1);
         match victim.deliver_frame(0, &frame) {
             Err(FrameError::Decode(CodecError::LengthOverflow(n))) => {

@@ -109,7 +109,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "no-alloc-in-hot-loop",
-        summary: "no heap allocation in the GEMM kernel module or model.rs/fed.rs hot fns",
+        summary: "no heap allocation in the GEMM kernel module or the \
+                  model.rs/fed.rs/market.rs/incremental.rs hot fns",
         rationale: "The training loop's steady state performs zero heap allocations per step \
                     (DESIGN.md \u{a7}10): every buffer is owned by a Workspace or a caller and \
                     reused via resize-within-capacity. An innocent `vec!` or `.clone()` in \
@@ -280,11 +281,46 @@ const MODEL_HOT_FNS: &[&str] = &["forward_with", "sgd_step_with", "evaluate_with
 /// construction) allocates freely.
 const FED_HOT_FNS: &[&str] = &["run_round", "train_group", "local_train"];
 
+/// The fns in core/market.rs the rule covers — the O(nnz) ρ row
+/// accessors the DBR sweep leans on at N=10k: indexed lookup, the row
+/// iterator (including its `next`/`fold` steady state), and the
+/// row-sum/weight formulas built on it. Constructors (`from_triplets`,
+/// `restrict`, …) allocate freely.
+const MARKET_HOT_FNS: &[&str] = &[
+    "get",
+    "row_iter",
+    "row_sum",
+    "next",
+    "fold",
+    "rho",
+    "rho_row",
+    "competition_pressure",
+    "weight",
+];
+
+/// The fns in core/incremental.rs the rule covers — the per-candidate
+/// bisection steady state (`O(log N)` evaluations plus the one
+/// `O(deg)` mover dot) and the `O(log N)` commit. The `O(N²)`
+/// evaluator constructor and trace-row helpers allocate freely.
+const INCREMENTAL_HOT_FNS: &[&str] = &[
+    "rho_res",
+    "payoff_at",
+    "mover_payoff_at",
+    "common_terms",
+    "payoff_d_deriv_at",
+    "commit",
+    "resource_index_of",
+    "set",
+    "total_with",
+];
+
 /// Per-file hot-fn lists for `no-alloc-in-hot-loop` (kernel.rs is
 /// whole-file and listed separately in [`hot_loop_spans`]).
 const HOT_FNS: &[(&str, &[&str])] = &[
     ("crates/fl-sim/src/model.rs", MODEL_HOT_FNS),
     ("crates/fl-sim/src/fed.rs", FED_HOT_FNS),
+    ("crates/core/src/market.rs", MARKET_HOT_FNS),
+    ("crates/core/src/incremental.rs", INCREMENTAL_HOT_FNS),
 ];
 
 /// Whether `rule_id` applies to the file at `rel_path` at all.

@@ -95,6 +95,24 @@ impl BytesMut {
         self.buf.extend_from_slice(v);
     }
 
+    /// Appends a `u64` as an LEB128 varint (1–10 bytes, low groups
+    /// first, high bit set on every byte but the last). Small counts
+    /// and lengths — the overwhelming majority on the wire — take a
+    /// single byte instead of eight.
+    pub fn put_uvarint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a varint length prefix followed by the bytes themselves.
+    pub fn put_varint_slice(&mut self, v: &[u8]) {
+        self.put_uvarint(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.buf.clone()
@@ -197,6 +215,41 @@ pub trait Buf {
     fn try_get_i128_le(&mut self) -> Result<i128, DecodeError> {
         // lint:allow(no-panic-in-lib): try_take_slice returned exactly the requested length
         Ok(i128::from_le_bytes(self.try_take_slice(16)?.try_into().expect("16 bytes")))
+    }
+
+    /// Fallible LEB128 `u64` read, the inverse of
+    /// [`BytesMut::put_uvarint`]. Rejects truncated varints, encodings
+    /// longer than ten bytes, and final-byte bits that would overflow
+    /// `u64` — a byzantine peer cannot make the decoder run off the end
+    /// or wrap a length around.
+    fn try_get_uvarint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.try_get_u8()?;
+            let group = u64::from(byte & 0x7f);
+            // The tenth byte (shift 63) may only carry the top bit.
+            if shift == 63 && group > 1 {
+                return Err(DecodeError::LengthOverflow(u64::MAX));
+            }
+            v |= group << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(DecodeError::LengthOverflow(u64::MAX))
+    }
+
+    /// Fallible zero-copy read of a varint-length-prefixed slice, the
+    /// inverse of [`BytesMut::put_varint_slice`]. The declared length
+    /// is checked against both `max` and the bytes actually remaining
+    /// before anything is sliced.
+    fn try_get_varint_slice(&mut self, max: u64) -> Result<&[u8], DecodeError> {
+        let n = self.try_get_uvarint()?;
+        if n > max {
+            return Err(DecodeError::LengthOverflow(n));
+        }
+        let n = usize::try_from(n).map_err(|_| DecodeError::LengthOverflow(n))?;
+        self.try_take_slice(n)
     }
 
     /// Reads one byte.
@@ -684,6 +737,64 @@ mod tests {
             Vec::<u8>::decode(&mut cur),
             Err(DecodeError::LengthOverflow(_))
         ));
+    }
+
+    #[test]
+    fn uvarint_roundtrips_and_width_scales() {
+        for (v, width) in [
+            (0u64, 1usize),
+            (1, 1),
+            (127, 1),
+            (128, 2),
+            (16383, 2),
+            (16384, 3),
+            (u64::from(u32::MAX), 5),
+            (u64::MAX, 10),
+        ] {
+            let mut buf = BytesMut::new();
+            buf.put_uvarint(v);
+            assert_eq!(buf.len(), width, "width of {v}");
+            let mut cur: &[u8] = &buf;
+            assert_eq!(cur.try_get_uvarint(), Ok(v));
+            assert_eq!(cur.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        // Continuation bit set on the last available byte.
+        let mut cur: &[u8] = &[0x80, 0x80];
+        assert_eq!(cur.try_get_uvarint(), Err(DecodeError::Truncated));
+        // Ten continuation bytes: no terminator within the u64 range.
+        let eleven = [0x80u8; 11];
+        let mut cur: &[u8] = &eleven;
+        assert!(matches!(cur.try_get_uvarint(), Err(DecodeError::LengthOverflow(_))));
+        // Tenth byte carries bits beyond 2^64.
+        let mut wide = [0x80u8; 10];
+        wide[9] = 0x02;
+        let mut cur: &[u8] = &wide;
+        assert!(matches!(cur.try_get_uvarint(), Err(DecodeError::LengthOverflow(_))));
+    }
+
+    #[test]
+    fn varint_slice_is_zero_copy_and_bounded() {
+        let mut buf = BytesMut::new();
+        buf.put_varint_slice(b"settlement");
+        let mut cur: &[u8] = &buf;
+        let got = cur.try_get_varint_slice(1 << 20).unwrap();
+        assert_eq!(got, b"settlement");
+        // Zero-copy: the returned slice aliases the input buffer.
+        assert_eq!(got.as_ptr(), buf[1..].as_ptr());
+        assert_eq!(cur.remaining(), 0);
+        // A declared length beyond `max` is rejected before slicing.
+        let mut cur: &[u8] = &buf;
+        assert!(matches!(
+            cur.try_get_varint_slice(3),
+            Err(DecodeError::LengthOverflow(10))
+        ));
+        // A declared length beyond the remaining bytes is truncation.
+        let mut short: &[u8] = &buf[..4];
+        assert_eq!(short.try_get_varint_slice(1 << 20), Err(DecodeError::Truncated));
     }
 
     #[derive(Debug, PartialEq)]

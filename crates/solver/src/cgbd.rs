@@ -15,16 +15,26 @@
 //! small instances.
 
 use crate::error::{Result, SolveError};
-use crate::gbd::{master_value, solve_master, Cut, MasterSearch};
+use crate::gbd::{master_value, solve_master_with, Cut, CutTables, MasterSearch};
 use crate::outcome::{Equilibrium, Scheme};
 use crate::primal::PrimalProblem;
 // Ordered set, not HashSet — see the `no-hash-iteration` lint.
 use std::collections::BTreeSet;
 use tradefl_core::accuracy::AccuracyModel;
+use tradefl_core::incremental::IncrementalEval;
 use tradefl_runtime::obs;
 use tradefl_runtime::sync::pool::Pool;
 use tradefl_core::game::CoopetitionGame;
 use tradefl_core::strategy::{Strategy, StrategyProfile};
+
+/// Markets at least this large switch the per-iteration payoff-trace
+/// row from direct `game.payoff` calls (O(N²) per row, bit-identical
+/// to the pre-incremental solver) to an [`IncrementalEval`] pass
+/// (O(nnz) per row, ulp-level reassociation only). The threshold
+/// depends purely on the instance size — never the worker count — so
+/// the chosen path (and every bit of the result) is the same under any
+/// pool configuration.
+const TRACE_EVAL_MIN_ORGS: usize = 512;
 
 /// Options for [`CgbdSolver`].
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +152,10 @@ impl CgbdSolver {
             None => (0..n).map(|i| market.org(i).compute_level_count() - 1).collect(),
         };
         let mut cuts: Vec<Cut> = Vec::new();
+        // Incremental master state: per-org constants computed once,
+        // each iteration appends only its new cut's table (PR-7's
+        // IncrementalEval treatment applied to the Benders master).
+        let mut tables = CutTables::new(game);
         let mut visited: BTreeSet<Vec<usize>> = BTreeSet::new();
         let mut ub = f64::INFINITY;
         let mut lb = f64::NEG_INFINITY;
@@ -169,13 +183,25 @@ impl CgbdSolver {
                     .map(|(&d, &l)| Strategy::new(d, l))
                     .collect();
                 potential_trace.push(sol.value);
-                payoff_traces.push((0..n).map(|i| game.payoff(&profile, i)).collect());
-                cuts.push(Cut::optimality(game, sol.d, sol.multipliers));
+                payoff_traces.push(if n < TRACE_EVAL_MIN_ORGS {
+                    (0..n).map(|i| game.payoff(&profile, i)).collect()
+                } else {
+                    // Large markets: one O(nnz) evaluator pass instead
+                    // of N O(N) payoff recomputations.
+                    let eval = IncrementalEval::new(game, profile.clone());
+                    (0..n).map(|i| eval.payoff_at(i, profile[i], eval.rho_res(i))).collect()
+                });
+                let cut = Cut::optimality(game, sol.d, sol.multipliers);
+                tables.push_cut(game, &cut);
+                cuts.push(cut);
             } else {
                 let fc = primal.feasibility_check();
-                cuts.push(Cut::Feasibility { d: fc.d, lambda: fc.lambda });
+                let cut = Cut::Feasibility { d: fc.d, lambda: fc.lambda };
+                tables.push_cut(game, &cut);
+                cuts.push(cut);
             }
-            let master = solve_master(game, &cuts, self.options.master, &visited)?;
+            let master =
+                solve_master_with(game, &cuts, &tables, self.options.master, &visited)?;
             lb = master.phi;
             trace.push(CgbdIteration {
                 k,

@@ -272,6 +272,52 @@ pub fn solve_master<A: AccuracyModel>(
     }
 }
 
+/// [`solve_master`] with **incrementally maintained** cut tables:
+/// `tables` must contain exactly the cuts in `cuts` (callers append
+/// via [`CutTables::push_cut`] as they grow the stack). The pooled
+/// traversal reuses the tables instead of rebuilding them; the small
+/// reference path and coordinate descent evaluate `cuts` directly,
+/// exactly as [`solve_master`] does — so results are bit-identical to
+/// the scratch-build entry point for every worker count.
+///
+/// # Errors
+///
+/// See [`solve_master`].
+///
+/// # Panics
+///
+/// Panics if `tables` does not hold the same number of cuts as `cuts`.
+pub fn solve_master_with<A: AccuracyModel>(
+    game: &CoopetitionGame<A>,
+    cuts: &[Cut],
+    tables: &CutTables,
+    search: MasterSearch,
+    visited: &BTreeSet<Vec<usize>>,
+) -> Result<MasterSolution> {
+    assert_eq!(
+        tables.cut_count(),
+        cuts.len(),
+        "incremental cut tables out of sync with the cut stack"
+    );
+    match search {
+        MasterSearch::Traversal { cap } => {
+            let combos = combination_count(game);
+            obs::counter_add(
+                "gbd.master_candidates_scanned",
+                u64::try_from(combos).unwrap_or(u64::MAX),
+            );
+            if combos >= POOLED_TRAVERSAL_MIN_COMBOS {
+                traverse_pooled_with(game, tables, visited, cap, Pool::global())
+            } else {
+                traverse_reference(game, cuts, visited, cap)
+            }
+        }
+        MasterSearch::CoordinateDescent { restarts, max_sweeps, seed } => {
+            coordinate_descent(game, cuts, visited, restarts, max_sweeps, seed)
+        }
+    }
+}
+
 /// Size of the ladder product space `|𝓕| = Π m_i`.
 fn combination_count<A: AccuracyModel>(game: &CoopetitionGame<A>) -> u128 {
     game.market()
@@ -371,78 +417,118 @@ pub fn traverse_reference<A: AccuracyModel>(
 /// floating-point rounding by at most an ulp-level reassociation,
 /// which is why the reference path is kept byte-stable and the
 /// selection between paths depends only on the instance size.
+///
+/// Tables are **incremental**: [`CutTables::new`] caches the
+/// strategy-independent per-organization constants (`z_i`, `q_i` —
+/// one O(nnz) ρ pass total instead of one O(N) row sweep per cut per
+/// organization), and [`CutTables::push_cut`] appends a single cut's
+/// table in O(N · levels). CGBD keeps one table set alive across its
+/// whole master-iteration loop, pushing only each iteration's new cut
+/// — bit-identical to rebuilding from scratch, because every table
+/// entry is a pure function of the cut and the cached constants
+/// (pinned by `tests/determinism.rs`).
 #[derive(Debug)]
-struct CutTables {
+pub struct CutTables {
     /// `(base, per_org)` for each optimality cut: value at a candidate
     /// is `base + Σ_i per_org[i][levels[i]]`.
     optimality: Vec<(f64, Vec<Vec<f64>>)>,
     /// `per_org` for each feasibility cut: violation is
     /// `Σ_i per_org[i][levels[i]]`, infeasible when `> 1e-9`.
     feasibility: Vec<Vec<Vec<f64>>>,
+    /// Cached `z_i = p_i − Σ_j ρ_ij p_j` (exactly `market.weight(i)`).
+    z: Vec<f64>,
+    /// Cached `q_i = Σ_j ρ_ij` (exactly `market.competition_pressure(i)`).
+    q: Vec<f64>,
+    /// Cuts folded in so far.
+    cuts: usize,
 }
 
 impl CutTables {
-    fn build<A: AccuracyModel>(game: &CoopetitionGame<A>, cuts: &[Cut]) -> Self {
+    /// Empty tables with the per-organization constants precomputed —
+    /// the start of an incremental master-iteration sequence.
+    pub fn new<A: AccuracyModel>(game: &CoopetitionGame<A>) -> Self {
+        let market = game.market();
+        let n = market.len();
+        let z: Vec<f64> = (0..n).map(|i| market.weight(i)).collect();
+        let q: Vec<f64> = (0..n).map(|i| market.competition_pressure(i)).collect();
+        CutTables { optimality: Vec::new(), feasibility: Vec::new(), z, q, cuts: 0 }
+    }
+
+    /// Appends one cut's lookup table using the cached constants:
+    /// O(N · levels), no ρ access at all.
+    pub fn push_cut<A: AccuracyModel>(&mut self, game: &CoopetitionGame<A>, cut: &Cut) {
         let market = game.market();
         let params = market.params();
         let n = market.len();
-        let mut optimality = Vec::new();
-        let mut feasibility = Vec::new();
-        for cut in cuts {
-            match cut {
-                Cut::Optimality { d: _, u, omega, p_value, p_deriv } => {
-                    let base = -p_value + p_deriv * omega;
-                    let per_org: Vec<Vec<f64>> = (0..n)
-                        .map(|i| {
-                            let org = market.org(i);
-                            let s = org.data_bits();
-                            let z = market.weight(i);
-                            let q = market.competition_pressure(i);
-                            org.compute_levels()
-                                .iter()
-                                .map(|&f| {
-                                    let c = (params.gamma * q
-                                        - params.omega_e * params.kappa * f * f * org.eta())
-                                        * s
-                                        / z;
-                                    let coeff = -p_deriv * org.effective_bits() - c
-                                        + u[i] * org.eta() * s / f;
-                                    let linear =
-                                        if coeff > 0.0 { coeff * params.d_min } else { coeff };
-                                    linear + u[i] * (org.comm_time() - params.tau)
-                                        - (params.gamma * q * params.lambda * f
-                                            - params.omega_e * org.comm_energy())
-                                            / z
-                                })
-                                .collect()
-                        })
-                        .collect();
-                    optimality.push((base, per_org));
-                }
-                Cut::Feasibility { d, lambda } => {
-                    let per_org: Vec<Vec<f64>> = (0..n)
-                        .map(|i| {
-                            let org = market.org(i);
-                            org.compute_levels()
-                                .iter()
-                                .map(|&f| {
-                                    lambda[i]
-                                        * (org.comm_time() + org.training_time(d[i], f)
-                                            - params.tau)
-                                })
-                                .collect()
-                        })
-                        .collect();
-                    feasibility.push(per_org);
-                }
+        self.cuts += 1;
+        match cut {
+            Cut::Optimality { d: _, u, omega, p_value, p_deriv } => {
+                let base = -p_value + p_deriv * omega;
+                let per_org: Vec<Vec<f64>> = (0..n)
+                    .map(|i| {
+                        let org = market.org(i);
+                        let s = org.data_bits();
+                        let z = self.z[i];
+                        let q = self.q[i];
+                        org.compute_levels()
+                            .iter()
+                            .map(|&f| {
+                                let c = (params.gamma * q
+                                    - params.omega_e * params.kappa * f * f * org.eta())
+                                    * s
+                                    / z;
+                                let coeff = -p_deriv * org.effective_bits() - c
+                                    + u[i] * org.eta() * s / f;
+                                let linear =
+                                    if coeff > 0.0 { coeff * params.d_min } else { coeff };
+                                linear + u[i] * (org.comm_time() - params.tau)
+                                    - (params.gamma * q * params.lambda * f
+                                        - params.omega_e * org.comm_energy())
+                                        / z
+                            })
+                            .collect()
+                    })
+                    .collect();
+                self.optimality.push((base, per_org));
+            }
+            Cut::Feasibility { d, lambda } => {
+                let per_org: Vec<Vec<f64>> = (0..n)
+                    .map(|i| {
+                        let org = market.org(i);
+                        org.compute_levels()
+                            .iter()
+                            .map(|&f| {
+                                lambda[i]
+                                    * (org.comm_time() + org.training_time(d[i], f)
+                                        - params.tau)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                self.feasibility.push(per_org);
             }
         }
-        CutTables { optimality, feasibility }
+    }
+
+    /// Number of cuts folded into the tables.
+    pub fn cut_count(&self) -> usize {
+        self.cuts
+    }
+
+    /// Builds tables for a whole cut stack from scratch — one
+    /// [`CutTables::push_cut`] per cut, so scratch and incremental
+    /// construction are bit-identical by definition.
+    pub fn build<A: AccuracyModel>(game: &CoopetitionGame<A>, cuts: &[Cut]) -> Self {
+        let mut tables = CutTables::new(game);
+        for cut in cuts {
+            tables.push_cut(game, cut);
+        }
+        tables
     }
 
     /// Master objective at `levels`, or `None` on a feasibility-cut
     /// violation — the table-based analogue of [`master_value`].
-    fn value(&self, levels: &[usize]) -> Option<f64> {
+    pub fn value(&self, levels: &[usize]) -> Option<f64> {
         for per_org in &self.feasibility {
             let violation: f64 =
                 per_org.iter().zip(levels).map(|(t, &l)| t[l]).sum();
@@ -498,6 +584,28 @@ pub fn traverse_pooled<A: AccuracyModel>(
     cap: u128,
     pool: &Pool,
 ) -> Result<MasterSolution> {
+    let tables = CutTables::build(game, cuts);
+    traverse_pooled_with(game, &tables, visited, cap, pool)
+}
+
+/// [`traverse_pooled`] over **prebuilt** cut tables: the incremental
+/// master path. CGBD maintains one [`CutTables`] across its whole
+/// iteration loop and appends only each new cut, so the per-solve
+/// table-build cost drops from O(cuts · N · levels) (plus the O(N²)
+/// per-org constant recomputation the scratch build used to pay) to
+/// O(N · levels) for the newest cut — while the scan itself stays
+/// bit-identical for every worker count.
+///
+/// # Errors
+///
+/// See [`solve_master`].
+pub fn traverse_pooled_with<A: AccuracyModel>(
+    game: &CoopetitionGame<A>,
+    tables: &CutTables,
+    visited: &BTreeSet<Vec<usize>>,
+    cap: u128,
+    pool: &Pool,
+) -> Result<MasterSolution> {
     let sizes = ladder_sizes(game);
     let combinations = sizes
         .iter()
@@ -508,7 +616,6 @@ pub fn traverse_pooled<A: AccuracyModel>(
     }
     let total = usize::try_from(combinations)
         .map_err(|_| SolveError::MasterTooLarge { combinations, cap })?;
-    let tables = CutTables::build(game, cuts);
     let chunk = total.div_ceil(pool.workers() * 4).max(1);
     let starts: Vec<usize> = (0..total).step_by(chunk).collect();
     let chunk_bests: Vec<ChunkBest> = pool.map(

@@ -5,7 +5,9 @@
 #
 # Full mode writes the committed baselines at the repo root; --fast
 # (or TRADEFL_BENCH_FAST=1) runs smoke scale and writes under target/
-# so CI never clobbers the recorded files. The solver smoke shrinks
+# so CI never clobbers the recorded files. Full-mode scale rows include
+# the ten-thousand-org sparse-rho solve and the sparse-vs-dense
+# agreement row; both are validated by scale_baseline --check below. The solver smoke shrinks
 # instance sizes; the GEMM smoke keeps the same shapes and only cuts
 # repeats, so its fast output gates like-for-like against the
 # committed file. Either way every emitted file is re-validated with

@@ -56,8 +56,11 @@ if [ -e BENCH_engine.json ]; then
   target/release/engine_baseline --check BENCH_engine.json
 fi
 if [ -e BENCH_scale.json ]; then
-  # --check also re-enforces the sub-quadratic criterion recorded in the
-  # committed file: dbr_solve_n1000 must stay within 20x dbr_solve_n100.
+  # --check also re-enforces the scaling criteria recorded in the
+  # committed file: dbr_solve_n1000 within 20x dbr_solve_n100,
+  # dbr_solve_n10000 within 25x dbr_solve_n1000 with its resident
+  # sparse-rho bytes under 100 MB, and the sparse-vs-dense agreement
+  # row bit-identical.
   target/release/scale_baseline --check BENCH_scale.json
 fi
 

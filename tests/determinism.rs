@@ -161,6 +161,158 @@ fn pooled_master_traversal_is_bit_identical_for_any_worker_count() {
     }
 }
 
+// --- sparse-vs-dense ρ bit-identity ----------------------------------
+//
+// A sparse ρ row iterates stored entries only; the dense reference
+// visits every column including exact zeros. Adding ±0.0 to a non-−0.0
+// accumulator is a bitwise no-op, so every mechanism sum — and
+// therefore every equilibrium — must be bit-identical across the two
+// representations when the stored values match.
+
+/// Dense market at `n` orgs plus its zero-thresholded sparse twin.
+fn dense_and_sparse(
+    n: usize,
+    seed: u64,
+) -> (CoopetitionGame<SqrtAccuracy>, CoopetitionGame<SqrtAccuracy>) {
+    use tradefl_core::market::{Market, RhoMatrix};
+    let dense = MarketConfig::table_ii().with_orgs(n).build(seed).unwrap();
+    let RhoMatrix::Dense(rows) = dense.rho_matrix() else {
+        panic!("table_ii builds a dense rho");
+    };
+    let sparse_rho = RhoMatrix::from_dense_thresholded(rows, 0.0);
+    assert!(matches!(sparse_rho, RhoMatrix::Sparse { .. }));
+    let sparse =
+        Market::with_rho(dense.orgs().to_vec(), sparse_rho, dense.params().clone()).unwrap();
+    (
+        CoopetitionGame::new(dense, SqrtAccuracy::paper_default()),
+        CoopetitionGame::new(sparse, SqrtAccuracy::paper_default()),
+    )
+}
+
+#[test]
+fn sparse_and_dense_dbr_equilibria_are_bit_identical() {
+    for (n, seed) in [(50, 3), (300, 11)] {
+        let (gd, gs) = dense_and_sparse(n, seed);
+        let a = DbrSolver::new().solve(&gd).unwrap();
+        let b = DbrSolver::new().solve(&gs).unwrap();
+        assert_eq!(a.iterations, b.iterations, "n={n}");
+        for (i, (sa, sb)) in a.profile.iter().zip(b.profile.iter()).enumerate() {
+            assert_eq!(sa.d.to_bits(), sb.d.to_bits(), "d differs at org {i} (n={n})");
+            assert_eq!(sa.level, sb.level, "level differs at org {i} (n={n})");
+        }
+        assert_eq!(a.welfare.to_bits(), b.welfare.to_bits(), "welfare (n={n})");
+        assert_eq!(a.potential.to_bits(), b.potential.to_bits(), "potential (n={n})");
+        assert_eq!(a.total_damage.to_bits(), b.total_damage.to_bits(), "damage (n={n})");
+    }
+}
+
+#[test]
+fn sparse_and_dense_incremental_aggregates_are_bit_identical() {
+    use tradefl_core::incremental::IncrementalEval;
+    use tradefl_core::strategy::StrategyProfile;
+
+    let (gd, gs) = dense_and_sparse(200, 5);
+    let profile = StrategyProfile::minimal(gd.market());
+    let mut ed = IncrementalEval::new(&gd, profile.clone());
+    let mut es = IncrementalEval::new(&gs, profile);
+    for i in 0..gd.market().len() {
+        assert_eq!(ed.rho_res(i).to_bits(), es.rho_res(i).to_bits(), "rho_res at {i}");
+        let s = ed.profile()[i];
+        assert_eq!(
+            ed.payoff_at(i, s, ed.rho_res(i)).to_bits(),
+            es.payoff_at(i, s, es.rho_res(i)).to_bits(),
+            "payoff_at {i}"
+        );
+        assert_eq!(
+            gd.market().weight(i).to_bits(),
+            gs.market().weight(i).to_bits(),
+            "weight {i}"
+        );
+        assert_eq!(
+            gd.market().competition_pressure(i).to_bits(),
+            gs.market().competition_pressure(i).to_bits(),
+            "pressure {i}"
+        );
+    }
+    assert_eq!(ed.potential().to_bits(), es.potential().to_bits());
+    assert_eq!(ed.total_damage().to_bits(), es.total_damage().to_bits());
+    assert_eq!(ed.omega().to_bits(), es.omega().to_bits());
+    // Commits stay in lockstep too.
+    use tradefl_core::strategy::Strategy;
+    ed.commit(7, Strategy::new(0.5, 1));
+    es.commit(7, Strategy::new(0.5, 1));
+    assert_eq!(ed.potential().to_bits(), es.potential().to_bits());
+    assert_eq!(ed.rho_res(3).to_bits(), es.rho_res(3).to_bits());
+}
+
+// --- incremental CGBD bit-identity -----------------------------------
+
+#[test]
+fn incremental_cut_tables_match_scratch_rebuild_bitwise() {
+    use tradefl::solver::gbd::{Cut, CutTables};
+
+    let g = game(9);
+    let specs: Vec<Cut> = vec![
+        Cut::optimality(&g, vec![0.2; 6], vec![0.0; 6]),
+        Cut::Feasibility { d: vec![0.01; 6], lambda: vec![1.0 / 6.0; 6] },
+        Cut::optimality(&g, vec![0.5; 6], vec![0.05; 6]),
+        Cut::optimality(&g, vec![0.9; 6], vec![0.01; 6]),
+    ];
+    let mut cuts: Vec<Cut> = Vec::new();
+    let mut incremental = CutTables::new(&g);
+    // Sample candidates across the 4^6 space.
+    let candidates: Vec<Vec<usize>> =
+        (0..64).map(|k| (0..6).map(|i| (k >> i) & 1).collect()).collect();
+    for cut in specs {
+        incremental.push_cut(&g, &cut);
+        cuts.push(cut);
+        let scratch = CutTables::build(&g, &cuts);
+        assert_eq!(scratch.cut_count(), incremental.cut_count());
+        for levels in &candidates {
+            let (a, b) = (scratch.value(levels), incremental.value(levels));
+            match (a, b) {
+                (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits(), "at {levels:?}"),
+                (None, None) => {}
+                _ => panic!("feasibility verdict differs at {levels:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_cgbd_master_is_bit_identical_to_scratch_for_any_worker_count() {
+    use std::collections::BTreeSet;
+    use tradefl::solver::gbd::{traverse_pooled, traverse_pooled_with, Cut, CutTables};
+
+    let g = game(9); // 6 orgs → 4^6 = 4096 candidates
+    let mut cuts: Vec<Cut> = Vec::new();
+    let mut tables = CutTables::new(&g);
+    let mut visited: BTreeSet<Vec<usize>> = BTreeSet::new();
+    visited.insert(vec![3; 6]);
+    for cut in [
+        Cut::optimality(&g, vec![0.2; 6], vec![0.0; 6]),
+        Cut::Feasibility { d: vec![0.01; 6], lambda: vec![1.0 / 6.0; 6] },
+        Cut::optimality(&g, vec![0.5; 6], vec![0.05; 6]),
+    ] {
+        tables.push_cut(&g, &cut);
+        cuts.push(cut);
+        // The scratch rebuild is the pre-incremental (seed) behavior.
+        let scratch = traverse_pooled(&g, &cuts, &visited, 1 << 20, &Pool::new(4)).unwrap();
+        for w in [1usize, 4, 8] {
+            let inc =
+                traverse_pooled_with(&g, &tables, &visited, 1 << 20, &Pool::new(w)).unwrap();
+            assert_eq!(inc.levels, scratch.levels, "levels differ at {w} workers");
+            assert_eq!(inc.phi.to_bits(), scratch.phi.to_bits(), "phi differs at {w} workers");
+            assert_eq!(inc.fresh, scratch.fresh, "freshness differs at {w} workers");
+            assert_eq!(inc.evaluated, scratch.evaluated);
+        }
+        let next = traverse_pooled_with(&g, &tables, &visited, 1 << 20, &Pool::new(1))
+            .unwrap()
+            .levels;
+        visited.insert(next);
+    }
+}
+
 #[test]
 fn pooled_exhaustive_oracle_is_bit_identical_for_any_worker_count() {
     use tradefl::solver::cgbd::exhaustive_optimum_with;
